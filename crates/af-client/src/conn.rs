@@ -1,0 +1,971 @@
+//! The audio connection: request generation, reply/event demultiplexing.
+
+use crate::error::{AfError, AfResult};
+use crate::stream::ClientStream;
+use af_proto::message::{self, MessageHeader, MessageKind};
+use af_proto::request::{play_flags, record_flags, PropertyMode};
+use af_proto::{
+    AcAttributes, AcId, AcMask, Atom, ByteOrder, ConnSetup, DeviceDesc, DeviceId, Event, EventMask,
+    Reply, Request, SetupReply, WireError, CHUNK_BYTES,
+};
+use af_time::ATime;
+use std::collections::VecDeque;
+use std::io::{ErrorKind, Read, Write};
+use std::net::TcpStream;
+use std::os::unix::net::UnixStream;
+
+/// Flush threshold for the outbound request buffer.
+const OUT_FLUSH_BYTES: usize = 16 * 1024;
+
+/// A parsed server name: where to connect.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ServerName {
+    /// TCP `host:port`.
+    Tcp(String),
+    /// A Unix-domain socket path.
+    Unix(std::path::PathBuf),
+}
+
+impl ServerName {
+    /// Resolves a server name the way `AFOpenAudioConn` does (§6.1.1):
+    /// explicit argument first, then the `AUDIOFILE` environment variable,
+    /// then `DISPLAY` as a convenient fallback.
+    ///
+    /// Syntax: `host:port` or `tcp:host:port` for TCP; `/path` or
+    /// `unix:/path` for a Unix-domain socket.
+    pub fn resolve(explicit: &str) -> AfResult<ServerName> {
+        let name = if !explicit.is_empty() {
+            explicit.to_string()
+        } else if let Ok(v) = std::env::var("AUDIOFILE") {
+            v
+        } else if let Ok(v) = std::env::var("DISPLAY") {
+            v
+        } else {
+            return Err(AfError::ConnectFailed(
+                "no server name given and AUDIOFILE is unset".into(),
+            ));
+        };
+        if let Some(path) = name.strip_prefix("unix:") {
+            return Ok(ServerName::Unix(path.into()));
+        }
+        if name.starts_with('/') {
+            return Ok(ServerName::Unix(name.into()));
+        }
+        let name = name.strip_prefix("tcp:").unwrap_or(&name).to_string();
+        if !name.contains(':') {
+            return Err(AfError::ConnectFailed(format!(
+                "cannot parse server name {name:?} (want host:port or /socket/path)"
+            )));
+        }
+        Ok(ServerName::Tcp(name))
+    }
+}
+
+/// A client-side audio context (§5.6): a handle plus cached attributes and
+/// the attributes of the device it is bound to.
+#[derive(Clone, Debug)]
+pub struct Ac {
+    /// The context id used on the wire.
+    pub id: AcId,
+    /// The device the context binds to.
+    pub device: DeviceId,
+    /// The effective attributes (server defaults + requested fields).
+    pub attrs: AcAttributes,
+    /// A copy of the device description, for rate/format math
+    /// (`ac->device->playSampleFreq` in the paper's examples).
+    pub desc: DeviceDesc,
+}
+
+impl Ac {
+    /// Samples per second of the bound device.
+    pub fn sample_rate(&self) -> u32 {
+        self.desc.play_sample_freq
+    }
+
+    /// Bytes occupied by one frame (one sample across all channels) in this
+    /// context's encoding.  For sub-byte encodings this is the byte count
+    /// of one *unit* across channels.
+    pub fn frame_bytes(&self) -> usize {
+        let info = self.attrs.encoding.info();
+        info.bytes_per_unit as usize * self.attrs.channels as usize
+    }
+
+    /// Frames represented by `nbytes` of data in this context's encoding.
+    pub fn bytes_to_frames(&self, nbytes: usize) -> u32 {
+        (self.attrs.encoding.samples_in_bytes(nbytes) / self.attrs.channels.max(1) as usize) as u32
+    }
+
+    /// Bytes needed for `frames` frames in this context's encoding.
+    pub fn frames_to_bytes(&self, frames: u32) -> usize {
+        self.attrs
+            .encoding
+            .bytes_for_samples(frames as usize * self.attrs.channels as usize)
+    }
+
+    /// Bytes per second of audio in this context's encoding.
+    pub fn bytes_per_second(&self) -> usize {
+        self.frames_to_bytes(self.sample_rate())
+    }
+}
+
+/// Callback invoked for asynchronous server errors (`AFSetErrorHandler`).
+pub type ErrorHandler = Box<dyn FnMut(&WireError) + Send>;
+
+/// A connection to an AudioFile server (`AFAudioConn`).
+pub struct AudioConn {
+    stream: Box<dyn ClientStream>,
+    order: ByteOrder,
+    name: String,
+    vendor: String,
+    devices: Vec<DeviceDesc>,
+    seq_sent: u16,
+    out: Vec<u8>,
+    inbuf: Vec<u8>,
+    events: VecDeque<Event>,
+    async_errors: Vec<WireError>,
+    synchronous: bool,
+    next_ac_id: AcId,
+    error_handler: Option<ErrorHandler>,
+}
+
+impl AudioConn {
+    /// Opens a connection (`AFOpenAudioConn`).
+    ///
+    /// `name` may be empty to fall back to `$AUDIOFILE` then `$DISPLAY`.
+    pub fn open(name: &str) -> AfResult<AudioConn> {
+        Self::open_with_order(name, ByteOrder::native())
+    }
+
+    /// Opens a connection declaring a specific byte order — mainly for
+    /// exercising the server's byte-swapping path (§7.3.1).
+    pub fn open_with_order(name: &str, order: ByteOrder) -> AfResult<AudioConn> {
+        let resolved = ServerName::resolve(name)?;
+        let (stream, display_name): (Box<dyn ClientStream>, String) = match &resolved {
+            ServerName::Tcp(hostport) => {
+                let s = TcpStream::connect(hostport.as_str())
+                    .map_err(|e| AfError::ConnectFailed(format!("{hostport}: {e}")))?;
+                let _ = s.set_nodelay(true);
+                (Box::new(s), hostport.clone())
+            }
+            ServerName::Unix(path) => {
+                let s = UnixStream::connect(path)
+                    .map_err(|e| AfError::ConnectFailed(format!("{}: {e}", path.display())))?;
+                (Box::new(s), path.display().to_string())
+            }
+        };
+        let mut conn = AudioConn {
+            stream,
+            order,
+            name: display_name,
+            vendor: String::new(),
+            devices: Vec::new(),
+            seq_sent: 0,
+            out: Vec::new(),
+            inbuf: Vec::new(),
+            events: VecDeque::new(),
+            async_errors: Vec::new(),
+            synchronous: false,
+            next_ac_id: 1,
+            error_handler: None,
+        };
+        conn.handshake()?;
+        Ok(conn)
+    }
+
+    fn handshake(&mut self) -> AfResult<()> {
+        let setup = ConnSetup {
+            byte_order: self.order,
+            ..ConnSetup::new()
+        };
+        self.stream.write_all(&setup.encode())?;
+        self.stream.flush()?;
+        // Reply: 4-byte length prefix, then the body.
+        let mut len_buf = [0u8; 4];
+        self.stream.read_exact(&mut len_buf)?;
+        let len = match self.order {
+            ByteOrder::Little => u32::from_le_bytes(len_buf),
+            ByteOrder::Big => u32::from_be_bytes(len_buf),
+        } as usize;
+        if len > 1 << 20 {
+            return Err(AfError::SetupFailed("implausible setup reply".into()));
+        }
+        let mut body = vec![0u8; len];
+        self.stream.read_exact(&mut body)?;
+        match SetupReply::decode(self.order, &body).map_err(AfError::Protocol)? {
+            SetupReply::Failed { reason } => Err(AfError::SetupFailed(reason)),
+            SetupReply::Success {
+                vendor, devices, ..
+            } => {
+                self.vendor = vendor;
+                self.devices = devices;
+                Ok(())
+            }
+        }
+    }
+
+    // ---- Introspection. ----
+
+    /// The server name this connection used (`AFAudioConnName`).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The server's vendor string.
+    pub fn vendor(&self) -> &str {
+        &self.vendor
+    }
+
+    /// The abstract audio devices the server exports.
+    pub fn devices(&self) -> &[DeviceDesc] {
+        &self.devices
+    }
+
+    /// One device's description.
+    pub fn device(&self, id: DeviceId) -> Option<&DeviceDesc> {
+        self.devices.get(id as usize)
+    }
+
+    /// The lowest-numbered device not connected to the telephone — usually
+    /// the local loudspeaker/microphone (the `FindDefaultDevice` of §8.1.2).
+    pub fn find_default_device(&self) -> Option<DeviceId> {
+        self.devices
+            .iter()
+            .position(|d| !d.is_telephone())
+            .map(|i| i as DeviceId)
+    }
+
+    /// Errors the server reported for asynchronous requests, drained.
+    pub fn take_async_errors(&mut self) -> Vec<WireError> {
+        std::mem::take(&mut self.async_errors)
+    }
+
+    /// Installs a handler invoked for every asynchronous server error
+    /// (`AFSetErrorHandler`).  Handled errors are not queued for
+    /// [`AudioConn::take_async_errors`].  The C library's default handler
+    /// exited the process; here the default is to queue.
+    pub fn set_error_handler(&mut self, handler: Option<ErrorHandler>) {
+        self.error_handler = handler;
+    }
+
+    fn note_async_error(&mut self, err: WireError) {
+        match &mut self.error_handler {
+            Some(h) => h(&err),
+            None => self.async_errors.push(err),
+        }
+    }
+
+    /// Enables or disables synchronous mode (`AFSynchronize`): every
+    /// asynchronous request is followed by a round trip so errors surface
+    /// immediately — "particularly \[useful\] when debugging".
+    pub fn set_synchronous(&mut self, on: bool) {
+        self.synchronous = on;
+    }
+
+    // ---- Core wire machinery. ----
+
+    fn send_async(&mut self, req: &Request) -> AfResult<u16> {
+        let seq = self.push_request(req)?;
+        if self.synchronous {
+            self.sync()?;
+        }
+        Ok(seq)
+    }
+
+    fn push_request(&mut self, req: &Request) -> AfResult<u16> {
+        self.out.extend_from_slice(&req.encode(self.order));
+        self.seq_sent = self.seq_sent.wrapping_add(1);
+        if self.out.len() >= OUT_FLUSH_BYTES {
+            self.flush()?;
+        }
+        Ok(self.seq_sent)
+    }
+
+    /// Flushes buffered requests to the server (`AFFlush`).
+    pub fn flush(&mut self) -> AfResult<()> {
+        if !self.out.is_empty() {
+            let out = std::mem::take(&mut self.out);
+            self.stream.write_all(&out)?;
+            self.stream.flush()?;
+        }
+        Ok(())
+    }
+
+    fn round_trip(&mut self, req: &Request) -> AfResult<Reply> {
+        let seq = self.push_request(req)?;
+        self.flush()?;
+        self.wait_reply(seq)
+    }
+
+    fn wait_reply(&mut self, seq: u16) -> AfResult<Reply> {
+        loop {
+            let (header, payload) = self.read_message_blocking()?;
+            match header.kind {
+                MessageKind::Reply => {
+                    let reply =
+                        Reply::decode(self.order, &header, &payload).map_err(AfError::Protocol)?;
+                    if header.sequence == seq {
+                        return Ok(reply);
+                    }
+                    // A reply for some other sequence: stale; drop it.
+                }
+                MessageKind::Event => {
+                    let ev =
+                        Event::decode(self.order, &header, &payload).map_err(AfError::Protocol)?;
+                    self.events.push_back(ev);
+                }
+                MessageKind::Error => {
+                    let err = message::decode_error(self.order, &header, &payload)
+                        .map_err(AfError::Protocol)?;
+                    if header.sequence == seq {
+                        return Err(AfError::Server(err));
+                    }
+                    self.note_async_error(err);
+                }
+            }
+        }
+    }
+
+    fn read_message_blocking(&mut self) -> AfResult<(MessageHeader, Vec<u8>)> {
+        loop {
+            if let Some(msg) = self.try_parse_message()? {
+                return Ok(msg);
+            }
+            let mut tmp = [0u8; 4096];
+            let n = self.stream.read(&mut tmp)?;
+            if n == 0 {
+                return Err(AfError::ConnectionClosed);
+            }
+            self.inbuf.extend_from_slice(&tmp[..n]);
+        }
+    }
+
+    fn try_parse_message(&mut self) -> AfResult<Option<(MessageHeader, Vec<u8>)>> {
+        if self.inbuf.len() < MessageHeader::SIZE {
+            return Ok(None);
+        }
+        let header = MessageHeader::decode(self.order, &self.inbuf[..MessageHeader::SIZE])
+            .map_err(AfError::Protocol)?;
+        let total = MessageHeader::SIZE + header.payload_len();
+        if self.inbuf.len() < total {
+            return Ok(None);
+        }
+        let payload = self.inbuf[MessageHeader::SIZE..total].to_vec();
+        self.inbuf.drain(..total);
+        Ok(Some((header, payload)))
+    }
+
+    /// Pulls any bytes already available without blocking and queues the
+    /// events found.
+    fn pump_nonblocking(&mut self) -> AfResult<()> {
+        self.stream.set_nonblocking(true)?;
+        let result = loop {
+            let mut tmp = [0u8; 4096];
+            match self.stream.read(&mut tmp) {
+                Ok(0) => break Err(AfError::ConnectionClosed),
+                Ok(n) => self.inbuf.extend_from_slice(&tmp[..n]),
+                Err(e) if e.kind() == ErrorKind::WouldBlock => break Ok(()),
+                Err(e) => break Err(AfError::Io(e)),
+            }
+        };
+        self.stream.set_nonblocking(false)?;
+        result?;
+        while let Some((header, payload)) = self.try_parse_message()? {
+            match header.kind {
+                MessageKind::Event => {
+                    let ev =
+                        Event::decode(self.order, &header, &payload).map_err(AfError::Protocol)?;
+                    self.events.push_back(ev);
+                }
+                MessageKind::Error => {
+                    let err = message::decode_error(self.order, &header, &payload)
+                        .map_err(AfError::Protocol)?;
+                    self.note_async_error(err);
+                }
+                MessageKind::Reply => { /* Stale reply: drop. */ }
+            }
+        }
+        Ok(())
+    }
+
+    // ---- Synchronization (§6.1.3). ----
+
+    /// Flushes and waits for the server to process everything (`AFSync`).
+    pub fn sync(&mut self) -> AfResult<()> {
+        match self.round_trip(&Request::SyncConnection)? {
+            Reply::Sync => Ok(()),
+            other => Err(AfError::Protocol(af_proto::ProtoError::BadEnum {
+                field: "sync reply",
+                value: reply_discriminant(&other),
+            })),
+        }
+    }
+
+    /// Sends a no-op request (`AFNoOp`); does not flush.
+    pub fn no_op(&mut self) -> AfResult<()> {
+        self.send_async(&Request::NoOperation).map(|_| ())
+    }
+
+    // ---- Time, play, record (§6.1.5). ----
+
+    /// Returns the device's current time (`AFGetTime`).
+    pub fn get_time(&mut self, device: DeviceId) -> AfResult<ATime> {
+        match self.round_trip(&Request::GetTime { device })? {
+            Reply::Time { time } => Ok(time),
+            other => Err(unexpected_reply(&other)),
+        }
+    }
+
+    /// Plays a block of samples at an exact device time (`AFPlaySamples`).
+    ///
+    /// Long requests are chunked into 8 KB pieces with the reply suppressed
+    /// on all but the last (§5.7, §10.1.3).  Returns the device time from
+    /// the final reply.
+    pub fn play_samples(&mut self, ac: &Ac, start_time: ATime, data: &[u8]) -> AfResult<ATime> {
+        self.play_samples_with_flags(ac, start_time, data, 0)
+    }
+
+    /// [`AudioConn::play_samples`] with extra [`play_flags`] bits ORed into
+    /// every chunk — e.g. [`play_flags::PREEMPT`] for a one-off preemptive
+    /// write on a mixing context.
+    pub fn play_samples_with_flags(
+        &mut self,
+        ac: &Ac,
+        start_time: ATime,
+        data: &[u8],
+        extra_flags: u8,
+    ) -> AfResult<ATime> {
+        if data.is_empty() {
+            return self.get_time(ac.device);
+        }
+        let align = ac.frame_bytes().max(1);
+        let chunk_bytes = (CHUNK_BYTES / align).max(1) * align;
+        let mut offset = 0usize;
+        let mut time = start_time;
+        while offset < data.len() {
+            let end = (offset + chunk_bytes).min(data.len());
+            let chunk = &data[offset..end];
+            let last = end == data.len();
+            let flags = extra_flags | if last { 0 } else { play_flags::SUPPRESS_REPLY };
+            let req = Request::PlaySamples {
+                ac: ac.id,
+                start_time: time,
+                flags,
+                data: chunk.to_vec(),
+            };
+            if last {
+                match self.round_trip(&req)? {
+                    Reply::Time { time } => return Ok(time),
+                    other => return Err(unexpected_reply(&other)),
+                }
+            }
+            let seq = self.push_request(&req)?;
+            let _ = seq;
+            time += ac.bytes_to_frames(chunk.len());
+            offset = end;
+        }
+        unreachable!("loop returns on the final chunk");
+    }
+
+    /// Records samples from an exact device time (`AFRecordSamples`).
+    ///
+    /// With `block` set the call returns exactly `nbytes` of data once it
+    /// has all been captured; otherwise it returns whatever was immediately
+    /// available.  Returns the device time of the final reply and the data.
+    pub fn record_samples(
+        &mut self,
+        ac: &Ac,
+        start_time: ATime,
+        nbytes: usize,
+        block: bool,
+    ) -> AfResult<(ATime, Vec<u8>)> {
+        let align = ac.frame_bytes().max(1);
+        let chunk_bytes = (CHUNK_BYTES / align).max(1) * align;
+        let mut collected = Vec::with_capacity(nbytes);
+        let mut time = start_time;
+        let mut remaining = nbytes;
+        let mut last_time;
+        let mut flags = 0u8;
+        if block {
+            flags |= record_flags::BLOCK;
+        }
+        loop {
+            let ask = remaining.min(chunk_bytes);
+            // A zero-byte request is still sent: the first record operation
+            // under a context marks it as recording on the server (§7.4.1),
+            // so clients arm the recorder with an empty record.
+            let req = Request::RecordSamples {
+                ac: ac.id,
+                start_time: time,
+                nbytes: ask as u32,
+                flags,
+            };
+            match self.round_trip(&req)? {
+                Reply::Record { time: now, data } => {
+                    last_time = now;
+                    let got = data.len();
+                    collected.extend_from_slice(&data);
+                    time += ac.bytes_to_frames(got);
+                    remaining -= got.min(remaining);
+                    if got < ask || remaining == 0 {
+                        // Done, or a non-blocking record ran out of data.
+                        break;
+                    }
+                }
+                other => return Err(unexpected_reply(&other)),
+            }
+        }
+        Ok((last_time, collected))
+    }
+
+    // ---- Audio contexts. ----
+
+    /// Creates an audio context (`AFCreateAC`).
+    pub fn create_ac(
+        &mut self,
+        device: DeviceId,
+        mask: AcMask,
+        attrs: &AcAttributes,
+    ) -> AfResult<Ac> {
+        let desc = *self
+            .device(device)
+            .ok_or_else(|| AfError::InvalidArgument(format!("no device {device}")))?;
+        if mask.contains(AcMask::ENCODING) && !desc.supports(attrs.encoding) {
+            // The device advertises which sample types its conversion
+            // modules accept (§5.4); fail fast client-side.
+            return Err(AfError::InvalidArgument(format!(
+                "device {device} does not support encoding {}",
+                attrs.encoding
+            )));
+        }
+        let id = self.next_ac_id;
+        self.next_ac_id += 1;
+        self.send_async(&Request::CreateAc {
+            id,
+            device,
+            mask,
+            attrs: *attrs,
+        })?;
+        // Mirror the server's defaulting: device-native values overlaid
+        // with the masked fields.
+        let mut effective = AcAttributes {
+            encoding: desc.play_buf_type,
+            channels: desc.play_nchannels,
+            ..AcAttributes::default()
+        };
+        effective.apply(mask, attrs);
+        Ok(Ac {
+            id,
+            device,
+            attrs: effective,
+            desc,
+        })
+    }
+
+    /// Changes attributes of a context (`AFChangeACAttributes`).
+    pub fn change_ac_attributes(
+        &mut self,
+        ac: &mut Ac,
+        mask: AcMask,
+        attrs: &AcAttributes,
+    ) -> AfResult<()> {
+        self.send_async(&Request::ChangeAcAttributes {
+            id: ac.id,
+            mask,
+            attrs: *attrs,
+        })?;
+        ac.attrs.apply(mask, attrs);
+        Ok(())
+    }
+
+    /// Frees a context (`AFFreeAC`).
+    pub fn free_ac(&mut self, ac: Ac) -> AfResult<()> {
+        self.send_async(&Request::FreeAc { id: ac.id }).map(|_| ())
+    }
+
+    // ---- Events (§6.1.4). ----
+
+    /// Selects which events to receive for a device (`AFSelectEvents`).
+    pub fn select_events(&mut self, device: DeviceId, mask: EventMask) -> AfResult<()> {
+        self.send_async(&Request::SelectEvents { device, mask })
+            .map(|_| ())
+    }
+
+    /// Returns the next event, blocking if none are queued (`AFNextEvent`).
+    pub fn next_event(&mut self) -> AfResult<Event> {
+        if let Some(ev) = self.events.pop_front() {
+            return Ok(ev);
+        }
+        self.flush()?;
+        loop {
+            let (header, payload) = self.read_message_blocking()?;
+            match header.kind {
+                MessageKind::Event => {
+                    return Event::decode(self.order, &header, &payload).map_err(AfError::Protocol)
+                }
+                MessageKind::Error => {
+                    let err = message::decode_error(self.order, &header, &payload)
+                        .map_err(AfError::Protocol)?;
+                    self.note_async_error(err);
+                }
+                MessageKind::Reply => { /* Stale reply: drop. */ }
+            }
+        }
+    }
+
+    /// Number of events queued without blocking (`AFPending`).
+    pub fn pending(&mut self) -> AfResult<usize> {
+        self.flush()?;
+        self.pump_nonblocking()?;
+        Ok(self.events.len())
+    }
+
+    /// Blocks until an event satisfying `pred` arrives; removes and returns
+    /// it (`AFIfEvent`).
+    pub fn if_event<F: FnMut(&Event) -> bool>(&mut self, mut pred: F) -> AfResult<Event> {
+        if let Some(i) = self.events.iter().position(&mut pred) {
+            return Ok(self.events.remove(i).expect("index valid"));
+        }
+        loop {
+            let ev = self.next_event()?;
+            if pred(&ev) {
+                return Ok(ev);
+            }
+            self.events.push_back(ev);
+        }
+    }
+
+    /// Removes and returns the first queued event satisfying `pred` without
+    /// blocking (`AFCheckIfEvent`).
+    pub fn check_if_event<F: FnMut(&Event) -> bool>(
+        &mut self,
+        mut pred: F,
+    ) -> AfResult<Option<Event>> {
+        self.pending()?;
+        match self.events.iter().position(&mut pred) {
+            Some(i) => Ok(self.events.remove(i)),
+            None => Ok(None),
+        }
+    }
+
+    /// Blocks until an event satisfying `pred` arrives and returns a copy
+    /// without dequeuing it (`AFPeekIfEvent`).
+    pub fn peek_if_event<F: FnMut(&Event) -> bool>(&mut self, mut pred: F) -> AfResult<Event> {
+        if let Some(i) = self.events.iter().position(&mut pred) {
+            return Ok(self.events[i]);
+        }
+        loop {
+            let ev = self.next_event()?;
+            let matched = pred(&ev);
+            self.events.push_back(ev);
+            if matched {
+                return Ok(*self.events.back().expect("just pushed"));
+            }
+        }
+    }
+
+    // ---- Telephone control (§8.4). ----
+
+    /// Sets the hookswitch state (`AFHookSwitch`).
+    pub fn hook_switch(&mut self, device: DeviceId, off_hook: bool) -> AfResult<()> {
+        self.send_async(&Request::HookSwitch { device, off_hook })
+            .map(|_| ())
+    }
+
+    /// Flashes the hookswitch (`AFFlashHook`).
+    pub fn flash_hook(&mut self, device: DeviceId) -> AfResult<()> {
+        self.send_async(&Request::FlashHook { device }).map(|_| ())
+    }
+
+    /// Returns `(off_hook, loop_current, ringing)` (`AFQueryPhone`).
+    pub fn query_phone(&mut self, device: DeviceId) -> AfResult<(bool, bool, bool)> {
+        match self.round_trip(&Request::QueryPhone { device })? {
+            Reply::Phone {
+                off_hook,
+                loop_current,
+                ringing,
+            } => Ok((off_hook, loop_current, ringing)),
+            other => Err(unexpected_reply(&other)),
+        }
+    }
+
+    /// Connects local audio to the telephone (`AFEnablePassThrough`).
+    pub fn enable_pass_through(&mut self, device: DeviceId) -> AfResult<()> {
+        self.send_async(&Request::EnablePassThrough { device })
+            .map(|_| ())
+    }
+
+    /// Removes the direct connection (`AFDisablePassThrough`).
+    pub fn disable_pass_through(&mut self, device: DeviceId) -> AfResult<()> {
+        self.send_async(&Request::DisablePassThrough { device })
+            .map(|_| ())
+    }
+
+    // ---- I/O control (§5.8). ----
+
+    /// Sets the input gain in dB (`AFSetInputGain`).
+    pub fn set_input_gain(&mut self, device: DeviceId, db: i32) -> AfResult<()> {
+        self.send_async(&Request::SetInputGain { device, db })
+            .map(|_| ())
+    }
+
+    /// Sets the output gain (volume) in dB (`AFSetOutputGain`).
+    pub fn set_output_gain(&mut self, device: DeviceId, db: i32) -> AfResult<()> {
+        self.send_async(&Request::SetOutputGain { device, db })
+            .map(|_| ())
+    }
+
+    /// Returns `(min, max, current)` input gain in dB (`AFQueryInputGain`).
+    pub fn query_input_gain(&mut self, device: DeviceId) -> AfResult<(i32, i32, i32)> {
+        match self.round_trip(&Request::QueryInputGain { device })? {
+            Reply::Gain {
+                min_db,
+                max_db,
+                current_db,
+            } => Ok((min_db, max_db, current_db)),
+            other => Err(unexpected_reply(&other)),
+        }
+    }
+
+    /// Returns `(min, max, current)` output gain in dB
+    /// (`AFQueryOutputGain`).
+    pub fn query_output_gain(&mut self, device: DeviceId) -> AfResult<(i32, i32, i32)> {
+        match self.round_trip(&Request::QueryOutputGain { device })? {
+            Reply::Gain {
+                min_db,
+                max_db,
+                current_db,
+            } => Ok((min_db, max_db, current_db)),
+            other => Err(unexpected_reply(&other)),
+        }
+    }
+
+    /// Enables inputs by connector mask (`AFEnableInput`).
+    pub fn enable_input(&mut self, device: DeviceId, mask: u32) -> AfResult<()> {
+        self.send_async(&Request::EnableInput { device, mask })
+            .map(|_| ())
+    }
+
+    /// Disables inputs by connector mask (`AFDisableInput`).
+    pub fn disable_input(&mut self, device: DeviceId, mask: u32) -> AfResult<()> {
+        self.send_async(&Request::DisableInput { device, mask })
+            .map(|_| ())
+    }
+
+    /// Enables outputs by connector mask (`AFEnableOutput`).
+    pub fn enable_output(&mut self, device: DeviceId, mask: u32) -> AfResult<()> {
+        self.send_async(&Request::EnableOutput { device, mask })
+            .map(|_| ())
+    }
+
+    /// Disables outputs by connector mask (`AFDisableOutput`).
+    pub fn disable_output(&mut self, device: DeviceId, mask: u32) -> AfResult<()> {
+        self.send_async(&Request::DisableOutput { device, mask })
+            .map(|_| ())
+    }
+
+    // ---- Access control. ----
+
+    /// Enables or disables access-control checking (`AFSetAccessControl`).
+    pub fn set_access_control(&mut self, enabled: bool) -> AfResult<()> {
+        self.send_async(&Request::SetAccessControl { enabled })
+            .map(|_| ())
+    }
+
+    /// Adds a host's raw address to the access list (`AFAddHost`).
+    pub fn add_host(&mut self, address: &[u8]) -> AfResult<()> {
+        self.send_async(&Request::ChangeHosts {
+            insert: true,
+            address: address.to_vec(),
+        })
+        .map(|_| ())
+    }
+
+    /// Removes a host from the access list (`AFRemoveHost`).
+    pub fn remove_host(&mut self, address: &[u8]) -> AfResult<()> {
+        self.send_async(&Request::ChangeHosts {
+            insert: false,
+            address: address.to_vec(),
+        })
+        .map(|_| ())
+    }
+
+    /// Returns `(enforcing, hosts)` (`AFListHosts`).
+    pub fn list_hosts(&mut self) -> AfResult<(bool, Vec<Vec<u8>>)> {
+        match self.round_trip(&Request::ListHosts)? {
+            Reply::Hosts { enabled, hosts } => Ok((enabled, hosts)),
+            other => Err(unexpected_reply(&other)),
+        }
+    }
+
+    // ---- Atoms and properties (§5.9). ----
+
+    /// Interns a string, returning its atom (`AFInternAtom`).
+    pub fn intern_atom(&mut self, name: &str, only_if_exists: bool) -> AfResult<Atom> {
+        match self.round_trip(&Request::InternAtom {
+            only_if_exists,
+            name: name.to_string(),
+        })? {
+            Reply::InternedAtom { atom } => Ok(atom),
+            other => Err(unexpected_reply(&other)),
+        }
+    }
+
+    /// Returns the name of an atom (`AFGetAtomName`).
+    pub fn get_atom_name(&mut self, atom: Atom) -> AfResult<String> {
+        match self.round_trip(&Request::GetAtomName { atom })? {
+            Reply::AtomName { name } => Ok(name),
+            other => Err(unexpected_reply(&other)),
+        }
+    }
+
+    /// Changes a device property (`AFChangeProperty`).
+    pub fn change_property(
+        &mut self,
+        device: DeviceId,
+        mode: PropertyMode,
+        property: Atom,
+        type_: Atom,
+        data: &[u8],
+    ) -> AfResult<()> {
+        self.send_async(&Request::ChangeProperty {
+            device,
+            mode,
+            property,
+            type_,
+            data: data.to_vec(),
+        })
+        .map(|_| ())
+    }
+
+    /// Retrieves a property: `(type, data)`, where a [`Atom::NONE`] type
+    /// means the property does not exist (`AFGetProperty`).
+    pub fn get_property(
+        &mut self,
+        device: DeviceId,
+        delete: bool,
+        property: Atom,
+        type_: Atom,
+    ) -> AfResult<(Atom, Vec<u8>)> {
+        match self.round_trip(&Request::GetProperty {
+            device,
+            delete,
+            property,
+            type_,
+        })? {
+            Reply::Property { type_, data } => Ok((type_, data)),
+            other => Err(unexpected_reply(&other)),
+        }
+    }
+
+    /// Deletes a property (`AFDeleteProperty`).
+    pub fn delete_property(&mut self, device: DeviceId, property: Atom) -> AfResult<()> {
+        self.send_async(&Request::DeleteProperty { device, property })
+            .map(|_| ())
+    }
+
+    /// Lists the device's property name atoms (`AFListProperties`).
+    pub fn list_properties(&mut self, device: DeviceId) -> AfResult<Vec<Atom>> {
+        match self.round_trip(&Request::ListProperties { device })? {
+            Reply::Properties { atoms } => Ok(atoms),
+            other => Err(unexpected_reply(&other)),
+        }
+    }
+}
+
+fn reply_discriminant(r: &Reply) -> u32 {
+    // Cheap discriminant for diagnostics.
+    match r {
+        Reply::Time { .. } => 1,
+        Reply::Record { .. } => 2,
+        Reply::Phone { .. } => 3,
+        Reply::Gain { .. } => 4,
+        Reply::Hosts { .. } => 5,
+        Reply::InternedAtom { .. } => 6,
+        Reply::AtomName { .. } => 7,
+        Reply::Property { .. } => 8,
+        Reply::Properties { .. } => 9,
+        Reply::Sync => 10,
+        Reply::Extension { .. } => 11,
+        Reply::Extensions { .. } => 12,
+    }
+}
+
+fn unexpected_reply(r: &Reply) -> AfError {
+    AfError::Protocol(af_proto::ProtoError::BadEnum {
+        field: "reply kind",
+        value: reply_discriminant(r),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn server_name_resolution() {
+        assert_eq!(
+            ServerName::resolve("localhost:7000").unwrap(),
+            ServerName::Tcp("localhost:7000".into())
+        );
+        assert_eq!(
+            ServerName::resolve("tcp:10.0.0.1:7001").unwrap(),
+            ServerName::Tcp("10.0.0.1:7001".into())
+        );
+        assert_eq!(
+            ServerName::resolve("/tmp/af.sock").unwrap(),
+            ServerName::Unix("/tmp/af.sock".into())
+        );
+        assert_eq!(
+            ServerName::resolve("unix:/run/af0").unwrap(),
+            ServerName::Unix("/run/af0".into())
+        );
+        assert!(ServerName::resolve("nonsense").is_err());
+    }
+
+    #[test]
+    fn ac_math() {
+        let desc = DeviceDesc {
+            index: 0,
+            kind: af_proto::DeviceKind::Codec,
+            play_sample_freq: 8000,
+            rec_sample_freq: 8000,
+            play_buf_type: af_dsp::Encoding::Mu255,
+            rec_buf_type: af_dsp::Encoding::Mu255,
+            play_nchannels: 1,
+            rec_nchannels: 1,
+            play_nsamples_buf: 32_768,
+            rec_nsamples_buf: 32_768,
+            number_of_inputs: 1,
+            number_of_outputs: 1,
+            inputs_from_phone: 0,
+            outputs_to_phone: 0,
+            supported_types: DeviceDesc::all_convertible_types(),
+        };
+        let ac = Ac {
+            id: 1,
+            device: 0,
+            attrs: AcAttributes {
+                encoding: af_dsp::Encoding::Mu255,
+                channels: 1,
+                ..AcAttributes::default()
+            },
+            desc,
+        };
+        assert_eq!(ac.frame_bytes(), 1);
+        assert_eq!(ac.bytes_to_frames(8000), 8000);
+        assert_eq!(ac.frames_to_bytes(8000), 8000);
+        assert_eq!(ac.bytes_per_second(), 8000);
+
+        let stereo = Ac {
+            attrs: AcAttributes {
+                encoding: af_dsp::Encoding::Lin16,
+                channels: 2,
+                ..AcAttributes::default()
+            },
+            ..ac
+        };
+        assert_eq!(stereo.frame_bytes(), 4);
+        assert_eq!(stereo.bytes_to_frames(4000), 1000);
+        assert_eq!(stereo.frames_to_bytes(1000), 4000);
+    }
+}

@@ -1,0 +1,96 @@
+//! Client-side error handling (§6.1.2).
+//!
+//! The C library installed process-global error handlers whose default
+//! action was to exit the application.  Rust callers get a [`Result`]
+//! instead; [`error_text`] reproduces `AFGetErrorText` for presenting
+//! server errors to users.
+
+use af_proto::{ErrorCode, ProtoError, WireError};
+use std::fmt;
+
+/// Any error an AudioFile client call can produce.
+#[derive(Debug)]
+pub enum AfError {
+    /// A system-call failure on the connection (the `IOError` class).
+    Io(std::io::Error),
+    /// The server sent bytes that do not parse.
+    Protocol(ProtoError),
+    /// The server reported a protocol error for a request.
+    Server(WireError),
+    /// The server refused the connection at setup.
+    SetupFailed(String),
+    /// The server name could not be resolved or reached.
+    ConnectFailed(String),
+    /// The connection closed while a reply was outstanding.
+    ConnectionClosed,
+    /// A call was rejected client-side before reaching the server.
+    InvalidArgument(String),
+}
+
+/// Shorthand result type for client calls.
+pub type AfResult<T> = Result<T, AfError>;
+
+/// Translates a protocol error code into a string (`AFGetErrorText`).
+pub fn error_text(code: ErrorCode) -> &'static str {
+    code.text()
+}
+
+impl fmt::Display for AfError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AfError::Io(e) => write!(f, "i/o error on audio connection: {e}"),
+            AfError::Protocol(e) => write!(f, "protocol violation: {e}"),
+            AfError::Server(e) => write!(
+                f,
+                "server error: {} (opcode {}, value {})",
+                e.code.text(),
+                e.opcode,
+                e.bad_value
+            ),
+            AfError::SetupFailed(r) => write!(f, "connection setup failed: {r}"),
+            AfError::ConnectFailed(r) => write!(f, "cannot open audio connection: {r}"),
+            AfError::ConnectionClosed => write!(f, "audio connection closed unexpectedly"),
+            AfError::InvalidArgument(what) => write!(f, "invalid argument: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for AfError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            AfError::Io(e) => Some(e),
+            AfError::Protocol(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for AfError {
+    fn from(e: std::io::Error) -> Self {
+        AfError::Io(e)
+    }
+}
+
+impl From<ProtoError> for AfError {
+    fn from(e: ProtoError) -> Self {
+        AfError::Protocol(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_covers_variants() {
+        let server = AfError::Server(WireError {
+            code: ErrorCode::BadDevice,
+            sequence: 1,
+            bad_value: 9,
+            opcode: 7,
+        });
+        assert!(server.to_string().contains("no such audio device"));
+        assert!(AfError::ConnectionClosed.to_string().contains("closed"));
+        assert_eq!(error_text(ErrorCode::BadAc), "no such audio context");
+    }
+}

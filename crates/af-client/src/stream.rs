@@ -1,0 +1,23 @@
+//! Connection streams: TCP and Unix-domain sockets (§5.1).
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::os::unix::net::UnixStream;
+
+/// A byte-stream transport for an AudioFile connection.
+pub trait ClientStream: Read + Write + Send {
+    /// Switches the socket between blocking and non-blocking reads.
+    fn set_nonblocking(&mut self, nb: bool) -> std::io::Result<()>;
+}
+
+impl ClientStream for TcpStream {
+    fn set_nonblocking(&mut self, nb: bool) -> std::io::Result<()> {
+        TcpStream::set_nonblocking(self, nb)
+    }
+}
+
+impl ClientStream for UnixStream {
+    fn set_nonblocking(&mut self, nb: bool) -> std::io::Result<()> {
+        UnixStream::set_nonblocking(self, nb)
+    }
+}

@@ -1,0 +1,85 @@
+//! `abiff` — audio notification when new mail arrives (§9.6).
+//!
+//! The paper's `abiff` announced mail with the DECtalk synthesizer; that is
+//! proprietary, so this one plays a distinctive two-tone chime through the
+//! AudioFile server whenever the watched file grows — same shape, different
+//! voice.
+//!
+//! ```text
+//! abiff [-server host:port] [-d device] [-poll seconds] [-once] [file]
+//! ```
+//!
+//! The default file is `$MAIL`, falling back to `/var/mail/$USER`.
+
+use af_client::{AcAttributes, AcMask};
+use af_clients::cli::Args;
+use af_clients::{open_conn, pick_device};
+use af_dsp::tone::{tone_pair, TonePairSpec};
+
+fn main() {
+    let args = Args::from_env(&["-once"]).unwrap_or_else(|e| {
+        eprintln!("abiff: {e}");
+        std::process::exit(1);
+    });
+    let path = args
+        .positional()
+        .first()
+        .cloned()
+        .or_else(|| std::env::var("MAIL").ok())
+        .or_else(|| std::env::var("USER").ok().map(|u| format!("/var/mail/{u}")))
+        .unwrap_or_else(|| {
+            eprintln!("abiff: no mailbox file given and $MAIL unset");
+            std::process::exit(1);
+        });
+    let poll: f64 = args.num_or("-poll", 5.0);
+
+    let mut conn = open_conn(&args).unwrap_or_else(|e| {
+        eprintln!("abiff: {e}");
+        std::process::exit(1);
+    });
+    let device = pick_device(&args, &conn).expect("no device");
+    let ac = conn
+        .create_ac(device, AcMask::default(), &AcAttributes::default())
+        .expect("create ac");
+    let rate = f64::from(ac.sample_rate());
+
+    // A pleasant upward chime: two tone pairs back to back.
+    let mut chime = tone_pair(
+        TonePairSpec {
+            f1: 660.0,
+            db1: -10.0,
+            f2: 880.0,
+            db2: -10.0,
+        },
+        rate,
+        (rate * 0.15) as usize,
+        64,
+    );
+    chime.extend(tone_pair(
+        TonePairSpec {
+            f1: 880.0,
+            db1: -8.0,
+            f2: 1320.0,
+            db2: -8.0,
+        },
+        rate,
+        (rate * 0.2) as usize,
+        64,
+    ));
+
+    let mut last_len = std::fs::metadata(&path).map(|m| m.len()).unwrap_or(0);
+    loop {
+        std::thread::sleep(std::time::Duration::from_secs_f64(poll.max(0.1)));
+        let len = std::fs::metadata(&path).map(|m| m.len()).unwrap_or(0);
+        if len > last_len {
+            let t = conn.get_time(device).expect("get time");
+            conn.play_samples(&ac, t + ac.sample_rate() / 10, &chime)
+                .expect("play chime");
+            println!("abiff: new mail in {path}");
+            if args.has_flag("-once") {
+                return;
+            }
+        }
+        last_len = len;
+    }
+}

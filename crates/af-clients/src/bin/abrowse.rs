@@ -1,0 +1,111 @@
+//! `abrowse` — a sound-file browser (§9.6, sans the Tk interface).
+//!
+//! The paper's `abrowse`/`xplay` browsed directories of sound files with a
+//! GUI; with no display here, this one lists a directory's `.au` and `.ul`
+//! files and plays them in sequence, printing each name — still useful for
+//! auditioning an effects library over the network.
+//!
+//! ```text
+//! abrowse [-server host:port] [-d device] [-list] [directory]
+//! ```
+
+use af_client::{AcAttributes, AcMask};
+use af_clients::cli::Args;
+use af_clients::{open_conn, pick_device};
+use af_util::files;
+use std::io::Read;
+
+fn main() {
+    let args = Args::from_env(&["-list"]).unwrap_or_else(|e| {
+        eprintln!("abrowse: {e}");
+        std::process::exit(1);
+    });
+    let dir = args
+        .positional()
+        .first()
+        .cloned()
+        .unwrap_or_else(|| ".".to_string());
+
+    let mut entries: Vec<std::path::PathBuf> = std::fs::read_dir(&dir)
+        .unwrap_or_else(|e| {
+            eprintln!("abrowse: {dir}: {e}");
+            std::process::exit(1);
+        })
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| {
+            matches!(
+                p.extension().and_then(|x| x.to_str()),
+                Some("au" | "ul" | "snd")
+            )
+        })
+        .collect();
+    entries.sort();
+    if entries.is_empty() {
+        eprintln!("abrowse: no .au/.ul/.snd files in {dir}");
+        return;
+    }
+    if args.has_flag("-list") {
+        for p in &entries {
+            println!("{}", p.display());
+        }
+        return;
+    }
+
+    let mut conn = open_conn(&args).unwrap_or_else(|e| {
+        eprintln!("abrowse: {e}");
+        std::process::exit(1);
+    });
+    let device = pick_device(&args, &conn).expect("no device");
+    let ac = conn
+        .create_ac(device, AcMask::default(), &AcAttributes::default())
+        .expect("create ac");
+    let srate = ac.sample_rate();
+
+    for path in entries {
+        println!("playing {}", path.display());
+        let mut f = match std::fs::File::open(&path) {
+            Ok(f) => f,
+            Err(e) => {
+                eprintln!("abrowse: {}: {e}", path.display());
+                continue;
+            }
+        };
+        let is_au = path.extension().and_then(|x| x.to_str()) == Some("au");
+        let mut data = Vec::new();
+        if is_au {
+            match files::read_au_header(&mut f) {
+                Ok(spec) => {
+                    if spec.encoding != ac.attrs.encoding {
+                        eprintln!(
+                            "abrowse: {}: {} file on a {} device, skipping",
+                            path.display(),
+                            spec.encoding,
+                            ac.attrs.encoding
+                        );
+                        continue;
+                    }
+                }
+                Err(e) => {
+                    eprintln!("abrowse: {}: {e}", path.display());
+                    continue;
+                }
+            }
+        }
+        if f.read_to_end(&mut data).is_err() {
+            continue;
+        }
+        let t = conn.get_time(device).expect("time");
+        let end = t + 800u32 + ac.bytes_to_frames(data.len());
+        conn.play_samples(&ac, t + 800u32, &data).expect("play");
+        // Wait for the clip to finish plus a beat of silence.
+        loop {
+            let now = conn.get_time(device).expect("time");
+            if !end.is_after(now) {
+                break;
+            }
+            let left = af_time::samples_to_seconds(end - now, srate);
+            std::thread::sleep(std::time::Duration::from_secs_f64(left.clamp(0.02, 0.5)));
+        }
+        std::thread::sleep(std::time::Duration::from_millis(250));
+    }
+}

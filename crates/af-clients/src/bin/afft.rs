@@ -1,0 +1,155 @@
+//! `afft` — a real-time spectrogram displayer (§9.5).
+//!
+//! Accepts µ-law audio from a file, standard input, or an AudioFile server
+//! in real time, runs a running Fourier transform, and renders a
+//! "waterfall" — one line of terminal cells per transform, low frequencies
+//! on the left.
+//!
+//! ```text
+//! afft [-file f | -sine | -server host:port [-d device]]
+//!      [-length N] [-stride N] [-window hamming|hanning|triangular|none]
+//!      [-rate hz] [-log] [-gain dB] [-columns N] [-frames N]
+//! ```
+
+use af_client::{AcAttributes, AcMask};
+use af_clients::cli::Args;
+use af_clients::{open_conn, pick_device};
+use af_dsp::fft::Spectrogram;
+use af_dsp::window::Window;
+use std::io::Read;
+
+/// Shade ramp from quiet to loud.
+const SHADES: &[char] = &[' ', '.', ':', '-', '=', '+', '*', '#', '%', '@'];
+
+fn main() {
+    let args = Args::from_env(&["-sine", "-log"]).unwrap_or_else(|e| {
+        eprintln!("afft: {e}");
+        std::process::exit(1);
+    });
+    let length: usize = args.num_or("-length", 256);
+    let stride: usize = args.num_or("-stride", length);
+    let rate: f64 = args.num_or("-rate", 8000.0);
+    let columns: usize = args.num_or("-columns", 64);
+    let max_frames: usize = args.num_or("-frames", 100);
+    let log_scale = args.has_flag("-log");
+    let gain: f64 = args.num_or("-gain", 0.0);
+    let window = match args.get_str("-window").as_deref() {
+        None | Some("hamming") => Window::Hamming,
+        Some("hanning") => Window::Hanning,
+        Some("triangular") => Window::Triangular,
+        Some("none") => Window::Rectangular,
+        Some(other) => {
+            eprintln!("afft: unknown window {other:?}");
+            std::process::exit(1);
+        }
+    };
+    if !length.is_power_of_two() {
+        eprintln!("afft: -length must be a power of two");
+        std::process::exit(1);
+    }
+
+    let mut engine = Spectrogram::new(length, stride.max(1), window);
+    let mut frames = 0usize;
+    let mut emit = |pcm: &[f64]| -> bool {
+        for spectrum in engine.feed(pcm) {
+            render_line(&spectrum, columns, log_scale, gain);
+            frames += 1;
+            if frames >= max_frames {
+                return false;
+            }
+        }
+        true
+    };
+
+    if args.has_flag("-sine") {
+        // A canned swept sine for demo mode.
+        let total = length * max_frames * 2;
+        let mut phase = 0.0f64;
+        let mut pcm = Vec::with_capacity(total);
+        for i in 0..total {
+            let sweep = (i as f64 / total as f64) * 0.5; // 0..Nyquist/2 turns.
+            phase += sweep.min(0.45);
+            pcm.push((phase * std::f64::consts::TAU).sin() * 10_000.0);
+        }
+        emit(&pcm);
+        return;
+    }
+
+    if args.get_str("-server").is_some() || std::env::var("AUDIOFILE").is_ok() {
+        let mut conn = open_conn(&args).unwrap_or_else(|e| {
+            eprintln!("afft: {e}");
+            std::process::exit(1);
+        });
+        let device = pick_device(&args, &conn).expect("no device");
+        let ac = conn
+            .create_ac(device, AcMask::default(), &AcAttributes::default())
+            .expect("create ac");
+        let mut t = conn.get_time(device).expect("get time");
+        conn.record_samples(&ac, t, 0, false).expect("arm recorder");
+        loop {
+            let (_, data) = conn.record_samples(&ac, t, length, true).expect("record");
+            t += ac.bytes_to_frames(data.len());
+            let pcm: Vec<f64> = data
+                .iter()
+                .map(|&b| f64::from(af_dsp::g711::ulaw_to_linear(b)))
+                .collect();
+            if !emit(&pcm) {
+                return;
+            }
+        }
+    }
+
+    // File or stdin: µ-law bytes.
+    let mut input: Box<dyn Read> = match args.get_str("-file") {
+        Some(path) if path != "-" => Box::new(std::fs::File::open(&path).unwrap_or_else(|e| {
+            eprintln!("afft: {path}: {e}");
+            std::process::exit(1);
+        })),
+        _ => Box::new(std::io::stdin()),
+    };
+    let _ = rate;
+    let mut buf = vec![0u8; 4096];
+    loop {
+        let n = input.read(&mut buf).unwrap_or(0);
+        if n == 0 {
+            return;
+        }
+        let pcm: Vec<f64> = buf[..n]
+            .iter()
+            .map(|&b| f64::from(af_dsp::g711::ulaw_to_linear(b)))
+            .collect();
+        if !emit(&pcm) {
+            return;
+        }
+    }
+}
+
+fn render_line(spectrum: &[f64], columns: usize, log_scale: bool, gain: f64) {
+    let bins = spectrum.len();
+    let per_col = (bins / columns.max(1)).max(1);
+    let mut line = String::with_capacity(columns);
+    let boost = 10f64.powf(gain / 10.0);
+    for c in 0..columns {
+        let start = c * per_col;
+        if start >= bins {
+            break;
+        }
+        let end = (start + per_col).min(bins);
+        let p: f64 = spectrum[start..end].iter().sum::<f64>() / (end - start) as f64 * boost;
+        // Normalize against a full-scale windowed sine.
+        let full = (32_768.0 * spectrum.len() as f64).powi(2) / 16.0;
+        let x = (p / full).clamp(0.0, 1.0);
+        let v = if log_scale {
+            // Map -60 dB .. 0 dB onto 0..1.
+            ((10.0 * x.max(1e-12).log10() + 60.0) / 60.0).clamp(0.0, 1.0)
+        } else {
+            x.sqrt()
+        };
+        let idx = ((v * (SHADES.len() - 1) as f64).round() as usize).min(SHADES.len() - 1);
+        line.push(SHADES[idx]);
+    }
+    use std::io::Write;
+    if writeln!(std::io::stdout(), "{line}").is_err() {
+        std::process::exit(0); // Downstream pipe closed.
+    }
+}

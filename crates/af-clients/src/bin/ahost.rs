@@ -1,0 +1,86 @@
+//! `ahost` — server access control (§8.5).
+//!
+//! Adds or deletes hosts from the list of machines allowed to connect,
+//! providing "a rudimentary form of privacy control and security."
+//!
+//! ```text
+//! ahost [-server host:port]             # list
+//! ahost [-server host:port] +10.0.0.7   # allow
+//! ahost [-server host:port] -10.0.0.7   # disallow
+//! ahost [-server host:port] on|off      # enable/disable checking
+//! ```
+
+use af_clients::cli::Args;
+use af_clients::open_conn;
+use std::net::IpAddr;
+
+fn addr_bytes(spec: &str) -> Option<Vec<u8>> {
+    let ip: IpAddr = spec.parse().ok()?;
+    Some(match ip {
+        IpAddr::V4(v4) => v4.octets().to_vec(),
+        IpAddr::V6(v6) => v6.octets().to_vec(),
+    })
+}
+
+fn main() {
+    // `+addr` / `-addr` look like options; parse by hand from raw argv.
+    let mut server = String::new();
+    let mut actions: Vec<String> = Vec::new();
+    let mut argv = std::env::args().skip(1);
+    while let Some(tok) = argv.next() {
+        if tok == "-server" || tok == "-a" {
+            server = argv.next().unwrap_or_default();
+        } else {
+            actions.push(tok);
+        }
+    }
+    let args = Args::parse(
+        [String::from("ahost"), String::from("-server"), server].to_vec(),
+        &[],
+    )
+    .expect("static argv");
+    let mut conn = open_conn(&args).unwrap_or_else(die);
+
+    for action in &actions {
+        match action.as_str() {
+            "on" => conn.set_access_control(true).unwrap_or_else(die),
+            "off" => conn.set_access_control(false).unwrap_or_else(die),
+            a if a.starts_with('+') => {
+                let Some(bytes) = addr_bytes(&a[1..]) else {
+                    eprintln!("ahost: bad address {:?}", &a[1..]);
+                    std::process::exit(1);
+                };
+                conn.add_host(&bytes).unwrap_or_else(die);
+            }
+            a if a.starts_with('-') => {
+                let Some(bytes) = addr_bytes(&a[1..]) else {
+                    eprintln!("ahost: bad address {:?}", &a[1..]);
+                    std::process::exit(1);
+                };
+                conn.remove_host(&bytes).unwrap_or_else(die);
+            }
+            other => {
+                eprintln!("ahost: unknown action {other:?}");
+                std::process::exit(1);
+            }
+        }
+    }
+
+    let (enabled, hosts) = conn.list_hosts().unwrap_or_else(die);
+    println!(
+        "access control {}",
+        if enabled { "enabled" } else { "disabled" }
+    );
+    for h in hosts {
+        match h.len() {
+            4 => println!("  {}.{}.{}.{}", h[0], h[1], h[2], h[3]),
+            16 => println!("  {h:02x?}"),
+            _ => println!("  {h:?}"),
+        }
+    }
+}
+
+fn die<T>(e: af_client::AfError) -> T {
+    eprintln!("ahost: {e}");
+    std::process::exit(1);
+}

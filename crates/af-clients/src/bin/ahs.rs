@@ -1,0 +1,60 @@
+//! `ahs` — hookswitch control (§8.4).
+//!
+//! `ahs off` takes the telephone off-hook (answering or starting a call);
+//! `ahs on` places it back on-hook, terminating the call.  `ahs flash`
+//! flashes the hookswitch; `ahs query` prints the line state.
+//!
+//! ```text
+//! ahs [-server host:port] [-d device] on|off|flash|query
+//! ```
+
+use af_clients::cli::Args;
+use af_clients::open_conn;
+
+fn main() {
+    let args = Args::from_env(&[]).unwrap_or_else(|e| {
+        eprintln!("ahs: {e}");
+        std::process::exit(1);
+    });
+    let Some(verb) = args.positional().first().cloned() else {
+        eprintln!("usage: ahs [-server host:port] [-d device] on|off|flash|query");
+        std::process::exit(1);
+    };
+    let mut conn = open_conn(&args).unwrap_or_else(die);
+    let device = match args.get_str("-d") {
+        Some(d) => d.parse().expect("bad -d"),
+        None => conn
+            .devices()
+            .iter()
+            .position(|d| d.is_telephone())
+            .unwrap_or_else(|| {
+                eprintln!("ahs: no telephone device on this server");
+                std::process::exit(1);
+            }) as u8,
+    };
+    match verb.as_str() {
+        // "ahs off" takes the phone off-hook (§8.4).
+        "off" => conn.hook_switch(device, true).unwrap_or_else(die),
+        "on" => conn.hook_switch(device, false).unwrap_or_else(die),
+        "flash" => conn.flash_hook(device).unwrap_or_else(die),
+        "query" => {
+            let (off_hook, loop_current, ringing) = conn.query_phone(device).unwrap_or_else(die);
+            println!(
+                "hookswitch: {}  loop current: {}  ringing: {}",
+                if off_hook { "off-hook" } else { "on-hook" },
+                if loop_current { "present" } else { "absent" },
+                if ringing { "yes" } else { "no" },
+            );
+        }
+        other => {
+            eprintln!("ahs: unknown verb {other:?}");
+            std::process::exit(1);
+        }
+    }
+    conn.sync().unwrap_or_else(die);
+}
+
+fn die<T>(e: af_client::AfError) -> T {
+    eprintln!("ahs: {e}");
+    std::process::exit(1);
+}

@@ -1,0 +1,40 @@
+//! `alsatoms` — display atoms defined by the server (§8.5).
+//!
+//! ```text
+//! alsatoms [-server host:port]
+//! ```
+
+use af_clients::cli::Args;
+use af_clients::open_conn;
+use af_proto::Atom;
+
+fn main() {
+    let args = Args::from_env(&[]).unwrap_or_else(|e| {
+        eprintln!("alsatoms: {e}");
+        std::process::exit(1);
+    });
+    let mut conn = open_conn(&args).unwrap_or_else(|e| {
+        eprintln!("alsatoms: {e}");
+        std::process::exit(1);
+    });
+    // Probe atom values upward until the server reports BadAtom.
+    use std::io::Write;
+    let stdout = std::io::stdout();
+    let mut out = stdout.lock();
+    let mut id = 1u32;
+    loop {
+        match conn.get_atom_name(Atom(id)) {
+            Ok(name) => {
+                if writeln!(out, "{id}\t{name}").is_err() {
+                    break; // Downstream pipe closed.
+                }
+            }
+            Err(af_client::AfError::Server(_)) => break,
+            Err(e) => {
+                eprintln!("alsatoms: {e}");
+                std::process::exit(1);
+            }
+        }
+        id += 1;
+    }
+}

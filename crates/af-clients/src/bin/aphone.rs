@@ -1,0 +1,75 @@
+//! `aphone` — the telephone dialer (§8.4).
+//!
+//! Dials a number by digitally synthesizing the DTMF tones of pushbutton
+//! telephones via `AFDialPhone` — the server's own `DialPhone` request is
+//! obsolete (§5.5).  Updates the `LAST_NUMBER_DIALED` property so
+//! cooperating clients can track dialed numbers (§5.9).
+//!
+//! ```text
+//! aphone [-server host:port] [-d device] number
+//! ```
+
+use af_client::{AcAttributes, AcMask};
+use af_clients::cli::Args;
+use af_clients::open_conn;
+use af_proto::atoms::{ATOM_LAST_NUMBER_DIALED, ATOM_STRING};
+use af_proto::request::PropertyMode;
+
+fn main() {
+    let args = Args::from_env(&[]).unwrap_or_else(|e| {
+        eprintln!("aphone: {e}");
+        std::process::exit(1);
+    });
+    let Some(number) = args.positional().first().cloned() else {
+        eprintln!("usage: aphone [-server host:port] [-d device] number");
+        std::process::exit(1);
+    };
+
+    let mut conn = open_conn(&args).unwrap_or_else(die);
+    // Default to the first *telephone* device, unlike aplay.
+    let device = match args.get_str("-d") {
+        Some(d) => d.parse().expect("bad -d"),
+        None => conn
+            .devices()
+            .iter()
+            .position(|d| d.is_telephone())
+            .unwrap_or_else(|| {
+                eprintln!("aphone: no telephone device on this server");
+                std::process::exit(1);
+            }) as u8,
+    };
+
+    let ac = conn
+        .create_ac(device, AcMask::default(), &AcAttributes::default())
+        .unwrap_or_else(die);
+
+    // Off-hook, wait for a beat of dial tone, dial.
+    conn.hook_switch(device, true).unwrap_or_else(die);
+    let end = af_util::dial::dial_phone(&mut conn, &ac, &number).unwrap_or_else(die);
+
+    // Record the number for cooperating clients.
+    conn.change_property(
+        device,
+        PropertyMode::Replace,
+        ATOM_LAST_NUMBER_DIALED,
+        ATOM_STRING,
+        number.as_bytes(),
+    )
+    .unwrap_or_else(die);
+    conn.sync().unwrap_or_else(die);
+
+    // Wait until the tones have actually played out.
+    loop {
+        let now = conn.get_time(device).unwrap_or_else(die);
+        if !end.is_after(now) {
+            break;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(50));
+    }
+    println!("aphone: dialed {number}");
+}
+
+fn die<T>(e: af_client::AfError) -> T {
+    eprintln!("aphone: {e}");
+    std::process::exit(1);
+}

@@ -1,0 +1,169 @@
+//! `aplay` — the primary play client (§8.1).
+//!
+//! Reads digital audio from a file or standard input and sends it to the
+//! server for playback.  Flow control comes from the server: once its
+//! buffers hold about four seconds, `play_samples` blocks (§8.1.3).
+//!
+//! ```text
+//! aplay [-server host:port] [-d device] [-t seconds] [-g gain] [-f] [-au] [file]
+//! ```
+//!
+//! * `-t` — start offset relative to the current device time (default 0.1 s;
+//!   negative throws away that much leading sound).
+//! * `-at` — begin playback at an absolute device time (in ticks), the
+//!   enhancement §8.1.1 suggests: several `aplay` instances given the same
+//!   `-at` start sample-synchronously.
+//! * `-g` — gain in dB applied before mixing (the AC play gain).
+//! * `-f` — flush mode: wait until the last sound has played before exiting.
+//! * `-au` — the input has a Sun `.au` header (raw is the default, as in
+//!   the paper).
+
+use af_client::{AcAttributes, AcMask};
+use af_clients::cli::Args;
+use af_clients::{open_conn, pick_device};
+use af_util::{aod, files};
+use std::io::Read;
+
+const BUFSIZE_FRAMES: usize = 1000;
+
+fn main() {
+    let args = Args::from_env(&["-f", "-au", "-b", "-l"]).unwrap_or_else(|e| {
+        eprintln!("aplay: {e}");
+        std::process::exit(1);
+    });
+
+    let mut input: Box<dyn Read> = match args.positional().first() {
+        Some(path) => Box::new(std::fs::File::open(path).unwrap_or_else(|e| {
+            eprintln!("aplay: {path}: {e}");
+            std::process::exit(1);
+        })),
+        None => Box::new(std::io::stdin()),
+    };
+
+    let mut conn = open_conn(&args).unwrap_or_else(|e| {
+        eprintln!("aplay: can't open connection: {e}");
+        std::process::exit(1);
+    });
+    let device = pick_device(&args, &conn).unwrap_or_else(|| {
+        eprintln!("aplay: no suitable audio device");
+        std::process::exit(1);
+    });
+
+    // An .au header overrides nothing about the device; the user remains
+    // responsible for matching formats (§8.1), but we can at least warn.
+    let mut au_encoding = None;
+    if args.has_flag("-au") {
+        let spec = files::read_au_header(&mut input).unwrap_or_else(|e| {
+            eprintln!("aplay: {e}");
+            std::process::exit(1);
+        });
+        let desc = conn.device(device).expect("device exists");
+        if spec.sample_rate != desc.play_sample_freq
+            || spec.encoding != desc.play_buf_type
+            || spec.channels != u32::from(desc.play_nchannels)
+        {
+            eprintln!(
+                "aplay: warning: file is {} Hz {} x{}, device {} is {} Hz {} x{}",
+                spec.sample_rate,
+                spec.encoding,
+                spec.channels,
+                device,
+                desc.play_sample_freq,
+                desc.play_buf_type,
+                desc.play_nchannels
+            );
+        }
+        au_encoding = Some(spec.encoding);
+    }
+
+    // Set up the audio context, possibly setting gain and endianness.
+    let gain: i32 = args.num_or("-g", 0);
+    let mut mask = AcMask::default();
+    let mut attrs = AcAttributes::default();
+    if gain != 0 {
+        mask = mask | AcMask::PLAY_GAIN;
+        attrs.play_gain_db = gain as i16;
+    }
+    if args.has_flag("-b") {
+        mask = mask | AcMask::ENDIAN;
+        attrs.big_endian_data = true;
+    }
+    if args.has_flag("-l") {
+        mask = mask | AcMask::ENDIAN;
+        attrs.big_endian_data = false;
+    }
+    let ac = conn.create_ac(device, mask, &attrs).unwrap_or_else(|e| {
+        eprintln!("aplay: can't create audio context: {e}");
+        std::process::exit(1);
+    });
+
+    let srate = ac.sample_rate();
+    let frame = ac.frame_bytes().max(1);
+    let bufsize = BUFSIZE_FRAMES * frame;
+    let toffset: f64 = args.num_or("-t", 0.1);
+
+    // Pre-read the first buffer so file latency is not charged between
+    // get_time and the first play (§8.1.2).
+    let mut buf = vec![0u8; bufsize];
+    let mut nbytes = read_block(&mut input, &mut buf);
+    if nbytes == 0 {
+        return;
+    }
+
+    // Establish the initial server time and schedule the first block; an
+    // absolute -at time overrides the relative -t offset.
+    let t0 = conn.get_time(ac.device).unwrap_or_else(die);
+    let mut t = match args.get_num::<u32>("-at") {
+        Some(ticks) => af_time::ATime::new(ticks),
+        None => t0 + af_time::seconds_to_samples(toffset, srate),
+    };
+    loop {
+        let block = &mut buf[..nbytes];
+        if au_encoding == Some(af_dsp::Encoding::Lin16)
+            || au_encoding == Some(af_dsp::Encoding::Lin32)
+        {
+            files::au_swap_to_native(au_encoding.expect("checked"), block);
+        }
+        conn.play_samples(&ac, t, block).unwrap_or_else(die);
+        let nframes = ac.bytes_to_frames(nbytes);
+        t += nframes;
+        nbytes = read_block(&mut input, &mut buf);
+        if nbytes == 0 {
+            break;
+        }
+    }
+
+    if args.has_flag("-f") {
+        // Flush mode: wait until the server has played everything.
+        loop {
+            let now = conn.get_time(ac.device).unwrap_or_else(die);
+            if !t.is_after(now) {
+                break;
+            }
+            let left = af_time::samples_to_seconds(t - now, srate);
+            std::thread::sleep(std::time::Duration::from_secs_f64(left.clamp(0.01, 0.5)));
+        }
+    }
+    aod!(
+        conn.take_async_errors().is_empty(),
+        "aplay: server reported errors"
+    );
+}
+
+fn read_block<R: Read>(r: &mut R, buf: &mut [u8]) -> usize {
+    let mut filled = 0;
+    while filled < buf.len() {
+        match r.read(&mut buf[filled..]) {
+            Ok(0) => break,
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(_) => break,
+        }
+    }
+    filled
+}
+
+fn die<T>(e: af_client::AfError) -> T {
+    eprintln!("aplay: {e}");
+    std::process::exit(1);
+}

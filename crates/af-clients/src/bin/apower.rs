@@ -1,0 +1,56 @@
+//! `apower` — stdio-based µ-law power meter (§9.6).
+//!
+//! Calculates µ-law signal power relative to the CCITT digital milliwatt,
+//! printing one reading per block (default: 8 per second at 8 kHz, as in
+//! `arecord -printpower`).
+//!
+//! ```text
+//! apower [-rate hz] [-block samples]
+//! ```
+
+use af_clients::cli::Args;
+use af_dsp::power::power_dbm_ulaw;
+use std::io::Read;
+
+fn main() {
+    let args = Args::from_env(&[]).unwrap_or_else(|e| {
+        eprintln!("apower: {e}");
+        std::process::exit(1);
+    });
+    let rate: usize = args.num_or("-rate", 8000);
+    let block: usize = args.num_or("-block", rate / 8);
+
+    let stdin = std::io::stdin();
+    let mut input = stdin.lock();
+    let mut buf = vec![0u8; block.max(1)];
+    loop {
+        let mut filled = 0;
+        while filled < buf.len() {
+            match input.read(&mut buf[filled..]) {
+                Ok(0) => break,
+                Ok(n) => filled += n,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(e) => {
+                    eprintln!("apower: {e}");
+                    std::process::exit(1);
+                }
+            }
+        }
+        if filled == 0 {
+            break;
+        }
+        use std::io::Write;
+        if writeln!(
+            std::io::stdout(),
+            "{:7.2} dBm",
+            power_dbm_ulaw(&buf[..filled])
+        )
+        .is_err()
+        {
+            break; // Downstream pipe closed.
+        }
+        if filled < buf.len() {
+            break;
+        }
+    }
+}

@@ -1,0 +1,100 @@
+//! `aprop` — display and modify device properties (§8.5, §5.9).
+//!
+//! ```text
+//! aprop [-server host:port] [-d device]                 # list properties
+//! aprop ... -get NAME                                   # show one
+//! aprop ... -set NAME -value STRING                     # replace (STRING type)
+//! aprop ... -delete NAME
+//! aprop ... -watch                                      # print change events
+//! ```
+
+use af_client::{EventDetail, EventKind, EventMask};
+use af_clients::cli::Args;
+use af_clients::{open_conn, pick_device};
+use af_proto::atoms::ATOM_STRING;
+use af_proto::request::PropertyMode;
+use af_proto::Atom;
+
+fn main() {
+    let args = Args::from_env(&["-watch"]).unwrap_or_else(|e| {
+        eprintln!("aprop: {e}");
+        std::process::exit(1);
+    });
+    let mut conn = open_conn(&args).unwrap_or_else(die);
+    let device = pick_device(&args, &conn).unwrap_or_else(|| {
+        eprintln!("aprop: no suitable audio device");
+        std::process::exit(1);
+    });
+
+    if let Some(name) = args.get_str("-set") {
+        let value = args.get_str("-value").unwrap_or_default();
+        let atom = conn.intern_atom(&name, false).unwrap_or_else(die);
+        conn.change_property(
+            device,
+            PropertyMode::Replace,
+            atom,
+            ATOM_STRING,
+            value.as_bytes(),
+        )
+        .unwrap_or_else(die);
+        conn.sync().unwrap_or_else(die);
+        return;
+    }
+    if let Some(name) = args.get_str("-get") {
+        let atom = conn.intern_atom(&name, true).unwrap_or_else(die);
+        if atom.is_none() {
+            eprintln!("aprop: no such atom {name:?}");
+            std::process::exit(1);
+        }
+        let (type_, data) = conn
+            .get_property(device, false, atom, Atom::NONE)
+            .unwrap_or_else(die);
+        if type_.is_none() {
+            eprintln!("aprop: property {name:?} not set on device {device}");
+            std::process::exit(1);
+        }
+        println!("{}", String::from_utf8_lossy(&data));
+        return;
+    }
+    if let Some(name) = args.get_str("-delete") {
+        let atom = conn.intern_atom(&name, true).unwrap_or_else(die);
+        if !atom.is_none() {
+            conn.delete_property(device, atom).unwrap_or_else(die);
+            conn.sync().unwrap_or_else(die);
+        }
+        return;
+    }
+    if args.has_flag("-watch") {
+        conn.select_events(device, EventMask::NONE.with(EventKind::PropertyChange))
+            .unwrap_or_else(die);
+        loop {
+            let ev = conn.next_event().unwrap_or_else(die);
+            if let EventDetail::Property { atom, exists } = ev.detail {
+                let name = conn
+                    .get_atom_name(atom)
+                    .unwrap_or_else(|_| format!("#{}", atom.0));
+                println!("{name} {}", if exists { "changed" } else { "deleted" });
+            }
+        }
+    }
+
+    // Default: list all properties with names and values.
+    for atom in conn.list_properties(device).unwrap_or_else(die) {
+        let name = conn
+            .get_atom_name(atom)
+            .unwrap_or_else(|_| format!("#{}", atom.0));
+        let (type_, data) = conn
+            .get_property(device, false, atom, Atom::NONE)
+            .unwrap_or_else(die);
+        if type_ == ATOM_STRING {
+            println!("{name} = {:?}", String::from_utf8_lossy(&data));
+        } else {
+            println!("{name} = <{} bytes, type {}>", data.len(), type_.0);
+        }
+    }
+}
+
+fn die<T>(e: af_client::AfError) -> T {
+    eprintln!("aprop: {e}");
+    std::process::exit(1);
+}

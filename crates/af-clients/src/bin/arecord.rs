@@ -1,0 +1,132 @@
+//! `arecord` — the record client (§8.2).
+//!
+//! Reads samples from the audio server and writes them to a file, or to
+//! standard output.  Flow control is provided by the server: each blocking
+//! record returns slightly after the device time of its last sample.
+//!
+//! ```text
+//! arecord [-server host:port] [-d device] [-l seconds] [-t seconds]
+//!         [-silentlevel dBm] [-silenttime seconds] [-printpower] [-au] [file]
+//! ```
+//!
+//! Recording stops after `-l` seconds, after `-silenttime` seconds of sound
+//! below `-silentlevel` dBm, or never (record indefinitely).  `-t` offsets
+//! the start time; a negative value records from the recent past — "the
+//! server is always listening" (§8.2.3).
+
+use af_client::{AcAttributes, AcMask};
+use af_clients::cli::Args;
+use af_clients::{open_conn, pick_device};
+use af_dsp::power::{power_dbm_alaw, power_dbm_lin16, power_dbm_ulaw, SilenceDetector};
+use af_dsp::Encoding;
+use af_util::files::{self, SoundSpec};
+use std::io::Write;
+
+const BUFSIZE_FRAMES: usize = 1000;
+
+fn main() {
+    let args = Args::from_env(&["-printpower", "-au"]).unwrap_or_else(|e| {
+        eprintln!("arecord: {e}");
+        std::process::exit(1);
+    });
+
+    let mut conn = open_conn(&args).unwrap_or_else(|e| {
+        eprintln!("arecord: can't open connection: {e}");
+        std::process::exit(1);
+    });
+    let device = pick_device(&args, &conn).unwrap_or_else(|| {
+        eprintln!("arecord: no suitable audio device");
+        std::process::exit(1);
+    });
+    let ac = conn
+        .create_ac(device, AcMask::default(), &AcAttributes::default())
+        .unwrap_or_else(die);
+
+    let mut out: Box<dyn Write> = match args.positional().first() {
+        Some(path) => Box::new(std::fs::File::create(path).unwrap_or_else(|e| {
+            eprintln!("arecord: {path}: {e}");
+            std::process::exit(1);
+        })),
+        None => Box::new(std::io::stdout()),
+    };
+    if args.has_flag("-au") {
+        files::write_au_header(
+            &mut out,
+            &SoundSpec {
+                encoding: ac.attrs.encoding,
+                sample_rate: ac.sample_rate(),
+                channels: u32::from(ac.attrs.channels),
+            },
+        )
+        .unwrap_or_else(|e| {
+            eprintln!("arecord: {e}");
+            std::process::exit(1);
+        });
+    }
+
+    let srate = ac.sample_rate();
+    let frame = ac.frame_bytes().max(1);
+    let toffset: f64 = args.num_or("-t", 0.125);
+    let length: f64 = args.num_or("-l", -1.0);
+    let mut nsamples: i64 = if length >= 0.0 {
+        (length * f64::from(srate)) as i64
+    } else {
+        i64::MAX
+    };
+
+    let silent_level: Option<f64> = args.get_num("-silentlevel");
+    let silent_time: f64 = args.num_or("-silenttime", 3.0);
+    let mut silence =
+        silent_level.map(|level| SilenceDetector::new(level, silent_time, f64::from(srate)));
+    let print_power = args.has_flag("-printpower");
+
+    let mut t =
+        conn.get_time(ac.device).unwrap_or_else(die) + af_time::seconds_to_samples(toffset, srate);
+
+    while nsamples > 0 {
+        let nb = (nsamples as u64).min(BUFSIZE_FRAMES as u64) as usize;
+        let (_, data) = conn
+            .record_samples(&ac, t, nb * frame, true)
+            .unwrap_or_else(die);
+        let frames = ac.bytes_to_frames(data.len());
+        t += frames;
+        nsamples -= i64::from(frames);
+        out.write_all(&data).unwrap_or_else(|e| {
+            eprintln!("arecord: write: {e}");
+            std::process::exit(1);
+        });
+        let _ = out.flush(); // Keep pipeline latency low (§8.2.2).
+
+        if print_power || silence.is_some() {
+            let dbm = block_power(ac.attrs.encoding, &data);
+            if print_power {
+                eprintln!("{dbm:7.2} dBm");
+            }
+            if let Some(det) = &mut silence {
+                if det.feed(dbm, frames as usize) {
+                    break; // Enough consecutive silence: stop recording.
+                }
+            }
+        }
+    }
+}
+
+fn block_power(encoding: Encoding, data: &[u8]) -> f64 {
+    match encoding {
+        Encoding::Mu255 => power_dbm_ulaw(data),
+        Encoding::Alaw => power_dbm_alaw(data),
+        Encoding::Lin16 => {
+            let pcm: Vec<i16> = data
+                .chunks_exact(2)
+                .map(|c| i16::from_le_bytes([c[0], c[1]]))
+                .collect();
+            power_dbm_lin16(&pcm)
+        }
+        _ => f64::NEG_INFINITY,
+    }
+}
+
+fn die<T>(e: af_client::AfError) -> T {
+    eprintln!("arecord: {e}");
+    std::process::exit(1);
+}

@@ -1,0 +1,92 @@
+//! `aset` — general-purpose device control (§8.5).
+//!
+//! ```text
+//! aset [-server host:port] [-d device] [-igain dB] [-ogain dB]
+//!      [-enable-input mask] [-disable-input mask]
+//!      [-enable-output mask] [-disable-output mask]
+//!      [-passthrough on|off] [-q]
+//! ```
+//!
+//! With no setting options (or with `-q`) prints the device's current
+//! state.
+
+use af_clients::cli::Args;
+use af_clients::{open_conn, pick_device};
+
+fn main() {
+    let args = Args::from_env(&["-q"]).unwrap_or_else(|e| {
+        eprintln!("aset: {e}");
+        std::process::exit(1);
+    });
+    let mut conn = open_conn(&args).unwrap_or_else(die);
+    let device = pick_device(&args, &conn).unwrap_or_else(|| {
+        eprintln!("aset: no suitable audio device");
+        std::process::exit(1);
+    });
+
+    let mut acted = false;
+    if let Some(db) = args.get_num::<i32>("-igain") {
+        conn.set_input_gain(device, db).unwrap_or_else(die);
+        acted = true;
+    }
+    if let Some(db) = args.get_num::<i32>("-ogain") {
+        conn.set_output_gain(device, db).unwrap_or_else(die);
+        acted = true;
+    }
+    if let Some(mask) = args.get_num::<u32>("-enable-input") {
+        conn.enable_input(device, mask).unwrap_or_else(die);
+        acted = true;
+    }
+    if let Some(mask) = args.get_num::<u32>("-disable-input") {
+        conn.disable_input(device, mask).unwrap_or_else(die);
+        acted = true;
+    }
+    if let Some(mask) = args.get_num::<u32>("-enable-output") {
+        conn.enable_output(device, mask).unwrap_or_else(die);
+        acted = true;
+    }
+    if let Some(mask) = args.get_num::<u32>("-disable-output") {
+        conn.disable_output(device, mask).unwrap_or_else(die);
+        acted = true;
+    }
+    if let Some(v) = args.get_str("-passthrough") {
+        match v.as_str() {
+            "on" => conn.enable_pass_through(device).unwrap_or_else(die),
+            "off" => conn.disable_pass_through(device).unwrap_or_else(die),
+            other => {
+                eprintln!("aset: -passthrough wants on|off, not {other:?}");
+                std::process::exit(1);
+            }
+        }
+        acted = true;
+    }
+    conn.sync().unwrap_or_else(die);
+    for e in conn.take_async_errors() {
+        eprintln!("aset: server error: {}", e.code.text());
+    }
+
+    if !acted || args.has_flag("-q") {
+        let desc = *conn.device(device).expect("device exists");
+        let (imin, imax, icur) = conn.query_input_gain(device).unwrap_or_else(die);
+        let (omin, omax, ocur) = conn.query_output_gain(device).unwrap_or_else(die);
+        println!(
+            "device {}: {:?} {} Hz {} x{}",
+            device, desc.kind, desc.play_sample_freq, desc.play_buf_type, desc.play_nchannels
+        );
+        println!("  input gain  {icur} dB (range {imin}..{imax})");
+        println!("  output gain {ocur} dB (range {omin}..{omax})");
+        println!(
+            "  buffers: play {} samples, record {} samples",
+            desc.play_nsamples_buf, desc.rec_nsamples_buf
+        );
+        if desc.is_telephone() {
+            let (off_hook, loop_current, ringing) = conn.query_phone(device).unwrap_or_else(die);
+            println!("  phone: off_hook={off_hook} loop={loop_current} ringing={ringing}");
+        }
+    }
+}
+
+fn die<T>(e: af_client::AfError) -> T {
+    eprintln!("aset: {e}");
+    std::process::exit(1);
+}

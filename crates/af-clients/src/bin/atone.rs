@@ -1,0 +1,62 @@
+//! `atone` — stdio-based µ-law signal generator (§9.6).
+//!
+//! Creates a sine wave of a specified frequency and power level on standard
+//! output.  `atone | aplay` is a useful technique for setting playback
+//! levels.
+//!
+//! ```text
+//! atone [-freq hz] [-power dBm] [-rate hz] [-seconds s] [-pair f2,dB2]
+//! ```
+
+use af_clients::cli::Args;
+use af_dsp::power::DIGITAL_MILLIWATT_AMPLITUDE;
+use af_dsp::tone::{tone_pair, Oscillator, TonePairSpec};
+use std::io::Write;
+
+fn main() {
+    let args = Args::from_env(&[]).unwrap_or_else(|e| {
+        eprintln!("atone: {e}");
+        std::process::exit(1);
+    });
+    let freq: f64 = args.num_or("-freq", 1000.0);
+    let power: f64 = args.num_or("-power", 0.0);
+    let rate: f64 = args.num_or("-rate", 8000.0);
+    let seconds: f64 = args.num_or("-seconds", 1.0);
+    let nsamples = (seconds * rate) as usize;
+
+    let stdout = std::io::stdout();
+    let mut out = stdout.lock();
+
+    if let Some(pair) = args.get_str("-pair") {
+        let parts: Vec<&str> = pair.split(',').collect();
+        if parts.len() != 2 {
+            eprintln!("atone: -pair wants f2,dB2");
+            std::process::exit(1);
+        }
+        let spec = TonePairSpec {
+            f1: freq,
+            db1: power,
+            f2: parts[0].parse().expect("bad f2"),
+            db2: parts[1].parse().expect("bad dB2"),
+        };
+        let samples = tone_pair(spec, rate, nsamples, 32);
+        out.write_all(&samples).expect("write");
+        return;
+    }
+
+    let amp = DIGITAL_MILLIWATT_AMPLITUDE * 10f64.powf(power / 20.0);
+    let mut osc = Oscillator::new(freq, rate, amp as f32);
+    let mut buf = Vec::with_capacity(4096);
+    let mut left = nsamples;
+    while left > 0 {
+        buf.clear();
+        for _ in 0..left.min(4096) {
+            let v = osc.next_sample().clamp(-32_768.0, 32_767.0) as i16;
+            buf.push(af_dsp::g711::linear_to_ulaw(v));
+        }
+        if out.write_all(&buf).is_err() {
+            return; // Downstream pipe closed.
+        }
+        left -= buf.len();
+    }
+}

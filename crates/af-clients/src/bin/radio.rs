@@ -1,0 +1,120 @@
+//! `radio` — network unidirectional multicast audio (§9.6).
+//!
+//! "An application at the transmitting end, radio_mcast, transmits audio
+//! using Ethernet multicast.  Many users can then run the receiving
+//! program, radio_recv, to listen in to a multipoint broadcast."  Both
+//! halves live in one binary here:
+//!
+//! ```text
+//! radio -send [-group addr:port] [-server host:port] [-d dev] [-seconds s]
+//! radio -recv [-group addr:port] [-server host:port] [-d dev] [-seconds s]
+//! ```
+//!
+//! The sender records µ-law from its AudioFile server in real time and
+//! multicasts 50 ms datagrams (sequence number + samples); receivers
+//! schedule each datagram a fixed delay ahead on their own server, using
+//! explicit device time to ride out network jitter.
+
+use af_client::{AcAttributes, AcMask};
+use af_clients::cli::Args;
+use af_clients::{open_conn, pick_device};
+use std::net::{Ipv4Addr, SocketAddrV4, UdpSocket};
+
+const DEFAULT_GROUP: &str = "239.255.77.77:9777";
+/// Samples per datagram: 50 ms at 8 kHz.
+const BLOCK: usize = 400;
+/// Receiver anti-jitter delay in samples (150 ms).
+const DELAY: u32 = 1200;
+
+fn parse_group(args: &Args) -> SocketAddrV4 {
+    args.get_str("-group")
+        .unwrap_or_else(|| DEFAULT_GROUP.to_string())
+        .parse()
+        .unwrap_or_else(|e| {
+            eprintln!("radio: bad -group: {e}");
+            std::process::exit(1);
+        })
+}
+
+fn main() {
+    let args = Args::from_env(&["-send", "-recv"]).unwrap_or_else(|e| {
+        eprintln!("radio: {e}");
+        std::process::exit(1);
+    });
+    let group = parse_group(&args);
+    let seconds: f64 = args.num_or("-seconds", f64::INFINITY);
+
+    let mut conn = open_conn(&args).unwrap_or_else(|e| {
+        eprintln!("radio: {e}");
+        std::process::exit(1);
+    });
+    let device = pick_device(&args, &conn).unwrap_or_else(|| {
+        eprintln!("radio: no suitable audio device");
+        std::process::exit(1);
+    });
+    let ac = conn
+        .create_ac(device, AcMask::default(), &AcAttributes::default())
+        .unwrap_or_else(|e| {
+            eprintln!("radio: {e}");
+            std::process::exit(1);
+        });
+    let rate = ac.sample_rate();
+    let total_blocks = if seconds.is_finite() {
+        (seconds * f64::from(rate) / BLOCK as f64) as u64
+    } else {
+        u64::MAX
+    };
+
+    if args.has_flag("-send") {
+        let sock = UdpSocket::bind("0.0.0.0:0").expect("bind");
+        let _ = sock.set_multicast_ttl_v4(1);
+        let mut t = conn.get_time(device).expect("time");
+        conn.record_samples(&ac, t, 0, false).expect("arm");
+        let mut seq: u32 = 0;
+        let mut packet = Vec::with_capacity(4 + BLOCK);
+        eprintln!("radio: transmitting to {group}");
+        for _ in 0..total_blocks {
+            let (_, data) = conn.record_samples(&ac, t, BLOCK, true).expect("record");
+            t += data.len() as u32;
+            packet.clear();
+            packet.extend_from_slice(&seq.to_be_bytes());
+            packet.extend_from_slice(&data);
+            if sock.send_to(&packet, group).is_err() {
+                eprintln!("radio: send failed");
+            }
+            seq = seq.wrapping_add(1);
+        }
+        return;
+    }
+
+    // Receiver.
+    let sock = UdpSocket::bind(SocketAddrV4::new(Ipv4Addr::UNSPECIFIED, group.port()))
+        .expect("bind group port");
+    if group.ip().is_multicast() {
+        sock.join_multicast_v4(group.ip(), &Ipv4Addr::UNSPECIFIED)
+            .expect("join multicast group");
+    }
+    eprintln!("radio: listening on {group}");
+    let mut buf = vec![0u8; 65_536];
+    let mut next_play: Option<(u32, af_client::ATime)> = None; // (seq, time).
+    let mut received = 0u64;
+    while received < total_blocks {
+        let Ok((n, _)) = sock.recv_from(&mut buf) else {
+            continue;
+        };
+        if n < 4 {
+            continue;
+        }
+        let seq = u32::from_be_bytes(buf[..4].try_into().expect("4 bytes"));
+        let data = &buf[4..n];
+        let t = match next_play {
+            // Contiguous packet: continue the schedule; a gap resets it
+            // (the skipped interval plays as server-side silence).
+            Some((expect, t)) if seq == expect => t,
+            _ => conn.get_time(device).expect("time") + DELAY,
+        };
+        conn.play_samples(&ac, t, data).expect("play");
+        next_play = Some((seq.wrapping_add(1), t + (data.len() as u32)));
+        received += 1;
+    }
+}

@@ -1,0 +1,146 @@
+//! File-backed device endpoints.
+//!
+//! A [`FileSink`] writes everything a device "plays" to a file (a tape
+//! recorder on the speaker jack); a [`FileSource`] feeds a device's
+//! microphone from a file, looping, with silence when the file is empty or
+//! missing.  Together they let a simulated `afd` consume and produce real
+//! audio files without any client in the loop.
+
+use crate::io::{SampleSink, SampleSource};
+use af_time::ATime;
+use std::fs::File;
+use std::io::{BufReader, BufWriter, Read, Seek, SeekFrom, Write};
+use std::path::Path;
+
+/// Writes played samples to a file, in order, as raw bytes.
+pub struct FileSink {
+    out: BufWriter<File>,
+}
+
+impl FileSink {
+    /// Creates (truncating) the capture file.
+    pub fn create<P: AsRef<Path>>(path: P) -> std::io::Result<FileSink> {
+        Ok(FileSink {
+            out: BufWriter::new(File::create(path)?),
+        })
+    }
+}
+
+impl SampleSink for FileSink {
+    fn consume(&mut self, _time: ATime, data: &[u8]) {
+        // Best-effort: a full disk should not take the server down.
+        let _ = self.out.write_all(data);
+        let _ = self.out.flush();
+    }
+}
+
+/// Feeds recorded samples from a raw file, looping at EOF.
+pub struct FileSource {
+    input: Option<BufReader<File>>,
+    silence: u8,
+    looping: bool,
+    exhausted: bool,
+}
+
+impl FileSource {
+    /// Opens the file; `silence` pads after EOF when not looping.
+    pub fn open<P: AsRef<Path>>(
+        path: P,
+        silence: u8,
+        looping: bool,
+    ) -> std::io::Result<FileSource> {
+        Ok(FileSource {
+            input: Some(BufReader::new(File::open(path)?)),
+            silence,
+            looping,
+            exhausted: false,
+        })
+    }
+}
+
+impl SampleSource for FileSource {
+    fn fill(&mut self, _time: ATime, out: &mut [u8]) {
+        let mut filled = 0;
+        while filled < out.len() && !self.exhausted {
+            let Some(input) = self.input.as_mut() else {
+                break;
+            };
+            match input.read(&mut out[filled..]) {
+                Ok(0) => {
+                    if self.looping {
+                        if input.seek(SeekFrom::Start(0)).is_err() {
+                            self.exhausted = true;
+                        }
+                        // An empty file would loop forever: probe once.
+                        let mut probe = [0u8; 1];
+                        match input.read(&mut probe) {
+                            Ok(1) => {
+                                out[filled] = probe[0];
+                                filled += 1;
+                            }
+                            _ => self.exhausted = true,
+                        }
+                    } else {
+                        self.exhausted = true;
+                    }
+                }
+                Ok(n) => filled += n,
+                Err(_) => self.exhausted = true,
+            }
+        }
+        for b in &mut out[filled..] {
+            *b = self.silence;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("af-fileio-{}-{name}", std::process::id()))
+    }
+
+    #[test]
+    fn sink_writes_in_order() {
+        let path = tmp("sink.ul");
+        {
+            let mut sink = FileSink::create(&path).unwrap();
+            sink.consume(ATime::ZERO, &[1, 2, 3]);
+            sink.consume(ATime::new(3), &[4, 5]);
+        }
+        assert_eq!(std::fs::read(&path).unwrap(), vec![1, 2, 3, 4, 5]);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn source_loops_and_pads() {
+        let path = tmp("src.ul");
+        std::fs::write(&path, [10u8, 20, 30]).unwrap();
+        let mut looping = FileSource::open(&path, 0xFF, true).unwrap();
+        let mut out = [0u8; 8];
+        looping.fill(ATime::ZERO, &mut out);
+        assert_eq!(out, [10, 20, 30, 10, 20, 30, 10, 20]);
+
+        let mut oneshot = FileSource::open(&path, 0xFF, false).unwrap();
+        let mut out = [0u8; 5];
+        oneshot.fill(ATime::ZERO, &mut out);
+        assert_eq!(out, [10, 20, 30, 0xFF, 0xFF]);
+        // Further fills are all silence.
+        oneshot.fill(ATime::ZERO, &mut out);
+        assert_eq!(out, [0xFF; 5]);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn empty_file_yields_silence_not_hang() {
+        let path = tmp("empty.ul");
+        std::fs::write(&path, []).unwrap();
+        let mut src = FileSource::open(&path, 0x7F, true).unwrap();
+        let mut out = [0u8; 4];
+        src.fill(ATime::ZERO, &mut out);
+        assert_eq!(out, [0x7F; 4]);
+        let _ = std::fs::remove_file(&path);
+    }
+}

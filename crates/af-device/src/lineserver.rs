@@ -1,0 +1,466 @@
+//! The LineServer: a detached UDP audio peripheral (§4.4, §7.4.3).
+//!
+//! The real LineServer was a Motorola 68302 Ethernet box with an 8 kHz ISDN
+//! CODEC; the AudioFile server for it (`Als`) ran on a nearby workstation
+//! and drove the hardware with a private UDP protocol of six packet types.
+//! Request and reply packets share one format — a header of sequence number,
+//! audio time, function code, and parameter, followed by data bytes — and
+//! the LineServer *only* sends packets as replies to requests.
+//!
+//! [`LineServerFirmware`] reproduces the firmware: small (2048-sample)
+//! play/record buffers, interrupt-driven sample movement (simulated by
+//! servicing a virtual codec on every poll), and a request loop over a real
+//! UDP socket.  [`LineServerLink`] is the workstation side used by the
+//! `Als`-style device backend.
+
+use crate::clock::SharedClock;
+use crate::hardware::{HwConfig, VirtualAudioHw};
+use crate::io::{SampleSink, SampleSource};
+use af_time::ATime;
+use std::io;
+use std::net::{SocketAddr, UdpSocket};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// LineServer buffer size: 2048 samples, "1/4 second at 8 kHz".
+pub const LS_BUFFER_SAMPLES: u32 = 2048;
+
+/// Number of device registers (gains, config).
+pub const LS_NUM_REGS: usize = 16;
+
+/// Register index: output gain.
+pub const LS_REG_OUTPUT_GAIN: u8 = 0;
+/// Register index: input gain.
+pub const LS_REG_INPUT_GAIN: u8 = 1;
+
+/// The six packet function codes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[repr(u8)]
+pub enum LsFunction {
+    /// Play samples (data = µ-law samples, `time` = start time).
+    Play = 1,
+    /// Record samples (`aux` = sample count; reply data = samples).
+    Record = 2,
+    /// Read a CODEC register (`param` = index; reply `aux` = value).
+    ReadReg = 3,
+    /// Write a CODEC register (`param` = index, `aux` = value).
+    WriteReg = 4,
+    /// Loopback, for testing: the reply echoes the request.
+    Loopback = 5,
+    /// Reset: clear buffers and registers.
+    Reset = 6,
+}
+
+impl LsFunction {
+    fn from_wire(v: u8) -> Option<LsFunction> {
+        match v {
+            1 => Some(LsFunction::Play),
+            2 => Some(LsFunction::Record),
+            3 => Some(LsFunction::ReadReg),
+            4 => Some(LsFunction::WriteReg),
+            5 => Some(LsFunction::Loopback),
+            6 => Some(LsFunction::Reset),
+            _ => None,
+        }
+    }
+}
+
+/// One LineServer packet; requests and replies share this format.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LsPacket {
+    /// Sequence number; replies echo it.
+    pub seq: u32,
+    /// Audio device time (request: start time; reply: current time).
+    pub time: ATime,
+    /// Function code.
+    pub function: LsFunction,
+    /// Small parameter (register index).
+    pub param: u8,
+    /// Auxiliary 16-bit parameter (lengths, register values).
+    pub aux: u16,
+    /// Data bytes.
+    pub data: Vec<u8>,
+}
+
+impl LsPacket {
+    /// Header size in bytes.
+    pub const HEADER: usize = 12;
+
+    /// Encodes the packet (fields little-endian; this private protocol has a
+    /// fixed order, unlike the client protocol).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(Self::HEADER + self.data.len());
+        out.extend_from_slice(&self.seq.to_le_bytes());
+        out.extend_from_slice(&self.time.ticks().to_le_bytes());
+        out.push(self.function as u8);
+        out.push(self.param);
+        out.extend_from_slice(&self.aux.to_le_bytes());
+        out.extend_from_slice(&self.data);
+        out
+    }
+
+    /// Decodes a packet, or `None` if malformed.
+    pub fn decode(bytes: &[u8]) -> Option<LsPacket> {
+        if bytes.len() < Self::HEADER {
+            return None;
+        }
+        let seq = u32::from_le_bytes(bytes[0..4].try_into().ok()?);
+        let time = ATime::new(u32::from_le_bytes(bytes[4..8].try_into().ok()?));
+        let function = LsFunction::from_wire(bytes[8])?;
+        let param = bytes[9];
+        let aux = u16::from_le_bytes(bytes[10..12].try_into().ok()?);
+        Some(LsPacket {
+            seq,
+            time,
+            function,
+            param,
+            aux,
+            data: bytes[Self::HEADER..].to_vec(),
+        })
+    }
+}
+
+/// The simulated LineServer box.
+pub struct LineServerFirmware {
+    socket: UdpSocket,
+    hw: VirtualAudioHw,
+    regs: [u16; LS_NUM_REGS],
+    stop: Arc<AtomicBool>,
+}
+
+impl LineServerFirmware {
+    /// Boots a LineServer on an ephemeral localhost UDP port.
+    ///
+    /// The 8 kHz codec runs on `clock`; `sink`/`source` are its audio
+    /// endpoints.  Returns the firmware and its address.
+    pub fn boot(
+        clock: SharedClock,
+        sink: Box<dyn SampleSink>,
+        source: Box<dyn SampleSource>,
+    ) -> io::Result<(LineServerFirmware, SocketAddr)> {
+        let socket = UdpSocket::bind(("127.0.0.1", 0))?;
+        socket.set_read_timeout(Some(Duration::from_millis(5)))?;
+        let addr = socket.local_addr()?;
+        let cfg = HwConfig {
+            encoding: af_dsp::Encoding::Mu255,
+            rate: 8000,
+            channels: 1,
+            ring_frames: LS_BUFFER_SAMPLES,
+        };
+        Ok((
+            LineServerFirmware {
+                socket,
+                hw: VirtualAudioHw::new(cfg, clock, sink, source),
+                regs: [0; LS_NUM_REGS],
+                stop: Arc::new(AtomicBool::new(false)),
+            },
+            addr,
+        ))
+    }
+
+    /// A handle that stops the firmware loop when set.
+    pub fn stop_handle(&self) -> Arc<AtomicBool> {
+        Arc::clone(&self.stop)
+    }
+
+    /// Runs the firmware loop until stopped: the "network thread" of the
+    /// real firmware, with the "update thread" folded into each iteration.
+    pub fn run(mut self) {
+        let mut buf = vec![0u8; 65_536];
+        while !self.stop.load(Ordering::Relaxed) {
+            // Interrupt-driven sample movement, batched.
+            self.hw.service();
+            match self.socket.recv_from(&mut buf) {
+                Ok((n, peer)) => {
+                    if let Some(req) = LsPacket::decode(&buf[..n]) {
+                        let reply = self.process(req);
+                        let _ = self.socket.send_to(&reply.encode(), peer);
+                    }
+                    // Malformed packets are dropped silently, as firmware
+                    // would.
+                }
+                Err(e)
+                    if e.kind() == io::ErrorKind::WouldBlock
+                        || e.kind() == io::ErrorKind::TimedOut => {}
+                Err(_) => break,
+            }
+        }
+    }
+
+    /// Processes one request into its reply.
+    pub fn process(&mut self, req: LsPacket) -> LsPacket {
+        let now = self.hw.service();
+        let mut reply = LsPacket {
+            seq: req.seq,
+            time: now,
+            function: req.function,
+            param: req.param,
+            aux: req.aux,
+            data: Vec::new(),
+        };
+        match req.function {
+            LsFunction::Play => {
+                self.hw.write_play(req.time, &req.data);
+            }
+            LsFunction::Record => {
+                let n = u32::from(req.aux).min(LS_BUFFER_SAMPLES);
+                let mut data = vec![0u8; n as usize];
+                self.hw.read_rec(req.time, &mut data);
+                reply.data = data;
+            }
+            LsFunction::ReadReg => {
+                reply.aux = self
+                    .regs
+                    .get(req.param as usize)
+                    .copied()
+                    .unwrap_or_default();
+            }
+            LsFunction::WriteReg => {
+                if let Some(r) = self.regs.get_mut(req.param as usize) {
+                    *r = req.aux;
+                }
+            }
+            LsFunction::Loopback => {
+                reply.data = req.data;
+            }
+            LsFunction::Reset => {
+                self.regs = [0; LS_NUM_REGS];
+            }
+        }
+        reply
+    }
+}
+
+/// The workstation side of the private protocol, used by the `Als` backend.
+pub struct LineServerLink {
+    socket: UdpSocket,
+    next_seq: u32,
+    /// `(local instant, remote time)` of the last reply, for time estimates.
+    last_observation: Option<(std::time::Instant, ATime)>,
+}
+
+impl LineServerLink {
+    /// Connects to a LineServer at `addr`.
+    pub fn connect(addr: SocketAddr) -> io::Result<LineServerLink> {
+        let socket = UdpSocket::bind(("127.0.0.1", 0))?;
+        socket.connect(addr)?;
+        socket.set_read_timeout(Some(Duration::from_millis(100)))?;
+        Ok(LineServerLink {
+            socket,
+            next_seq: 1,
+            last_observation: None,
+        })
+    }
+
+    /// Sends one request and waits for its reply.
+    ///
+    /// Play and record are *not* retried ("by then, it is probably too late
+    /// anyway"); pass `retries > 0` only for register operations.
+    pub fn transact(&mut self, mut req: LsPacket, retries: u32) -> io::Result<LsPacket> {
+        req.seq = self.next_seq;
+        self.next_seq = self.next_seq.wrapping_add(1);
+        let encoded = req.encode();
+        let mut attempts = 0;
+        loop {
+            self.socket.send(&encoded)?;
+            let mut buf = vec![0u8; 65_536];
+            match self.socket.recv(&mut buf) {
+                Ok(n) => {
+                    if let Some(reply) = LsPacket::decode(&buf[..n]) {
+                        if reply.seq == req.seq {
+                            self.last_observation = Some((std::time::Instant::now(), reply.time));
+                            return Ok(reply);
+                        }
+                        // Stale reply from a timed-out earlier exchange:
+                        // keep waiting within this attempt.
+                        continue;
+                    }
+                }
+                Err(e)
+                    if e.kind() == io::ErrorKind::WouldBlock
+                        || e.kind() == io::ErrorKind::TimedOut =>
+                {
+                    if attempts >= retries {
+                        return Err(io::Error::new(
+                            io::ErrorKind::TimedOut,
+                            "LineServer did not reply",
+                        ));
+                    }
+                    attempts += 1;
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    /// Estimates the LineServer's current device time from the time stamp of
+    /// the last reply and the local elapsed time (§7.4.3).
+    pub fn estimate_time(&self, rate: u32) -> Option<ATime> {
+        let (at, remote) = self.last_observation?;
+        let elapsed = at.elapsed().as_secs_f64();
+        Some(remote + (elapsed * f64::from(rate)) as u32)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clock::VirtualClock;
+    use crate::io::{CaptureSink, ToneSource};
+
+    fn packet(function: LsFunction) -> LsPacket {
+        LsPacket {
+            seq: 7,
+            time: ATime::new(100),
+            function,
+            param: 2,
+            aux: 34,
+            data: vec![1, 2, 3],
+        }
+    }
+
+    #[test]
+    fn packet_round_trip() {
+        for f in [
+            LsFunction::Play,
+            LsFunction::Record,
+            LsFunction::ReadReg,
+            LsFunction::WriteReg,
+            LsFunction::Loopback,
+            LsFunction::Reset,
+        ] {
+            let p = packet(f);
+            assert_eq!(LsPacket::decode(&p.encode()), Some(p));
+        }
+        assert_eq!(LsPacket::decode(&[0u8; 4]), None);
+        let mut bad = packet(LsFunction::Play).encode();
+        bad[8] = 99; // Unknown function.
+        assert_eq!(LsPacket::decode(&bad), None);
+    }
+
+    #[test]
+    fn firmware_processes_all_functions() {
+        let clock = Arc::new(VirtualClock::new(8000));
+        let (sink, capture) = CaptureSink::new(1 << 16);
+        let (mut fw, _addr) = LineServerFirmware::boot(
+            clock.clone(),
+            Box::new(sink),
+            Box::new(ToneSource::ulaw(440.0, 8000.0, 10_000.0)),
+        )
+        .unwrap();
+
+        // Write and read back a register.
+        let r = fw.process(LsPacket {
+            seq: 1,
+            time: ATime::ZERO,
+            function: LsFunction::WriteReg,
+            param: LS_REG_OUTPUT_GAIN,
+            aux: 42,
+            data: vec![],
+        });
+        assert_eq!(r.seq, 1);
+        let r = fw.process(LsPacket {
+            seq: 2,
+            time: ATime::ZERO,
+            function: LsFunction::ReadReg,
+            param: LS_REG_OUTPUT_GAIN,
+            aux: 0,
+            data: vec![],
+        });
+        assert_eq!(r.aux, 42);
+
+        // Loopback echoes data.
+        let r = fw.process(LsPacket {
+            seq: 3,
+            time: ATime::ZERO,
+            function: LsFunction::Loopback,
+            param: 0,
+            aux: 0,
+            data: vec![9, 9, 9],
+        });
+        assert_eq!(r.data, vec![9, 9, 9]);
+
+        // Play at t=10, advance, verify the sink heard it.
+        fw.process(LsPacket {
+            seq: 4,
+            time: ATime::new(10),
+            function: LsFunction::Play,
+            param: 0,
+            aux: 0,
+            data: vec![0x21; 20],
+        });
+        clock.advance(100);
+        fw.hw.service();
+        let cap = capture.lock();
+        assert_eq!(&cap[10..30], &[0x21; 20][..]);
+        drop(cap);
+
+        // Record from the tone source.
+        clock.advance(100);
+        let r = fw.process(LsPacket {
+            seq: 5,
+            time: ATime::new(120),
+            function: LsFunction::Record,
+            param: 0,
+            aux: 64,
+            data: vec![],
+        });
+        assert_eq!(r.data.len(), 64);
+        assert!(r.data.iter().any(|&b| b != af_dsp::g711::ULAW_SILENCE));
+
+        // Reset clears registers.
+        fw.process(LsPacket {
+            seq: 6,
+            time: ATime::ZERO,
+            function: LsFunction::Reset,
+            param: 0,
+            aux: 0,
+            data: vec![],
+        });
+        let r = fw.process(LsPacket {
+            seq: 7,
+            time: ATime::ZERO,
+            function: LsFunction::ReadReg,
+            param: LS_REG_OUTPUT_GAIN,
+            aux: 0,
+            data: vec![],
+        });
+        assert_eq!(r.aux, 0);
+    }
+
+    #[test]
+    fn link_transacts_over_udp() {
+        let clock = Arc::new(VirtualClock::new(8000));
+        let (fw, addr) = LineServerFirmware::boot(
+            clock.clone(),
+            Box::new(crate::io::NullSink),
+            Box::new(crate::io::SilenceSource::new(0xFF)),
+        )
+        .unwrap();
+        let stop = fw.stop_handle();
+        let handle = std::thread::spawn(move || fw.run());
+
+        let mut link = LineServerLink::connect(addr).unwrap();
+        clock.advance(500);
+        let reply = link
+            .transact(
+                LsPacket {
+                    seq: 0,
+                    time: ATime::ZERO,
+                    function: LsFunction::Loopback,
+                    param: 0,
+                    aux: 0,
+                    data: vec![1, 2, 3, 4],
+                },
+                3,
+            )
+            .unwrap();
+        assert_eq!(reply.data, vec![1, 2, 3, 4]);
+        assert!(reply.time.ticks() >= 500);
+        assert!(link.estimate_time(8000).is_some());
+
+        stop.store(true, Ordering::Relaxed);
+        handle.join().unwrap();
+    }
+}

@@ -1,0 +1,275 @@
+//! Conversion between sample encodings.
+//!
+//! The server's conversion modules (§2.2–2.3) translate between the data
+//! type a client uses and the data type the audio hardware supports.  All
+//! conversions go through 16-bit linear, the richest fully-supported common
+//! domain; LIN32 keeps its full width on pass-through and scales through the
+//! top 16 bits otherwise.
+//!
+//! Multi-byte linear formats are little-endian in buffers; the protocol layer
+//! byte-swaps on the wire when client and server disagree (§7.3.1), so by the
+//! time data reaches these kernels it is in native buffer order.
+
+use crate::{adpcm, tables, Encoding};
+
+/// Error converting between encodings.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ConvertError {
+    /// The source or destination encoding has no conversion support.
+    Unsupported(Encoding),
+    /// Input length is not a whole number of units for its encoding.
+    PartialSample,
+}
+
+impl core::fmt::Display for ConvertError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            ConvertError::Unsupported(e) => write!(f, "encoding {e} is not convertible"),
+            ConvertError::PartialSample => write!(f, "buffer holds a partial sample"),
+        }
+    }
+}
+
+impl std::error::Error for ConvertError {}
+
+/// Decodes raw bytes of `encoding` into 16-bit linear samples.
+///
+/// For ADPCM the caller supplies (and the function updates) codec state so
+/// that a continuous stream can be converted block by block.
+pub fn decode_to_lin16(
+    encoding: Encoding,
+    data: &[u8],
+    adpcm_state: &mut adpcm::AdpcmState,
+) -> Result<Vec<i16>, ConvertError> {
+    match encoding {
+        Encoding::Mu255 => {
+            let t = tables::exp_u();
+            Ok(data.iter().map(|&b| t[b as usize]).collect())
+        }
+        Encoding::Alaw => {
+            let t = tables::exp_a();
+            Ok(data.iter().map(|&b| t[b as usize]).collect())
+        }
+        Encoding::Lin16 => {
+            if !data.len().is_multiple_of(2) {
+                return Err(ConvertError::PartialSample);
+            }
+            Ok(data
+                .chunks_exact(2)
+                .map(|c| i16::from_le_bytes([c[0], c[1]]))
+                .collect())
+        }
+        Encoding::Lin32 => {
+            if !data.len().is_multiple_of(4) {
+                return Err(ConvertError::PartialSample);
+            }
+            Ok(data
+                .chunks_exact(4)
+                .map(|c| (i32::from_le_bytes([c[0], c[1], c[2], c[3]]) >> 16) as i16)
+                .collect())
+        }
+        Encoding::Adpcm32 => Ok(adpcm::decode(adpcm_state, data, data.len() * 2)),
+        other => Err(ConvertError::Unsupported(other)),
+    }
+}
+
+/// Encodes 16-bit linear samples into raw bytes of `encoding`.
+pub fn encode_from_lin16(
+    encoding: Encoding,
+    pcm: &[i16],
+    adpcm_state: &mut adpcm::AdpcmState,
+) -> Result<Vec<u8>, ConvertError> {
+    match encoding {
+        Encoding::Mu255 => Ok(pcm.iter().map(|&s| tables::ulaw_encode_fast(s)).collect()),
+        Encoding::Alaw => Ok(pcm.iter().map(|&s| tables::alaw_encode_fast(s)).collect()),
+        Encoding::Lin16 => {
+            let mut out = Vec::with_capacity(pcm.len() * 2);
+            for s in pcm {
+                out.extend_from_slice(&s.to_le_bytes());
+            }
+            Ok(out)
+        }
+        Encoding::Lin32 => {
+            let mut out = Vec::with_capacity(pcm.len() * 4);
+            for s in pcm {
+                out.extend_from_slice(&((i32::from(*s)) << 16).to_le_bytes());
+            }
+            Ok(out)
+        }
+        Encoding::Adpcm32 => Ok(adpcm::encode(adpcm_state, pcm)),
+        other => Err(ConvertError::Unsupported(other)),
+    }
+}
+
+/// A stateful converter from one encoding to another.
+///
+/// This is the Rust shape of the server's per-AC conversion module: created
+/// when an audio context binds a client data type to a device data type,
+/// then fed blocks in order.  Identity conversions are pass-through.
+pub struct Converter {
+    from: Encoding,
+    to: Encoding,
+    decode_state: adpcm::AdpcmState,
+    encode_state: adpcm::AdpcmState,
+}
+
+impl Converter {
+    /// Creates a converter, checking both encodings are supported.
+    pub fn new(from: Encoding, to: Encoding) -> Result<Converter, ConvertError> {
+        for e in [from, to] {
+            if !e.is_convertible() {
+                return Err(ConvertError::Unsupported(e));
+            }
+        }
+        Ok(Converter {
+            from,
+            to,
+            decode_state: adpcm::AdpcmState::new(),
+            encode_state: adpcm::AdpcmState::new(),
+        })
+    }
+
+    /// Whether this conversion is the identity.
+    pub fn is_identity(&self) -> bool {
+        self.from == self.to
+    }
+
+    /// Source encoding.
+    pub fn from_encoding(&self) -> Encoding {
+        self.from
+    }
+
+    /// Destination encoding.
+    pub fn to_encoding(&self) -> Encoding {
+        self.to
+    }
+
+    /// Converts one block of raw bytes.
+    pub fn convert(&mut self, data: &[u8]) -> Result<Vec<u8>, ConvertError> {
+        if self.is_identity() {
+            return Ok(data.to_vec());
+        }
+        // Fast path: companded-to-companded via the 256-entry tables.
+        match (self.from, self.to) {
+            (Encoding::Mu255, Encoding::Alaw) => {
+                let t = tables::cvt_u2a();
+                return Ok(data.iter().map(|&b| t[b as usize]).collect());
+            }
+            (Encoding::Alaw, Encoding::Mu255) => {
+                let t = tables::cvt_a2u();
+                return Ok(data.iter().map(|&b| t[b as usize]).collect());
+            }
+            _ => {}
+        }
+        let pcm = decode_to_lin16(self.from, data, &mut self.decode_state)?;
+        encode_from_lin16(self.to, &pcm, &mut self.encode_state)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ramp() -> Vec<i16> {
+        (-100..100).map(|i| i * 300).collect()
+    }
+
+    #[test]
+    fn lin16_round_trip_exact() {
+        let pcm = ramp();
+        let mut st = adpcm::AdpcmState::new();
+        let bytes = encode_from_lin16(Encoding::Lin16, &pcm, &mut st).unwrap();
+        let back = decode_to_lin16(Encoding::Lin16, &bytes, &mut st).unwrap();
+        assert_eq!(pcm, back);
+    }
+
+    #[test]
+    fn lin32_round_trip_exact_through_top_bits() {
+        let pcm = ramp();
+        let mut st = adpcm::AdpcmState::new();
+        let bytes = encode_from_lin16(Encoding::Lin32, &pcm, &mut st).unwrap();
+        assert_eq!(bytes.len(), pcm.len() * 4);
+        let back = decode_to_lin16(Encoding::Lin32, &bytes, &mut st).unwrap();
+        assert_eq!(pcm, back);
+    }
+
+    #[test]
+    fn ulaw_round_trip_within_quantization() {
+        let pcm = ramp();
+        let mut st = adpcm::AdpcmState::new();
+        let bytes = encode_from_lin16(Encoding::Mu255, &pcm, &mut st).unwrap();
+        let back = decode_to_lin16(Encoding::Mu255, &bytes, &mut st).unwrap();
+        for (a, b) in pcm.iter().zip(&back) {
+            assert!((i32::from(*a) - i32::from(*b)).abs() <= 512);
+        }
+    }
+
+    #[test]
+    fn partial_sample_rejected() {
+        let mut st = adpcm::AdpcmState::new();
+        assert_eq!(
+            decode_to_lin16(Encoding::Lin16, &[1, 2, 3], &mut st),
+            Err(ConvertError::PartialSample)
+        );
+        assert_eq!(
+            decode_to_lin16(Encoding::Lin32, &[1, 2, 3, 4, 5], &mut st),
+            Err(ConvertError::PartialSample)
+        );
+    }
+
+    #[test]
+    fn unsupported_encodings_rejected() {
+        assert!(Converter::new(Encoding::Celp1016, Encoding::Lin16).is_err());
+        assert!(Converter::new(Encoding::Lin16, Encoding::Adpcm24).is_err());
+        let mut st = adpcm::AdpcmState::new();
+        assert!(matches!(
+            decode_to_lin16(Encoding::Celp1015, &[0u8; 7], &mut st),
+            Err(ConvertError::Unsupported(Encoding::Celp1015))
+        ));
+    }
+
+    #[test]
+    fn converter_identity_passthrough() {
+        let mut c = Converter::new(Encoding::Mu255, Encoding::Mu255).unwrap();
+        assert!(c.is_identity());
+        let data = vec![1u8, 2, 3, 0xFF];
+        assert_eq!(c.convert(&data).unwrap(), data);
+    }
+
+    #[test]
+    fn converter_ulaw_to_lin16() {
+        let mut c = Converter::new(Encoding::Mu255, Encoding::Lin16).unwrap();
+        let out = c.convert(&[g711::linear_to_ulaw(1000)]).unwrap();
+        let v = i16::from_le_bytes([out[0], out[1]]);
+        assert!((i32::from(v) - 1000).abs() <= 40);
+    }
+
+    #[test]
+    fn converter_companded_cross_uses_tables() {
+        let mut c = Converter::new(Encoding::Mu255, Encoding::Alaw).unwrap();
+        let u = g711::linear_to_ulaw(-4_000);
+        let out = c.convert(&[u]).unwrap();
+        assert_eq!(out[0], tables::cvt_u2a()[u as usize]);
+    }
+
+    #[test]
+    fn converter_adpcm_is_stateful_across_blocks() {
+        let pcm: Vec<i16> = (0..400)
+            .map(|i| (8_000.0 * (std::f64::consts::TAU * 440.0 * i as f64 / 8000.0).sin()) as i16)
+            .collect();
+        let mut st = adpcm::AdpcmState::new();
+        let bytes = encode_from_lin16(Encoding::Lin16, &pcm, &mut st).unwrap();
+
+        let mut c = Converter::new(Encoding::Lin16, Encoding::Adpcm32).unwrap();
+        let mut stream = Vec::new();
+        for chunk in bytes.chunks(64) {
+            stream.extend(c.convert(chunk).unwrap());
+        }
+        // Compare against a single-shot encode.
+        let mut st2 = adpcm::AdpcmState::new();
+        let batch = adpcm::encode(&mut st2, &pcm);
+        assert_eq!(stream, batch);
+    }
+
+    use crate::g711;
+}

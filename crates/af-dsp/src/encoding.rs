@@ -1,0 +1,204 @@
+//! Audio sample encodings and their size metadata.
+//!
+//! Reproduces the encoding-type atoms of Table 2 and the `AF_sample_sizes`
+//! utility table of §6.2.1.  Many encodings do not use an integral number of
+//! bytes per sample, so sizes are expressed as *units*: `bytes_per_unit`
+//! bytes hold `samps_per_unit` samples.
+
+use core::fmt;
+
+/// An audio sample encoding, as carried on the wire and stored in buffers.
+///
+/// The first four types are fully supported end to end.  `Adpcm32` has a
+/// working IMA-ADPCM codec in [`crate::adpcm`].  `Adpcm24` and the two CELP
+/// types are declared for protocol compatibility (the paper lists them as
+/// built-in atoms) but conversion support is not implemented, matching the
+/// paper's own status ("will also be used to handle compressed audio data
+/// types").
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+#[repr(u8)]
+pub enum Encoding {
+    /// CCITT G.711 µ-law: 8-bit companded, ~14-bit dynamic range.
+    Mu255 = 0,
+    /// CCITT G.711 A-law: 8-bit companded, ~13-bit dynamic range.
+    Alaw = 1,
+    /// 16-bit linear two's-complement PCM.
+    Lin16 = 2,
+    /// 32-bit linear two's-complement PCM (samples in the top 16 bits are
+    /// what the DACs see; the extra width is headroom for mixing).
+    Lin32 = 3,
+    /// IMA ADPCM at 4 bits per sample (32 kbit/s at 8 kHz).
+    Adpcm32 = 4,
+    /// ADPCM at 3 bits per sample (24 kbit/s at 8 kHz). Metadata only.
+    Adpcm24 = 5,
+    /// CELP 1016 (4.8 kbit/s federal standard). Metadata only.
+    Celp1016 = 6,
+    /// CELP/LPC 1015 (2.4 kbit/s). Metadata only.
+    Celp1015 = 7,
+}
+
+impl Encoding {
+    /// All encodings, in wire-value order.
+    pub const ALL: [Encoding; 8] = [
+        Encoding::Mu255,
+        Encoding::Alaw,
+        Encoding::Lin16,
+        Encoding::Lin32,
+        Encoding::Adpcm32,
+        Encoding::Adpcm24,
+        Encoding::Celp1016,
+        Encoding::Celp1015,
+    ];
+
+    /// Decodes a wire value.
+    pub fn from_wire(v: u8) -> Option<Encoding> {
+        Encoding::ALL.get(v as usize).copied()
+    }
+
+    /// The wire value of this encoding.
+    pub const fn to_wire(self) -> u8 {
+        self as u8
+    }
+
+    /// Size metadata for this encoding (the `AF_sample_sizes` entry).
+    pub const fn info(self) -> SampleTypeInfo {
+        match self {
+            Encoding::Mu255 => SampleTypeInfo::new(8, 1, 1, "MU255"),
+            Encoding::Alaw => SampleTypeInfo::new(8, 1, 1, "ALAW"),
+            Encoding::Lin16 => SampleTypeInfo::new(16, 2, 1, "LIN16"),
+            Encoding::Lin32 => SampleTypeInfo::new(32, 4, 1, "LIN32"),
+            // 4 bits/sample: one byte carries two samples.
+            Encoding::Adpcm32 => SampleTypeInfo::new(4, 1, 2, "ADPCM32"),
+            // 3 bits/sample: three bytes carry eight samples.
+            Encoding::Adpcm24 => SampleTypeInfo::new(3, 3, 8, "ADPCM24"),
+            // 144-bit frame per 240 samples (30 ms at 8 kHz).
+            Encoding::Celp1016 => SampleTypeInfo::new(1, 18, 240, "CELP1016"),
+            // 54-bit frame per 180 samples; stored padded to 7 bytes.
+            Encoding::Celp1015 => SampleTypeInfo::new(1, 7, 180, "CELP1015"),
+        }
+    }
+
+    /// Whether full conversion support (to/from 16-bit linear) exists.
+    pub const fn is_convertible(self) -> bool {
+        matches!(
+            self,
+            Encoding::Mu255
+                | Encoding::Alaw
+                | Encoding::Lin16
+                | Encoding::Lin32
+                | Encoding::Adpcm32
+        )
+    }
+
+    /// Number of bytes needed for `samples` samples of one channel.
+    ///
+    /// Partial units round up, since partial units still occupy whole bytes.
+    pub const fn bytes_for_samples(self, samples: usize) -> usize {
+        let info = self.info();
+        let units = samples.div_ceil(info.samps_per_unit as usize);
+        units * info.bytes_per_unit as usize
+    }
+
+    /// Number of whole samples held in `bytes` bytes of one channel.
+    pub const fn samples_in_bytes(self, bytes: usize) -> usize {
+        let info = self.info();
+        (bytes / info.bytes_per_unit as usize) * info.samps_per_unit as usize
+    }
+}
+
+impl fmt::Display for Encoding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.info().name)
+    }
+}
+
+/// Size description of a fixed-length encoding (`struct AFSampleTypes`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SampleTypeInfo {
+    /// Nominal bits per sample (a hint; see unit fields for exact sizing).
+    pub bits_per_samp: u32,
+    /// Bytes occupied by one unit.
+    pub bytes_per_unit: u32,
+    /// Samples encoded in one unit.
+    pub samps_per_unit: u32,
+    /// Human-readable name, matching the built-in atom string.
+    pub name: &'static str,
+}
+
+impl SampleTypeInfo {
+    const fn new(
+        bits_per_samp: u32,
+        bytes_per_unit: u32,
+        samps_per_unit: u32,
+        name: &'static str,
+    ) -> Self {
+        SampleTypeInfo {
+            bits_per_samp,
+            bytes_per_unit,
+            samps_per_unit,
+            name,
+        }
+    }
+}
+
+/// The `AF_sample_sizes` table: metadata for every encoding, indexed by wire
+/// value.
+pub const SAMPLE_SIZES: [SampleTypeInfo; 8] = [
+    Encoding::Mu255.info(),
+    Encoding::Alaw.info(),
+    Encoding::Lin16.info(),
+    Encoding::Lin32.info(),
+    Encoding::Adpcm32.info(),
+    Encoding::Adpcm24.info(),
+    Encoding::Celp1016.info(),
+    Encoding::Celp1015.info(),
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wire_round_trip() {
+        for e in Encoding::ALL {
+            assert_eq!(Encoding::from_wire(e.to_wire()), Some(e));
+        }
+        assert_eq!(Encoding::from_wire(200), None);
+    }
+
+    #[test]
+    fn sizes_match_paper_table() {
+        assert_eq!(Encoding::Mu255.bytes_for_samples(8000), 8000);
+        assert_eq!(Encoding::Lin16.bytes_for_samples(8000), 16_000);
+        assert_eq!(Encoding::Lin32.bytes_for_samples(100), 400);
+        assert_eq!(Encoding::Adpcm32.bytes_for_samples(100), 50);
+        // Partial unit rounds up.
+        assert_eq!(Encoding::Adpcm32.bytes_for_samples(101), 51);
+        assert_eq!(Encoding::Adpcm24.bytes_for_samples(8), 3);
+        assert_eq!(Encoding::Celp1016.bytes_for_samples(240), 18);
+    }
+
+    #[test]
+    fn samples_in_bytes_inverts_whole_units() {
+        for e in Encoding::ALL {
+            let unit_samples = e.info().samps_per_unit as usize;
+            for units in [1usize, 3, 17] {
+                let samples = units * unit_samples;
+                assert_eq!(e.samples_in_bytes(e.bytes_for_samples(samples)), samples);
+            }
+        }
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(Encoding::Mu255.to_string(), "MU255");
+        assert_eq!(Encoding::Lin16.to_string(), "LIN16");
+    }
+
+    #[test]
+    fn sample_sizes_table_indexed_by_wire_value() {
+        for e in Encoding::ALL {
+            assert_eq!(SAMPLE_SIZES[e.to_wire() as usize], e.info());
+        }
+    }
+}

@@ -1,0 +1,208 @@
+//! Radix-2 FFT — the transform core of the `afft` spectrogram client (§9.5).
+
+use crate::window::Window;
+
+/// A complex number as a `(re, im)` pair of `f64`.
+pub type Complex = (f64, f64);
+
+/// In-place iterative radix-2 decimation-in-time FFT.
+///
+/// # Panics
+///
+/// Panics if the length is not a power of two.
+pub fn fft_in_place(data: &mut [Complex]) {
+    let n = data.len();
+    assert!(n.is_power_of_two(), "FFT length must be a power of two");
+    if n <= 1 {
+        return;
+    }
+
+    // Bit-reversal permutation.
+    let bits = n.trailing_zeros();
+    for i in 0..n {
+        let j = (i as u32).reverse_bits() >> (32 - bits);
+        let j = j as usize;
+        if j > i {
+            data.swap(i, j);
+        }
+    }
+
+    // Butterflies.
+    let mut len = 2;
+    while len <= n {
+        let angle = -std::f64::consts::TAU / len as f64;
+        let (wr, wi) = (angle.cos(), angle.sin());
+        for start in (0..n).step_by(len) {
+            let (mut cr, mut ci) = (1.0f64, 0.0f64);
+            for k in 0..len / 2 {
+                let (ar, ai) = data[start + k];
+                let (br, bi) = data[start + k + len / 2];
+                let (tr, ti) = (br * cr - bi * ci, br * ci + bi * cr);
+                data[start + k] = (ar + tr, ai + ti);
+                data[start + k + len / 2] = (ar - tr, ai - ti);
+                let next = (cr * wr - ci * wi, cr * wi + ci * wr);
+                cr = next.0;
+                ci = next.1;
+            }
+        }
+        len <<= 1;
+    }
+}
+
+/// Inverse FFT (unscaled by convention; divides by N here for convenience).
+pub fn ifft_in_place(data: &mut [Complex]) {
+    for c in data.iter_mut() {
+        c.1 = -c.1;
+    }
+    fft_in_place(data);
+    let n = data.len() as f64;
+    for c in data.iter_mut() {
+        c.0 /= n;
+        c.1 = -c.1 / n;
+    }
+}
+
+/// Computes the one-sided power spectrum of a real block.
+///
+/// Applies `window`, transforms, and returns `len/2 + 1` squared magnitudes
+/// (DC through Nyquist).  This is one column of the `afft` waterfall.
+pub fn power_spectrum(samples: &[f64], window: Window) -> Vec<f64> {
+    let n = samples.len();
+    assert!(n.is_power_of_two(), "FFT length must be a power of two");
+    let coeffs = window.coefficients(n);
+    let mut data: Vec<Complex> = samples
+        .iter()
+        .zip(&coeffs)
+        .map(|(&s, &w)| (s * w, 0.0))
+        .collect();
+    fft_in_place(&mut data);
+    data[..=n / 2]
+        .iter()
+        .map(|&(re, im)| re * re + im * im)
+        .collect()
+}
+
+/// A streaming spectrogram engine: windows of `length` samples advanced by
+/// `stride` samples (the paper's "FFT length" and "FFT stride" controls).
+pub struct Spectrogram {
+    length: usize,
+    stride: usize,
+    window: Window,
+    buffer: Vec<f64>,
+}
+
+impl Spectrogram {
+    /// Creates an engine.  `length` must be a power of two; `stride` of less
+    /// than `length` overlaps adjacent transforms.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `length` is not a power of two or `stride` is zero.
+    pub fn new(length: usize, stride: usize, window: Window) -> Spectrogram {
+        assert!(
+            length.is_power_of_two(),
+            "FFT length must be a power of two"
+        );
+        assert!(stride > 0, "stride must be positive");
+        Spectrogram {
+            length,
+            stride,
+            window,
+            buffer: Vec::new(),
+        }
+    }
+
+    /// Feeds samples; returns zero or more completed spectrum columns.
+    pub fn feed(&mut self, samples: &[f64]) -> Vec<Vec<f64>> {
+        self.buffer.extend_from_slice(samples);
+        let mut out = Vec::new();
+        while self.buffer.len() >= self.length {
+            out.push(power_spectrum(&self.buffer[..self.length], self.window));
+            self.buffer.drain(..self.stride.min(self.buffer.len()));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn impulse_transforms_flat() {
+        let mut data = vec![(0.0, 0.0); 8];
+        data[0] = (1.0, 0.0);
+        fft_in_place(&mut data);
+        for &(re, im) in &data {
+            assert!((re - 1.0).abs() < 1e-12 && im.abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn sine_concentrates_in_one_bin() {
+        let n = 256;
+        let bin = 19;
+        let samples: Vec<f64> = (0..n)
+            .map(|i| (std::f64::consts::TAU * bin as f64 * i as f64 / n as f64).sin())
+            .collect();
+        let spec = power_spectrum(&samples, Window::Rectangular);
+        let peak = spec
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .unwrap()
+            .0;
+        assert_eq!(peak, bin);
+        // Energy outside the bin is negligible for an exact-bin sine.
+        let total: f64 = spec.iter().sum();
+        assert!(spec[bin] / total > 0.999);
+    }
+
+    #[test]
+    fn fft_ifft_round_trip() {
+        let orig: Vec<Complex> = (0..64)
+            .map(|i| ((i as f64 * 0.37).sin(), (i as f64 * 0.21).cos()))
+            .collect();
+        let mut data = orig.clone();
+        fft_in_place(&mut data);
+        ifft_in_place(&mut data);
+        for (a, b) in orig.iter().zip(&data) {
+            assert!((a.0 - b.0).abs() < 1e-9 && (a.1 - b.1).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn parseval_energy_conserved() {
+        let samples: Vec<f64> = (0..128).map(|i| ((i * 17 % 31) as f64) - 15.0).collect();
+        let time_energy: f64 = samples.iter().map(|s| s * s).sum();
+        let mut data: Vec<Complex> = samples.iter().map(|&s| (s, 0.0)).collect();
+        fft_in_place(&mut data);
+        let freq_energy: f64 = data.iter().map(|&(r, i)| r * r + i * i).sum::<f64>() / 128.0;
+        assert!((time_energy - freq_energy).abs() / time_energy < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_power_of_two_rejected() {
+        let mut data = vec![(0.0, 0.0); 12];
+        fft_in_place(&mut data);
+    }
+
+    #[test]
+    fn spectrogram_stride_and_overlap() {
+        let mut s = Spectrogram::new(64, 32, Window::Hamming);
+        let samples = vec![1.0f64; 64 + 32 * 3];
+        let cols = s.feed(&samples);
+        // First column at 64 samples, then one per 32: 4 columns total.
+        assert_eq!(cols.len(), 4);
+        assert_eq!(cols[0].len(), 33);
+
+        // Feeding one sample at a time produces the same column count.
+        let mut s2 = Spectrogram::new(64, 32, Window::Hamming);
+        let mut count = 0;
+        for &x in &samples {
+            count += s2.feed(&[x]).len();
+        }
+        assert_eq!(count, 4);
+    }
+}

@@ -1,0 +1,224 @@
+//! CCITT G.711 µ-law and A-law companding.
+//!
+//! These are the eight-bit-per-sample companded formats of the US and
+//! European telephone industries (§6.2.1).  Both resemble 8-bit floating
+//! point: a sign bit, a 3-bit exponent (segment), and a 4-bit mantissa.
+//! µ-law is roughly equivalent to 14-bit linear, A-law to 13-bit linear.
+//!
+//! The algorithmic forms here follow the classic CCITT reference code; the
+//! table-driven forms used on hot paths live in [`crate::tables`].
+
+/// Bias added to µ-law magnitudes before segment extraction.
+const ULAW_BIAS: i32 = 0x84;
+/// Largest magnitude representable after biasing.
+const ULAW_CLIP: i32 = 32_635;
+
+/// Encodes one 16-bit linear sample as µ-law.
+///
+/// # Examples
+///
+/// ```
+/// use af_dsp::g711::{linear_to_ulaw, ulaw_to_linear};
+/// assert_eq!(linear_to_ulaw(0), 0xFF);
+/// assert_eq!(ulaw_to_linear(0xFF), 0);
+/// assert_eq!(ulaw_to_linear(0x00), -32_124); // Most negative value.
+/// ```
+pub fn linear_to_ulaw(pcm: i16) -> u8 {
+    let mut sample = i32::from(pcm);
+    let sign: u8 = if sample < 0 {
+        sample = -sample;
+        0x80
+    } else {
+        0
+    };
+    if sample > ULAW_CLIP {
+        sample = ULAW_CLIP;
+    }
+    sample += ULAW_BIAS;
+    // Segment: index of the highest set bit of sample >> 7, in 0..=7.
+    let exponent = (31 - ((sample >> 7) as u32 | 1).leading_zeros()) as i32;
+    let mantissa = (sample >> (exponent + 3)) & 0x0F;
+    !(sign | ((exponent as u8) << 4) | mantissa as u8)
+}
+
+/// Decodes one µ-law byte to 16-bit linear.
+pub fn ulaw_to_linear(ulaw: u8) -> i16 {
+    let u = !ulaw;
+    let exponent = i32::from((u >> 4) & 0x07);
+    let mantissa = i32::from(u & 0x0F);
+    let magnitude = (((mantissa << 3) + ULAW_BIAS) << exponent) - ULAW_BIAS;
+    if u & 0x80 != 0 {
+        -magnitude as i16
+    } else {
+        magnitude as i16
+    }
+}
+
+/// Encodes one 16-bit linear sample as A-law.
+///
+/// # Examples
+///
+/// ```
+/// use af_dsp::g711::{alaw_to_linear, linear_to_alaw};
+/// assert_eq!(alaw_to_linear(0xD5), 8);  // Smallest positive value.
+/// assert_eq!(alaw_to_linear(0x55), -8); // Smallest negative value.
+/// assert_eq!(linear_to_alaw(0), 0xD5);
+/// ```
+pub fn linear_to_alaw(pcm: i16) -> u8 {
+    let mut sample = i32::from(pcm);
+    // In A-law the sign bit is 1 for non-negative samples.
+    let sign: u8 = if sample >= 0 {
+        0x80
+    } else {
+        sample = -(sample + 1); // Avoid overflow at i16::MIN; off-by-one is below quantization.
+        0
+    };
+    if sample > 32_255 {
+        sample = 32_255;
+    }
+    let compressed = if sample >= 256 {
+        let exponent = (31 - ((sample >> 8) as u32 | 1).leading_zeros()) as i32;
+        let mantissa = (sample >> (exponent + 4)) & 0x0F;
+        (((exponent + 1) as u8) << 4) | mantissa as u8
+    } else {
+        (sample >> 4) as u8
+    };
+    (compressed | sign) ^ 0x55
+}
+
+/// Decodes one A-law byte to 16-bit linear.
+pub fn alaw_to_linear(alaw: u8) -> i16 {
+    let a = alaw ^ 0x55;
+    let mut magnitude = i32::from(a & 0x0F) << 4;
+    let segment = i32::from((a >> 4) & 0x07);
+    match segment {
+        0 => magnitude += 8,
+        1 => magnitude += 0x108,
+        _ => {
+            magnitude += 0x108;
+            magnitude <<= segment - 1;
+        }
+    }
+    if a & 0x80 != 0 {
+        magnitude as i16
+    } else {
+        -magnitude as i16
+    }
+}
+
+/// Transcodes µ-law to A-law through the linear domain.
+pub fn ulaw_to_alaw(u: u8) -> u8 {
+    linear_to_alaw(ulaw_to_linear(u))
+}
+
+/// Transcodes A-law to µ-law through the linear domain.
+pub fn alaw_to_ulaw(a: u8) -> u8 {
+    linear_to_ulaw(alaw_to_linear(a))
+}
+
+/// The byte encoding silence (zero amplitude) in µ-law.
+pub const ULAW_SILENCE: u8 = 0xFF;
+/// The byte encoding silence (smallest positive value) in A-law.
+pub const ALAW_SILENCE: u8 = 0xD5;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ulaw_reference_values() {
+        // Values from the CCITT G.711 reference tables.
+        assert_eq!(ulaw_to_linear(0x00), -32_124);
+        assert_eq!(ulaw_to_linear(0x80), 32_124);
+        assert_eq!(ulaw_to_linear(0xFF), 0);
+        assert_eq!(ulaw_to_linear(0x7F), 0); // Negative zero.
+        assert_eq!(linear_to_ulaw(0), ULAW_SILENCE);
+        assert_eq!(linear_to_ulaw(32_767), 0x80);
+        assert_eq!(linear_to_ulaw(-32_768), 0x00);
+    }
+
+    #[test]
+    fn alaw_reference_values() {
+        assert_eq!(alaw_to_linear(0xD5), 8);
+        assert_eq!(alaw_to_linear(0x55), -8);
+        assert_eq!(alaw_to_linear(0xAA), 32_256); // Largest positive value.
+        assert_eq!(alaw_to_linear(0x2A), -32_256);
+        assert_eq!(linear_to_alaw(0), ALAW_SILENCE);
+        assert_eq!(linear_to_alaw(32_767), 0xAA);
+        assert_eq!(linear_to_alaw(-32_768), 0x2A);
+    }
+
+    #[test]
+    fn ulaw_round_trip_is_idempotent() {
+        // encode(decode(x)) == x for every code word: companding is a
+        // quantizer, and decoded values are exact representatives.
+        for code in 0..=255u8 {
+            assert_eq!(linear_to_ulaw(ulaw_to_linear(code)), canonical_ulaw(code));
+        }
+    }
+
+    /// µ-law has two zero codes (0x7F and 0xFF); the encoder produces 0xFF.
+    fn canonical_ulaw(code: u8) -> u8 {
+        if code == 0x7F {
+            0xFF
+        } else {
+            code
+        }
+    }
+
+    #[test]
+    fn alaw_round_trip_is_idempotent() {
+        for code in 0..=255u8 {
+            assert_eq!(linear_to_alaw(alaw_to_linear(code)), code);
+        }
+    }
+
+    #[test]
+    fn ulaw_quantization_error_bounded() {
+        // Error must be under half the largest step size (1024/2 for the top
+        // µ-law segment), and small for small signals.
+        for pcm in (-32_700..32_700).step_by(37) {
+            // Half the top-segment step (512) plus the clip margin
+            // (32767 - 32124 = 643) bounds the worst case.
+            let err = i32::from(ulaw_to_linear(linear_to_ulaw(pcm as i16))) - pcm;
+            assert!(err.abs() <= 650, "pcm={pcm} err={err}");
+            if pcm.abs() < 100 {
+                assert!(err.abs() <= 4, "pcm={pcm} err={err}");
+            }
+        }
+    }
+
+    #[test]
+    fn alaw_quantization_error_bounded() {
+        for pcm in (-32_700..32_700).step_by(37) {
+            let err = i32::from(alaw_to_linear(linear_to_alaw(pcm as i16))) - pcm;
+            assert!(err.abs() <= 1024, "pcm={pcm} err={err}");
+            if pcm.abs() < 100 {
+                assert!(err.abs() <= 16, "pcm={pcm} err={err}");
+            }
+        }
+    }
+
+    #[test]
+    fn decode_is_monotonic_in_magnitude() {
+        // Within the positive µ-law codes, decoded values strictly decrease
+        // as the code increases (0x80 is most positive, 0xFF is zero).
+        let mut prev = ulaw_to_linear(0x80);
+        for code in 0x81..=0xFFu8 {
+            let v = ulaw_to_linear(code);
+            assert!(v < prev, "code {code:#x}: {v} !< {prev}");
+            prev = v;
+        }
+    }
+
+    #[test]
+    fn cross_transcoding_preserves_sign_and_scale() {
+        for pcm in [-30_000i16, -1000, -8, 0, 8, 1000, 30_000] {
+            let u = linear_to_ulaw(pcm);
+            let a = ulaw_to_alaw(u);
+            let back = alaw_to_linear(a);
+            let err = i32::from(back) - i32::from(pcm);
+            assert!(err.abs() <= 1100, "pcm={pcm} err={err}");
+        }
+    }
+}

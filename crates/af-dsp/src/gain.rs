@@ -1,0 +1,190 @@
+//! Decibel gain application.
+//!
+//! Gain control for a specific gain on companded data "requires only a 256
+//! byte table" (§6.2.1).  The paper precomputes tables for -30 dB … +30 dB
+//! (`AF_gain_table_u` / `AF_gain_table_a`, 61 tables) and supplies
+//! `AFMakeGainTableU`/`A` for gains outside that range; both are reproduced
+//! here, plus linear-domain gain for LIN16/LIN32 data.
+
+use crate::g711;
+use std::sync::OnceLock;
+
+/// Inclusive bounds of the precomputed gain-table set, in dB.
+pub const PRECOMPUTED_GAIN_RANGE: (i32, i32) = (-30, 30);
+
+/// Converts a decibel value to a linear amplitude factor.
+///
+/// # Examples
+///
+/// ```
+/// assert!((af_dsp::gain::db_to_linear(0.0) - 1.0).abs() < 1e-12);
+/// assert!((af_dsp::gain::db_to_linear(-6.0) - 0.5012).abs() < 1e-3);
+/// ```
+pub fn db_to_linear(db: f64) -> f64 {
+    10f64.powf(db / 20.0)
+}
+
+/// A 256-entry table applying a fixed gain to one companded format.
+#[derive(Clone)]
+pub struct GainTable {
+    table: [u8; 256],
+    db: i32,
+}
+
+impl GainTable {
+    /// `AFMakeGainTableU`: builds a µ-law gain table for `db` decibels.
+    pub fn new_ulaw(db: i32) -> GainTable {
+        Self::build(db, g711::ulaw_to_linear, g711::linear_to_ulaw)
+    }
+
+    /// `AFMakeGainTableA`: builds an A-law gain table for `db` decibels.
+    pub fn new_alaw(db: i32) -> GainTable {
+        Self::build(db, g711::alaw_to_linear, g711::linear_to_alaw)
+    }
+
+    fn build(db: i32, decode: fn(u8) -> i16, encode: fn(i16) -> u8) -> GainTable {
+        let factor = db_to_linear(f64::from(db));
+        let table = std::array::from_fn(|i| {
+            let v = f64::from(decode(i as u8)) * factor;
+            encode(v.clamp(-32_768.0, 32_767.0) as i16)
+        });
+        GainTable { table, db }
+    }
+
+    /// The gain this table applies, in dB.
+    pub fn db(&self) -> i32 {
+        self.db
+    }
+
+    /// Applies the gain to one sample.
+    #[inline]
+    pub fn apply(&self, sample: u8) -> u8 {
+        self.table[sample as usize]
+    }
+
+    /// Applies the gain to a buffer in place.
+    pub fn apply_in_place(&self, samples: &mut [u8]) {
+        for s in samples {
+            *s = self.table[*s as usize];
+        }
+    }
+}
+
+/// The precomputed µ-law gain tables (`AF_gain_table_u`), -30 … +30 dB.
+///
+/// Returns `None` for gains outside the precomputed range; callers then build
+/// their own with [`GainTable::new_ulaw`].
+pub fn gain_table_u(db: i32) -> Option<&'static GainTable> {
+    static T: OnceLock<Vec<GainTable>> = OnceLock::new();
+    let set = T.get_or_init(|| (-30..=30).map(GainTable::new_ulaw).collect());
+    usize::try_from(db - PRECOMPUTED_GAIN_RANGE.0)
+        .ok()
+        .and_then(|i| set.get(i))
+}
+
+/// The precomputed A-law gain tables (`AF_gain_table_a`), -30 … +30 dB.
+pub fn gain_table_a(db: i32) -> Option<&'static GainTable> {
+    static T: OnceLock<Vec<GainTable>> = OnceLock::new();
+    let set = T.get_or_init(|| (-30..=30).map(GainTable::new_alaw).collect());
+    usize::try_from(db - PRECOMPUTED_GAIN_RANGE.0)
+        .ok()
+        .and_then(|i| set.get(i))
+}
+
+/// Applies `db` of gain to 16-bit linear samples in place, saturating.
+pub fn apply_gain_lin16(samples: &mut [i16], db: f64) {
+    if db == 0.0 {
+        return;
+    }
+    // Fixed point: gain in Q16.
+    let factor = (db_to_linear(db) * 65_536.0).round() as i64;
+    for s in samples {
+        let v = (i64::from(*s) * factor) >> 16;
+        *s = v.clamp(-32_768, 32_767) as i16;
+    }
+}
+
+/// Applies `db` of gain to 32-bit linear samples in place, saturating.
+pub fn apply_gain_lin32(samples: &mut [i32], db: f64) {
+    if db == 0.0 {
+        return;
+    }
+    let factor = (db_to_linear(db) * 65_536.0).round() as i64;
+    for s in samples {
+        let v = (i64::from(*s) * factor) >> 16;
+        *s = v.clamp(i64::from(i32::MIN), i64::from(i32::MAX)) as i32;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_db_is_near_identity() {
+        let t = GainTable::new_ulaw(0);
+        for s in 0..=255u8 {
+            // 0 dB re-encodes the decoded value: identity up to the dual
+            // zero representation (0x7F and 0xFF both decode to 0).
+            let expected = if s == 0x7F { 0xFF } else { s };
+            assert_eq!(t.apply(s), expected, "s={s:#x}");
+        }
+        let ta = GainTable::new_alaw(0);
+        for s in 0..=255u8 {
+            assert_eq!(ta.apply(s), s);
+        }
+    }
+
+    #[test]
+    fn positive_gain_amplifies() {
+        let t = GainTable::new_ulaw(6);
+        let quiet = g711::linear_to_ulaw(1000);
+        let louder = g711::ulaw_to_linear(t.apply(quiet));
+        assert!((1900..=2100).contains(&louder), "got {louder}");
+    }
+
+    #[test]
+    fn negative_gain_attenuates() {
+        let t = GainTable::new_ulaw(-20);
+        let loud = g711::linear_to_ulaw(10_000);
+        let softer = g711::ulaw_to_linear(t.apply(loud));
+        assert!((900..=1100).contains(&softer), "got {softer}");
+    }
+
+    #[test]
+    fn large_gain_saturates_not_wraps() {
+        let t = GainTable::new_ulaw(30);
+        let loud = g711::linear_to_ulaw(20_000);
+        let out = g711::ulaw_to_linear(t.apply(loud));
+        assert!(out > 30_000);
+    }
+
+    #[test]
+    fn precomputed_set_covers_range() {
+        assert!(gain_table_u(-30).is_some());
+        assert!(gain_table_u(0).is_some());
+        assert!(gain_table_u(30).is_some());
+        assert!(gain_table_u(31).is_none());
+        assert!(gain_table_u(-31).is_none());
+        assert_eq!(gain_table_a(12).unwrap().db(), 12);
+    }
+
+    #[test]
+    fn lin16_gain() {
+        let mut buf = vec![1000i16, -1000, 32_000];
+        apply_gain_lin16(&mut buf, 6.0);
+        assert!((1980..=2010).contains(&buf[0]), "got {}", buf[0]);
+        assert!((-2010..=-1980).contains(&buf[1]));
+        assert_eq!(buf[2], 32_767); // Saturated.
+        let mut same = vec![123i16];
+        apply_gain_lin16(&mut same, 0.0);
+        assert_eq!(same[0], 123);
+    }
+
+    #[test]
+    fn lin32_gain_saturates() {
+        let mut buf = vec![i32::MAX / 2 + 1];
+        apply_gain_lin32(&mut buf, 7.0);
+        assert_eq!(buf[0], i32::MAX);
+    }
+}

@@ -1,0 +1,306 @@
+//! Goertzel filtering and DTMF detection.
+//!
+//! The LoFi hardware decoded Touch-Tone digits on the telephone line and the
+//! server turned them into `DTMF` events (§5.5).  Our simulated telephone
+//! line does the decoding in software with the standard Goertzel algorithm:
+//! a second-order resonator per target frequency, evaluated over short
+//! frames, followed by row/column energy validation.
+
+use crate::telephony::{digit_for_freqs, DTMF_COL_FREQS, DTMF_ROW_FREQS};
+
+/// A single-frequency Goertzel filter.
+#[derive(Clone, Copy, Debug)]
+pub struct Goertzel {
+    coeff: f64,
+    s1: f64,
+    s2: f64,
+}
+
+impl Goertzel {
+    /// Creates a filter tuned to `freq` Hz at `sample_rate` Hz.
+    pub fn new(freq: f64, sample_rate: f64) -> Goertzel {
+        let omega = std::f64::consts::TAU * freq / sample_rate;
+        Goertzel {
+            coeff: 2.0 * omega.cos(),
+            s1: 0.0,
+            s2: 0.0,
+        }
+    }
+
+    /// Processes one sample.
+    #[inline]
+    pub fn feed(&mut self, sample: f64) {
+        let s0 = sample + self.coeff * self.s1 - self.s2;
+        self.s2 = self.s1;
+        self.s1 = s0;
+    }
+
+    /// Squared magnitude of the tuned frequency over the samples fed so far.
+    pub fn magnitude_squared(&self) -> f64 {
+        self.s1 * self.s1 + self.s2 * self.s2 - self.coeff * self.s1 * self.s2
+    }
+
+    /// Resets the filter state for a new frame.
+    pub fn reset(&mut self) {
+        self.s1 = 0.0;
+        self.s2 = 0.0;
+    }
+
+    /// Convenience: energy of `freq` Hz in one block.
+    pub fn energy(freq: f64, sample_rate: f64, samples: &[f64]) -> f64 {
+        let mut g = Goertzel::new(freq, sample_rate);
+        for &s in samples {
+            g.feed(s);
+        }
+        g.magnitude_squared()
+    }
+}
+
+/// Result of analysing one frame for DTMF content.
+#[derive(Clone, Copy, Debug, PartialEq)]
+enum FrameVerdict {
+    /// A valid digit was present.
+    Digit(char),
+    /// No valid digit (silence, speech, or ambiguous energy).
+    None,
+}
+
+/// A streaming DTMF detector.
+///
+/// Feed it 16-bit linear samples at the construction rate; it emits
+/// [`DtmfEvent`]s on validated digit onsets and releases.  Detection
+/// requires the strongest row and column tones to dominate all the others
+/// by a healthy margin, total in-band energy to exceed a floor, and the
+/// same digit to persist for two consecutive frames (debounce), which
+/// rejects speech falsing and brief glitches.
+#[derive(Clone, Debug)]
+pub struct DtmfDetector {
+    sample_rate: f64,
+    frame_len: usize,
+    frame: Vec<f64>,
+    last_verdict: Option<char>,
+    pending: Option<char>,
+    active: Option<char>,
+    min_energy: f64,
+}
+
+/// A detected DTMF transition.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DtmfEvent {
+    /// A digit key went down.
+    KeyDown(char),
+    /// The key was released.
+    KeyUp(char),
+}
+
+impl DtmfDetector {
+    /// Creates a detector for 16-bit linear audio at `sample_rate` Hz.
+    pub fn new(sample_rate: f64) -> DtmfDetector {
+        // ~12.75 ms frames (102 samples at 8 kHz): half of the 25 ms
+        // half-cadence of Table 7's 50 ms tones, so two frames fit in a digit.
+        let frame_len = (sample_rate * 0.01275).round() as usize;
+        DtmfDetector {
+            sample_rate,
+            frame_len,
+            frame: Vec::with_capacity(frame_len),
+            last_verdict: None,
+            pending: None,
+            active: None,
+            min_energy: 1.0e6, // Scaled for 16-bit input; ~-46 dBm tones pass.
+        }
+    }
+
+    /// Currently-held digit, if a key is down.
+    pub fn active_digit(&self) -> Option<char> {
+        self.active
+    }
+
+    /// Feeds a block of samples, returning any detected transitions.
+    pub fn feed(&mut self, samples: &[i16]) -> Vec<DtmfEvent> {
+        let mut events = Vec::new();
+        for &s in samples {
+            self.frame.push(f64::from(s));
+            if self.frame.len() == self.frame_len {
+                let verdict = self.analyse_frame();
+                self.frame.clear();
+                self.advance_state(verdict, &mut events);
+            }
+        }
+        events
+    }
+
+    fn analyse_frame(&self) -> FrameVerdict {
+        let energies = |freqs: &[f64; 4]| -> [f64; 4] {
+            std::array::from_fn(|i| Goertzel::energy(freqs[i], self.sample_rate, &self.frame))
+        };
+        let rows = energies(&DTMF_ROW_FREQS);
+        let cols = energies(&DTMF_COL_FREQS);
+
+        let max_index = |e: &[f64; 4]| {
+            let mut best = 0;
+            for i in 1..4 {
+                if e[i] > e[best] {
+                    best = i;
+                }
+            }
+            best
+        };
+        let (ri, ci) = (max_index(&rows), max_index(&cols));
+
+        // Energy floor.
+        if rows[ri] + cols[ci] < self.min_energy {
+            return FrameVerdict::None;
+        }
+        // Dominance: winner at least 8x (9 dB) above every sibling.
+        for (i, &e) in rows.iter().enumerate() {
+            if i != ri && e * 8.0 > rows[ri] {
+                return FrameVerdict::None;
+            }
+        }
+        for (i, &e) in cols.iter().enumerate() {
+            if i != ci && e * 8.0 > cols[ci] {
+                return FrameVerdict::None;
+            }
+        }
+        // Twist: row and column within 10 dB of each other.
+        let ratio = rows[ri] / cols[ci];
+        if !(0.1..=10.0).contains(&ratio) {
+            return FrameVerdict::None;
+        }
+        match digit_for_freqs(ri, ci) {
+            Some(d) => FrameVerdict::Digit(d),
+            None => FrameVerdict::None,
+        }
+    }
+
+    fn advance_state(&mut self, verdict: FrameVerdict, events: &mut Vec<DtmfEvent>) {
+        let digit = match verdict {
+            FrameVerdict::Digit(d) => Some(d),
+            FrameVerdict::None => None,
+        };
+        // Debounce: require two consecutive identical verdicts.
+        if digit == self.last_verdict {
+            match (self.active, digit) {
+                (None, Some(d)) => {
+                    self.active = Some(d);
+                    events.push(DtmfEvent::KeyDown(d));
+                }
+                (Some(a), None) => {
+                    self.active = None;
+                    events.push(DtmfEvent::KeyUp(a));
+                }
+                (Some(a), Some(d)) if a != d => {
+                    events.push(DtmfEvent::KeyUp(a));
+                    events.push(DtmfEvent::KeyDown(d));
+                    self.active = Some(d);
+                }
+                _ => {}
+            }
+        }
+        self.last_verdict = digit;
+        let _ = &self.pending; // Reserved for future inter-digit timing.
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::g711;
+    use crate::telephony::{dtmf_for_digit, DTMF};
+    use crate::tone::tone_pair;
+
+    fn digit_samples(digit: char, ms: u32) -> Vec<i16> {
+        let def = dtmf_for_digit(digit).unwrap();
+        let n = (8000 * ms / 1000) as usize;
+        tone_pair(def.spec, 8000.0, n, 16)
+            .iter()
+            .map(|&b| g711::ulaw_to_linear(b))
+            .collect()
+    }
+
+    #[test]
+    fn goertzel_detects_target_frequency() {
+        let samples: Vec<f64> = (0..800)
+            .map(|i| (std::f64::consts::TAU * 1000.0 * i as f64 / 8000.0).sin() * 10_000.0)
+            .collect();
+        let on_target = Goertzel::energy(1000.0, 8000.0, &samples);
+        let off_target = Goertzel::energy(1336.0, 8000.0, &samples);
+        assert!(on_target > off_target * 100.0);
+    }
+
+    #[test]
+    fn all_sixteen_digits_detected() {
+        for def in DTMF {
+            let digit = def.name.chars().next().unwrap();
+            let mut det = DtmfDetector::new(8000.0);
+            let mut events = det.feed(&digit_samples(digit, 50));
+            events.extend(det.feed(&vec![0i16; 800])); // 100 ms silence.
+            assert!(
+                events.contains(&DtmfEvent::KeyDown(digit)),
+                "missed KeyDown for {digit}: {events:?}"
+            );
+            assert!(
+                events.contains(&DtmfEvent::KeyUp(digit)),
+                "missed KeyUp for {digit}: {events:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn digit_sequence_detected_in_order() {
+        let mut det = DtmfDetector::new(8000.0);
+        let mut stream = Vec::new();
+        for d in "555".chars() {
+            stream.extend(digit_samples(d, 50));
+            stream.extend(vec![0i16; 400]); // 50 ms gap.
+        }
+        stream.extend(vec![0i16; 800]);
+        let downs: Vec<char> = det
+            .feed(&stream)
+            .into_iter()
+            .filter_map(|e| match e {
+                DtmfEvent::KeyDown(d) => Some(d),
+                DtmfEvent::KeyUp(_) => None,
+            })
+            .collect();
+        assert_eq!(downs, vec!['5', '5', '5']);
+    }
+
+    #[test]
+    fn silence_and_noise_produce_no_events() {
+        let mut det = DtmfDetector::new(8000.0);
+        assert!(det.feed(&vec![0i16; 8000]).is_empty());
+
+        // White-ish noise (deterministic LCG).
+        let mut x = 1234567u32;
+        let noise: Vec<i16> = (0..8000)
+            .map(|_| {
+                x = x.wrapping_mul(1_664_525).wrapping_add(1_013_904_223);
+                ((x >> 16) as i16) / 4
+            })
+            .collect();
+        assert!(det.feed(&noise).is_empty(), "noise falsed the detector");
+    }
+
+    #[test]
+    fn single_tone_rejected() {
+        // Only one of the two required tones: must not detect.
+        let mut det = DtmfDetector::new(8000.0);
+        let samples: Vec<i16> = (0..800)
+            .map(|i| ((std::f64::consts::TAU * 697.0 * i as f64 / 8000.0).sin() * 10_000.0) as i16)
+            .collect();
+        assert!(det.feed(&samples).is_empty());
+    }
+
+    #[test]
+    fn call_progress_tones_rejected() {
+        // Dialtone (350+440) is outside the DTMF grid; must not false.
+        let def = crate::telephony::call_progress("dialtone").unwrap();
+        let pcm: Vec<i16> = tone_pair(def.spec, 8000.0, 4000, 16)
+            .iter()
+            .map(|&b| g711::ulaw_to_linear(b))
+            .collect();
+        let mut det = DtmfDetector::new(8000.0);
+        assert!(det.feed(&pcm).is_empty(), "dialtone falsed the detector");
+    }
+}

@@ -1,0 +1,126 @@
+//! Saturating sample mixing.
+//!
+//! The AudioFile server mixes output data from multiple clients by default
+//! (§7.2); these are the kernels it uses.  Companded formats mix through the
+//! 64 KiB lookup tables of [`crate::tables`]; linear formats mix with
+//! saturating adds.
+
+use crate::tables;
+
+/// Mixes `src` into `dst` (µ-law), saturating in the linear domain.
+pub fn mix_ulaw(dst: &mut [u8], src: &[u8]) {
+    let t = tables::mix_u();
+    for (d, s) in dst.iter_mut().zip(src) {
+        *d = t.mix(*d, *s);
+    }
+}
+
+/// Mixes `src` into `dst` (A-law), saturating in the linear domain.
+pub fn mix_alaw(dst: &mut [u8], src: &[u8]) {
+    let t = tables::mix_a();
+    for (d, s) in dst.iter_mut().zip(src) {
+        *d = t.mix(*d, *s);
+    }
+}
+
+/// Mixes `src` into `dst` (16-bit linear), saturating.
+pub fn mix_lin16(dst: &mut [i16], src: &[i16]) {
+    for (d, s) in dst.iter_mut().zip(src) {
+        *d = d.saturating_add(*s);
+    }
+}
+
+/// Mixes `src` into `dst` (32-bit linear), saturating.
+pub fn mix_lin32(dst: &mut [i32], src: &[i32]) {
+    for (d, s) in dst.iter_mut().zip(src) {
+        *d = d.saturating_add(*s);
+    }
+}
+
+/// Mixes raw little-endian sample bytes of the given encoding.
+///
+/// `dst` and `src` must have the same length and hold whole samples.  This is
+/// the server's generic mixing entry point for its native buffer format.
+///
+/// # Panics
+///
+/// Panics if the encoding is not one of MU255, ALAW, LIN16, LIN32, or if the
+/// buffer lengths differ or are not a whole number of samples.
+pub fn mix_bytes(encoding: crate::Encoding, dst: &mut [u8], src: &[u8]) {
+    use crate::Encoding;
+    assert_eq!(dst.len(), src.len(), "mix length mismatch");
+    match encoding {
+        Encoding::Mu255 => mix_ulaw(dst, src),
+        Encoding::Alaw => mix_alaw(dst, src),
+        Encoding::Lin16 => {
+            assert_eq!(dst.len() % 2, 0, "partial LIN16 sample");
+            for (d, s) in dst.chunks_exact_mut(2).zip(src.chunks_exact(2)) {
+                let a = i16::from_le_bytes([d[0], d[1]]);
+                let b = i16::from_le_bytes([s[0], s[1]]);
+                d.copy_from_slice(&a.saturating_add(b).to_le_bytes());
+            }
+        }
+        Encoding::Lin32 => {
+            assert_eq!(dst.len() % 4, 0, "partial LIN32 sample");
+            for (d, s) in dst.chunks_exact_mut(4).zip(src.chunks_exact(4)) {
+                let a = i32::from_le_bytes([d[0], d[1], d[2], d[3]]);
+                let b = i32::from_le_bytes([s[0], s[1], s[2], s[3]]);
+                d.copy_from_slice(&a.saturating_add(b).to_le_bytes());
+            }
+        }
+        other => panic!("mixing unsupported for encoding {other}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::g711;
+
+    #[test]
+    fn lin16_mix_adds_and_saturates() {
+        let mut dst = vec![100i16, 30_000, -30_000];
+        mix_lin16(&mut dst, &[28, 10_000, -10_000]);
+        assert_eq!(dst, vec![128, 32_767, -32_768]);
+    }
+
+    #[test]
+    fn ulaw_mix_approximates_linear_addition() {
+        let a = g711::linear_to_ulaw(5_000);
+        let b = g711::linear_to_ulaw(3_000);
+        let mut dst = vec![a];
+        mix_ulaw(&mut dst, &[b]);
+        let got = i32::from(g711::ulaw_to_linear(dst[0]));
+        assert!((got - 8_000).abs() <= 600, "got {got}");
+    }
+
+    #[test]
+    fn mix_bytes_lin16_little_endian() {
+        let mut dst = 1000i16.to_le_bytes().to_vec();
+        let src = 234i16.to_le_bytes().to_vec();
+        mix_bytes(crate::Encoding::Lin16, &mut dst, &src);
+        assert_eq!(i16::from_le_bytes([dst[0], dst[1]]), 1234);
+    }
+
+    #[test]
+    fn mix_bytes_lin32() {
+        let mut dst = 70_000i32.to_le_bytes().to_vec();
+        let src = (-100_000i32).to_le_bytes().to_vec();
+        mix_bytes(crate::Encoding::Lin32, &mut dst, &src);
+        assert_eq!(i32::from_le_bytes(dst.try_into().unwrap()), -30_000);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mix_bytes_length_mismatch_panics() {
+        let mut dst = vec![0u8; 2];
+        mix_bytes(crate::Encoding::Mu255, &mut dst, &[0u8; 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "unsupported")]
+    fn mix_bytes_rejects_compressed() {
+        let mut dst = vec![0u8; 2];
+        mix_bytes(crate::Encoding::Adpcm32, &mut dst, &[0u8; 2]);
+    }
+}

@@ -1,0 +1,180 @@
+//! Signal power measurement relative to the digital milliwatt.
+//!
+//! The paper's `apower`/`arecord -printpower` report block power in dBm,
+//! where the 0 dBm reference — the CCITT "digital milliwatt" — is a sine
+//! wave 3.16 dB below the digital clipping level (§9.6).
+
+use crate::tables;
+
+/// dB below full scale of the digital milliwatt reference.
+pub const DIGITAL_MILLIWATT_DB_BELOW_CLIP: f64 = 3.16;
+
+/// Peak amplitude (16-bit linear) of the digital milliwatt sine.
+pub const DIGITAL_MILLIWATT_AMPLITUDE: f64 = 22_772.0; // 32767 * 10^(-3.16/20)
+
+/// Mean-square power of the digital milliwatt (amplitude² / 2).
+pub fn digital_milliwatt_power() -> f64 {
+    DIGITAL_MILLIWATT_AMPLITUDE * DIGITAL_MILLIWATT_AMPLITUDE / 2.0
+}
+
+/// Mean-square power of a block of 16-bit linear samples.
+pub fn mean_square_lin16(samples: &[i16]) -> f64 {
+    if samples.is_empty() {
+        return 0.0;
+    }
+    let sum: f64 = samples
+        .iter()
+        .map(|&s| {
+            let v = f64::from(s);
+            v * v
+        })
+        .sum();
+    sum / samples.len() as f64
+}
+
+/// Block power of 16-bit linear samples in dBm (0 dBm = digital milliwatt).
+///
+/// Returns `f64::NEG_INFINITY` for an all-zero or empty block.
+pub fn power_dbm_lin16(samples: &[i16]) -> f64 {
+    let ms = mean_square_lin16(samples);
+    if ms == 0.0 {
+        f64::NEG_INFINITY
+    } else {
+        10.0 * (ms / digital_milliwatt_power()).log10()
+    }
+}
+
+/// Block power of µ-law samples in dBm, via the `AF_power_uf` table.
+pub fn power_dbm_ulaw(samples: &[u8]) -> f64 {
+    if samples.is_empty() {
+        return f64::NEG_INFINITY;
+    }
+    let t = tables::power_u();
+    let sum: i64 = samples.iter().map(|&b| t[b as usize]).sum();
+    let ms = sum as f64 / samples.len() as f64;
+    if ms == 0.0 {
+        f64::NEG_INFINITY
+    } else {
+        10.0 * (ms / digital_milliwatt_power()).log10()
+    }
+}
+
+/// Block power of A-law samples in dBm, via the `AF_power_af` table.
+pub fn power_dbm_alaw(samples: &[u8]) -> f64 {
+    if samples.is_empty() {
+        return f64::NEG_INFINITY;
+    }
+    let t = tables::power_a();
+    let sum: i64 = samples.iter().map(|&b| t[b as usize]).sum();
+    let ms = sum as f64 / samples.len() as f64;
+    if ms == 0.0 {
+        f64::NEG_INFINITY
+    } else {
+        10.0 * (ms / digital_milliwatt_power()).log10()
+    }
+}
+
+/// A silence detector with the semantics of `arecord -silentlevel/-silenttime`
+/// (§8.2.2): recording stops after a run of blocks, totalling at least
+/// `silent_time` seconds, each below `silent_level` dBm.
+#[derive(Clone, Debug)]
+pub struct SilenceDetector {
+    threshold_dbm: f64,
+    required_seconds: f64,
+    sample_rate: f64,
+    run_seconds: f64,
+}
+
+impl SilenceDetector {
+    /// Creates a detector; defaults in the paper are -60 dBm and 3.0 s.
+    pub fn new(threshold_dbm: f64, required_seconds: f64, sample_rate: f64) -> SilenceDetector {
+        SilenceDetector {
+            threshold_dbm,
+            required_seconds,
+            sample_rate,
+            run_seconds: 0.0,
+        }
+    }
+
+    /// Feeds a block's measured power; returns `true` once enough
+    /// consecutive silence has accumulated.
+    pub fn feed(&mut self, block_dbm: f64, block_samples: usize) -> bool {
+        if block_dbm < self.threshold_dbm {
+            self.run_seconds += block_samples as f64 / self.sample_rate;
+        } else {
+            self.run_seconds = 0.0;
+        }
+        self.run_seconds >= self.required_seconds
+    }
+
+    /// Resets the accumulated silent run.
+    pub fn reset(&mut self) {
+        self.run_seconds = 0.0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::g711;
+
+    fn milliwatt_sine() -> Vec<i16> {
+        (0..8000)
+            .map(|i| {
+                (DIGITAL_MILLIWATT_AMPLITUDE
+                    * (std::f64::consts::TAU * 1000.0 * i as f64 / 8000.0).sin())
+                    as i16
+            })
+            .collect()
+    }
+
+    #[test]
+    fn milliwatt_measures_zero_dbm() {
+        let dbm = power_dbm_lin16(&milliwatt_sine());
+        assert!(dbm.abs() < 0.05, "got {dbm}");
+    }
+
+    #[test]
+    fn half_amplitude_is_minus_six_dbm() {
+        let sine: Vec<i16> = milliwatt_sine().iter().map(|&s| s / 2).collect();
+        let dbm = power_dbm_lin16(&sine);
+        assert!((dbm + 6.02).abs() < 0.1, "got {dbm}");
+    }
+
+    #[test]
+    fn silence_is_negative_infinity() {
+        assert_eq!(power_dbm_lin16(&[0i16; 100]), f64::NEG_INFINITY);
+        assert_eq!(power_dbm_lin16(&[]), f64::NEG_INFINITY);
+        assert_eq!(power_dbm_ulaw(&[g711::ULAW_SILENCE; 64]), f64::NEG_INFINITY);
+    }
+
+    #[test]
+    fn ulaw_power_close_to_linear_power() {
+        let pcm = milliwatt_sine();
+        let ulaw: Vec<u8> = pcm.iter().map(|&s| g711::linear_to_ulaw(s)).collect();
+        let d1 = power_dbm_lin16(&pcm);
+        let d2 = power_dbm_ulaw(&ulaw);
+        assert!((d1 - d2).abs() < 0.1, "lin={d1} ulaw={d2}");
+    }
+
+    #[test]
+    fn alaw_power_close_to_linear_power() {
+        let pcm = milliwatt_sine();
+        let alaw: Vec<u8> = pcm.iter().map(|&s| g711::linear_to_alaw(s)).collect();
+        assert!((power_dbm_lin16(&pcm) - power_dbm_alaw(&alaw)).abs() < 0.15);
+    }
+
+    #[test]
+    fn silence_detector_accumulates_and_resets() {
+        let mut d = SilenceDetector::new(-60.0, 1.0, 8000.0);
+        // 0.5 s of silence: not yet.
+        assert!(!d.feed(f64::NEG_INFINITY, 4000));
+        // Loud block resets the run.
+        assert!(!d.feed(-10.0, 4000));
+        assert!(!d.feed(-90.0, 4000));
+        // Second consecutive silent half-second completes the requirement.
+        assert!(d.feed(-70.0, 4000));
+        d.reset();
+        assert!(!d.feed(-70.0, 4000));
+    }
+}

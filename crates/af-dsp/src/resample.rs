@@ -1,0 +1,156 @@
+//! Sample-rate conversion.
+//!
+//! The paper's conversion-module design envisioned handling "sample rate
+//! conversion as well, but the design for resampling is not complete"
+//! (§2.2).  We complete it with a linear-interpolation resampler — adequate
+//! for the telephone-quality material the paper's applications move between
+//! 8 kHz devices, and usable by `apass`-style clients to absorb clock drift.
+
+/// A streaming linear-interpolation resampler for mono 16-bit audio.
+///
+/// Maintains fractional position across blocks so a continuous stream can be
+/// resampled incrementally without seams.
+#[derive(Clone, Debug)]
+pub struct Resampler {
+    /// Input samples consumed per output sample.
+    step: f64,
+    /// Position of the next output sample, relative to `prev`.
+    pos: f64,
+    /// Last input sample of the previous block (for interpolation across
+    /// block boundaries); `None` until the first sample arrives.
+    prev: Option<i16>,
+}
+
+impl Resampler {
+    /// Creates a resampler from `from_rate` Hz to `to_rate` Hz.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless both rates are positive.
+    pub fn new(from_rate: f64, to_rate: f64) -> Resampler {
+        assert!(from_rate > 0.0 && to_rate > 0.0, "rates must be positive");
+        Resampler {
+            step: from_rate / to_rate,
+            pos: 0.0,
+            prev: None,
+        }
+    }
+
+    /// The conversion ratio (output samples per input sample).
+    pub fn ratio(&self) -> f64 {
+        1.0 / self.step
+    }
+
+    /// Resamples one block, returning the output samples.
+    pub fn process(&mut self, input: &[i16]) -> Vec<i16> {
+        if input.is_empty() {
+            return Vec::new();
+        }
+        // Virtual stream for this block: [prev?, input...].  On the very
+        // first block there is no carried sample, so position 0.0 is
+        // input[0]; afterwards position 0.0 is the carried `prev`.
+        let mut out = Vec::with_capacity((input.len() as f64 / self.step) as usize + 2);
+        let offset = usize::from(self.prev.is_some());
+        let prev = self.prev;
+        let at = |idx: usize| -> f64 {
+            if idx == 0 {
+                if let Some(p) = prev {
+                    return f64::from(p);
+                }
+            }
+            f64::from(input[idx - offset])
+        };
+        // Position of input.last() in the virtual stream.
+        let last_index = (input.len() - 1 + offset) as f64;
+        while self.pos <= last_index {
+            let base = self.pos.floor();
+            let frac = self.pos - base;
+            let i = base as usize;
+            let v = if self.pos >= last_index {
+                f64::from(*input.last().expect("non-empty"))
+            } else {
+                at(i) * (1.0 - frac) + at(i + 1) * frac
+            };
+            out.push(v.round().clamp(-32_768.0, 32_767.0) as i16);
+            self.pos += self.step;
+        }
+        // Rebase position so the next block's `prev` is input.last().
+        self.pos -= last_index;
+        self.prev = Some(*input.last().expect("non-empty"));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sine(n: usize, freq: f64, rate: f64) -> Vec<i16> {
+        (0..n)
+            .map(|i| ((std::f64::consts::TAU * freq * i as f64 / rate).sin() * 10_000.0) as i16)
+            .collect()
+    }
+
+    #[test]
+    fn identity_ratio_preserves_samples() {
+        let mut r = Resampler::new(8000.0, 8000.0);
+        let input = sine(800, 440.0, 8000.0);
+        let out = r.process(&input);
+        // Same rate: every output sample equals an input sample.
+        assert!((out.len() as i64 - input.len() as i64).abs() <= 1);
+        for (a, b) in input.iter().zip(&out) {
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn upsample_doubles_count() {
+        let mut r = Resampler::new(8000.0, 16_000.0);
+        let out = r.process(&sine(800, 440.0, 8000.0));
+        assert!((out.len() as i64 - 1600).abs() <= 2, "len={}", out.len());
+    }
+
+    #[test]
+    fn downsample_halves_count() {
+        let mut r = Resampler::new(16_000.0, 8000.0);
+        let out = r.process(&sine(1600, 440.0, 16_000.0));
+        assert!((out.len() as i64 - 800).abs() <= 2, "len={}", out.len());
+    }
+
+    #[test]
+    fn streaming_matches_batch() {
+        let input = sine(4000, 300.0, 8000.0);
+        let mut batch = Resampler::new(8000.0, 11_025.0);
+        let whole = batch.process(&input);
+
+        let mut stream = Resampler::new(8000.0, 11_025.0);
+        let mut pieces = Vec::new();
+        for chunk in input.chunks(123) {
+            pieces.extend(stream.process(chunk));
+        }
+        assert_eq!(whole, pieces);
+    }
+
+    #[test]
+    fn preserves_tone_frequency() {
+        // A 440 Hz tone resampled 8 kHz → 16 kHz still crosses zero 440
+        // times per second.
+        let mut r = Resampler::new(8000.0, 16_000.0);
+        let out = r.process(&sine(8000, 440.0, 8000.0));
+        let crossings = out.windows(2).filter(|w| w[0] < 0 && w[1] >= 0).count();
+        assert!((438..=442).contains(&crossings), "got {crossings}");
+    }
+
+    #[test]
+    fn small_drift_correction_ratio() {
+        // The apass use case: 100 ppm clock difference.
+        let mut r = Resampler::new(8000.0, 8000.8);
+        let out = r.process(&sine(80_000, 440.0, 8000.0));
+        let expected = 80_000.0 * 8000.8 / 8000.0;
+        assert!(
+            (out.len() as f64 - expected).abs() <= 2.0,
+            "len={}",
+            out.len()
+        );
+    }
+}

@@ -1,0 +1,68 @@
+//! Per-encoding silence (`AFSilence`).
+//!
+//! The output model specifies that silence is emitted during periods with no
+//! client data (§2.2), and the server's update task back-fills consumed play
+//! buffer regions with silence (§7.2) — so "what byte pattern is silence"
+//! matters for every encoding.
+
+use crate::{g711, Encoding};
+
+/// Returns the byte that represents a zero-amplitude sample, for encodings
+/// whose silence is a repeated single byte.
+pub fn silence_byte(encoding: Encoding) -> Option<u8> {
+    match encoding {
+        Encoding::Mu255 => Some(g711::ULAW_SILENCE),
+        Encoding::Alaw => Some(g711::ALAW_SILENCE),
+        Encoding::Lin16 | Encoding::Lin32 => Some(0),
+        // Compressed formats are stateful; a "silent byte" is undefined.
+        _ => None,
+    }
+}
+
+/// Fills `buf` with silence in the given encoding (`AFSilence`).
+///
+/// For the stateful compressed encodings the best representable silence is
+/// all-zero data, which IMA ADPCM decodes as a decaying near-silence.
+pub fn fill_silence(encoding: Encoding, buf: &mut [u8]) {
+    let b = silence_byte(encoding).unwrap_or(0);
+    buf.fill(b);
+}
+
+/// Returns a freshly allocated silent buffer of `len` bytes.
+pub fn silence(encoding: Encoding, len: usize) -> Vec<u8> {
+    let mut v = vec![0u8; len];
+    fill_silence(encoding, &mut v);
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn silence_decodes_to_zero() {
+        let mut buf = [0u8; 4];
+        fill_silence(Encoding::Mu255, &mut buf);
+        for b in buf {
+            assert_eq!(g711::ulaw_to_linear(b), 0);
+        }
+        fill_silence(Encoding::Alaw, &mut buf);
+        for b in buf {
+            assert!(g711::alaw_to_linear(b).abs() <= 8);
+        }
+        fill_silence(Encoding::Lin16, &mut buf);
+        assert_eq!(buf, [0u8; 4]);
+    }
+
+    #[test]
+    fn silence_vec() {
+        assert_eq!(silence(Encoding::Mu255, 3), vec![0xFF; 3]);
+        assert_eq!(silence(Encoding::Lin32, 8), vec![0u8; 8]);
+    }
+
+    #[test]
+    fn compressed_silence_is_zero_bytes() {
+        assert_eq!(silence_byte(Encoding::Adpcm32), None);
+        assert_eq!(silence(Encoding::Adpcm32, 2), vec![0u8; 2]);
+    }
+}

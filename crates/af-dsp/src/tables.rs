@@ -1,0 +1,288 @@
+//! Precomputed lookup tables (the `libAFUtil` tables of §6.2.1).
+//!
+//! The paper observes that companding conversions are "possible but time
+//! consuming to do algorithmically" and uses table lookup everywhere hot:
+//! 256-entry expansion tables, 16,384-byte compression tables indexed by
+//! 13-bit linear + sign, 256-entry power tables, and a 64 KiB mixing table
+//! per companded format.  All tables are built once on first use.
+
+use crate::g711;
+use std::sync::OnceLock;
+
+/// `AF_exp_u`: µ-law byte → 16-bit linear.
+pub fn exp_u() -> &'static [i16; 256] {
+    static T: OnceLock<[i16; 256]> = OnceLock::new();
+    T.get_or_init(|| std::array::from_fn(|i| g711::ulaw_to_linear(i as u8)))
+}
+
+/// `AF_exp_a`: A-law byte → 16-bit linear.
+pub fn exp_a() -> &'static [i16; 256] {
+    static T: OnceLock<[i16; 256]> = OnceLock::new();
+    T.get_or_init(|| std::array::from_fn(|i| g711::alaw_to_linear(i as u8)))
+}
+
+/// Index into a 16 K compression table for a 16-bit linear sample.
+///
+/// The table is indexed by the top 14 bits (sign + 13-bit magnitude), the
+/// layout the paper's 16,384-byte `AF_comp_*` tables use.
+#[inline]
+pub fn comp_index(pcm: i16) -> usize {
+    ((pcm as u16) >> 2) as usize
+}
+
+/// `AF_comp_u`: 14-bit index (see [`comp_index`]) → µ-law byte.
+pub fn comp_u() -> &'static [u8; 16_384] {
+    static T: OnceLock<Box<[u8; 16_384]>> = OnceLock::new();
+    T.get_or_init(|| {
+        let mut t = vec![0u8; 16_384].into_boxed_slice();
+        for i in 0..16_384usize {
+            let pcm = ((i as u16) << 2) as i16;
+            t[i] = g711::linear_to_ulaw(pcm);
+        }
+        t.try_into().expect("length is 16384")
+    })
+}
+
+/// `AF_comp_a`: 14-bit index (see [`comp_index`]) → A-law byte.
+pub fn comp_a() -> &'static [u8; 16_384] {
+    static T: OnceLock<Box<[u8; 16_384]>> = OnceLock::new();
+    T.get_or_init(|| {
+        let mut t = vec![0u8; 16_384].into_boxed_slice();
+        for i in 0..16_384usize {
+            let pcm = ((i as u16) << 2) as i16;
+            t[i] = g711::linear_to_alaw(pcm);
+        }
+        t.try_into().expect("length is 16384")
+    })
+}
+
+/// Table-driven µ-law encode of one sample.
+#[inline]
+pub fn ulaw_encode_fast(pcm: i16) -> u8 {
+    comp_u()[comp_index(pcm)]
+}
+
+/// Table-driven A-law encode of one sample.
+#[inline]
+pub fn alaw_encode_fast(pcm: i16) -> u8 {
+    comp_a()[comp_index(pcm)]
+}
+
+/// `AF_cvt_u2a`: µ-law → A-law transcoding table.
+pub fn cvt_u2a() -> &'static [u8; 256] {
+    static T: OnceLock<[u8; 256]> = OnceLock::new();
+    T.get_or_init(|| std::array::from_fn(|i| g711::ulaw_to_alaw(i as u8)))
+}
+
+/// `AF_cvt_a2u`: A-law → µ-law transcoding table.
+pub fn cvt_a2u() -> &'static [u8; 256] {
+    static T: OnceLock<[u8; 256]> = OnceLock::new();
+    T.get_or_init(|| std::array::from_fn(|i| g711::alaw_to_ulaw(i as u8)))
+}
+
+/// `AF_cvt_u2f`: µ-law → floating point in [-1, 1].
+pub fn cvt_u2f() -> &'static [f32; 256] {
+    static T: OnceLock<[f32; 256]> = OnceLock::new();
+    T.get_or_init(|| std::array::from_fn(|i| f32::from(g711::ulaw_to_linear(i as u8)) / 32_768.0))
+}
+
+/// `AF_cvt_a2f`: A-law → floating point in [-1, 1].
+pub fn cvt_a2f() -> &'static [f32; 256] {
+    static T: OnceLock<[f32; 256]> = OnceLock::new();
+    T.get_or_init(|| std::array::from_fn(|i| f32::from(g711::alaw_to_linear(i as u8)) / 32_768.0))
+}
+
+/// `AF_power_uf`: µ-law byte → square of the linear value.
+pub fn power_u() -> &'static [i64; 256] {
+    static T: OnceLock<[i64; 256]> = OnceLock::new();
+    T.get_or_init(|| {
+        std::array::from_fn(|i| {
+            let v = i64::from(g711::ulaw_to_linear(i as u8));
+            v * v
+        })
+    })
+}
+
+/// `AF_power_af`: A-law byte → square of the linear value.
+pub fn power_a() -> &'static [i64; 256] {
+    static T: OnceLock<[i64; 256]> = OnceLock::new();
+    T.get_or_init(|| {
+        std::array::from_fn(|i| {
+            let v = i64::from(g711::alaw_to_linear(i as u8));
+            v * v
+        })
+    })
+}
+
+/// `AF_mix_u`: mixes two µ-law samples by table lookup.
+///
+/// The 64 KiB table is indexed by `(a << 8) | b` and holds the µ-law encoding
+/// of the saturated sum of the decoded operands.
+pub struct MixTable {
+    table: Box<[u8; 65_536]>,
+}
+
+impl MixTable {
+    fn build(decode: fn(u8) -> i16, encode: fn(i16) -> u8) -> MixTable {
+        let mut t = vec![0u8; 65_536].into_boxed_slice();
+        // Decode each operand once; the inner loop is pure arithmetic.
+        let dec: Vec<i32> = (0..=255u8).map(|b| i32::from(decode(b))).collect();
+        for (a, &da) in dec.iter().enumerate() {
+            for (b, &db) in dec.iter().enumerate() {
+                let sum = (da + db).clamp(-32_768, 32_767) as i16;
+                t[(a << 8) | b] = encode(sum);
+            }
+        }
+        MixTable {
+            table: t.try_into().expect("length is 65536"),
+        }
+    }
+
+    /// Mixes two samples.
+    #[inline]
+    pub fn mix(&self, a: u8, b: u8) -> u8 {
+        self.table[((a as usize) << 8) | b as usize]
+    }
+}
+
+/// The shared µ-law mixing table (`AF_mix_u`).
+pub fn mix_u() -> &'static MixTable {
+    static T: OnceLock<MixTable> = OnceLock::new();
+    T.get_or_init(|| MixTable::build(g711::ulaw_to_linear, g711::linear_to_ulaw))
+}
+
+/// The shared A-law mixing table (`AF_mix_a`).
+pub fn mix_a() -> &'static MixTable {
+    static T: OnceLock<MixTable> = OnceLock::new();
+    T.get_or_init(|| MixTable::build(g711::alaw_to_linear, g711::linear_to_alaw))
+}
+
+/// `AF_sine_int`: 1024-entry 16-bit integer sine wave (peak 32 767).
+pub fn sine_int() -> &'static [i16; 1024] {
+    static T: OnceLock<[i16; 1024]> = OnceLock::new();
+    T.get_or_init(|| {
+        std::array::from_fn(|i| {
+            let phase = (i as f64) / 1024.0 * std::f64::consts::TAU;
+            (phase.sin() * 32_767.0).round() as i16
+        })
+    })
+}
+
+/// `AF_sine_float`: 1024-entry floating point sine wave (peak 1.0).
+pub fn sine_float() -> &'static [f32; 1024] {
+    static T: OnceLock<[f32; 1024]> = OnceLock::new();
+    T.get_or_init(|| {
+        std::array::from_fn(|i| {
+            let phase = (i as f64) / 1024.0 * std::f64::consts::TAU;
+            phase.sin() as f32
+        })
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::g711::{linear_to_alaw, linear_to_ulaw};
+
+    #[test]
+    fn expansion_tables_match_algorithm() {
+        for i in 0..=255u8 {
+            assert_eq!(exp_u()[i as usize], g711::ulaw_to_linear(i));
+            assert_eq!(exp_a()[i as usize], g711::alaw_to_linear(i));
+        }
+    }
+
+    #[test]
+    fn compression_tables_match_algorithm_at_table_resolution() {
+        // The 16K table quantizes input to 4-sample cells; exact agreement
+        // holds for inputs that are multiples of 4.
+        for pcm in (-32_768i32..=32_764).step_by(4) {
+            let pcm = pcm as i16;
+            assert_eq!(ulaw_encode_fast(pcm), linear_to_ulaw(pcm), "pcm={pcm}");
+            assert_eq!(alaw_encode_fast(pcm), linear_to_alaw(pcm), "pcm={pcm}");
+        }
+    }
+
+    #[test]
+    fn compression_table_error_within_one_step() {
+        // For arbitrary input the table answer decodes within one
+        // quantization step of the exact answer.
+        for pcm in (-32_768i32..=32_767).step_by(13) {
+            let pcm = pcm as i16;
+            let exact = i32::from(g711::ulaw_to_linear(linear_to_ulaw(pcm)));
+            let table = i32::from(g711::ulaw_to_linear(ulaw_encode_fast(pcm)));
+            assert!((exact - table).abs() <= 1024, "pcm={pcm}");
+        }
+    }
+
+    #[test]
+    fn mix_table_is_commutative_and_saturates() {
+        let m = mix_u();
+        for a in (0..=255u8).step_by(7) {
+            for b in (0..=255u8).step_by(11) {
+                assert_eq!(m.mix(a, b), m.mix(b, a));
+            }
+        }
+        // Mixing full-scale positive with itself saturates, not wraps.
+        let loud = linear_to_ulaw(30_000);
+        let mixed = g711::ulaw_to_linear(m.mix(loud, loud));
+        assert!(mixed > 30_000);
+    }
+
+    #[test]
+    fn mixing_with_silence_is_identity() {
+        let m = mix_u();
+        for a in 0..=255u8 {
+            let out = g711::ulaw_to_linear(m.mix(a, g711::ULAW_SILENCE));
+            assert_eq!(out, g711::ulaw_to_linear(a));
+        }
+        let ma = mix_a();
+        for a in 0..=255u8 {
+            // A-law "silence" is ±8, not exactly zero, so allow the ±8 offset
+            // to move the result by at most one quantization step.
+            let base = i32::from(g711::alaw_to_linear(a));
+            let out = i32::from(g711::alaw_to_linear(ma.mix(a, g711::ALAW_SILENCE)));
+            assert!((out - base).abs() <= 1024 / 2 + 8, "a={a:#x}");
+        }
+    }
+
+    #[test]
+    fn sine_tables_shape() {
+        let s = sine_int();
+        assert_eq!(s[0], 0);
+        assert_eq!(s[256], 32_767);
+        assert_eq!(s[512], 0);
+        assert_eq!(s[768], -32_767);
+        let f = sine_float();
+        assert!((f[256] - 1.0).abs() < 1e-6);
+        // Symmetry: sin(x) == -sin(x + π).
+        for i in 0..512 {
+            assert_eq!(s[i], -s[i + 512], "i={i}");
+        }
+    }
+
+    #[test]
+    fn power_tables_are_squares() {
+        for i in 0..=255u8 {
+            let v = i64::from(g711::ulaw_to_linear(i));
+            assert_eq!(power_u()[i as usize], v * v);
+        }
+        assert_eq!(power_a()[0xD5], 64); // ±8 squared.
+    }
+
+    #[test]
+    fn float_tables_in_range() {
+        for i in 0..=255usize {
+            assert!(cvt_u2f()[i].abs() <= 1.0);
+            assert!(cvt_a2f()[i].abs() <= 1.0);
+        }
+    }
+
+    #[test]
+    fn transcoding_tables_match_algorithm() {
+        for i in 0..=255u8 {
+            assert_eq!(cvt_u2a()[i as usize], g711::ulaw_to_alaw(i));
+            assert_eq!(cvt_a2u()[i as usize], g711::alaw_to_ulaw(i));
+        }
+    }
+}

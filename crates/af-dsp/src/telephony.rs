@@ -1,0 +1,151 @@
+//! Tone pairs for telephony — Table 7 of the paper.
+//!
+//! Two-tone signals are used for Touch-Tone (DTMF) dialing and for the call
+//! progress sounds (dialtone, ringback, busy, fastbusy).  Each entry lists
+//! the two frequencies in Hz, their power levels in dB relative to the
+//! digital milliwatt, and the on/off cadence in milliseconds (an off time of
+//! 0 is a continuous tone).
+
+use crate::tone::TonePairSpec;
+
+/// One row of Table 7.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ToneDef {
+    /// Name ("dialtone", "1", "#", …).
+    pub name: &'static str,
+    /// The two frequencies and levels.
+    pub spec: TonePairSpec,
+    /// On time in milliseconds.
+    pub on_ms: u32,
+    /// Off time in milliseconds (0 = continuous).
+    pub off_ms: u32,
+}
+
+const fn tone(
+    name: &'static str,
+    f1: f64,
+    db1: f64,
+    f2: f64,
+    db2: f64,
+    on_ms: u32,
+    off_ms: u32,
+) -> ToneDef {
+    ToneDef {
+        name,
+        spec: TonePairSpec { f1, db1, f2, db2 },
+        on_ms,
+        off_ms,
+    }
+}
+
+/// Call progress tones (top half of Table 7).
+pub const CALL_PROGRESS: [ToneDef; 4] = [
+    tone("dialtone", 350.0, -13.0, 440.0, -13.0, 1000, 0),
+    tone("ringback", 440.0, -19.0, 480.0, -19.0, 1000, 3000),
+    tone("busy", 480.0, -12.0, 620.0, -12.0, 500, 500),
+    tone("fastbusy", 480.0, -12.0, 620.0, -12.0, 250, 250),
+];
+
+/// DTMF digit tones (bottom half of Table 7): `0`-`9`, `*`, `#`, `A`-`D`.
+pub const DTMF: [ToneDef; 16] = [
+    tone("1", 697.0, -4.0, 1209.0, -2.0, 50, 50),
+    tone("2", 697.0, -4.0, 1336.0, -2.0, 50, 50),
+    tone("3", 697.0, -4.0, 1477.0, -2.0, 50, 50),
+    tone("4", 770.0, -4.0, 1209.0, -2.0, 50, 50),
+    tone("5", 770.0, -4.0, 1336.0, -2.0, 50, 50),
+    tone("6", 770.0, -4.0, 1477.0, -2.0, 50, 50),
+    tone("7", 852.0, -4.0, 1209.0, -2.0, 50, 50),
+    tone("8", 852.0, -4.0, 1336.0, -2.0, 50, 50),
+    tone("9", 852.0, -4.0, 1477.0, -2.0, 50, 50),
+    tone("*", 941.0, -4.0, 1209.0, -2.0, 50, 50),
+    tone("0", 941.0, -4.0, 1336.0, -2.0, 50, 50),
+    tone("#", 941.0, -4.0, 1477.0, -2.0, 50, 50),
+    tone("A", 697.0, -4.0, 1633.0, -2.0, 50, 50),
+    tone("B", 770.0, -4.0, 1633.0, -2.0, 50, 50),
+    tone("C", 852.0, -4.0, 1633.0, -2.0, 50, 50),
+    tone("D", 941.0, -4.0, 1633.0, -2.0, 50, 50),
+];
+
+/// The four DTMF row frequencies (Hz).
+pub const DTMF_ROW_FREQS: [f64; 4] = [697.0, 770.0, 852.0, 941.0];
+/// The four DTMF column frequencies (Hz).
+pub const DTMF_COL_FREQS: [f64; 4] = [1209.0, 1336.0, 1477.0, 1633.0];
+
+/// The sixteen DTMF digits arranged by `[row][col]`.
+pub const DTMF_GRID: [[char; 4]; 4] = [
+    ['1', '2', '3', 'A'],
+    ['4', '5', '6', 'B'],
+    ['7', '8', '9', 'C'],
+    ['*', '0', '#', 'D'],
+];
+
+/// Looks up a DTMF tone definition by digit character.
+pub fn dtmf_for_digit(digit: char) -> Option<&'static ToneDef> {
+    let upper = digit.to_ascii_uppercase();
+    DTMF.iter().find(|t| t.name.starts_with(upper))
+}
+
+/// Looks up a call-progress tone by name.
+pub fn call_progress(name: &str) -> Option<&'static ToneDef> {
+    CALL_PROGRESS.iter().find(|t| t.name == name)
+}
+
+/// Returns the digit at a row/column frequency intersection.
+pub fn digit_for_freqs(row_index: usize, col_index: usize) -> Option<char> {
+    DTMF_GRID
+        .get(row_index)
+        .and_then(|r| r.get(col_index))
+        .copied()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table7_row_count() {
+        assert_eq!(CALL_PROGRESS.len() + DTMF.len(), 20);
+    }
+
+    #[test]
+    fn every_dtmf_digit_resolvable() {
+        for d in "1234567890*#ABCD".chars() {
+            let t = dtmf_for_digit(d).unwrap_or_else(|| panic!("missing {d}"));
+            assert!(DTMF_ROW_FREQS.contains(&t.spec.f1));
+            assert!(DTMF_COL_FREQS.contains(&t.spec.f2));
+            assert_eq!(t.spec.db1, -4.0);
+            assert_eq!(t.spec.db2, -2.0);
+        }
+        assert!(dtmf_for_digit('x').is_none());
+        // Lowercase letters resolve to their uppercase tone.
+        assert_eq!(dtmf_for_digit('a').unwrap().name, "A");
+    }
+
+    #[test]
+    fn grid_consistent_with_tone_list() {
+        for (ri, row) in DTMF_GRID.iter().enumerate() {
+            for (ci, &digit) in row.iter().enumerate() {
+                let t = dtmf_for_digit(digit).unwrap();
+                assert_eq!(t.spec.f1, DTMF_ROW_FREQS[ri], "digit {digit}");
+                assert_eq!(t.spec.f2, DTMF_COL_FREQS[ci], "digit {digit}");
+            }
+        }
+    }
+
+    #[test]
+    fn call_progress_lookup() {
+        let dt = call_progress("dialtone").unwrap();
+        assert_eq!(dt.spec.f1, 350.0);
+        assert_eq!(dt.off_ms, 0); // Continuous.
+        let rb = call_progress("ringback").unwrap();
+        assert_eq!((rb.on_ms, rb.off_ms), (1000, 3000));
+        assert!(call_progress("nosuch").is_none());
+    }
+
+    #[test]
+    fn digit_for_freqs_bounds() {
+        assert_eq!(digit_for_freqs(0, 0), Some('1'));
+        assert_eq!(digit_for_freqs(3, 2), Some('#'));
+        assert_eq!(digit_for_freqs(4, 0), None);
+    }
+}

@@ -1,0 +1,211 @@
+//! Direct digital synthesis (`AFSingleTone`, `AFTonePair`).
+//!
+//! Sample values are produced by stepping through a 1024-entry wave table at
+//! a rate proportional to the requested frequency (§6.2.2): the frequency
+//! divided by the sample rate gives a phase increment; the increment is added
+//! to a phase accumulator and the fractional part indexes the table.
+
+use crate::g711;
+use crate::power::DIGITAL_MILLIWATT_AMPLITUDE;
+use crate::tables;
+
+/// Generates a sine tone into `out` (`AFSingleTone`).
+///
+/// `peak` is the output amplitude; `phase` is the starting phase in [0, 1)
+/// turns.  Returns the final phase so successive calls produce a signal that
+/// is continuous at block boundaries.
+///
+/// # Examples
+///
+/// ```
+/// let mut block1 = vec![0.0f32; 80];
+/// let mut block2 = vec![0.0f32; 80];
+/// let p = af_dsp::tone::single_tone(440.0, 8000.0, 0.5, 0.0, &mut block1);
+/// af_dsp::tone::single_tone(440.0, 8000.0, 0.5, p, &mut block2);
+/// // The boundary is continuous: no jump bigger than the per-sample slope.
+/// let step = (block2[0] - block1[79]).abs();
+/// assert!(step < 0.25);
+/// ```
+pub fn single_tone(freq: f64, sample_rate: f64, peak: f32, phase: f64, out: &mut [f32]) -> f64 {
+    let table = tables::sine_float();
+    let incr = freq / sample_rate;
+    let mut phase = phase.rem_euclid(1.0);
+    for s in out.iter_mut() {
+        let idx = (phase * 1024.0) as usize & 1023;
+        *s = table[idx] * peak;
+        phase += incr;
+        if phase >= 1.0 {
+            phase -= 1.0;
+        }
+    }
+    phase
+}
+
+/// Phase-accumulator oscillator with the same table stepping, usable as an
+/// iterator over `f32` samples.
+#[derive(Clone, Debug)]
+pub struct Oscillator {
+    incr: f64,
+    phase: f64,
+    peak: f32,
+}
+
+impl Oscillator {
+    /// Creates an oscillator at `freq` Hz for a stream at `sample_rate` Hz.
+    pub fn new(freq: f64, sample_rate: f64, peak: f32) -> Oscillator {
+        Oscillator {
+            incr: freq / sample_rate,
+            phase: 0.0,
+            peak,
+        }
+    }
+
+    /// Produces the next sample.
+    pub fn next_sample(&mut self) -> f32 {
+        let idx = (self.phase * 1024.0) as usize & 1023;
+        self.phase += self.incr;
+        if self.phase >= 1.0 {
+            self.phase -= 1.0;
+        }
+        tables::sine_float()[idx] * self.peak
+    }
+
+    /// Current phase in turns.
+    pub fn phase(&self) -> f64 {
+        self.phase
+    }
+}
+
+/// Parameters for [`tone_pair`]: two frequencies with power levels in dB
+/// relative to the digital milliwatt.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct TonePairSpec {
+    /// First frequency in Hz.
+    pub f1: f64,
+    /// First tone power in dB re the digital milliwatt.
+    pub db1: f64,
+    /// Second frequency in Hz.
+    pub f2: f64,
+    /// Second tone power in dB re the digital milliwatt.
+    pub db2: f64,
+}
+
+/// Generates a µ-law tone pair into a buffer (`AFTonePair`).
+///
+/// `gain_ramp` is the number of samples over which the tones ramp up at the
+/// start and down at the end, reducing the frequency splatter of keying the
+/// signal on and off.  Returns the generated µ-law samples.
+pub fn tone_pair(
+    spec: TonePairSpec,
+    sample_rate: f64,
+    nsamples: usize,
+    gain_ramp: usize,
+) -> Vec<u8> {
+    let amp1 = DIGITAL_MILLIWATT_AMPLITUDE * 10f64.powf(spec.db1 / 20.0);
+    let amp2 = DIGITAL_MILLIWATT_AMPLITUDE * 10f64.powf(spec.db2 / 20.0);
+    let mut osc1 = Oscillator::new(spec.f1, sample_rate, amp1 as f32);
+    let mut osc2 = Oscillator::new(spec.f2, sample_rate, amp2 as f32);
+    let ramp = gain_ramp.min(nsamples / 2);
+
+    (0..nsamples)
+        .map(|i| {
+            let envelope = if i < ramp {
+                i as f32 / ramp as f32
+            } else if i >= nsamples - ramp {
+                (nsamples - 1 - i) as f32 / ramp as f32
+            } else {
+                1.0
+            };
+            let v = (osc1.next_sample() + osc2.next_sample()) * envelope;
+            g711::linear_to_ulaw(v.clamp(-32_768.0, 32_767.0) as i16)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::power::power_dbm_lin16;
+
+    #[test]
+    fn single_tone_frequency_via_zero_crossings() {
+        let mut buf = vec![0.0f32; 8000];
+        single_tone(440.0, 8000.0, 1.0, 0.0, &mut buf);
+        let crossings = buf.windows(2).filter(|w| w[0] < 0.0 && w[1] >= 0.0).count();
+        // One positive-going crossing per cycle: expect ~440 in one second.
+        assert!((438..=442).contains(&crossings), "got {crossings}");
+    }
+
+    #[test]
+    fn single_tone_peak_respected() {
+        let mut buf = vec![0.0f32; 4096];
+        single_tone(1000.0, 48_000.0, 0.25, 0.0, &mut buf);
+        let max = buf.iter().fold(0f32, |m, &v| m.max(v.abs()));
+        assert!(max <= 0.2501 && max > 0.24, "max={max}");
+    }
+
+    #[test]
+    fn phase_continuity_across_blocks() {
+        let mut a = vec![0.0f32; 100];
+        let mut b = vec![0.0f32; 100];
+        let p = single_tone(697.0, 8000.0, 0.9, 0.0, &mut a);
+        single_tone(697.0, 8000.0, 0.9, p, &mut b);
+
+        let mut whole = vec![0.0f32; 200];
+        single_tone(697.0, 8000.0, 0.9, 0.0, &mut whole);
+        assert_eq!(&whole[..100], &a[..]);
+        assert_eq!(&whole[100..], &b[..]);
+    }
+
+    #[test]
+    fn oscillator_matches_single_tone() {
+        let mut osc = Oscillator::new(440.0, 8000.0, 0.7);
+        let from_osc: Vec<f32> = (0..64).map(|_| osc.next_sample()).collect();
+        let mut buf = vec![0.0f32; 64];
+        single_tone(440.0, 8000.0, 0.7, 0.0, &mut buf);
+        assert_eq!(from_osc, buf);
+    }
+
+    #[test]
+    fn tone_pair_power_close_to_spec() {
+        // A 0 dBm single tone at the milliwatt amplitude should measure 0 dBm.
+        // Two tones at -4 and -2 dBm sum to about +1.1 dBm total power.
+        let spec = TonePairSpec {
+            f1: 697.0,
+            db1: -4.0,
+            f2: 1209.0,
+            db2: -2.0,
+        };
+        let samples = tone_pair(spec, 8000.0, 4000, 0);
+        let pcm: Vec<i16> = samples.iter().map(|&b| g711::ulaw_to_linear(b)).collect();
+        let dbm = power_dbm_lin16(&pcm);
+        let expected = 10.0 * (10f64.powf(-0.4) + 10f64.powf(-0.2)).log10();
+        assert!(
+            (dbm - expected).abs() < 0.5,
+            "dbm={dbm} expected={expected}"
+        );
+    }
+
+    #[test]
+    fn tone_pair_ramp_starts_and_ends_quiet() {
+        let spec = TonePairSpec {
+            f1: 350.0,
+            db1: -13.0,
+            f2: 440.0,
+            db2: -13.0,
+        };
+        let samples = tone_pair(spec, 8000.0, 800, 80);
+        let first = g711::ulaw_to_linear(samples[0]);
+        let last = g711::ulaw_to_linear(*samples.last().unwrap());
+        assert_eq!(first, 0);
+        assert_eq!(last, 0);
+        // Middle is loud.
+        let mid = g711::ulaw_to_linear(samples[400]).abs();
+        let peak = samples
+            .iter()
+            .map(|&b| g711::ulaw_to_linear(b).abs())
+            .max()
+            .unwrap();
+        assert!(peak > 2000, "peak={peak} mid={mid}");
+    }
+}

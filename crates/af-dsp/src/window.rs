@@ -1,0 +1,122 @@
+//! Window functions for spectral analysis.
+//!
+//! `afft` lets the user window data with Hamming, Hanning, or triangular
+//! windows, or disable windowing (§9.5).
+
+/// A window function selection.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Window {
+    /// No windowing (all-ones).
+    Rectangular,
+    /// Hamming: `0.54 - 0.46 cos(2πn/(N-1))`.
+    Hamming,
+    /// Hann ("Hanning"): `0.5 (1 - cos(2πn/(N-1)))`.
+    Hanning,
+    /// Triangular (Bartlett).
+    Triangular,
+}
+
+impl Window {
+    /// All window kinds, in the order `afft` presents them.
+    pub const ALL: [Window; 4] = [
+        Window::Rectangular,
+        Window::Hamming,
+        Window::Hanning,
+        Window::Triangular,
+    ];
+
+    /// Computes the `n` window coefficients.
+    pub fn coefficients(self, n: usize) -> Vec<f64> {
+        if n == 0 {
+            return Vec::new();
+        }
+        if n == 1 {
+            return vec![1.0];
+        }
+        let denom = (n - 1) as f64;
+        (0..n)
+            .map(|i| {
+                let x = i as f64 / denom;
+                match self {
+                    Window::Rectangular => 1.0,
+                    Window::Hamming => 0.54 - 0.46 * (std::f64::consts::TAU * x).cos(),
+                    Window::Hanning => 0.5 * (1.0 - (std::f64::consts::TAU * x).cos()),
+                    Window::Triangular => 1.0 - (2.0 * x - 1.0).abs(),
+                }
+            })
+            .collect()
+    }
+
+    /// Applies the window to a block in place.
+    pub fn apply(self, samples: &mut [f64]) {
+        if self == Window::Rectangular {
+            return;
+        }
+        let coeffs = self.coefficients(samples.len());
+        for (s, w) in samples.iter_mut().zip(coeffs) {
+            *s *= w;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rectangular_is_all_ones() {
+        assert!(Window::Rectangular
+            .coefficients(16)
+            .iter()
+            .all(|&w| w == 1.0));
+    }
+
+    #[test]
+    fn windows_are_symmetric() {
+        for w in Window::ALL {
+            let c = w.coefficients(33);
+            for i in 0..33 {
+                assert!((c[i] - c[32 - i]).abs() < 1e-12, "{w:?} asymmetric at {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn hamming_endpoints_and_peak() {
+        let c = Window::Hamming.coefficients(65);
+        assert!((c[0] - 0.08).abs() < 1e-12);
+        assert!((c[32] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hanning_endpoints_zero() {
+        let c = Window::Hanning.coefficients(65);
+        assert!(c[0].abs() < 1e-12);
+        assert!(c[64].abs() < 1e-12);
+        assert!((c[32] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn triangular_shape() {
+        let c = Window::Triangular.coefficients(5);
+        assert!(c[0].abs() < 1e-12);
+        assert!((c[2] - 1.0).abs() < 1e-12);
+        assert!((c[1] - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_lengths() {
+        for w in Window::ALL {
+            assert!(w.coefficients(0).is_empty());
+            assert_eq!(w.coefficients(1), vec![1.0]);
+        }
+    }
+
+    #[test]
+    fn apply_in_place() {
+        let mut buf = vec![2.0f64; 8];
+        Window::Hanning.apply(&mut buf);
+        assert!(buf[0].abs() < 1e-12);
+        assert!(buf[3] > 1.5);
+    }
+}

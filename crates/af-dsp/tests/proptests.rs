@@ -1,0 +1,150 @@
+//! Property-based tests of the DSP substrate's invariants.
+
+use af_dsp::convert::{decode_to_lin16, encode_from_lin16};
+use af_dsp::g711;
+use af_dsp::{adpcm, mix, Encoding};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// G.711 encoders are total and decode within the quantization bound.
+    #[test]
+    fn ulaw_error_bounded(pcm in any::<i16>()) {
+        let back = g711::ulaw_to_linear(g711::linear_to_ulaw(pcm));
+        prop_assert!((i32::from(back) - i32::from(pcm)).abs() <= 650);
+    }
+
+    #[test]
+    fn alaw_error_bounded(pcm in any::<i16>()) {
+        let back = g711::alaw_to_linear(g711::linear_to_alaw(pcm));
+        prop_assert!((i32::from(back) - i32::from(pcm)).abs() <= 1200);
+    }
+
+    /// Encoding preserves sign (companding is odd symmetric around zero).
+    #[test]
+    fn companding_preserves_sign(pcm in any::<i16>()) {
+        let u = g711::ulaw_to_linear(g711::linear_to_ulaw(pcm));
+        if pcm > 64 {
+            prop_assert!(u >= 0);
+        } else if pcm < -64 {
+            prop_assert!(u <= 0);
+        }
+    }
+
+    /// Companding is monotone: a louder sample never decodes quieter.
+    #[test]
+    fn ulaw_monotone(a in any::<i16>(), b in any::<i16>()) {
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        let dlo = g711::ulaw_to_linear(g711::linear_to_ulaw(lo));
+        let dhi = g711::ulaw_to_linear(g711::linear_to_ulaw(hi));
+        prop_assert!(dlo <= dhi, "decode({lo})={dlo} > decode({hi})={dhi}");
+    }
+
+    /// Linear round trips are exact.
+    #[test]
+    fn lin16_round_trip(pcm in prop::collection::vec(any::<i16>(), 0..256)) {
+        let mut st = adpcm::AdpcmState::new();
+        let bytes = encode_from_lin16(Encoding::Lin16, &pcm, &mut st).unwrap();
+        let back = decode_to_lin16(Encoding::Lin16, &bytes, &mut st).unwrap();
+        prop_assert_eq!(back, pcm);
+    }
+
+    #[test]
+    fn lin32_round_trip(pcm in prop::collection::vec(any::<i16>(), 0..256)) {
+        let mut st = adpcm::AdpcmState::new();
+        let bytes = encode_from_lin16(Encoding::Lin32, &pcm, &mut st).unwrap();
+        let back = decode_to_lin16(Encoding::Lin32, &bytes, &mut st).unwrap();
+        prop_assert_eq!(back, pcm);
+    }
+
+    /// Mixing is commutative and bounded (never wraps).
+    #[test]
+    fn lin16_mix_commutative_and_saturating(
+        a in prop::collection::vec(any::<i16>(), 32),
+        b in prop::collection::vec(any::<i16>(), 32),
+    ) {
+        let mut ab = a.clone();
+        mix::mix_lin16(&mut ab, &b);
+        let mut ba = b.clone();
+        mix::mix_lin16(&mut ba, &a);
+        prop_assert_eq!(&ab, &ba);
+        for (i, &m) in ab.iter().enumerate() {
+            let exact = i32::from(a[i]) + i32::from(b[i]);
+            prop_assert_eq!(i32::from(m), exact.clamp(-32_768, 32_767));
+        }
+    }
+
+    /// The µ-law mix table agrees with mixing in the linear domain within
+    /// quantization error.
+    #[test]
+    fn ulaw_mix_close_to_linear(a in any::<u8>(), b in any::<u8>()) {
+        let mut d = vec![a];
+        mix::mix_ulaw(&mut d, &[b]);
+        let got = i32::from(g711::ulaw_to_linear(d[0]));
+        let exact = (i32::from(g711::ulaw_to_linear(a))
+            + i32::from(g711::ulaw_to_linear(b)))
+        .clamp(-32_768, 32_767);
+        prop_assert!((got - exact).abs() <= 1024, "a={a:#x} b={b:#x} got={got} exact={exact}");
+    }
+
+    /// ADPCM decode of arbitrary bytes never panics and yields the asked
+    /// count; encode/decode state stays in range.
+    #[test]
+    fn adpcm_total(data in prop::collection::vec(any::<u8>(), 0..128)) {
+        let mut st = adpcm::AdpcmState::new();
+        let out = adpcm::decode(&mut st, &data, data.len() * 2);
+        prop_assert_eq!(out.len(), data.len() * 2);
+        prop_assert!(st.step_index <= 88);
+    }
+
+    /// ADPCM round trip tracks slowly varying signals within a loose bound.
+    #[test]
+    fn adpcm_tracks_dc(level in -20_000i16..20_000) {
+        let pcm = vec![level; 300];
+        let mut enc = adpcm::AdpcmState::new();
+        let encoded = adpcm::encode(&mut enc, &pcm);
+        let mut dec = adpcm::AdpcmState::new();
+        let decoded = adpcm::decode(&mut dec, &encoded, 300);
+        let err = i32::from(decoded[299]) - i32::from(level);
+        prop_assert!(err.abs() < 500, "settled to {} for {level}", decoded[299]);
+    }
+
+    /// Tone generation stays within the requested peak.
+    #[test]
+    fn tone_respects_peak(freq in 20.0f64..3900.0, peak in 0.01f32..1.0) {
+        let mut buf = vec![0.0f32; 512];
+        af_dsp::tone::single_tone(freq, 8000.0, peak, 0.0, &mut buf);
+        for &s in &buf {
+            prop_assert!(s.abs() <= peak * 1.0001);
+        }
+    }
+
+    /// Power in dBm is monotone in amplitude scale.
+    #[test]
+    fn power_monotone(scale in 1i32..16) {
+        let base: Vec<i16> = (0..800)
+            .map(|i| ((std::f64::consts::TAU * 440.0 * i as f64 / 8000.0).sin() * 1000.0) as i16)
+            .collect();
+        let scaled: Vec<i16> = base.iter().map(|&s| s.saturating_mul(scale as i16)).collect();
+        let p1 = af_dsp::power::power_dbm_lin16(&base);
+        let p2 = af_dsp::power::power_dbm_lin16(&scaled);
+        prop_assert!(p2 >= p1 - 0.01, "scale {scale}: {p1} -> {p2}");
+    }
+
+    /// The resampler produces the expected output count within one sample.
+    #[test]
+    fn resampler_count(from in 4000u32..48_000, to in 4000u32..48_000, n in 100usize..4000) {
+        let input: Vec<i16> = (0..n).map(|i| (i as i16).wrapping_mul(31)).collect();
+        let mut r = af_dsp::resample::Resampler::new(f64::from(from), f64::from(to));
+        let out = r.process(&input);
+        // The first-ever block spans n-1 input intervals (there is no
+        // carried sample), so it yields ~(n-1)·ratio + 1 outputs.
+        let ratio = f64::from(to) / f64::from(from);
+        let expected = (n - 1) as f64 * ratio + 1.0;
+        prop_assert!(
+            (out.len() as f64 - expected).abs() <= 2.0,
+            "expected ~{expected}, got {}", out.len()
+        );
+    }
+}

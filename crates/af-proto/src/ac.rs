@@ -1,0 +1,151 @@
+//! Audio contexts (§5.6).
+//!
+//! Rather than specifying all parameters with each play or record request, a
+//! client encapsulates them in an *audio context* (AC): the play gain, the
+//! preemption flag, the sample type, the channel count and the sample byte
+//! order.
+
+use af_dsp::Encoding;
+
+/// Client-allocated identifier of an audio context.
+pub type AcId = u32;
+
+/// Bitmask selecting which [`AcAttributes`] fields a create/change request
+/// supplies (the `ACPlayGain | ACEndian` idiom of §8.1.2).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub struct AcMask(pub u32);
+
+impl AcMask {
+    /// Selects [`AcAttributes::play_gain_db`].
+    pub const PLAY_GAIN: AcMask = AcMask(1 << 0);
+    /// Selects [`AcAttributes::record_gain_db`].
+    pub const RECORD_GAIN: AcMask = AcMask(1 << 1);
+    /// Selects [`AcAttributes::preempt`].
+    pub const PREEMPTION: AcMask = AcMask(1 << 2);
+    /// Selects [`AcAttributes::encoding`].
+    pub const ENCODING: AcMask = AcMask(1 << 3);
+    /// Selects [`AcAttributes::channels`].
+    pub const CHANNELS: AcMask = AcMask(1 << 4);
+    /// Selects [`AcAttributes::big_endian_data`].
+    pub const ENDIAN: AcMask = AcMask(1 << 5);
+
+    /// Every attribute bit.
+    pub const ALL: AcMask = AcMask(0b11_1111);
+
+    /// Whether all bits of `other` are present in `self`.
+    pub fn contains(self, other: AcMask) -> bool {
+        self.0 & other.0 == other.0
+    }
+
+    /// Union of two masks.
+    pub fn union(self, other: AcMask) -> AcMask {
+        AcMask(self.0 | other.0)
+    }
+}
+
+impl core::ops::BitOr for AcMask {
+    type Output = AcMask;
+
+    fn bitor(self, rhs: AcMask) -> AcMask {
+        self.union(rhs)
+    }
+}
+
+/// The attributes carried by an audio context.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct AcAttributes {
+    /// Gain applied to played data before mixing, in dB (relative to the
+    /// 0 dB point of all clients, independent of user volume control).
+    pub play_gain_db: i16,
+    /// Gain applied to recorded data after conversion, in dB.
+    pub record_gain_db: i16,
+    /// Whether play requests overwrite (preempt) instead of mixing.
+    pub preempt: bool,
+    /// Sample encoding of this context's data.
+    pub encoding: Encoding,
+    /// Number of interleaved channels.
+    pub channels: u8,
+    /// Whether multi-byte sample data is big-endian on the wire.
+    pub big_endian_data: bool,
+}
+
+impl Default for AcAttributes {
+    /// Defaults: 0 dB gains, mixing (no preemption), µ-law mono, native
+    /// byte order treated as little-endian on the wire.
+    fn default() -> AcAttributes {
+        AcAttributes {
+            play_gain_db: 0,
+            record_gain_db: 0,
+            preempt: false,
+            encoding: Encoding::Mu255,
+            channels: 1,
+            big_endian_data: cfg!(target_endian = "big"),
+        }
+    }
+}
+
+impl AcAttributes {
+    /// Applies the fields of `other` selected by `mask` onto `self`.
+    pub fn apply(&mut self, mask: AcMask, other: &AcAttributes) {
+        if mask.contains(AcMask::PLAY_GAIN) {
+            self.play_gain_db = other.play_gain_db;
+        }
+        if mask.contains(AcMask::RECORD_GAIN) {
+            self.record_gain_db = other.record_gain_db;
+        }
+        if mask.contains(AcMask::PREEMPTION) {
+            self.preempt = other.preempt;
+        }
+        if mask.contains(AcMask::ENCODING) {
+            self.encoding = other.encoding;
+        }
+        if mask.contains(AcMask::CHANNELS) {
+            self.channels = other.channels;
+        }
+        if mask.contains(AcMask::ENDIAN) {
+            self.big_endian_data = other.big_endian_data;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_paper() {
+        let d = AcAttributes::default();
+        assert_eq!(d.play_gain_db, 0); // "defaults to 0 dB".
+        assert!(!d.preempt); // Mixing is the default (§7.2).
+        assert_eq!(d.channels, 1);
+    }
+
+    #[test]
+    fn mask_operations() {
+        let m = AcMask::PLAY_GAIN | AcMask::ENDIAN;
+        assert!(m.contains(AcMask::PLAY_GAIN));
+        assert!(m.contains(AcMask::ENDIAN));
+        assert!(!m.contains(AcMask::PREEMPTION));
+        assert!(AcMask::ALL.contains(m));
+    }
+
+    #[test]
+    fn apply_respects_mask() {
+        let mut base = AcAttributes::default();
+        let changes = AcAttributes {
+            play_gain_db: -6,
+            record_gain_db: 3,
+            preempt: true,
+            encoding: Encoding::Lin16,
+            channels: 2,
+            big_endian_data: true,
+        };
+        base.apply(AcMask::PLAY_GAIN | AcMask::PREEMPTION, &changes);
+        assert_eq!(base.play_gain_db, -6);
+        assert!(base.preempt);
+        // Unselected fields untouched.
+        assert_eq!(base.record_gain_db, 0);
+        assert_eq!(base.encoding, Encoding::Mu255);
+        assert_eq!(base.channels, 1);
+    }
+}

@@ -1,0 +1,137 @@
+//! Atoms — short unique integer handles for strings (§5.9).
+//!
+//! AudioFile adopts the X extensible atom system: a set of built-in atoms
+//! exists for commonly used types and property names (Table 2), and new
+//! strings can be interned at runtime to create new atoms.
+
+/// An atom: a 32-bit handle for an interned string.
+///
+/// Atom 0 is `None` on the wire; built-in atoms occupy 1..=20 and
+/// server-interned atoms follow.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Atom(pub u32);
+
+impl Atom {
+    /// The null atom (wire value 0).
+    pub const NONE: Atom = Atom(0);
+
+    /// Whether this is the null atom.
+    pub fn is_none(self) -> bool {
+        self.0 == 0
+    }
+}
+
+macro_rules! builtin_atoms {
+    ($( $(#[$doc:meta])* ($konst:ident, $val:expr, $name:expr) ),+ $(,)?) => {
+        $(
+            $(#[$doc])*
+            pub const $konst: Atom = Atom($val);
+        )+
+
+        /// `(atom, name)` pairs for every built-in atom, in wire order.
+        pub const BUILTIN_ATOMS: &[(Atom, &str)] = &[
+            $( ($konst, $name), )+
+        ];
+    };
+}
+
+builtin_atoms! {
+    // Primitive types (Table 2).
+    /// Unique id for a string.
+    (ATOM_ATOM, 1, "ATOM"),
+    /// Unsigned integer.
+    (ATOM_CARDINAL, 2, "CARDINAL"),
+    /// Integer.
+    (ATOM_INTEGER, 3, "INTEGER"),
+    /// String.
+    (ATOM_STRING, 4, "STRING"),
+    /// Audio context ID.
+    (ATOM_AC, 5, "AC"),
+    /// Device number.
+    (ATOM_DEVICE, 6, "DEVICE"),
+    /// Time.
+    (ATOM_TIME, 7, "TIME"),
+    /// Bit vector, often inputs or outputs.
+    (ATOM_MASK, 8, "MASK"),
+    /// Telephone device type.
+    (ATOM_TELEPHONE, 9, "TELEPHONE"),
+    /// Copyright string.
+    (ATOM_COPYRIGHT, 10, "COPYRIGHT"),
+    /// Filename string.
+    (ATOM_FILENAME, 11, "FILENAME"),
+    // Encoding types (Table 2).
+    /// µ-law.
+    (ATOM_SAMPLE_MU255, 12, "SAMPLE_MU255"),
+    /// A-law.
+    (ATOM_SAMPLE_ALAW, 13, "SAMPLE_ALAW"),
+    /// 16-bit linear.
+    (ATOM_SAMPLE_LIN16, 14, "SAMPLE_LIN16"),
+    /// 32-bit linear.
+    (ATOM_SAMPLE_LIN32, 15, "SAMPLE_LIN32"),
+    /// ADPCM compressed (32 kbit/s).
+    (ATOM_SAMPLE_ADPCM32, 16, "SAMPLE_ADPCM32"),
+    /// ADPCM compressed (24 kbit/s).
+    (ATOM_SAMPLE_ADPCM24, 17, "SAMPLE_ADPCM24"),
+    /// CELP compressed.
+    (ATOM_SAMPLE_CELP1016, 18, "SAMPLE_CELP1016"),
+    /// CELP compressed.
+    (ATOM_SAMPLE_CELP1015, 19, "SAMPLE_CELP1015"),
+    // Properties (Table 2).
+    /// Type STRING, contains last number dialed.
+    (ATOM_LAST_NUMBER_DIALED, 20, "LAST_NUMBER_DIALED"),
+}
+
+/// The first atom value available for runtime interning.
+pub const FIRST_RUNTIME_ATOM: u32 = 21;
+
+/// Looks up a built-in atom by name.
+pub fn builtin_by_name(name: &str) -> Option<Atom> {
+    BUILTIN_ATOMS
+        .iter()
+        .find(|(_, n)| *n == name)
+        .map(|(a, _)| *a)
+}
+
+/// Looks up a built-in atom's name.
+pub fn builtin_name(atom: Atom) -> Option<&'static str> {
+    BUILTIN_ATOMS
+        .iter()
+        .find(|(a, _)| *a == atom)
+        .map(|(_, n)| *n)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table2_atom_count() {
+        // 11 primitive types + 8 encoding types + 1 property.
+        assert_eq!(BUILTIN_ATOMS.len(), 20);
+    }
+
+    #[test]
+    fn values_dense_from_one() {
+        for (i, (atom, _)) in BUILTIN_ATOMS.iter().enumerate() {
+            assert_eq!(atom.0 as usize, i + 1);
+        }
+        assert_eq!(FIRST_RUNTIME_ATOM as usize, BUILTIN_ATOMS.len() + 1);
+    }
+
+    #[test]
+    fn lookups() {
+        assert_eq!(builtin_by_name("STRING"), Some(ATOM_STRING));
+        assert_eq!(
+            builtin_name(ATOM_LAST_NUMBER_DIALED),
+            Some("LAST_NUMBER_DIALED")
+        );
+        assert_eq!(builtin_by_name("NO_SUCH"), None);
+        assert_eq!(builtin_name(Atom(999)), None);
+    }
+
+    #[test]
+    fn none_atom() {
+        assert!(Atom::NONE.is_none());
+        assert!(!ATOM_ATOM.is_none());
+    }
+}

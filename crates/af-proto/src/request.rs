@@ -1,0 +1,928 @@
+//! Request encoding and decoding — all 37 protocol requests.
+//!
+//! Every request starts with a four-byte header: a length field (16 bits,
+//! expressed in 32-bit quantities and including the header), an opcode byte
+//! and an opcode-extension byte (unused, reserved).  Data is padded to a
+//! 32-bit boundary (§5.3).
+
+use crate::ac::{AcAttributes, AcId, AcMask};
+use crate::atoms::Atom;
+use crate::error::ProtoError;
+use crate::event::EventMask;
+use crate::opcode::Opcode;
+use crate::wire::{pad4, ByteOrder, WireReader, WireWriter};
+use crate::{DeviceId, MAX_REQUEST_BYTES};
+use af_dsp::Encoding;
+use af_time::ATime;
+
+/// Flag bits carried by `PlaySamples`.
+pub mod play_flags {
+    /// Suppress the usual time reply (§5.7): the client library sets this on
+    /// all but the final chunk of a contiguous play series.
+    pub const SUPPRESS_REPLY: u8 = 1 << 0;
+    /// Sample data is big-endian (§7.3.1).
+    pub const BIG_ENDIAN_DATA: u8 = 1 << 1;
+    /// Preempt (overwrite) instead of mixing, overriding the AC for this
+    /// request only.
+    pub const PREEMPT: u8 = 1 << 2;
+}
+
+/// Flag bits carried by `RecordSamples`.
+pub mod record_flags {
+    /// Block until all requested data is available (`ABlock`); when clear,
+    /// return whatever is immediately available (`ANoBlock`).
+    pub const BLOCK: u8 = 1 << 0;
+    /// Return sample data big-endian.
+    pub const BIG_ENDIAN_DATA: u8 = 1 << 1;
+}
+
+/// How `ChangeProperty` combines new data with existing data.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[repr(u8)]
+pub enum PropertyMode {
+    /// Discard any previous value.
+    Replace = 0,
+    /// Insert before the existing data.
+    Prepend = 1,
+    /// Insert after the existing data.
+    Append = 2,
+}
+
+impl PropertyMode {
+    fn from_wire(v: u8) -> Result<PropertyMode, ProtoError> {
+        match v {
+            0 => Ok(PropertyMode::Replace),
+            1 => Ok(PropertyMode::Prepend),
+            2 => Ok(PropertyMode::Append),
+            other => Err(ProtoError::BadEnum {
+                field: "property mode",
+                value: u32::from(other),
+            }),
+        }
+    }
+}
+
+/// A decoded protocol request.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Request {
+    /// Select which events the client wants for a device.
+    SelectEvents {
+        /// Target device.
+        device: DeviceId,
+        /// Event kinds to deliver.
+        mask: EventMask,
+    },
+    /// Create an audio context with a client-chosen ID.
+    CreateAc {
+        /// Client-allocated AC identifier.
+        id: AcId,
+        /// Device the context binds to.
+        device: DeviceId,
+        /// Which attribute fields are supplied.
+        mask: AcMask,
+        /// Attribute values.
+        attrs: AcAttributes,
+    },
+    /// Change attributes of an existing audio context.
+    ChangeAcAttributes {
+        /// The context to modify.
+        id: AcId,
+        /// Which attribute fields are supplied.
+        mask: AcMask,
+        /// Attribute values.
+        attrs: AcAttributes,
+    },
+    /// Free an audio context.
+    FreeAc {
+        /// The context to free.
+        id: AcId,
+    },
+    /// Play samples at an exact device time.
+    PlaySamples {
+        /// Audio context supplying device, gain and preemption.
+        ac: AcId,
+        /// Device time of the first sample.
+        start_time: ATime,
+        /// Flag bits (see [`play_flags`]).
+        flags: u8,
+        /// Raw sample data in the AC's encoding.
+        data: Vec<u8>,
+    },
+    /// Record samples from an exact device time.
+    RecordSamples {
+        /// Audio context supplying device and encoding.
+        ac: AcId,
+        /// Device time of the first requested sample.
+        start_time: ATime,
+        /// Number of data bytes requested.
+        nbytes: u32,
+        /// Flag bits (see [`record_flags`]).
+        flags: u8,
+    },
+    /// Get the audio device's time.
+    GetTime {
+        /// Target device.
+        device: DeviceId,
+    },
+    /// Get telephone state.
+    QueryPhone {
+        /// Target (telephone) device.
+        device: DeviceId,
+    },
+    /// Connect local audio directly to the telephone (§7.4.1).
+    EnablePassThrough {
+        /// Target device.
+        device: DeviceId,
+    },
+    /// Remove the direct local-audio/telephone connection.
+    DisablePassThrough {
+        /// Target device.
+        device: DeviceId,
+    },
+    /// Set the hookswitch state.
+    HookSwitch {
+        /// Target device.
+        device: DeviceId,
+        /// `true` to go off-hook.
+        off_hook: bool,
+    },
+    /// Flash the hookswitch.
+    FlashHook {
+        /// Target device.
+        device: DeviceId,
+    },
+    /// Not for general use (§5.3, Table 1).
+    EnableGainControl {
+        /// Target device.
+        device: DeviceId,
+    },
+    /// Not for general use.
+    DisableGainControl {
+        /// Target device.
+        device: DeviceId,
+    },
+    /// Obsolete, do not use: dialing is done client-side with tones (§5.5).
+    DialPhone {
+        /// Target device.
+        device: DeviceId,
+        /// Number to dial.
+        number: String,
+    },
+    /// Set input gain.
+    SetInputGain {
+        /// Target device.
+        device: DeviceId,
+        /// Gain in dB.
+        db: i32,
+    },
+    /// Set output gain (volume).
+    SetOutputGain {
+        /// Target device.
+        device: DeviceId,
+        /// Gain in dB.
+        db: i32,
+    },
+    /// Find out current input gain.
+    QueryInputGain {
+        /// Target device.
+        device: DeviceId,
+    },
+    /// Find out current output gain.
+    QueryOutputGain {
+        /// Target device.
+        device: DeviceId,
+    },
+    /// Enable inputs selected by a mask.
+    EnableInput {
+        /// Target device.
+        device: DeviceId,
+        /// Connector mask.
+        mask: u32,
+    },
+    /// Enable outputs selected by a mask.
+    EnableOutput {
+        /// Target device.
+        device: DeviceId,
+        /// Connector mask.
+        mask: u32,
+    },
+    /// Disable inputs selected by a mask.
+    DisableInput {
+        /// Target device.
+        device: DeviceId,
+        /// Connector mask.
+        mask: u32,
+    },
+    /// Disable outputs selected by a mask.
+    DisableOutput {
+        /// Target device.
+        device: DeviceId,
+        /// Connector mask.
+        mask: u32,
+    },
+    /// Enable or disable access-control checking.
+    SetAccessControl {
+        /// Whether checking is enabled.
+        enabled: bool,
+    },
+    /// Add or remove a host from the access list.
+    ChangeHosts {
+        /// `true` to insert, `false` to delete.
+        insert: bool,
+        /// Raw network address bytes (4 for IPv4, 16 for IPv6).
+        address: Vec<u8>,
+    },
+    /// List which hosts are permitted access.
+    ListHosts,
+    /// Allocate (or look up) a unique ID for a string.
+    InternAtom {
+        /// When set, do not create the atom if it does not exist.
+        only_if_exists: bool,
+        /// The string to intern.
+        name: String,
+    },
+    /// Get the name for an atom ID.
+    GetAtomName {
+        /// The atom to look up.
+        atom: Atom,
+    },
+    /// Change a device property.
+    ChangeProperty {
+        /// Target device.
+        device: DeviceId,
+        /// Combination mode.
+        mode: PropertyMode,
+        /// Property name atom.
+        property: Atom,
+        /// Property type atom.
+        type_: Atom,
+        /// Property value bytes.
+        data: Vec<u8>,
+    },
+    /// Remove a device property.
+    DeleteProperty {
+        /// Target device.
+        device: DeviceId,
+        /// Property name atom.
+        property: Atom,
+    },
+    /// Retrieve a device property.
+    GetProperty {
+        /// Target device.
+        device: DeviceId,
+        /// Delete the property after reading.
+        delete: bool,
+        /// Property name atom.
+        property: Atom,
+        /// Required type (or [`Atom::NONE`] for any).
+        type_: Atom,
+    },
+    /// List all device properties.
+    ListProperties {
+        /// Target device.
+        device: DeviceId,
+    },
+    /// Non-blocking no-operation.
+    NoOperation,
+    /// Round-trip no-operation, used by `AFSync`.
+    SyncConnection,
+    /// Query an extension by name (none are implemented).
+    QueryExtension {
+        /// Extension name.
+        name: String,
+    },
+    /// List extensions (none are implemented).
+    ListExtensions,
+    /// Kill a client owning a resource (not yet implemented in servers).
+    KillClient {
+        /// Resource identifying the victim client.
+        resource: u32,
+    },
+}
+
+impl Request {
+    /// The opcode of this request.
+    pub fn opcode(&self) -> Opcode {
+        match self {
+            Request::SelectEvents { .. } => Opcode::SelectEvents,
+            Request::CreateAc { .. } => Opcode::CreateAc,
+            Request::ChangeAcAttributes { .. } => Opcode::ChangeAcAttributes,
+            Request::FreeAc { .. } => Opcode::FreeAc,
+            Request::PlaySamples { .. } => Opcode::PlaySamples,
+            Request::RecordSamples { .. } => Opcode::RecordSamples,
+            Request::GetTime { .. } => Opcode::GetTime,
+            Request::QueryPhone { .. } => Opcode::QueryPhone,
+            Request::EnablePassThrough { .. } => Opcode::EnablePassThrough,
+            Request::DisablePassThrough { .. } => Opcode::DisablePassThrough,
+            Request::HookSwitch { .. } => Opcode::HookSwitch,
+            Request::FlashHook { .. } => Opcode::FlashHook,
+            Request::EnableGainControl { .. } => Opcode::EnableGainControl,
+            Request::DisableGainControl { .. } => Opcode::DisableGainControl,
+            Request::DialPhone { .. } => Opcode::DialPhone,
+            Request::SetInputGain { .. } => Opcode::SetInputGain,
+            Request::SetOutputGain { .. } => Opcode::SetOutputGain,
+            Request::QueryInputGain { .. } => Opcode::QueryInputGain,
+            Request::QueryOutputGain { .. } => Opcode::QueryOutputGain,
+            Request::EnableInput { .. } => Opcode::EnableInput,
+            Request::EnableOutput { .. } => Opcode::EnableOutput,
+            Request::DisableInput { .. } => Opcode::DisableInput,
+            Request::DisableOutput { .. } => Opcode::DisableOutput,
+            Request::SetAccessControl { .. } => Opcode::SetAccessControl,
+            Request::ChangeHosts { .. } => Opcode::ChangeHosts,
+            Request::ListHosts => Opcode::ListHosts,
+            Request::InternAtom { .. } => Opcode::InternAtom,
+            Request::GetAtomName { .. } => Opcode::GetAtomName,
+            Request::ChangeProperty { .. } => Opcode::ChangeProperty,
+            Request::DeleteProperty { .. } => Opcode::DeleteProperty,
+            Request::GetProperty { .. } => Opcode::GetProperty,
+            Request::ListProperties { .. } => Opcode::ListProperties,
+            Request::NoOperation => Opcode::NoOperation,
+            Request::SyncConnection => Opcode::SyncConnection,
+            Request::QueryExtension { .. } => Opcode::QueryExtension,
+            Request::ListExtensions => Opcode::ListExtensions,
+            Request::KillClient { .. } => Opcode::KillClient,
+        }
+    }
+
+    /// Encodes the request as a complete framed message (header included).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the encoded request would exceed [`MAX_REQUEST_BYTES`];
+    /// client libraries chunk data requests well below that limit.
+    pub fn encode(&self, order: ByteOrder) -> Vec<u8> {
+        let mut w = WireWriter::new(order);
+        // Header placeholder; length patched below.
+        w.u16(0).u8(self.opcode().to_wire()).u8(0);
+        self.encode_payload(&mut w);
+        w.pad_to_word();
+        let mut buf = w.finish();
+        let total = buf.len();
+        assert!(total <= MAX_REQUEST_BYTES, "request too long: {total}");
+        let words = (total / 4) as u16;
+        let len_bytes = match order {
+            ByteOrder::Little => words.to_le_bytes(),
+            ByteOrder::Big => words.to_be_bytes(),
+        };
+        buf[0] = len_bytes[0];
+        buf[1] = len_bytes[1];
+        buf
+    }
+
+    fn encode_ac_attrs(w: &mut WireWriter, mask: AcMask, attrs: &AcAttributes) {
+        w.u32(mask.0);
+        w.i16(attrs.play_gain_db).i16(attrs.record_gain_db);
+        w.u8(u8::from(attrs.preempt))
+            .u8(attrs.encoding.to_wire())
+            .u8(attrs.channels)
+            .u8(u8::from(attrs.big_endian_data));
+    }
+
+    fn decode_ac_attrs(r: &mut WireReader<'_>) -> Result<(AcMask, AcAttributes), ProtoError> {
+        let mask = AcMask(r.u32()?);
+        let play_gain_db = r.i16()?;
+        let record_gain_db = r.i16()?;
+        let preempt = r.u8()? != 0;
+        let enc_wire = r.u8()?;
+        let encoding = Encoding::from_wire(enc_wire).ok_or(ProtoError::BadEnum {
+            field: "ac encoding",
+            value: u32::from(enc_wire),
+        })?;
+        let channels = r.u8()?;
+        let big_endian_data = r.u8()? != 0;
+        Ok((
+            mask,
+            AcAttributes {
+                play_gain_db,
+                record_gain_db,
+                preempt,
+                encoding,
+                channels,
+                big_endian_data,
+            },
+        ))
+    }
+
+    fn encode_payload(&self, w: &mut WireWriter) {
+        match self {
+            Request::SelectEvents { device, mask } => {
+                w.u8(*device).pad(3).u32(mask.0);
+            }
+            Request::CreateAc {
+                id,
+                device,
+                mask,
+                attrs,
+            } => {
+                w.u32(*id).u8(*device).pad(3);
+                Self::encode_ac_attrs(w, *mask, attrs);
+            }
+            Request::ChangeAcAttributes { id, mask, attrs } => {
+                w.u32(*id);
+                Self::encode_ac_attrs(w, *mask, attrs);
+            }
+            Request::FreeAc { id } => {
+                w.u32(*id);
+            }
+            Request::PlaySamples {
+                ac,
+                start_time,
+                flags,
+                data,
+            } => {
+                w.u32(*ac).u32(start_time.ticks()).u8(*flags).pad(3);
+                w.u32(data.len() as u32);
+                w.bytes(data);
+            }
+            Request::RecordSamples {
+                ac,
+                start_time,
+                nbytes,
+                flags,
+            } => {
+                w.u32(*ac).u32(start_time.ticks()).u8(*flags).pad(3);
+                w.u32(*nbytes);
+            }
+            Request::GetTime { device }
+            | Request::QueryPhone { device }
+            | Request::EnablePassThrough { device }
+            | Request::DisablePassThrough { device }
+            | Request::FlashHook { device }
+            | Request::EnableGainControl { device }
+            | Request::DisableGainControl { device }
+            | Request::QueryInputGain { device }
+            | Request::QueryOutputGain { device }
+            | Request::ListProperties { device } => {
+                w.u8(*device).pad(3);
+            }
+            Request::HookSwitch { device, off_hook } => {
+                w.u8(*device).u8(u8::from(*off_hook)).pad(2);
+            }
+            Request::DialPhone { device, number } => {
+                w.u8(*device).pad(3).string(number);
+            }
+            Request::SetInputGain { device, db } | Request::SetOutputGain { device, db } => {
+                w.u8(*device).pad(3).i32(*db);
+            }
+            Request::EnableInput { device, mask }
+            | Request::EnableOutput { device, mask }
+            | Request::DisableInput { device, mask }
+            | Request::DisableOutput { device, mask } => {
+                w.u8(*device).pad(3).u32(*mask);
+            }
+            Request::SetAccessControl { enabled } => {
+                w.u8(u8::from(*enabled)).pad(3);
+            }
+            Request::ChangeHosts { insert, address } => {
+                w.u8(u8::from(*insert)).u8(address.len() as u8).pad(2);
+                w.bytes(address);
+            }
+            Request::ListHosts
+            | Request::NoOperation
+            | Request::SyncConnection
+            | Request::ListExtensions => {}
+            Request::InternAtom {
+                only_if_exists,
+                name,
+            } => {
+                w.u8(u8::from(*only_if_exists)).pad(3).string(name);
+            }
+            Request::GetAtomName { atom } => {
+                w.u32(atom.0);
+            }
+            Request::ChangeProperty {
+                device,
+                mode,
+                property,
+                type_,
+                data,
+            } => {
+                w.u8(*device).u8(*mode as u8).pad(2);
+                w.u32(property.0).u32(type_.0);
+                w.u32(data.len() as u32);
+                w.bytes(data);
+            }
+            Request::DeleteProperty { device, property } => {
+                w.u8(*device).pad(3).u32(property.0);
+            }
+            Request::GetProperty {
+                device,
+                delete,
+                property,
+                type_,
+            } => {
+                w.u8(*device).u8(u8::from(*delete)).pad(2);
+                w.u32(property.0).u32(type_.0);
+            }
+            Request::QueryExtension { name } => {
+                w.string(name);
+            }
+            Request::KillClient { resource } => {
+                w.u32(*resource);
+            }
+        }
+    }
+
+    /// Decodes a request payload (the bytes following the 4-byte header).
+    pub fn decode(order: ByteOrder, opcode: Opcode, payload: &[u8]) -> Result<Request, ProtoError> {
+        let mut r = WireReader::new(order, payload);
+        let req = match opcode {
+            Opcode::SelectEvents => {
+                let device = r.u8()?;
+                r.skip(3)?;
+                Request::SelectEvents {
+                    device,
+                    mask: EventMask(r.u32()?),
+                }
+            }
+            Opcode::CreateAc => {
+                let id = r.u32()?;
+                let device = r.u8()?;
+                r.skip(3)?;
+                let (mask, attrs) = Self::decode_ac_attrs(&mut r)?;
+                Request::CreateAc {
+                    id,
+                    device,
+                    mask,
+                    attrs,
+                }
+            }
+            Opcode::ChangeAcAttributes => {
+                let id = r.u32()?;
+                let (mask, attrs) = Self::decode_ac_attrs(&mut r)?;
+                Request::ChangeAcAttributes { id, mask, attrs }
+            }
+            Opcode::FreeAc => Request::FreeAc { id: r.u32()? },
+            Opcode::PlaySamples => {
+                let ac = r.u32()?;
+                let start_time = ATime::new(r.u32()?);
+                let flags = r.u8()?;
+                r.skip(3)?;
+                let nbytes = r.u32()? as usize;
+                if nbytes > r.remaining() {
+                    return Err(ProtoError::BadLength(nbytes));
+                }
+                let data = r.bytes(nbytes)?.to_vec();
+                Request::PlaySamples {
+                    ac,
+                    start_time,
+                    flags,
+                    data,
+                }
+            }
+            Opcode::RecordSamples => {
+                let ac = r.u32()?;
+                let start_time = ATime::new(r.u32()?);
+                let flags = r.u8()?;
+                r.skip(3)?;
+                let nbytes = r.u32()?;
+                Request::RecordSamples {
+                    ac,
+                    start_time,
+                    nbytes,
+                    flags,
+                }
+            }
+            Opcode::GetTime => Request::GetTime { device: r.u8()? },
+            Opcode::QueryPhone => Request::QueryPhone { device: r.u8()? },
+            Opcode::EnablePassThrough => Request::EnablePassThrough { device: r.u8()? },
+            Opcode::DisablePassThrough => Request::DisablePassThrough { device: r.u8()? },
+            Opcode::HookSwitch => {
+                let device = r.u8()?;
+                let off_hook = r.u8()? != 0;
+                Request::HookSwitch { device, off_hook }
+            }
+            Opcode::FlashHook => Request::FlashHook { device: r.u8()? },
+            Opcode::EnableGainControl => Request::EnableGainControl { device: r.u8()? },
+            Opcode::DisableGainControl => Request::DisableGainControl { device: r.u8()? },
+            Opcode::DialPhone => {
+                let device = r.u8()?;
+                r.skip(3)?;
+                Request::DialPhone {
+                    device,
+                    number: r.string()?,
+                }
+            }
+            Opcode::SetInputGain => {
+                let device = r.u8()?;
+                r.skip(3)?;
+                Request::SetInputGain {
+                    device,
+                    db: r.i32()?,
+                }
+            }
+            Opcode::SetOutputGain => {
+                let device = r.u8()?;
+                r.skip(3)?;
+                Request::SetOutputGain {
+                    device,
+                    db: r.i32()?,
+                }
+            }
+            Opcode::QueryInputGain => Request::QueryInputGain { device: r.u8()? },
+            Opcode::QueryOutputGain => Request::QueryOutputGain { device: r.u8()? },
+            Opcode::EnableInput => {
+                let device = r.u8()?;
+                r.skip(3)?;
+                Request::EnableInput {
+                    device,
+                    mask: r.u32()?,
+                }
+            }
+            Opcode::EnableOutput => {
+                let device = r.u8()?;
+                r.skip(3)?;
+                Request::EnableOutput {
+                    device,
+                    mask: r.u32()?,
+                }
+            }
+            Opcode::DisableInput => {
+                let device = r.u8()?;
+                r.skip(3)?;
+                Request::DisableInput {
+                    device,
+                    mask: r.u32()?,
+                }
+            }
+            Opcode::DisableOutput => {
+                let device = r.u8()?;
+                r.skip(3)?;
+                Request::DisableOutput {
+                    device,
+                    mask: r.u32()?,
+                }
+            }
+            Opcode::SetAccessControl => Request::SetAccessControl {
+                enabled: r.u8()? != 0,
+            },
+            Opcode::ChangeHosts => {
+                let insert = r.u8()? != 0;
+                let len = r.u8()? as usize;
+                r.skip(2)?;
+                Request::ChangeHosts {
+                    insert,
+                    address: r.bytes(len)?.to_vec(),
+                }
+            }
+            Opcode::ListHosts => Request::ListHosts,
+            Opcode::InternAtom => {
+                let only_if_exists = r.u8()? != 0;
+                r.skip(3)?;
+                Request::InternAtom {
+                    only_if_exists,
+                    name: r.string()?,
+                }
+            }
+            Opcode::GetAtomName => Request::GetAtomName {
+                atom: Atom(r.u32()?),
+            },
+            Opcode::ChangeProperty => {
+                let device = r.u8()?;
+                let mode = PropertyMode::from_wire(r.u8()?)?;
+                r.skip(2)?;
+                let property = Atom(r.u32()?);
+                let type_ = Atom(r.u32()?);
+                let len = r.u32()? as usize;
+                if len > r.remaining() {
+                    return Err(ProtoError::BadLength(len));
+                }
+                Request::ChangeProperty {
+                    device,
+                    mode,
+                    property,
+                    type_,
+                    data: r.bytes(len)?.to_vec(),
+                }
+            }
+            Opcode::DeleteProperty => {
+                let device = r.u8()?;
+                r.skip(3)?;
+                Request::DeleteProperty {
+                    device,
+                    property: Atom(r.u32()?),
+                }
+            }
+            Opcode::GetProperty => {
+                let device = r.u8()?;
+                let delete = r.u8()? != 0;
+                r.skip(2)?;
+                Request::GetProperty {
+                    device,
+                    delete,
+                    property: Atom(r.u32()?),
+                    type_: Atom(r.u32()?),
+                }
+            }
+            Opcode::ListProperties => Request::ListProperties { device: r.u8()? },
+            Opcode::NoOperation => Request::NoOperation,
+            Opcode::SyncConnection => Request::SyncConnection,
+            Opcode::QueryExtension => Request::QueryExtension { name: r.string()? },
+            Opcode::ListExtensions => Request::ListExtensions,
+            Opcode::KillClient => Request::KillClient { resource: r.u32()? },
+        };
+        Ok(req)
+    }
+
+    /// Parses a request frame header, returning `(opcode, payload_len)`.
+    ///
+    /// `payload_len` is the number of bytes following the 4-byte header.
+    pub fn parse_header(order: ByteOrder, header: &[u8; 4]) -> Result<(Opcode, usize), ProtoError> {
+        let words = match order {
+            ByteOrder::Little => u16::from_le_bytes([header[0], header[1]]),
+            ByteOrder::Big => u16::from_be_bytes([header[0], header[1]]),
+        } as usize;
+        if words == 0 {
+            return Err(ProtoError::BadLength(0));
+        }
+        let opcode = Opcode::from_wire(header[2])?;
+        Ok((opcode, words * 4 - 4))
+    }
+
+    /// Total padded frame size of this request when encoded.
+    pub fn encoded_len(&self, order: ByteOrder) -> usize {
+        // Cheap requests dominate; re-encoding small ones is fine, and data
+        // requests compute exactly without copying the data.
+        match self {
+            Request::PlaySamples { data, .. } => pad4(4 + 16 + data.len()),
+            Request::ChangeProperty { data, .. } => pad4(4 + 16 + data.len()),
+            _ => self.encode(order).len(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn samples() -> Vec<Request> {
+        vec![
+            Request::SelectEvents {
+                device: 1,
+                mask: EventMask::ALL,
+            },
+            Request::CreateAc {
+                id: 0xABCD_0001,
+                device: 2,
+                mask: AcMask::ALL,
+                attrs: AcAttributes {
+                    play_gain_db: -6,
+                    record_gain_db: 3,
+                    preempt: true,
+                    encoding: Encoding::Lin16,
+                    channels: 2,
+                    big_endian_data: true,
+                },
+            },
+            Request::ChangeAcAttributes {
+                id: 7,
+                mask: AcMask::PLAY_GAIN,
+                attrs: AcAttributes::default(),
+            },
+            Request::FreeAc { id: 7 },
+            Request::PlaySamples {
+                ac: 9,
+                start_time: ATime::new(123_456),
+                flags: play_flags::SUPPRESS_REPLY,
+                data: vec![1, 2, 3, 4, 5],
+            },
+            Request::RecordSamples {
+                ac: 9,
+                start_time: ATime::new(u32::MAX - 5),
+                nbytes: 8000,
+                flags: record_flags::BLOCK,
+            },
+            Request::GetTime { device: 0 },
+            Request::QueryPhone { device: 0 },
+            Request::EnablePassThrough { device: 0 },
+            Request::DisablePassThrough { device: 0 },
+            Request::HookSwitch {
+                device: 0,
+                off_hook: true,
+            },
+            Request::FlashHook { device: 0 },
+            Request::EnableGainControl { device: 0 },
+            Request::DisableGainControl { device: 0 },
+            Request::DialPhone {
+                device: 0,
+                number: "16175551212".into(),
+            },
+            Request::SetInputGain { device: 1, db: -12 },
+            Request::SetOutputGain { device: 1, db: 6 },
+            Request::QueryInputGain { device: 1 },
+            Request::QueryOutputGain { device: 1 },
+            Request::EnableInput { device: 1, mask: 1 },
+            Request::EnableOutput { device: 1, mask: 2 },
+            Request::DisableInput { device: 1, mask: 1 },
+            Request::DisableOutput { device: 1, mask: 2 },
+            Request::SetAccessControl { enabled: true },
+            Request::ChangeHosts {
+                insert: true,
+                address: vec![127, 0, 0, 1],
+            },
+            Request::ListHosts,
+            Request::InternAtom {
+                only_if_exists: false,
+                name: "MY_PROPERTY".into(),
+            },
+            Request::GetAtomName { atom: Atom(12) },
+            Request::ChangeProperty {
+                device: 0,
+                mode: PropertyMode::Append,
+                property: Atom(20),
+                type_: Atom(4),
+                data: b"16175551212".to_vec(),
+            },
+            Request::DeleteProperty {
+                device: 0,
+                property: Atom(20),
+            },
+            Request::GetProperty {
+                device: 0,
+                delete: false,
+                property: Atom(20),
+                type_: Atom(4),
+            },
+            Request::ListProperties { device: 0 },
+            Request::NoOperation,
+            Request::SyncConnection,
+            Request::QueryExtension {
+                name: "AF-NOSUCH".into(),
+            },
+            Request::ListExtensions,
+            Request::KillClient { resource: 0xDEAD },
+        ]
+    }
+
+    #[test]
+    fn every_request_round_trips_both_orders() {
+        let reqs = samples();
+        assert_eq!(reqs.len(), 37, "one sample per protocol request");
+        for order in [ByteOrder::Little, ByteOrder::Big] {
+            for req in &reqs {
+                let bytes = req.encode(order);
+                assert_eq!(bytes.len() % 4, 0, "{req:?} not padded");
+                assert!(bytes.len() >= 4, "shortest possible request is 4 bytes");
+                let header: [u8; 4] = bytes[..4].try_into().unwrap();
+                let (opcode, payload_len) = Request::parse_header(order, &header).unwrap();
+                assert_eq!(opcode, req.opcode());
+                assert_eq!(payload_len, bytes.len() - 4);
+                let back = Request::decode(order, opcode, &bytes[4..]).unwrap();
+                assert_eq!(&back, req, "round trip failed for {req:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn noop_is_minimal() {
+        // The shortest possible request is four bytes (§5.3).
+        assert_eq!(Request::NoOperation.encode(ByteOrder::Little).len(), 4);
+    }
+
+    #[test]
+    fn encoded_len_matches_encode() {
+        for order in [ByteOrder::Little, ByteOrder::Big] {
+            for req in samples() {
+                assert_eq!(
+                    req.encoded_len(order),
+                    req.encode(order).len(),
+                    "mismatch for {req:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn play_data_length_validated() {
+        // A PlaySamples whose nbytes exceeds the actual payload is rejected.
+        let req = Request::PlaySamples {
+            ac: 1,
+            start_time: ATime::ZERO,
+            flags: 0,
+            data: vec![0u8; 16],
+        };
+        let mut bytes = req.encode(ByteOrder::Little);
+        // Corrupt the nbytes field (at offset 4 + 4 + 4 + 1 + 3 = 16).
+        bytes[16] = 0xFF;
+        bytes[17] = 0xFF;
+        let header: [u8; 4] = bytes[..4].try_into().unwrap();
+        let (opcode, _) = Request::parse_header(ByteOrder::Little, &header).unwrap();
+        assert!(Request::decode(ByteOrder::Little, opcode, &bytes[4..]).is_err());
+    }
+
+    #[test]
+    fn zero_length_header_rejected() {
+        let header = [0u8, 0, 33, 0];
+        assert!(Request::parse_header(ByteOrder::Little, &header).is_err());
+    }
+
+    #[test]
+    fn cross_order_decode_differs() {
+        // Decoding with the wrong byte order must not silently succeed with
+        // the same values for multi-byte fields.
+        let req = Request::FreeAc { id: 0x0102_0304 };
+        let bytes = req.encode(ByteOrder::Little);
+        let wrong = Request::decode(ByteOrder::Big, Opcode::FreeAc, &bytes[4..]).unwrap();
+        assert_eq!(wrong, Request::FreeAc { id: 0x0403_0201 });
+    }
+}

@@ -1,0 +1,290 @@
+//! Property-based tests of the wire protocol: every request, reply, and
+//! event round-trips in both byte orders for arbitrary field values, and
+//! the decoders never panic on arbitrary bytes.
+
+use af_dsp::Encoding;
+use af_proto::message::MessageHeader;
+use af_proto::request::PropertyMode;
+use af_proto::{
+    AcAttributes, AcMask, Atom, ByteOrder, Event, EventDetail, EventMask, Opcode, Reply, Request,
+};
+use af_time::ATime;
+use proptest::prelude::*;
+
+fn order_strategy() -> impl Strategy<Value = ByteOrder> {
+    prop_oneof![Just(ByteOrder::Little), Just(ByteOrder::Big)]
+}
+
+fn encoding_strategy() -> impl Strategy<Value = Encoding> {
+    prop_oneof![
+        Just(Encoding::Mu255),
+        Just(Encoding::Alaw),
+        Just(Encoding::Lin16),
+        Just(Encoding::Lin32),
+        Just(Encoding::Adpcm32),
+    ]
+}
+
+fn attrs_strategy() -> impl Strategy<Value = AcAttributes> {
+    (
+        any::<i16>(),
+        any::<i16>(),
+        any::<bool>(),
+        encoding_strategy(),
+        1u8..=8,
+        any::<bool>(),
+    )
+        .prop_map(
+            |(play_gain_db, record_gain_db, preempt, encoding, channels, big)| AcAttributes {
+                play_gain_db,
+                record_gain_db,
+                preempt,
+                encoding,
+                channels,
+                big_endian_data: big,
+            },
+        )
+}
+
+fn small_string() -> impl Strategy<Value = String> {
+    "[a-zA-Z0-9_]{0,40}"
+}
+
+fn request_strategy() -> impl Strategy<Value = Request> {
+    prop_oneof![
+        (any::<u8>(), any::<u32>()).prop_map(|(device, m)| Request::SelectEvents {
+            device,
+            mask: EventMask(m & EventMask::ALL.0),
+        }),
+        (any::<u32>(), any::<u8>(), any::<u32>(), attrs_strategy()).prop_map(
+            |(id, device, mask, attrs)| Request::CreateAc {
+                id,
+                device,
+                mask: AcMask(mask & AcMask::ALL.0),
+                attrs,
+            }
+        ),
+        (any::<u32>(), any::<u32>(), attrs_strategy()).prop_map(|(id, mask, attrs)| {
+            Request::ChangeAcAttributes {
+                id,
+                mask: AcMask(mask & AcMask::ALL.0),
+                attrs,
+            }
+        }),
+        any::<u32>().prop_map(|id| Request::FreeAc { id }),
+        (
+            any::<u32>(),
+            any::<u32>(),
+            0u8..8,
+            prop::collection::vec(any::<u8>(), 0..512),
+        )
+            .prop_map(|(ac, t, flags, data)| Request::PlaySamples {
+                ac,
+                start_time: ATime::new(t),
+                flags,
+                data,
+            }),
+        (any::<u32>(), any::<u32>(), any::<u32>(), 0u8..4).prop_map(|(ac, t, nbytes, flags)| {
+            Request::RecordSamples {
+                ac,
+                start_time: ATime::new(t),
+                nbytes,
+                flags,
+            }
+        }),
+        any::<u8>().prop_map(|device| Request::GetTime { device }),
+        (any::<u8>(), any::<bool>())
+            .prop_map(|(device, off_hook)| Request::HookSwitch { device, off_hook }),
+        (any::<u8>(), small_string())
+            .prop_map(|(device, number)| Request::DialPhone { device, number }),
+        (any::<u8>(), any::<i32>()).prop_map(|(device, db)| Request::SetOutputGain { device, db }),
+        (any::<u8>(), any::<u32>())
+            .prop_map(|(device, mask)| Request::EnableInput { device, mask }),
+        (any::<bool>(), prop::collection::vec(any::<u8>(), 0..=16))
+            .prop_map(|(insert, address)| Request::ChangeHosts { insert, address }),
+        (any::<bool>(), small_string()).prop_map(|(e, name)| Request::InternAtom {
+            only_if_exists: e,
+            name
+        }),
+        any::<u32>().prop_map(|a| Request::GetAtomName { atom: Atom(a) }),
+        (
+            any::<u8>(),
+            prop_oneof![
+                Just(PropertyMode::Replace),
+                Just(PropertyMode::Prepend),
+                Just(PropertyMode::Append)
+            ],
+            any::<u32>(),
+            any::<u32>(),
+            prop::collection::vec(any::<u8>(), 0..256),
+        )
+            .prop_map(|(device, mode, p, t, data)| Request::ChangeProperty {
+                device,
+                mode,
+                property: Atom(p),
+                type_: Atom(t),
+                data,
+            }),
+        (any::<u8>(), any::<bool>(), any::<u32>(), any::<u32>()).prop_map(
+            |(device, delete, p, t)| Request::GetProperty {
+                device,
+                delete,
+                property: Atom(p),
+                type_: Atom(t),
+            }
+        ),
+        Just(Request::NoOperation),
+        Just(Request::SyncConnection),
+        small_string().prop_map(|name| Request::QueryExtension { name }),
+        any::<u32>().prop_map(|resource| Request::KillClient { resource }),
+    ]
+}
+
+fn reply_strategy() -> impl Strategy<Value = Reply> {
+    prop_oneof![
+        any::<u32>().prop_map(|t| Reply::Time {
+            time: ATime::new(t)
+        }),
+        (any::<u32>(), prop::collection::vec(any::<u8>(), 0..512)).prop_map(|(t, data)| {
+            Reply::Record {
+                time: ATime::new(t),
+                data,
+            }
+        }),
+        (any::<bool>(), any::<bool>(), any::<bool>()).prop_map(|(a, b, c)| Reply::Phone {
+            off_hook: a,
+            loop_current: b,
+            ringing: c
+        }),
+        (any::<i32>(), any::<i32>(), any::<i32>()).prop_map(|(a, b, c)| Reply::Gain {
+            min_db: a,
+            max_db: b,
+            current_db: c
+        }),
+        (
+            any::<bool>(),
+            prop::collection::vec(prop::collection::vec(any::<u8>(), 0..=16), 0..8)
+        )
+            .prop_map(|(enabled, hosts)| Reply::Hosts { enabled, hosts }),
+        any::<u32>().prop_map(|a| Reply::InternedAtom { atom: Atom(a) }),
+        small_string().prop_map(|name| Reply::AtomName { name }),
+        (any::<u32>(), prop::collection::vec(any::<u8>(), 0..256)).prop_map(|(t, data)| {
+            Reply::Property {
+                type_: Atom(t),
+                data,
+            }
+        }),
+        prop::collection::vec(any::<u32>(), 0..32).prop_map(|atoms| Reply::Properties {
+            atoms: atoms.into_iter().map(Atom).collect(),
+        }),
+        Just(Reply::Sync),
+        any::<bool>().prop_map(|present| Reply::Extension { present }),
+        prop::collection::vec(small_string(), 0..6).prop_map(|names| Reply::Extensions { names }),
+    ]
+}
+
+fn event_strategy() -> impl Strategy<Value = Event> {
+    let detail = prop_oneof![
+        any::<bool>().prop_map(|r| EventDetail::Ring { ringing: r }),
+        (any::<u8>(), any::<bool>()).prop_map(|(digit, down)| EventDetail::Dtmf { digit, down }),
+        any::<bool>().prop_map(|c| EventDetail::Loop { current: c }),
+        any::<bool>().prop_map(|h| EventDetail::Hook { off_hook: h }),
+        (any::<u32>(), any::<bool>()).prop_map(|(a, e)| EventDetail::Property {
+            atom: Atom(a),
+            exists: e
+        }),
+    ];
+    (any::<u8>(), any::<u32>(), any::<u64>(), detail).prop_map(
+        |(device, t, host_time_ms, detail)| Event {
+            device,
+            device_time: ATime::new(t),
+            host_time_ms,
+            detail,
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn requests_round_trip(req in request_strategy(), order in order_strategy()) {
+        let bytes = req.encode(order);
+        prop_assert_eq!(bytes.len() % 4, 0);
+        let header: [u8; 4] = bytes[..4].try_into().unwrap();
+        let (opcode, payload_len) = Request::parse_header(order, &header).unwrap();
+        prop_assert_eq!(opcode, req.opcode());
+        prop_assert_eq!(payload_len, bytes.len() - 4);
+        let back = Request::decode(order, opcode, &bytes[4..]).unwrap();
+        prop_assert_eq!(back, req);
+    }
+
+    #[test]
+    fn replies_round_trip(reply in reply_strategy(), order in order_strategy(), seq in any::<u16>()) {
+        let bytes = reply.encode(order, seq);
+        let header = MessageHeader::decode(order, &bytes[..8]).unwrap();
+        prop_assert_eq!(header.sequence, seq);
+        prop_assert_eq!(header.payload_len(), bytes.len() - 8);
+        let back = Reply::decode(order, &header, &bytes[8..]).unwrap();
+        prop_assert_eq!(back, reply);
+    }
+
+    #[test]
+    fn events_round_trip(ev in event_strategy(), order in order_strategy(), seq in any::<u16>()) {
+        let bytes = ev.encode(order, seq);
+        prop_assert_eq!(bytes.len(), af_proto::event::EVENT_WIRE_SIZE);
+        let header = MessageHeader::decode(order, &bytes[..8]).unwrap();
+        let back = Event::decode(order, &header, &bytes[8..]).unwrap();
+        prop_assert_eq!(back, ev);
+    }
+
+    /// Arbitrary payload bytes never panic the request decoder.
+    #[test]
+    fn decoder_never_panics(
+        opcode_byte in 1u8..=37,
+        payload in prop::collection::vec(any::<u8>(), 0..256),
+        order in order_strategy(),
+    ) {
+        let opcode = Opcode::from_wire(opcode_byte).unwrap();
+        let _ = Request::decode(order, opcode, &payload);
+    }
+
+    /// Arbitrary bytes never panic the reply/event decoders.
+    #[test]
+    fn message_decoders_never_panic(
+        bytes in prop::collection::vec(any::<u8>(), 8..128),
+        order in order_strategy(),
+    ) {
+        if let Ok(header) = MessageHeader::decode(order, &bytes[..8]) {
+            let _ = Reply::decode(order, &header, &bytes[8..]);
+            let _ = Event::decode(order, &header, &bytes[8..]);
+        }
+    }
+
+    /// Setup messages round-trip and arbitrary bytes never panic setup
+    /// decoding.
+    #[test]
+    fn setup_round_trip(
+        order in order_strategy(),
+        name in small_string(),
+        data in prop::collection::vec(any::<u8>(), 0..64),
+    ) {
+        let setup = af_proto::ConnSetup {
+            byte_order: order,
+            major: af_proto::PROTOCOL_MAJOR,
+            minor: af_proto::PROTOCOL_MINOR,
+            auth_name: name,
+            auth_data: data,
+        };
+        let bytes = setup.encode();
+        prop_assert_eq!(af_proto::ConnSetup::decode(&bytes).unwrap(), setup);
+    }
+
+    #[test]
+    fn setup_decode_never_panics(bytes in prop::collection::vec(any::<u8>(), 0..64)) {
+        let _ = af_proto::ConnSetup::decode(&bytes);
+        if bytes.len() >= 12 {
+            let _ = af_proto::ConnSetup::tail_len(&bytes[..12]);
+        }
+    }
+}

@@ -1,0 +1,173 @@
+//! Hardware backends: what the device-dependent layer drives.
+//!
+//! The paper's DDAs drove LoFi shared-memory rings directly (`Alofi`),
+//! kernel device drivers (`Aaxp`/`Asparc`), or a detached network box
+//! (`Als`).  All expose the same contract to the buffering engine: a device
+//! time, a way to make the hardware consistent, and time-indexed play/record
+//! access.
+
+use af_device::lineserver::{LineServerLink, LsFunction, LsPacket};
+use af_device::VirtualAudioHw;
+use af_time::ATime;
+
+/// The device-dependent hardware interface.
+pub trait HwBackend: Send {
+    /// A cheap estimate of the current device time.
+    fn now(&mut self) -> ATime;
+
+    /// Makes the hardware consistent with the clock and returns the current
+    /// device time (the update task's hardware half).
+    fn service(&mut self) -> ATime;
+
+    /// Writes play frames at `time` (native encoding, gain already applied).
+    fn write_play(&mut self, time: ATime, data: &[u8]);
+
+    /// Reads recorded frames at `time`.
+    fn read_rec(&mut self, time: ATime, out: &mut [u8]);
+
+    /// How far ahead of "now" the update task keeps the hardware filled,
+    /// in frames (the hardware ring size).
+    fn lead_frames(&self) -> u32;
+
+    /// Direct access to a local virtual device, if this backend has one
+    /// (used for pass-through wiring and tests).
+    fn as_local_mut(&mut self) -> Option<&mut VirtualAudioHw> {
+        None
+    }
+}
+
+/// A directly attached simulated device (the `Alofi`/`Aaxp` case).
+pub struct LocalBackend {
+    hw: VirtualAudioHw,
+}
+
+impl LocalBackend {
+    /// Wraps a virtual device.
+    pub fn new(hw: VirtualAudioHw) -> LocalBackend {
+        LocalBackend { hw }
+    }
+}
+
+impl HwBackend for LocalBackend {
+    fn now(&mut self) -> ATime {
+        self.hw.now()
+    }
+
+    fn service(&mut self) -> ATime {
+        self.hw.service()
+    }
+
+    fn write_play(&mut self, time: ATime, data: &[u8]) {
+        self.hw.write_play(time, data);
+    }
+
+    fn read_rec(&mut self, time: ATime, out: &mut [u8]) {
+        self.hw.read_rec(time, out);
+    }
+
+    fn lead_frames(&self) -> u32 {
+        self.hw.config().ring_frames
+    }
+
+    fn as_local_mut(&mut self) -> Option<&mut VirtualAudioHw> {
+        Some(&mut self.hw)
+    }
+}
+
+/// The `Als` case: the device is a LineServer across a UDP link (§7.4.3).
+///
+/// "The server makes every attempt to minimize access to the LineServer,
+/// since crossing the network is a relatively expensive operation": only
+/// play/record traffic in the update regions crosses the wire, and times
+/// are estimated locally from reply timestamps between exchanges.
+pub struct AlsBackend {
+    link: LineServerLink,
+    rate: u32,
+    lead: u32,
+    last_time: ATime,
+}
+
+impl AlsBackend {
+    /// Wraps a connected LineServer link.
+    pub fn new(link: LineServerLink, rate: u32, lead_frames: u32) -> AlsBackend {
+        AlsBackend {
+            link,
+            rate,
+            lead: lead_frames,
+            last_time: ATime::ZERO,
+        }
+    }
+
+    fn refresh_time(&mut self) -> ATime {
+        // A loopback exchange is the cheapest way to observe the remote
+        // clock; register reads would also carry a timestamp.
+        let req = LsPacket {
+            seq: 0,
+            time: ATime::ZERO,
+            function: LsFunction::Loopback,
+            param: 0,
+            aux: 0,
+            data: Vec::new(),
+        };
+        if let Ok(reply) = self.link.transact(req, 1) {
+            self.last_time = reply.time;
+        }
+        self.last_time
+    }
+}
+
+impl HwBackend for AlsBackend {
+    fn now(&mut self) -> ATime {
+        match self.link.estimate_time(self.rate) {
+            Some(t) => {
+                self.last_time = t;
+                t
+            }
+            None => self.refresh_time(),
+        }
+    }
+
+    fn service(&mut self) -> ATime {
+        // The firmware services itself; we only need a fresh time estimate.
+        self.refresh_time()
+    }
+
+    fn write_play(&mut self, time: ATime, data: &[u8]) {
+        // "No attempt is made to retry play or record packets (by then, it
+        // is probably too late anyway)."
+        let req = LsPacket {
+            seq: 0,
+            time,
+            function: LsFunction::Play,
+            param: 0,
+            aux: 0,
+            data: data.to_vec(),
+        };
+        let _ = self.link.transact(req, 0);
+    }
+
+    fn read_rec(&mut self, time: ATime, out: &mut [u8]) {
+        let req = LsPacket {
+            seq: 0,
+            time,
+            function: LsFunction::Record,
+            param: 0,
+            aux: out.len().min(u16::MAX as usize) as u16,
+            data: Vec::new(),
+        };
+        match self.link.transact(req, 0) {
+            Ok(reply) => {
+                let n = reply.data.len().min(out.len());
+                out[..n].copy_from_slice(&reply.data[..n]);
+                for b in &mut out[n..] {
+                    *b = af_dsp::g711::ULAW_SILENCE;
+                }
+            }
+            Err(_) => out.fill(af_dsp::g711::ULAW_SILENCE),
+        }
+    }
+
+    fn lead_frames(&self) -> u32 {
+        self.lead
+    }
+}

@@ -1,0 +1,32 @@
+//! The AudioFile server.
+//!
+//! The server mediates access to audio devices and exports the
+//! device-independent protocol to clients (§7).  Its organization follows
+//! the paper's: a device-independent section (connection management,
+//! dispatch, tasks, properties, events — [`dispatch`], [`state`],
+//! [`task`]), a device-dependent section behind [`backend::HwBackend`] and
+//! [`buffer::DeviceBuffers`], and an OS section ([`transport`]) that turns
+//! sockets into a request stream.
+//!
+//! Concurrency model: the paper's server is a single-threaded process
+//! multiplexed by `select()`.  The Rust equivalent keeps **all server state
+//! on one dispatcher thread**; per-connection reader threads frame bytes
+//! into requests on a channel (our `select()`), and per-connection writer
+//! threads drain outbound queues so a slow client cannot stall everyone —
+//! preserving the paper's fairness and "no rocket science" properties
+//! without a kernel dependency beyond ordinary sockets.
+
+pub mod backend;
+pub mod buffer;
+pub mod builder;
+pub mod dispatch;
+pub mod gain;
+pub mod state;
+pub mod task;
+pub mod transport;
+
+pub use buffer::{DeviceBuffers, PlayOutcome};
+pub use builder::{DeviceSetup, RunningServer, ServerBuilder, ServerHandle};
+
+/// The paper's `MSUPDATE`: the update task period, in milliseconds.
+pub const MSUPDATE: u64 = 100;

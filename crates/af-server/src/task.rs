@@ -1,0 +1,106 @@
+//! The task mechanism (§7.3.1).
+//!
+//! "Instead of using threads, we implemented a simple task mechanism which
+//! allows procedures to be scheduled for execution at future times, outside
+//! the main flow of control."  The dispatcher's main loop sleeps until the
+//! earliest due task (its `select()` timeout) and then runs everything due:
+//! the periodic update, and wake-ups for suspended clients.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::time::Instant;
+
+/// What a due task does.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum TaskKind {
+    /// Run the per-device update and reschedule (the `codecUpdateTask`
+    /// analogue).
+    Update,
+    /// Re-check suspended clients (a blocked request may now complete).
+    WakeBlocked,
+}
+
+/// A time-ordered queue of pending tasks.
+#[derive(Default)]
+pub struct TaskQueue {
+    heap: BinaryHeap<Reverse<(Instant, u64, TaskKind)>>,
+    counter: u64,
+}
+
+impl TaskQueue {
+    /// Creates an empty queue.
+    pub fn new() -> TaskQueue {
+        TaskQueue::default()
+    }
+
+    /// Schedules `kind` to run at `at` (the `AddTask` analogue).
+    pub fn schedule(&mut self, at: Instant, kind: TaskKind) {
+        self.counter += 1;
+        self.heap.push(Reverse((at, self.counter, kind)));
+    }
+
+    /// The earliest deadline, if any task is pending.
+    pub fn next_deadline(&self) -> Option<Instant> {
+        self.heap.peek().map(|Reverse((at, _, _))| *at)
+    }
+
+    /// Pops every task due at or before `now`.
+    pub fn pop_due(&mut self, now: Instant) -> Vec<TaskKind> {
+        let mut due = Vec::new();
+        while let Some(Reverse((at, _, _))) = self.heap.peek() {
+            if *at > now {
+                break;
+            }
+            let Reverse((_, _, kind)) = self.heap.pop().expect("peeked");
+            due.push(kind);
+        }
+        due
+    }
+
+    /// Number of pending tasks.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether no tasks are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = TaskQueue::new();
+        let t0 = Instant::now();
+        q.schedule(t0 + Duration::from_millis(20), TaskKind::WakeBlocked);
+        q.schedule(t0 + Duration::from_millis(10), TaskKind::Update);
+        assert_eq!(q.next_deadline(), Some(t0 + Duration::from_millis(10)));
+
+        // Nothing due yet.
+        assert!(q.pop_due(t0).is_empty());
+        assert_eq!(q.len(), 2);
+
+        let due = q.pop_due(t0 + Duration::from_millis(15));
+        assert_eq!(due, vec![TaskKind::Update]);
+
+        let due = q.pop_due(t0 + Duration::from_millis(25));
+        assert_eq!(due, vec![TaskKind::WakeBlocked]);
+        assert!(q.is_empty());
+        assert_eq!(q.next_deadline(), None);
+    }
+
+    #[test]
+    fn equal_deadlines_pop_in_insertion_order() {
+        let mut q = TaskQueue::new();
+        let t = Instant::now();
+        q.schedule(t, TaskKind::WakeBlocked);
+        q.schedule(t, TaskKind::Update);
+        let due = q.pop_due(t);
+        assert_eq!(due, vec![TaskKind::WakeBlocked, TaskKind::Update]);
+    }
+}

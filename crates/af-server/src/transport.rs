@@ -1,0 +1,318 @@
+//! The OS layer: sockets in, framed requests out.
+//!
+//! The paper's server multiplexed client sockets with `select()`.  Here
+//! each accepted connection gets a reader thread (which performs the
+//! framing: 4-byte header, length-derived payload) and a writer thread
+//! (which drains an outbound queue); both feed or are fed by the
+//! dispatcher's single event channel, preserving single-threaded semantics
+//! over all server state.
+//!
+//! TCP and Unix-domain sockets are supported, matching §5.1.
+
+use crate::state::{ClientId, RawRequest, ServerEvent};
+use af_proto::{ByteOrder, ConnSetup, MAX_REQUEST_BYTES};
+use crossbeam_channel::Sender;
+use std::io::{Read, Write};
+use std::net::{IpAddr, SocketAddr, TcpListener, TcpStream};
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Where a server listens.
+#[derive(Clone, Debug)]
+pub enum ListenAddr {
+    /// A TCP socket address.
+    Tcp(SocketAddr),
+    /// A Unix-domain socket path.
+    Unix(PathBuf),
+}
+
+/// Shared transport bookkeeping.
+pub struct TransportShared {
+    /// Dispatcher event channel.
+    pub events: Sender<ServerEvent>,
+    /// Client id allocator.
+    pub next_id: AtomicU64,
+    /// Set to stop accept loops.
+    pub stop: AtomicBool,
+}
+
+impl TransportShared {
+    /// Creates shared state feeding `events`.
+    pub fn new(events: Sender<ServerEvent>) -> Arc<TransportShared> {
+        Arc::new(TransportShared {
+            events,
+            next_id: AtomicU64::new(1),
+            stop: AtomicBool::new(false),
+        })
+    }
+}
+
+/// Starts a TCP listener; returns the bound address.
+pub fn spawn_tcp(shared: Arc<TransportShared>, addr: SocketAddr) -> std::io::Result<SocketAddr> {
+    let listener = TcpListener::bind(addr)?;
+    let bound = listener.local_addr()?;
+    std::thread::Builder::new()
+        .name("af-accept-tcp".into())
+        .spawn(move || {
+            for stream in listener.incoming() {
+                if shared.stop.load(Ordering::Relaxed) {
+                    break;
+                }
+                match stream {
+                    Ok(s) => {
+                        let _ = s.set_nodelay(true);
+                        let peer = s.peer_addr().ok().map(|a| a.ip());
+                        spawn_connection(Arc::clone(&shared), s, peer);
+                    }
+                    Err(_) => break,
+                }
+            }
+        })?;
+    Ok(bound)
+}
+
+/// Starts a Unix-domain listener at `path` (removing any stale socket).
+pub fn spawn_unix(shared: Arc<TransportShared>, path: &Path) -> std::io::Result<()> {
+    let _ = std::fs::remove_file(path);
+    let listener = UnixListener::bind(path)?;
+    std::thread::Builder::new()
+        .name("af-accept-unix".into())
+        .spawn(move || {
+            for stream in listener.incoming() {
+                if shared.stop.load(Ordering::Relaxed) {
+                    break;
+                }
+                match stream {
+                    Ok(s) => spawn_connection(Arc::clone(&shared), s, None),
+                    Err(_) => break,
+                }
+            }
+        })?;
+    Ok(())
+}
+
+/// A bidirectional byte stream usable as an AudioFile connection.
+pub trait Conn: Read + Write + Send + Sized + 'static {
+    /// Clones the stream for the writer thread.
+    fn split(&self) -> std::io::Result<Self>;
+}
+
+impl Conn for TcpStream {
+    fn split(&self) -> std::io::Result<TcpStream> {
+        self.try_clone()
+    }
+}
+
+impl Conn for UnixStream {
+    fn split(&self) -> std::io::Result<UnixStream> {
+        self.try_clone()
+    }
+}
+
+/// Sets up reader and writer threads for one accepted connection.
+pub fn spawn_connection<S: Conn>(shared: Arc<TransportShared>, stream: S, peer: Option<IpAddr>) {
+    let id = shared.next_id.fetch_add(1, Ordering::Relaxed);
+    let (tx, rx) = crossbeam_channel::unbounded::<Vec<u8>>();
+    let mut write_half = match stream.split() {
+        Ok(s) => s,
+        Err(_) => return,
+    };
+
+    // Writer: drain outbound queue until the channel closes.
+    let _ = std::thread::Builder::new()
+        .name(format!("af-writer-{id}"))
+        .spawn(move || {
+            while let Ok(bytes) = rx.recv() {
+                if write_half.write_all(&bytes).is_err() {
+                    break;
+                }
+            }
+            let _ = write_half.flush();
+        });
+
+    // Reader: setup message, then framed requests until EOF.
+    let _ = std::thread::Builder::new()
+        .name(format!("af-reader-{id}"))
+        .spawn(move || {
+            let mut stream = stream;
+            if let Some(order) = read_setup(&mut stream, &shared, id, peer, tx) {
+                read_requests(&mut stream, &shared, id, order);
+            }
+            let _ = shared.events.send(ServerEvent::Disconnect { id });
+        });
+}
+
+fn read_setup<S: Read>(
+    stream: &mut S,
+    shared: &TransportShared,
+    id: ClientId,
+    peer: Option<IpAddr>,
+    tx: Sender<Vec<u8>>,
+) -> Option<ByteOrder> {
+    let mut header = [0u8; ConnSetup::HEADER_SIZE];
+    stream.read_exact(&mut header).ok()?;
+    let tail_len = ConnSetup::tail_len(&header).ok()?;
+    let mut setup = header.to_vec();
+    setup.resize(ConnSetup::HEADER_SIZE + tail_len, 0);
+    stream
+        .read_exact(&mut setup[ConnSetup::HEADER_SIZE..])
+        .ok()?;
+    let order = ByteOrder::from_marker(setup[0]).ok()?;
+    shared
+        .events
+        .send(ServerEvent::NewClient {
+            id,
+            setup,
+            peer,
+            tx,
+        })
+        .ok()?;
+    Some(order)
+}
+
+fn read_requests<S: Read>(
+    stream: &mut S,
+    shared: &TransportShared,
+    id: ClientId,
+    order: ByteOrder,
+) {
+    loop {
+        let mut header = [0u8; 4];
+        if stream.read_exact(&mut header).is_err() {
+            return;
+        }
+        let words = match order {
+            ByteOrder::Little => u16::from_le_bytes([header[0], header[1]]),
+            ByteOrder::Big => u16::from_be_bytes([header[0], header[1]]),
+        } as usize;
+        if words == 0 {
+            return; // Malformed framing: drop the connection.
+        }
+        let payload_len = words * 4 - 4;
+        if payload_len > MAX_REQUEST_BYTES {
+            return;
+        }
+        let mut payload = vec![0u8; payload_len];
+        if stream.read_exact(&mut payload).is_err() {
+            return;
+        }
+        let raw = RawRequest {
+            opcode: header[2],
+            payload,
+        };
+        if shared
+            .events
+            .send(ServerEvent::Request { id, raw })
+            .is_err()
+        {
+            return;
+        }
+    }
+}
+
+/// Unblocks a pending `accept` on `addr` so its loop observes `stop`.
+pub fn poke_tcp(addr: SocketAddr) {
+    let _ = TcpStream::connect(addr);
+}
+
+/// Unblocks a pending Unix-domain `accept`.
+pub fn poke_unix(path: &Path) {
+    let _ = UnixStream::connect(path);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use af_time::ATime;
+
+    #[test]
+    fn framing_round_trip_over_tcp() {
+        let (tx, rx) = crossbeam_channel::unbounded();
+        let shared = TransportShared::new(tx);
+        let addr = spawn_tcp(Arc::clone(&shared), "127.0.0.1:0".parse().unwrap()).unwrap();
+
+        // Handshake + one request from a raw socket.
+        let mut sock = TcpStream::connect(addr).unwrap();
+        let setup = ConnSetup::new();
+        sock.write_all(&setup.encode()).unwrap();
+        let req = af_proto::Request::PlaySamples {
+            ac: 3,
+            start_time: ATime::new(99),
+            flags: 0,
+            data: vec![1, 2, 3, 4, 5, 6, 7],
+        };
+        sock.write_all(&req.encode(ByteOrder::native())).unwrap();
+
+        // The dispatcher side sees NewClient then the framed request.
+        match rx.recv_timeout(std::time::Duration::from_secs(2)).unwrap() {
+            ServerEvent::NewClient { setup: s, peer, .. } => {
+                assert_eq!(ConnSetup::decode(&s).unwrap(), setup);
+                assert!(peer.unwrap().is_loopback());
+            }
+            _ => panic!("expected NewClient"),
+        }
+        match rx.recv_timeout(std::time::Duration::from_secs(2)).unwrap() {
+            ServerEvent::Request { raw, .. } => {
+                assert_eq!(raw.opcode, af_proto::Opcode::PlaySamples.to_wire());
+                let decoded = af_proto::Request::decode(
+                    ByteOrder::native(),
+                    af_proto::Opcode::PlaySamples,
+                    &raw.payload,
+                )
+                .unwrap();
+                assert_eq!(decoded, req);
+            }
+            _ => panic!("expected Request"),
+        }
+
+        // Dropping the socket produces a Disconnect.
+        drop(sock);
+        match rx.recv_timeout(std::time::Duration::from_secs(2)).unwrap() {
+            ServerEvent::Disconnect { .. } => {}
+            _ => panic!("expected Disconnect"),
+        }
+        shared.stop.store(true, Ordering::Relaxed);
+        poke_tcp(addr);
+    }
+
+    #[test]
+    fn zero_length_frame_drops_connection() {
+        let (tx, rx) = crossbeam_channel::unbounded();
+        let shared = TransportShared::new(tx);
+        let addr = spawn_tcp(Arc::clone(&shared), "127.0.0.1:0".parse().unwrap()).unwrap();
+
+        let mut sock = TcpStream::connect(addr).unwrap();
+        sock.write_all(&ConnSetup::new().encode()).unwrap();
+        let _ = rx.recv_timeout(std::time::Duration::from_secs(2)).unwrap();
+        // A zero length header is invalid.
+        sock.write_all(&[0, 0, 33, 0]).unwrap();
+        match rx.recv_timeout(std::time::Duration::from_secs(2)).unwrap() {
+            ServerEvent::Disconnect { .. } => {}
+            _ => panic!("expected Disconnect for bad framing"),
+        }
+        shared.stop.store(true, Ordering::Relaxed);
+        poke_tcp(addr);
+    }
+
+    #[test]
+    fn unix_socket_round_trip() {
+        let (tx, rx) = crossbeam_channel::unbounded();
+        let shared = TransportShared::new(tx);
+        let dir = std::env::temp_dir().join(format!("af-test-{}", std::process::id()));
+        let _ = std::fs::create_dir_all(&dir);
+        let path = dir.join("af-unix-test.sock");
+        spawn_unix(Arc::clone(&shared), &path).unwrap();
+
+        let mut sock = UnixStream::connect(&path).unwrap();
+        sock.write_all(&ConnSetup::new().encode()).unwrap();
+        match rx.recv_timeout(std::time::Duration::from_secs(2)).unwrap() {
+            ServerEvent::NewClient { peer, .. } => assert!(peer.is_none()),
+            _ => panic!("expected NewClient"),
+        }
+        shared.stop.store(true, Ordering::Relaxed);
+        poke_unix(&path);
+        let _ = std::fs::remove_file(&path);
+    }
+}

@@ -1,0 +1,157 @@
+//! Conversion between two clocks via an observed correspondence point.
+
+use crate::ATime;
+
+/// A correspondence between two clocks, following §2.1 of the paper.
+///
+/// Given clocks *A* and *B*, a pair of values `(T_a, T_b)` observed "at the
+/// same time", and the nominal rates `R_a` and `R_b` (in ticks per second),
+/// a future value `t_a` of clock *A* maps to clock *B* as
+///
+/// ```text
+/// t_b = T_b + R_b * ((t_a - T_a) / R_a)
+/// ```
+///
+/// The relationship is approximate — real oscillators drift — but is good
+/// enough for scheduling, and applications such as `apass` resynchronize
+/// periodically rather than relying on it over long spans.
+///
+/// # Examples
+///
+/// ```
+/// use af_time::{ATime, Correspondence};
+///
+/// // An 8 kHz device observed at tick 1000 when a 48 kHz device read 500.
+/// let c = Correspondence::new(ATime::new(1000), 8000.0, ATime::new(500), 48_000.0);
+/// // One second later on A is 8000 ticks; on B it is 48_000 ticks.
+/// assert_eq!(c.a_to_b(ATime::new(9000)), ATime::new(48_500));
+/// assert_eq!(c.b_to_a(ATime::new(48_500)), ATime::new(9000));
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Correspondence {
+    t_a: ATime,
+    rate_a: f64,
+    t_b: ATime,
+    rate_b: f64,
+}
+
+impl Correspondence {
+    /// Creates a correspondence from a simultaneous observation of both
+    /// clocks and their rates in ticks per second.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either rate is not strictly positive.
+    pub fn new(t_a: ATime, rate_a: f64, t_b: ATime, rate_b: f64) -> Self {
+        assert!(rate_a > 0.0, "clock A rate must be positive");
+        assert!(rate_b > 0.0, "clock B rate must be positive");
+        Correspondence {
+            t_a,
+            rate_a,
+            t_b,
+            rate_b,
+        }
+    }
+
+    /// Maps a time on clock A to the corresponding time on clock B.
+    ///
+    /// Valid while `t_a` is within ±2³¹ ticks of the observation point
+    /// *and* the scaled interval stays within ±2³¹ ticks on clock B; a
+    /// mapped interval beyond that wraps, as all finite device times do
+    /// (§2.1's "programs must be careful not to make comparisons between
+    /// widely separated time values").
+    pub fn a_to_b(&self, t_a: ATime) -> ATime {
+        let elapsed_a = f64::from(t_a.delta(self.t_a));
+        let elapsed_b = (self.rate_b * (elapsed_a / self.rate_a)).round() as i64;
+        self.t_b.offset(elapsed_b as i32)
+    }
+
+    /// Maps a time on clock B to the corresponding time on clock A.
+    pub fn b_to_a(&self, t_b: ATime) -> ATime {
+        let elapsed_b = f64::from(t_b.delta(self.t_b));
+        let elapsed_a = (self.rate_a * (elapsed_b / self.rate_b)).round() as i64;
+        self.t_a.offset(elapsed_a as i32)
+    }
+
+    /// Re-anchors the correspondence at a new simultaneous observation,
+    /// keeping the configured rates.
+    ///
+    /// `apass`-style applications call this when resynchronizing after clock
+    /// drift exceeds their anti-jitter tolerance.
+    pub fn reanchor(&mut self, t_a: ATime, t_b: ATime) {
+        self.t_a = t_a;
+        self.t_b = t_b;
+    }
+
+    /// Estimates the ratio `rate_b / rate_a` from two observation pairs.
+    ///
+    /// This is the `(ft2 - ft1)/(tt2 - tt1)` calculation discussed in §8.3.3:
+    /// both pairs must be sampled "at the same time" according to some third
+    /// clock.  Returns `None` when the A-clock span is zero.
+    pub fn estimate_ratio(pair1: (ATime, ATime), pair2: (ATime, ATime)) -> Option<f64> {
+        let da = f64::from(pair2.0.delta(pair1.0));
+        let db = f64::from(pair2.1.delta(pair1.1));
+        if da == 0.0 {
+            None
+        } else {
+            Some(db / da)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_when_rates_equal_and_anchored_equal() {
+        let c = Correspondence::new(ATime::new(7), 8000.0, ATime::new(7), 8000.0);
+        for dt in [0i32, 1, 8000, -16000] {
+            let t = ATime::new(7).offset(dt);
+            assert_eq!(c.a_to_b(t), t);
+        }
+    }
+
+    #[test]
+    fn converts_across_rates() {
+        let c = Correspondence::new(ATime::ZERO, 8000.0, ATime::ZERO, 44_100.0);
+        assert_eq!(c.a_to_b(ATime::new(8000)), ATime::new(44_100));
+        assert_eq!(c.b_to_a(ATime::new(44_100)), ATime::new(8000));
+    }
+
+    #[test]
+    fn handles_wrap_of_either_clock() {
+        let c = Correspondence::new(ATime::new(u32::MAX - 5), 8000.0, ATime::new(10), 8000.0);
+        // 10 ticks later on A (wrapping) is 10 ticks later on B.
+        assert_eq!(c.a_to_b(ATime::new(4)), ATime::new(20));
+    }
+
+    #[test]
+    fn reanchor_changes_mapping() {
+        let mut c = Correspondence::new(ATime::ZERO, 8000.0, ATime::ZERO, 8000.0);
+        c.reanchor(ATime::new(100), ATime::new(500));
+        assert_eq!(c.a_to_b(ATime::new(100)), ATime::new(500));
+        assert_eq!(c.a_to_b(ATime::new(180)), ATime::new(580));
+    }
+
+    #[test]
+    fn ratio_estimation() {
+        let r = Correspondence::estimate_ratio(
+            (ATime::new(0), ATime::new(0)),
+            (ATime::new(8000), ATime::new(8008)),
+        )
+        .unwrap();
+        assert!((r - 1.001).abs() < 1e-9);
+        assert!(Correspondence::estimate_ratio(
+            (ATime::new(5), ATime::new(0)),
+            (ATime::new(5), ATime::new(10))
+        )
+        .is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_rate_rejected() {
+        let _ = Correspondence::new(ATime::ZERO, 0.0, ATime::ZERO, 8000.0);
+    }
+}

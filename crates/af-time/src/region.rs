@@ -1,0 +1,162 @@
+//! Classification of request times against the server's buffer window.
+
+use crate::ATime;
+
+/// Where a requested time interval falls relative to a device's buffered
+/// window around "now".
+///
+/// This is the vocabulary of the output and input models (§2.2–2.3):
+///
+/// * play data in the **past** is silently discarded,
+/// * play data in the **near future** (within the buffer) is mixed in,
+/// * play data **beyond** the buffer blocks the client until time advances;
+/// * record data from the **distant past** (older than the buffer) reads as
+///   silence,
+/// * record data from the **recent past** is served from the buffer,
+/// * record data from the **future** blocks (or returns short, if
+///   non-blocking).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Region {
+    /// Entirely before the buffered window.
+    DistantPast,
+    /// Within the buffered window on the past side of `now`.
+    RecentPast,
+    /// Within the buffered window on the future side of `now`.
+    NearFuture,
+    /// Beyond the buffered window in the future.
+    DistantFuture,
+}
+
+/// A window of buffered device time around `now`.
+///
+/// The paper's servers keep (typically) four seconds of history for recording
+/// and accept four seconds of scheduled playback; `BufferWindow` captures
+/// those two extents and classifies sample positions against them.
+///
+/// # Examples
+///
+/// ```
+/// use af_time::{ATime, BufferWindow, Region};
+///
+/// let w = BufferWindow::new(ATime::new(100_000), 32_000, 32_000);
+/// assert_eq!(w.classify(ATime::new(100_500)), Region::NearFuture);
+/// assert_eq!(w.classify(ATime::new(99_000)), Region::RecentPast);
+/// assert_eq!(w.classify(ATime::new(10)), Region::DistantPast);
+/// assert_eq!(w.classify(ATime::new(200_000)), Region::DistantFuture);
+/// ```
+#[derive(Clone, Copy, Debug)]
+pub struct BufferWindow {
+    now: ATime,
+    past_extent: u32,
+    future_extent: u32,
+}
+
+impl BufferWindow {
+    /// Creates a window centred at `now` extending `past_extent` samples back
+    /// and `future_extent` samples forward.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either extent is 2³¹ or more (the circular ordering would
+    /// become ambiguous).
+    pub fn new(now: ATime, past_extent: u32, future_extent: u32) -> Self {
+        assert!(past_extent < 1 << 31, "past extent too large");
+        assert!(future_extent < 1 << 31, "future extent too large");
+        BufferWindow {
+            now,
+            past_extent,
+            future_extent,
+        }
+    }
+
+    /// The current device time the window is centred on.
+    pub fn now(&self) -> ATime {
+        self.now
+    }
+
+    /// Oldest buffered time (inclusive).
+    pub fn oldest(&self) -> ATime {
+        self.now - self.past_extent
+    }
+
+    /// Latest schedulable time (exclusive).
+    pub fn horizon(&self) -> ATime {
+        self.now + self.future_extent
+    }
+
+    /// Classifies a single time against the window.
+    pub fn classify(&self, t: ATime) -> Region {
+        let d = t.delta(self.now);
+        if d >= 0 {
+            if (d as u32) < self.future_extent {
+                Region::NearFuture
+            } else {
+                Region::DistantFuture
+            }
+        } else if d.unsigned_abs() <= self.past_extent {
+            Region::RecentPast
+        } else {
+            Region::DistantPast
+        }
+    }
+
+    /// Splits the interval `[start, start + len)` into the portion that falls
+    /// before `now` and the portion at or after `now`.
+    ///
+    /// Returns `(past_len, future_len)` with `past_len + future_len == len`.
+    pub fn split_at_now(&self, start: ATime, len: u32) -> (u32, u32) {
+        let d = self.now.delta(start); // How far `now` is past `start`.
+        if d <= 0 {
+            (0, len)
+        } else if (d as u32) >= len {
+            (len, 0)
+        } else {
+            (d as u32, len - d as u32)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn window() -> BufferWindow {
+        BufferWindow::new(ATime::new(1_000_000), 32_000, 32_000)
+    }
+
+    #[test]
+    fn now_is_near_future() {
+        // "now" is a schedulable instant: data for now plays immediately.
+        assert_eq!(window().classify(ATime::new(1_000_000)), Region::NearFuture);
+    }
+
+    #[test]
+    fn boundaries() {
+        let w = window();
+        assert_eq!(w.classify(w.oldest()), Region::RecentPast);
+        assert_eq!(w.classify(w.oldest() - 1u32), Region::DistantPast);
+        assert_eq!(w.classify(w.horizon()), Region::DistantFuture);
+        assert_eq!(w.classify(w.horizon() - 1u32), Region::NearFuture);
+    }
+
+    #[test]
+    fn classify_across_wrap() {
+        let w = BufferWindow::new(ATime::new(10), 32_000, 32_000);
+        assert_eq!(w.classify(ATime::new(u32::MAX - 100)), Region::RecentPast);
+        assert_eq!(
+            w.classify(ATime::new(u32::MAX - 50_000)),
+            Region::DistantPast
+        );
+    }
+
+    #[test]
+    fn split_at_now_cases() {
+        let w = window();
+        // Entirely in the future.
+        assert_eq!(w.split_at_now(w.now(), 100), (0, 100));
+        // Entirely in the past.
+        assert_eq!(w.split_at_now(w.now() - 200u32, 100), (100, 0));
+        // Straddling now.
+        assert_eq!(w.split_at_now(w.now() - 30u32, 100), (30, 70));
+    }
+}

@@ -1,0 +1,126 @@
+//! Client-side Touch-Tone dialing (`AFDialPhone`).
+//!
+//! The protocol's `DialPhone` request is obsolete: "we found it difficult
+//! to meet FCC timing requirements for dialing by using our internal
+//! tasking system in the server.  Instead, the client library implements
+//! client side tone dialing by generating appropriate tones and using
+//! device time to play them at exactly the right time" (§5.5).
+
+use af_client::{Ac, AfError, AfResult, AudioConn};
+use af_dsp::g711::ULAW_SILENCE;
+use af_dsp::telephony::dtmf_for_digit;
+use af_dsp::tone::tone_pair;
+use af_time::ATime;
+
+/// Timing for dial sequences.
+#[derive(Clone, Copy, Debug)]
+pub struct DialTiming {
+    /// Tone duration per digit in milliseconds.
+    pub on_ms: u32,
+    /// Silence between digits in milliseconds.
+    pub off_ms: u32,
+    /// Envelope ramp in samples (reduces keying splatter).
+    pub ramp_samples: usize,
+}
+
+impl Default for DialTiming {
+    /// The Table 7 cadence: 50 ms on, 50 ms off.
+    fn default() -> DialTiming {
+        DialTiming {
+            on_ms: 50,
+            off_ms: 50,
+            ramp_samples: 16,
+        }
+    }
+}
+
+/// Synthesizes the µ-law sample stream for dialing `number`.
+///
+/// Non-DTMF characters (spaces, dashes, parentheses) are skipped, matching
+/// phone-directory conventions.  Returns `None` if no dialable digit
+/// remains.
+pub fn dial_samples(number: &str, sample_rate: f64, timing: DialTiming) -> Option<Vec<u8>> {
+    let on = (sample_rate * f64::from(timing.on_ms) / 1000.0) as usize;
+    let off = (sample_rate * f64::from(timing.off_ms) / 1000.0) as usize;
+    let mut out = Vec::new();
+    let mut any = false;
+    for ch in number.chars() {
+        let Some(def) = dtmf_for_digit(ch) else {
+            continue;
+        };
+        any = true;
+        out.extend(tone_pair(def.spec, sample_rate, on, timing.ramp_samples));
+        out.extend(std::iter::repeat_n(ULAW_SILENCE, off));
+    }
+    any.then_some(out)
+}
+
+/// Dials `number` on a telephone device by playing DTMF tones at an exact
+/// device time (`AFDialPhone`).
+///
+/// The context must be bound to a µ-law telephone device and the line must
+/// already be off-hook.  Returns the device time at which the dial sequence
+/// ends.
+pub fn dial_phone(conn: &mut AudioConn, ac: &Ac, number: &str) -> AfResult<ATime> {
+    dial_phone_with(conn, ac, number, DialTiming::default())
+}
+
+/// [`dial_phone`] with explicit timing.
+pub fn dial_phone_with(
+    conn: &mut AudioConn,
+    ac: &Ac,
+    number: &str,
+    timing: DialTiming,
+) -> AfResult<ATime> {
+    let rate = f64::from(ac.sample_rate());
+    let samples = dial_samples(number, rate, timing)
+        .ok_or_else(|| AfError::ConnectFailed(format!("nothing dialable in {number:?}")))?;
+    // Schedule slightly in the future so the whole sequence is contiguous.
+    let start = conn.get_time(ac.device)? + (ac.sample_rate() / 10);
+    conn.play_samples(ac, start, &samples)?;
+    Ok(start + samples.len() as u32)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use af_dsp::goertzel::{DtmfDetector, DtmfEvent};
+
+    #[test]
+    fn dial_samples_decode_back_to_digits() {
+        let samples = dial_samples("555-0142", 8000.0, DialTiming::default()).unwrap();
+        let pcm: Vec<i16> = samples
+            .iter()
+            .map(|&b| af_dsp::g711::ulaw_to_linear(b))
+            .collect();
+        let mut det = DtmfDetector::new(8000.0);
+        let digits: Vec<char> = det
+            .feed(&pcm)
+            .into_iter()
+            .filter_map(|e| match e {
+                DtmfEvent::KeyDown(d) => Some(d),
+                DtmfEvent::KeyUp(_) => None,
+            })
+            .collect();
+        assert_eq!(digits, vec!['5', '5', '5', '0', '1', '4', '2']);
+    }
+
+    #[test]
+    fn non_digits_skipped_entirely() {
+        assert!(dial_samples("(—) ", 8000.0, DialTiming::default()).is_none());
+        let some = dial_samples(" 1 ", 8000.0, DialTiming::default()).unwrap();
+        // 50 ms on + 50 ms off at 8 kHz.
+        assert_eq!(some.len(), 800);
+    }
+
+    #[test]
+    fn timing_respected() {
+        let t = DialTiming {
+            on_ms: 100,
+            off_ms: 25,
+            ramp_samples: 8,
+        };
+        let s = dial_samples("9", 8000.0, t).unwrap();
+        assert_eq!(s.len(), 800 + 200);
+    }
+}

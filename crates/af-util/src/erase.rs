@@ -1,0 +1,47 @@
+//! Erasing buffered future audio — `aplay`'s interrupt behaviour (§8.1.2).
+//!
+//! "Explicit client control of time allows aplay to take full advantage of
+//! all the buffering capacity of the server during normal operation —
+//! insulating aplay from most real-time issues, yet still allows it to
+//! stop 'on a dime' when necessary, by erasing the remaining buffered
+//! audio": the client writes preemptive silence over the interval it had
+//! scheduled.
+//!
+//! The paper notes a caveat that applies here too: preemptive playback
+//! erases *all* clients' sound in the interval, not just the caller's.
+
+use af_client::play_flags;
+use af_client::{Ac, AfResult, AudioConn};
+use af_dsp::silence;
+use af_time::ATime;
+
+/// Overwrites `[from, to)` on `ac`'s device with preemptive silence.
+///
+/// `from` is typically "now" (as returned by the last play call) and `to`
+/// the end of the caller's scheduled audio.  Uses the per-request preempt
+/// flag, so the context itself need not be preemptive.  Returns the device
+/// time after the final erase request.
+pub fn erase_future(conn: &mut AudioConn, ac: &Ac, from: ATime, to: ATime) -> AfResult<ATime> {
+    let total = to - from;
+    if total <= 0 {
+        return conn.get_time(ac.device);
+    }
+    let block_frames: u32 = 2048;
+    let block = silence::silence(ac.attrs.encoding, ac.frames_to_bytes(block_frames));
+    let mut nact = from;
+    let mut last = from;
+    while to.is_after(nact) {
+        let n = ((to - nact) as u32).min(block_frames);
+        let bytes = ac.frames_to_bytes(n);
+        last = conn.play_samples_with_flags(ac, nact, &block[..bytes], play_flags::PREEMPT)?;
+        nact += n;
+    }
+    Ok(last)
+}
+
+#[cfg(test)]
+mod tests {
+    // Exercised end-to-end in the workspace integration tests
+    // (tests/end_to_end.rs::interrupt_erases_buffered_audio); the logic
+    // here is a thin loop over play_samples_with_flags.
+}

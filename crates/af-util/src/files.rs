@@ -1,0 +1,227 @@
+//! Sound-file I/O for the play and record clients.
+//!
+//! The paper's `aplay` handled only "raw" files and named self-describing
+//! formats as an enhancement (§8.1).  We supply both: raw streams (the
+//! device defines rate/encoding, as in the paper) and the Sun/NeXT `.au`
+//! format, whose header is a natural fit since its encoding codes 1
+//! (µ-law), 3 (16-bit linear) and 27 (A-law) map directly onto AudioFile
+//! sample types.
+
+use af_dsp::Encoding;
+use std::io::{self, Read, Write};
+
+/// `.au` magic: ".snd".
+const AU_MAGIC: u32 = 0x2e736e64;
+
+/// Metadata of a sound stream.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SoundSpec {
+    /// Sample encoding.
+    pub encoding: Encoding,
+    /// Sample rate in Hz.
+    pub sample_rate: u32,
+    /// Interleaved channels.
+    pub channels: u32,
+}
+
+/// Errors reading or writing sound files.
+#[derive(Debug)]
+pub enum FileError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// The header was not a recognized sound-file header.
+    BadHeader(&'static str),
+    /// The `.au` encoding code has no AudioFile equivalent.
+    UnsupportedEncoding(u32),
+}
+
+impl std::fmt::Display for FileError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FileError::Io(e) => write!(f, "i/o error: {e}"),
+            FileError::BadHeader(what) => write!(f, "bad sound file header: {what}"),
+            FileError::UnsupportedEncoding(c) => write!(f, "unsupported .au encoding {c}"),
+        }
+    }
+}
+
+impl std::error::Error for FileError {}
+
+impl From<io::Error> for FileError {
+    fn from(e: io::Error) -> Self {
+        FileError::Io(e)
+    }
+}
+
+fn au_code(e: Encoding) -> Option<u32> {
+    match e {
+        Encoding::Mu255 => Some(1),
+        Encoding::Lin16 => Some(3),
+        Encoding::Lin32 => Some(5),
+        Encoding::Alaw => Some(27),
+        _ => None,
+    }
+}
+
+fn au_encoding(code: u32) -> Option<Encoding> {
+    match code {
+        1 => Some(Encoding::Mu255),
+        3 => Some(Encoding::Lin16),
+        5 => Some(Encoding::Lin32),
+        27 => Some(Encoding::Alaw),
+        _ => None,
+    }
+}
+
+/// Writes a `.au` header for a stream of unknown length.
+pub fn write_au_header<W: Write>(w: &mut W, spec: &SoundSpec) -> Result<(), FileError> {
+    let code = au_code(spec.encoding).ok_or(FileError::UnsupportedEncoding(u32::MAX))?;
+    w.write_all(&AU_MAGIC.to_be_bytes())?;
+    w.write_all(&28u32.to_be_bytes())?; // Data offset.
+    w.write_all(&0xFFFF_FFFFu32.to_be_bytes())?; // Unknown length.
+    w.write_all(&code.to_be_bytes())?;
+    w.write_all(&spec.sample_rate.to_be_bytes())?;
+    w.write_all(&spec.channels.to_be_bytes())?;
+    w.write_all(&[0u8; 4])?; // Minimal annotation.
+    Ok(())
+}
+
+/// Reads a `.au` header, returning the spec; leaves the reader at the data.
+pub fn read_au_header<R: Read>(r: &mut R) -> Result<SoundSpec, FileError> {
+    let mut h = [0u8; 24];
+    r.read_exact(&mut h)?;
+    let word = |i: usize| u32::from_be_bytes(h[i * 4..i * 4 + 4].try_into().expect("4 bytes"));
+    if word(0) != AU_MAGIC {
+        return Err(FileError::BadHeader("missing .snd magic"));
+    }
+    let offset = word(1) as usize;
+    if offset < 24 {
+        return Err(FileError::BadHeader("data offset inside header"));
+    }
+    let code = word(3);
+    let encoding = au_encoding(code).ok_or(FileError::UnsupportedEncoding(code))?;
+    let sample_rate = word(4);
+    let channels = word(5);
+    // Skip the annotation between byte 24 and the data offset.
+    let mut skip = vec![0u8; offset - 24];
+    r.read_exact(&mut skip)?;
+    Ok(SoundSpec {
+        encoding,
+        sample_rate,
+        channels,
+    })
+}
+
+/// `.au` sample data is big-endian; AudioFile buffers are little-endian.
+/// Swaps in place when the encoding is multi-byte.
+pub fn au_swap_to_native(encoding: Encoding, data: &mut [u8]) {
+    match encoding {
+        Encoding::Lin16 => {
+            for pair in data.chunks_exact_mut(2) {
+                pair.swap(0, 1);
+            }
+        }
+        Encoding::Lin32 => {
+            for quad in data.chunks_exact_mut(4) {
+                quad.swap(0, 3);
+                quad.swap(1, 2);
+            }
+        }
+        _ => {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn au_header_round_trip() {
+        for spec in [
+            SoundSpec {
+                encoding: Encoding::Mu255,
+                sample_rate: 8000,
+                channels: 1,
+            },
+            SoundSpec {
+                encoding: Encoding::Lin16,
+                sample_rate: 44_100,
+                channels: 2,
+            },
+            SoundSpec {
+                encoding: Encoding::Alaw,
+                sample_rate: 8000,
+                channels: 1,
+            },
+        ] {
+            let mut buf = Vec::new();
+            write_au_header(&mut buf, &spec).unwrap();
+            buf.extend_from_slice(&[9, 8, 7]);
+            let mut r = io::Cursor::new(&buf);
+            let back = read_au_header(&mut r).unwrap();
+            assert_eq!(back, spec);
+            let mut rest = Vec::new();
+            r.read_to_end(&mut rest).unwrap();
+            assert_eq!(rest, vec![9, 8, 7]);
+        }
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let mut buf = Vec::new();
+        write_au_header(
+            &mut buf,
+            &SoundSpec {
+                encoding: Encoding::Mu255,
+                sample_rate: 8000,
+                channels: 1,
+            },
+        )
+        .unwrap();
+        buf[0] = b'X';
+        assert!(matches!(
+            read_au_header(&mut io::Cursor::new(&buf)),
+            Err(FileError::BadHeader(_))
+        ));
+    }
+
+    #[test]
+    fn unsupported_encoding_rejected() {
+        let mut buf = Vec::new();
+        write_au_header(
+            &mut buf,
+            &SoundSpec {
+                encoding: Encoding::Mu255,
+                sample_rate: 8000,
+                channels: 1,
+            },
+        )
+        .unwrap();
+        buf[15] = 23; // 4-bit G.721 ADPCM: defined by .au, not mapped here.
+        assert!(matches!(
+            read_au_header(&mut io::Cursor::new(&buf)),
+            Err(FileError::UnsupportedEncoding(23))
+        ));
+        assert!(matches!(
+            write_au_header(
+                &mut Vec::new(),
+                &SoundSpec {
+                    encoding: Encoding::Celp1016,
+                    sample_rate: 8000,
+                    channels: 1,
+                },
+            ),
+            Err(FileError::UnsupportedEncoding(_))
+        ));
+    }
+
+    #[test]
+    fn endian_swap() {
+        let mut data = vec![0x12, 0x34];
+        au_swap_to_native(Encoding::Lin16, &mut data);
+        assert_eq!(data, vec![0x34, 0x12]);
+        let mut mono = vec![0x12, 0x34];
+        au_swap_to_native(Encoding::Mu255, &mut mono);
+        assert_eq!(mono, vec![0x12, 0x34]);
+    }
+}

@@ -1,0 +1,81 @@
+//! §10.2: CPU usage of the server while streaming audio.
+//!
+//! The paper's concern: "the quiescent server should present a negligible
+//! CPU load", and the load with a few clients "should leave most of the
+//! CPU available for applications."  Server and client run in this
+//! process, so process CPU time over a wall-clock interval gives the
+//! combined load directly.
+//!
+//! This is a custom-harness benchmark (no Criterion): it prints a small
+//! table of CPU%, one row per scenario.
+
+use af_client::ATime;
+use bench::{process_cpu_seconds, Rig, Transport};
+use std::time::{Duration, Instant};
+
+const MEASURE_SECS: f64 = 3.0;
+
+fn measure<F: FnMut()>(label: &str, mut body: F) {
+    let wall0 = Instant::now();
+    let cpu0 = process_cpu_seconds();
+    while wall0.elapsed().as_secs_f64() < MEASURE_SECS {
+        body();
+    }
+    let cpu = process_cpu_seconds() - cpu0;
+    let wall = wall0.elapsed().as_secs_f64();
+    println!("{label:<44} {:6.2}% CPU", cpu / wall * 100.0);
+}
+
+fn main() {
+    println!("cpu_usage: server+client CPU while streaming (§10.2)");
+    println!("{}", "-".repeat(58));
+
+    // Quiescent: a server with one idle client.
+    {
+        let rig = Rig::start(Transport::Tcp, false);
+        let _conn = rig.connect();
+        measure("quiescent server", || {
+            std::thread::sleep(Duration::from_millis(50));
+        });
+    }
+
+    // Continuous real-time playback at 8 kHz µ-law: one block per 100 ms.
+    {
+        let rig = Rig::start(Transport::Tcp, false);
+        let (mut conn, ac) = rig.connect_with_ac(false);
+        let mut t = conn.get_time(0).expect("time") + 1600u32;
+        let block = vec![0x31u8; 800];
+        measure("one client playing 8 kHz mu-law (real-time)", || {
+            conn.play_samples(&ac, t, &block).expect("play");
+            t += 800u32;
+            std::thread::sleep(Duration::from_millis(100));
+        });
+    }
+
+    // Continuous real-time record.
+    {
+        let rig = Rig::start(Transport::Tcp, true);
+        let (mut conn, ac) = rig.connect_with_ac(false);
+        let mut t = conn.get_time(0).expect("time");
+        conn.record_samples(&ac, t, 0, false).expect("arm");
+        measure("one client recording 8 kHz mu-law (real-time)", || {
+            let (_, data) = conn.record_samples(&ac, t, 800, true).expect("record");
+            t += data.len() as u32;
+        });
+    }
+
+    // Flat-out playback (no pacing): the throughput-bound CPU cost.
+    {
+        let rig = Rig::start(Transport::Tcp, false);
+        let (mut conn, ac) = rig.connect_with_ac(false);
+        let block = vec![0x31u8; 8000];
+        measure("one client playing flat out (mix path)", || {
+            let t: ATime = conn.get_time(0).expect("time");
+            conn.play_samples(&ac, t + 8000u32, &block).expect("play");
+        });
+    }
+
+    println!("{}", "-".repeat(58));
+    println!("note: percentages cover server AND client threads; the");
+    println!("paper reported server-only load measured externally.");
+}

@@ -1,0 +1,53 @@
+//! Table 7 in motion: tone-pair synthesis and DTMF decoding rates.
+//!
+//! Not a table reproduction per se — Table 7 is data — but the cost of
+//! generating and decoding its tone pairs bounds how cheaply the telephone
+//! path runs, and the bench doubles as a correctness sweep over all 16
+//! digits.
+
+use af_dsp::goertzel::{DtmfDetector, DtmfEvent};
+use af_dsp::telephony::{DTMF, DTMF_GRID};
+use af_dsp::tone::tone_pair;
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+
+fn bench_dtmf(c: &mut Criterion) {
+    // Synthesis: one 50 ms digit at 8 kHz.
+    let mut group = c.benchmark_group("table7_tone_pairs");
+    group.throughput(Throughput::Elements(400));
+    group.bench_function("synthesize_digit", |b| {
+        let spec = DTMF[4].spec; // '5'.
+        b.iter(|| tone_pair(spec, 8000.0, 400, 16));
+    });
+
+    // Decoding: a full 16-digit sweep with gaps.
+    let mut stream: Vec<i16> = Vec::new();
+    for def in DTMF {
+        let ulaw = tone_pair(def.spec, 8000.0, 480, 16);
+        stream.extend(ulaw.iter().map(|&b| af_dsp::g711::ulaw_to_linear(b)));
+        stream.extend(std::iter::repeat_n(0i16, 480));
+    }
+    group.throughput(Throughput::Elements(stream.len() as u64));
+    group.bench_function("decode_16_digit_sweep", |b| {
+        b.iter(|| {
+            let mut det = DtmfDetector::new(8000.0);
+            let events = det.feed(&stream);
+            let downs = events
+                .iter()
+                .filter(|e| matches!(e, DtmfEvent::KeyDown(_)))
+                .count();
+            assert_eq!(downs, 16, "all Table 7 digits must decode");
+            events
+        });
+    });
+    group.finish();
+
+    // Consistency check of the grid while we are here.
+    assert_eq!(DTMF_GRID.len(), 4);
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_dtmf
+}
+criterion_main!(benches);

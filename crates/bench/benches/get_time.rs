@@ -1,0 +1,27 @@
+//! Figure 10: `AFGetTime()` round-trip latency per configuration.
+//!
+//! "The library function AFGetTime() is a good baseline case for measuring
+//! the time to process AudioFile functions because it incurs minimal
+//! processing on the server and client side."
+
+use bench::{Rig, Transport};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_get_time(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig10_get_time");
+    for (transport, label) in Transport::standard() {
+        let rig = Rig::start(transport, false);
+        let mut conn = rig.connect();
+        group.bench_function(label, |b| {
+            b.iter(|| conn.get_time(0).expect("get_time"));
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30).measurement_time(std::time::Duration::from_secs(3));
+    targets = bench_get_time
+}
+criterion_main!(benches);

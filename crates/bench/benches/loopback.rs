@@ -1,0 +1,36 @@
+//! Table 12: open-loop record/play iteration time.
+//!
+//! The paper's loopback fragment reads whatever samples are available
+//! (non-blocking) and writes them back 0.5 s ahead; the iteration rate "is
+//! governed entirely by the AudioFile overhead, and represents a limit for
+//! handling real-time audio" (§10.1.4).
+
+use bench::{Rig, Transport};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_loopback(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table12_loopback");
+    for (transport, label) in Transport::standard() {
+        let rig = Rig::start(transport, true);
+        let (mut conn, ac) = rig.connect_with_ac(false);
+        let mut next = conn.get_time(0).expect("time");
+        conn.record_samples(&ac, next, 0, false).expect("arm");
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                let (now, data) = conn.record_samples(&ac, next, 8000, false).expect("record");
+                if !data.is_empty() {
+                    conn.play_samples(&ac, next + 4000u32, &data).expect("play");
+                }
+                next = now;
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30).measurement_time(std::time::Duration::from_secs(3));
+    targets = bench_loopback
+}
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! Figures 12–13 / Table 11: preemptive versus mixing `AFPlaySamples()`.
+//!
+//! "A preemptive play request is usually the fastest, since the data is
+//! just copied into the server's play buffers.  A mixing play request
+//! requires some processing to be done by the server" (§10.1.3).  Chunked
+//! requests suppress all but the final reply, so play times are nearly
+//! linear in request size.
+
+use bench::{Rig, Transport};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+fn bench_play(c: &mut Criterion) {
+    for (transport, label) in Transport::standard() {
+        for preempt in [true, false] {
+            let rig = Rig::start(transport, false);
+            let (mut conn, ac) = rig.connect_with_ac(preempt);
+            let mode = if preempt { "preempt" } else { "mix" };
+            let mut group = c.benchmark_group(format!(
+                "fig{}_play_{mode}/{label}",
+                if preempt { 12 } else { 13 }
+            ));
+            let data = vec![0x31u8; 65_536];
+            for &size in &[64usize, 1024, 4096, 8192, 16_384, 65_536] {
+                group.throughput(Throughput::Bytes(size as u64));
+                group.bench_with_input(BenchmarkId::from_parameter(size), &size, |b, &size| {
+                    b.iter(|| {
+                        // Re-anchor one second ahead each iteration so the
+                        // target region stays inside the buffer window.
+                        let now = conn.get_time(0).expect("time");
+                        conn.play_samples(&ac, now + 8000u32, &data[..size])
+                            .expect("play");
+                    });
+                });
+            }
+            group.finish();
+        }
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(3));
+    targets = bench_play
+}
+criterion_main!(benches);

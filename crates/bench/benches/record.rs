@@ -1,0 +1,46 @@
+//! Figure 11 / Table 10: `AFRecordSamples()` time and throughput versus
+//! request length.
+//!
+//! Requests are scheduled to hit entirely in the server's record buffer and
+//! not block; the jumps at 8 KB multiples are the client library's chunking
+//! (§10.1.2).
+
+use bench::{Rig, Transport};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+fn bench_record(c: &mut Criterion) {
+    for (transport, label) in Transport::standard() {
+        let rig = Rig::start(transport, true);
+        let (mut conn, ac) = rig.connect_with_ac(false);
+        // Arm the recorder and let some audio accumulate.
+        let t0 = conn.get_time(0).expect("time");
+        conn.record_samples(&ac, t0, 0, false).expect("arm");
+        std::thread::sleep(std::time::Duration::from_millis(300));
+
+        let mut group = c.benchmark_group(format!("fig11_record/{label}"));
+        for &size in &[64usize, 1024, 4096, 8192, 16_384, 65_536] {
+            group.throughput(Throughput::Bytes(size as u64));
+            group.bench_with_input(BenchmarkId::from_parameter(size), &size, |b, &size| {
+                b.iter(|| {
+                    // Read ending at the freshest captured sample: always
+                    // in-buffer (older-than-buffer parts return silence,
+                    // exercising the same data path).
+                    let now = conn.get_time(0).expect("time");
+                    let start = now - (size as u32 + 8000);
+                    let (_, data) = conn
+                        .record_samples(&ac, start, size, false)
+                        .expect("record");
+                    assert_eq!(data.len(), size);
+                });
+            });
+        }
+        group.finish();
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(3));
+    targets = bench_record
+}
+criterion_main!(benches);

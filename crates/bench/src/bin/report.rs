@@ -1,0 +1,248 @@
+//! `report` — regenerates the paper's evaluation tables and figures.
+//!
+//! Prints the same rows/series §10 reports, measured against this
+//! implementation's configurations (transport variants instead of 1993
+//! CPU variants).  Run with:
+//!
+//! ```text
+//! cargo run --release -p bench --bin report
+//! ```
+//!
+//! The output is pasted into EXPERIMENTS.md next to the paper's numbers.
+
+use af_client::{Ac, AudioConn};
+use bench::{sweep_sizes, time_per_iter, Rig, Transport};
+
+/// Iterations for latency-style measurements (the paper used 1000).
+const LATENCY_ITERS: u32 = 1000;
+/// Iterations for data-moving measurements at large sizes.
+const DATA_ITERS: u32 = 300;
+
+fn main() {
+    let configs = Transport::standard();
+    println!("# AudioFile evaluation report (reproducing §10)\n");
+    println!("configurations: unix socket (local), loopback TCP, TCP + 0.5 ms wire\n");
+
+    figure10(&configs);
+    let record = figure11(&configs);
+    table10(&configs, &record);
+    let preempt = figure12_13(&configs, true);
+    let mix = figure12_13(&configs, false);
+    table11(&configs, &mix, &preempt);
+    table12(&configs);
+    table7();
+}
+
+fn figure10(configs: &[(Transport, &'static str)]) {
+    println!("## Figure 10 — AFGetTime() round-trip time\n");
+    println!("| configuration | mean per call |");
+    println!("|---|---|");
+    for &(t, label) in configs {
+        let rig = Rig::start(t, false);
+        let mut conn = rig.connect();
+        // Warm up.
+        for _ in 0..50 {
+            conn.get_time(0).unwrap();
+        }
+        let s = time_per_iter(LATENCY_ITERS, || {
+            conn.get_time(0).unwrap();
+        });
+        println!("| {label} | {:.1} µs |", s * 1e6);
+    }
+    println!();
+}
+
+/// Measures record time per size per configuration; returns seconds.
+fn figure11(configs: &[(Transport, &'static str)]) -> Vec<Vec<f64>> {
+    println!("## Figure 11 — AFRecordSamples() time vs request size\n");
+    print!("| bytes |");
+    for &(_, label) in configs {
+        print!(" {label} |");
+    }
+    println!();
+    print!("|---|");
+    for _ in configs {
+        print!("---|");
+    }
+    println!();
+
+    let sizes = sweep_sizes();
+    let mut all = vec![Vec::new(); configs.len()];
+    let mut rigs: Vec<(AudioConn, Ac)> = configs
+        .iter()
+        .map(|&(t, _)| {
+            let rig = Rig::start(t, true);
+            let (mut conn, ac) = rig.connect_with_ac(false);
+            let t0 = conn.get_time(0).unwrap();
+            conn.record_samples(&ac, t0, 0, false).unwrap();
+            std::mem::forget(rig); // Keep servers alive for the whole report.
+            (conn, ac)
+        })
+        .collect();
+    for &size in &sizes {
+        print!("| {size} |");
+        for (ci, (conn, ac)) in rigs.iter_mut().enumerate() {
+            let iters = if size >= 16_384 { DATA_ITERS } else { 300 };
+            let s = time_per_iter(iters, || {
+                let now = conn.get_time(0).unwrap();
+                let start = now - (size as u32 + 8000);
+                let (_, data) = conn.record_samples(ac, start, size, false).unwrap();
+                assert_eq!(data.len(), size);
+            });
+            all[ci].push(s);
+            print!(" {:.1} µs |", s * 1e6);
+        }
+        println!();
+    }
+    println!("\n(the step at 8 KB is the client library's request chunking, §10.1.2)\n");
+    all
+}
+
+/// Least-squares slope of time vs bytes over the ≥ 4 KB sizes, inverted
+/// into KB/s — the paper reads throughput off the slope of its lines, and
+/// regression resists the per-point noise a two-point difference amplifies.
+fn slope_kbs(sizes: &[usize], times: &[f64]) -> f64 {
+    let pts: Vec<(f64, f64)> = sizes
+        .iter()
+        .zip(times)
+        .filter(|(s, _)| **s >= 4096)
+        .map(|(s, t)| (*s as f64, *t))
+        .collect();
+    let n = pts.len() as f64;
+    let sx: f64 = pts.iter().map(|p| p.0).sum();
+    let sy: f64 = pts.iter().map(|p| p.1).sum();
+    let sxx: f64 = pts.iter().map(|p| p.0 * p.0).sum();
+    let sxy: f64 = pts.iter().map(|p| p.0 * p.1).sum();
+    let slope = (n * sxy - sx * sy) / (n * sxx - sx * sx);
+    1.0 / slope / 1024.0
+}
+
+fn table10(configs: &[(Transport, &'static str)], record: &[Vec<f64>]) {
+    println!("## Table 10 — record throughput\n");
+    println!("| configuration | throughput (KB/s) |");
+    println!("|---|---|");
+    let sizes = sweep_sizes();
+    for (ci, &(_, label)) in configs.iter().enumerate() {
+        println!("| {label} | {:.0} |", slope_kbs(&sizes, &record[ci]));
+    }
+    println!();
+}
+
+fn figure12_13(configs: &[(Transport, &'static str)], preempt: bool) -> Vec<Vec<f64>> {
+    let (fig, mode) = if preempt {
+        (12, "preemptive")
+    } else {
+        (13, "mixing")
+    };
+    println!("## Figure {fig} — {mode} AFPlaySamples() time vs request size\n");
+    print!("| bytes |");
+    for &(_, label) in configs {
+        print!(" {label} |");
+    }
+    println!();
+    print!("|---|");
+    for _ in configs {
+        print!("---|");
+    }
+    println!();
+
+    let sizes = sweep_sizes();
+    let mut all = vec![Vec::new(); configs.len()];
+    let mut rigs: Vec<(AudioConn, Ac)> = configs
+        .iter()
+        .map(|&(t, _)| {
+            let rig = Rig::start(t, false);
+            let pair = rig.connect_with_ac(preempt);
+            std::mem::forget(rig);
+            pair
+        })
+        .collect();
+    let data = vec![0x31u8; 65_536];
+    for &size in &sizes {
+        print!("| {size} |");
+        for (ci, (conn, ac)) in rigs.iter_mut().enumerate() {
+            let iters = if size >= 16_384 { DATA_ITERS } else { 300 };
+            let s = time_per_iter(iters, || {
+                let now = conn.get_time(0).unwrap();
+                conn.play_samples(ac, now + 8000u32, &data[..size]).unwrap();
+            });
+            all[ci].push(s);
+            print!(" {:.1} µs |", s * 1e6);
+        }
+        println!();
+    }
+    println!();
+    all
+}
+
+fn table11(configs: &[(Transport, &'static str)], mix: &[Vec<f64>], preempt: &[Vec<f64>]) {
+    println!("## Table 11 — play throughput\n");
+    println!("| configuration | mixing (KB/s) | preempt (KB/s) |");
+    println!("|---|---|---|");
+    let sizes = sweep_sizes();
+    for (ci, &(_, label)) in configs.iter().enumerate() {
+        println!(
+            "| {label} | {:.0} | {:.0} |",
+            slope_kbs(&sizes, &mix[ci]),
+            slope_kbs(&sizes, &preempt[ci])
+        );
+    }
+    println!();
+}
+
+fn table12(configs: &[(Transport, &'static str)]) {
+    println!("## Table 12 — open-loop record/play iteration time\n");
+    println!("| configuration | time (ms) |");
+    println!("|---|---|");
+    for &(t, label) in configs {
+        let rig = Rig::start(t, true);
+        let (mut conn, ac) = rig.connect_with_ac(false);
+        let mut next = conn.get_time(0).unwrap();
+        conn.record_samples(&ac, next, 0, false).unwrap();
+        // Warm up the loop.
+        for _ in 0..20 {
+            let (now, data) = conn.record_samples(&ac, next, 8000, false).unwrap();
+            if !data.is_empty() {
+                conn.play_samples(&ac, next + 4000u32, &data).unwrap();
+            }
+            next = now;
+        }
+        let s = time_per_iter(LATENCY_ITERS, || {
+            let (now, data) = conn.record_samples(&ac, next, 8000, false).unwrap();
+            if !data.is_empty() {
+                conn.play_samples(&ac, next + 4000u32, &data).unwrap();
+            }
+            next = now;
+        });
+        println!("| {label} | {:.3} |", s * 1e3);
+    }
+    println!();
+}
+
+fn table7() {
+    println!("## Table 7 — tone pairs verified by decoding\n");
+    use af_dsp::goertzel::{DtmfDetector, DtmfEvent};
+    use af_dsp::telephony::DTMF;
+    use af_dsp::tone::tone_pair;
+    let mut ok = 0;
+    for def in DTMF {
+        let ulaw = tone_pair(def.spec, 8000.0, 480, 16);
+        let pcm: Vec<i16> = ulaw
+            .iter()
+            .map(|&b| af_dsp::g711::ulaw_to_linear(b))
+            .collect();
+        let mut det = DtmfDetector::new(8000.0);
+        let mut stream = pcm;
+        stream.extend(std::iter::repeat_n(0i16, 800));
+        let hit = det
+            .feed(&stream)
+            .iter()
+            .any(|e| matches!(e, DtmfEvent::KeyDown(d) if def.name.starts_with(*d)));
+        if hit {
+            ok += 1;
+        } else {
+            println!("FAILED to decode {}", def.name);
+        }
+    }
+    println!("all 16 DTMF tone pairs synthesized and decoded: {ok}/16\n");
+}

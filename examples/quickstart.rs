@@ -1,0 +1,68 @@
+//! Quickstart: start a server, connect, play a tone, record it back.
+//!
+//! Run with `cargo run --example quickstart`.
+//!
+//! This is the whole AudioFile loop in one file: a server with a simulated
+//! 8 kHz codec whose speaker is wired to its microphone, a client that
+//! schedules a dial-tone at an exact device time, and a record request
+//! that reads the same audio back out of the server's four-second buffer.
+
+use audiofile::client::{AcAttributes, AcMask, AudioConn};
+use audiofile::device::{SystemClock, Wire};
+use audiofile::dsp::g711::ULAW_SILENCE;
+use audiofile::dsp::power::power_dbm_ulaw;
+use audiofile::dsp::telephony::call_progress;
+use audiofile::dsp::tone::tone_pair;
+use audiofile::server::ServerBuilder;
+use std::sync::Arc;
+
+fn main() {
+    // 1. A server with one codec device; speaker wired to microphone.
+    let clock = Arc::new(SystemClock::new(8000));
+    let wire = Wire::new(1 << 20, ULAW_SILENCE);
+    let mut builder = ServerBuilder::new()
+        .listen_tcp("127.0.0.1:0".parse().unwrap())
+        .update_interval(std::time::Duration::from_millis(50));
+    builder.add_codec(clock, Box::new(wire.sink()), Box::new(wire.source()));
+    let server = builder.spawn().expect("start server");
+    let addr = server.tcp_addr().unwrap();
+    println!("server listening on {addr}");
+
+    // 2. Connect like any network client would.
+    let mut conn = AudioConn::open(&addr.to_string()).expect("connect");
+    println!(
+        "connected to {} ({}), {} device(s)",
+        conn.name(),
+        conn.vendor(),
+        conn.devices().len()
+    );
+    let device = conn.find_default_device().expect("a device");
+    let ac = conn
+        .create_ac(device, AcMask::default(), &AcAttributes::default())
+        .expect("create audio context");
+
+    // 3. Arm the recorder, then schedule one second of dial tone 100 ms in
+    //    the future — the client controls exactly when sound happens.
+    let t0 = conn.get_time(device).expect("get time");
+    conn.record_samples(&ac, t0, 0, false)
+        .expect("arm recorder");
+    let dialtone = tone_pair(call_progress("dialtone").unwrap().spec, 8000.0, 8000, 64);
+    let start = t0 + 800u32; // 100 ms ahead at 8 kHz.
+    let now = conn.play_samples(&ac, start, &dialtone).expect("play");
+    println!("scheduled 1 s of dial tone at t={start} (now t={now})");
+
+    // 4. Record the same interval; the blocking record returns once the
+    //    data has actually passed through the "hardware".
+    let (t_done, heard) = conn
+        .record_samples(&ac, start, dialtone.len(), true)
+        .expect("record");
+    println!(
+        "recorded {} bytes back (device time now {t_done})",
+        heard.len()
+    );
+    println!("loopback power: {:.2} dBm", power_dbm_ulaw(&heard));
+    assert!(power_dbm_ulaw(&heard) > -15.0, "tone did not loop back");
+
+    server.shutdown();
+    println!("done");
+}

@@ -1,0 +1,100 @@
+//! A real-time spectrogram of server audio — the heart of `afft` (§9.5).
+//!
+//! Run with `cargo run --example spectrogram`.
+//!
+//! A server's microphone carries a frequency sweep; the client records it
+//! in real time, runs windowed FFTs, and renders a terminal waterfall:
+//! time flows downward, frequency rightward, brightness is power.
+
+use audiofile::client::{AcAttributes, AcMask, AudioConn};
+use audiofile::device::io::{SampleSink, SampleSource}; // Traits for the custom source.
+use audiofile::device::SystemClock;
+use audiofile::dsp::fft::Spectrogram;
+use audiofile::dsp::g711::linear_to_ulaw;
+use audiofile::dsp::window::Window;
+use audiofile::server::ServerBuilder;
+use audiofile::time::ATime;
+use std::sync::Arc;
+
+/// A microphone that sweeps 200 Hz → 3.4 kHz over four seconds.
+struct SweepSource {
+    phase: f64,
+    produced: u64,
+}
+
+impl SampleSource for SweepSource {
+    fn fill(&mut self, _time: ATime, out: &mut [u8]) {
+        for b in out.iter_mut() {
+            let t = self.produced as f64 / 8000.0;
+            let freq = 200.0 + (t % 4.0) / 4.0 * 3200.0;
+            self.phase += freq / 8000.0;
+            let v = (self.phase * std::f64::consts::TAU).sin() * 12_000.0;
+            *b = linear_to_ulaw(v as i16);
+            self.produced += 1;
+        }
+    }
+}
+
+/// An unplugged speaker.
+struct Mute;
+
+impl SampleSink for Mute {
+    fn consume(&mut self, _time: ATime, _data: &[u8]) {}
+}
+
+const SHADES: &[char] = &[' ', '.', ':', '-', '=', '+', '*', '#', '%', '@'];
+
+fn main() {
+    let clock = Arc::new(SystemClock::new(8000));
+    let mut builder = ServerBuilder::new()
+        .listen_tcp("127.0.0.1:0".parse().unwrap())
+        .update_interval(std::time::Duration::from_millis(50));
+    builder.add_codec(
+        clock,
+        Box::new(Mute),
+        Box::new(SweepSource {
+            phase: 0.0,
+            produced: 0,
+        }),
+    );
+    let server = builder.spawn().expect("server");
+
+    let mut conn = AudioConn::open(&server.tcp_addr().unwrap().to_string()).expect("connect");
+    let ac = conn
+        .create_ac(0, AcMask::default(), &AcAttributes::default())
+        .expect("ac");
+
+    let mut engine = Spectrogram::new(256, 256, Window::Hamming);
+    let mut t = conn.get_time(0).expect("time");
+    conn.record_samples(&ac, t, 0, false).expect("arm");
+
+    println!("frequency → (0 … 4 kHz), one line ≈ 32 ms, 3 seconds total");
+    let mut lines = 0;
+    while lines < 90 {
+        let (_, data) = conn.record_samples(&ac, t, 1024, true).expect("record");
+        t += data.len() as u32;
+        let pcm: Vec<f64> = data
+            .iter()
+            .map(|&b| f64::from(audiofile::dsp::g711::ulaw_to_linear(b)))
+            .collect();
+        for spectrum in engine.feed(&pcm) {
+            render(&spectrum);
+            lines += 1;
+        }
+    }
+    server.shutdown();
+}
+
+fn render(spectrum: &[f64]) {
+    let cols = 64;
+    let per = spectrum.len() / cols;
+    let full = (32_768.0f64 * 256.0).powi(2) / 16.0;
+    let mut line = String::new();
+    for c in 0..cols {
+        let p: f64 = spectrum[c * per..(c + 1) * per].iter().sum::<f64>() / per as f64;
+        let v = ((10.0 * (p / full).max(1e-12).log10() + 60.0) / 60.0).clamp(0.0, 1.0);
+        let idx = (v * (SHADES.len() - 1) as f64).round() as usize;
+        line.push(SHADES[idx.min(SHADES.len() - 1)]);
+    }
+    println!("{line}");
+}

@@ -1,0 +1,515 @@
+//! End-to-end integration: real client, real server, real sockets.
+//!
+//! These tests run the full stack — client library → TCP/Unix transport →
+//! dispatcher → buffering engine → simulated hardware — with virtual
+//! clocks so timing assertions are exact.
+
+use audiofile::client::{AcAttributes, AcMask, AudioConn};
+use audiofile::device::{CaptureSink, SilenceSource, ToneSource, VirtualClock, Wire};
+use audiofile::dsp::g711;
+use audiofile::server::{RunningServer, ServerBuilder, ServerHandle};
+use audiofile::time::ATime;
+use std::sync::Arc;
+
+const SIL: u8 = 0xFF;
+
+struct Fixture {
+    server: RunningServer,
+    clock: Arc<VirtualClock>,
+    speaker: audiofile::device::io::CaptureBuffer,
+}
+
+impl Fixture {
+    /// One codec whose speaker is captured and whose mic is silent.
+    fn new() -> Fixture {
+        let clock = Arc::new(VirtualClock::new(8000));
+        let (sink, speaker) = CaptureSink::new(1 << 22);
+        let mut builder = ServerBuilder::new().listen_tcp("127.0.0.1:0".parse().unwrap());
+        builder.add_codec(
+            clock.clone(),
+            Box::new(sink),
+            Box::new(SilenceSource::new(SIL)),
+        );
+        let server = builder.spawn().unwrap();
+        Fixture {
+            server,
+            clock,
+            speaker,
+        }
+    }
+
+    fn connect(&self) -> AudioConn {
+        AudioConn::open(&self.server.tcp_addr().unwrap().to_string()).unwrap()
+    }
+
+    /// Advances virtual time in update-sized steps, running the server's
+    /// update task after each step (as the periodic task would).
+    fn run(&self, handle: &ServerHandle, samples: u32) {
+        let mut left = samples;
+        while left > 0 {
+            let n = left.min(800);
+            self.clock.advance(n);
+            handle.run_update();
+            left -= n;
+        }
+    }
+}
+
+#[test]
+fn connect_and_inspect_devices() {
+    let fx = Fixture::new();
+    let conn = fx.connect();
+    assert_eq!(conn.devices().len(), 1);
+    let d = &conn.devices()[0];
+    assert_eq!(d.play_sample_freq, 8000);
+    assert_eq!(d.play_nchannels, 1);
+    assert!(!d.is_telephone());
+    assert_eq!(conn.find_default_device(), Some(0));
+    assert!(conn.vendor().contains("audiofile"));
+}
+
+#[test]
+fn get_time_tracks_virtual_clock() {
+    let fx = Fixture::new();
+    let mut conn = fx.connect();
+    let t0 = conn.get_time(0).unwrap();
+    fx.clock.advance(12_345);
+    let t1 = conn.get_time(0).unwrap();
+    assert_eq!(t1 - t0, 12_345);
+}
+
+#[test]
+fn played_audio_reaches_the_speaker_at_the_scheduled_time() {
+    let fx = Fixture::new();
+    let handle = fx.server.handle();
+    let mut conn = fx.connect();
+    let ac = conn
+        .create_ac(0, AcMask::default(), &AcAttributes::default())
+        .unwrap();
+
+    let t = conn.get_time(0).unwrap();
+    let start = t + 1000u32;
+    let data = vec![0x21u8; 500];
+    conn.play_samples(&ac, start, &data).unwrap();
+
+    fx.run(&handle, 2400);
+    let cap = fx.speaker.lock();
+    let s = start.ticks() as usize;
+    assert!(cap.len() >= s + 500);
+    assert!(cap[..s].iter().all(|&b| b == SIL), "leading not silent");
+    assert_eq!(&cap[s..s + 500], &data[..]);
+}
+
+#[test]
+fn two_clients_mix_and_preempt() {
+    let fx = Fixture::new();
+    let handle = fx.server.handle();
+    let mut c1 = fx.connect();
+    let mut c2 = fx.connect();
+    let ac1 = c1
+        .create_ac(0, AcMask::default(), &AcAttributes::default())
+        .unwrap();
+    let preempt_attrs = AcAttributes {
+        preempt: true,
+        ..AcAttributes::default()
+    };
+    let ac2 = c2.create_ac(0, AcMask::PREEMPTION, &preempt_attrs).unwrap();
+
+    let a = g711::linear_to_ulaw(4000);
+    let b = g711::linear_to_ulaw(2000);
+    let p = g711::linear_to_ulaw(-1500);
+
+    // Client 1 and client 2 (region 2000..2100) mix; the preemptive write
+    // at 2050..2100 replaces the mix.
+    c1.play_samples(&ac1, ATime::new(2000), &[a; 100]).unwrap();
+    // Use a non-preempting AC for the mixing write.
+    let ac2_mix = c2
+        .create_ac(0, AcMask::default(), &AcAttributes::default())
+        .unwrap();
+    c2.play_samples(&ac2_mix, ATime::new(2000), &[b; 100])
+        .unwrap();
+    c2.play_samples(&ac2, ATime::new(2050), &[p; 50]).unwrap();
+    c2.sync().unwrap();
+
+    fx.run(&handle, 4000);
+    let cap = fx.speaker.lock();
+    let mixed = g711::ulaw_to_linear(cap[2010]);
+    assert!(
+        (i32::from(mixed) - 6000).abs() < 500,
+        "expected ~6000 mixed, got {mixed}"
+    );
+    let preempted = g711::ulaw_to_linear(cap[2060]);
+    assert!(
+        (i32::from(preempted) + 1500).abs() < 150,
+        "expected ~-1500 preempted, got {preempted}"
+    );
+}
+
+#[test]
+fn record_from_tone_source() {
+    let clock = Arc::new(VirtualClock::new(8000));
+    let mut builder = ServerBuilder::new().listen_tcp("127.0.0.1:0".parse().unwrap());
+    builder.add_codec(
+        clock.clone(),
+        Box::new(audiofile::device::NullSink),
+        Box::new(ToneSource::ulaw(440.0, 8000.0, 10_000.0)),
+    );
+    let server = builder.spawn().unwrap();
+    let handle = server.handle();
+    let mut conn = AudioConn::open(&server.tcp_addr().unwrap().to_string()).unwrap();
+    let ac = conn
+        .create_ac(0, AcMask::default(), &AcAttributes::default())
+        .unwrap();
+
+    // Prime the recorder (first record marks the context recording).
+    let t0 = conn.get_time(0).unwrap();
+    let (_, first) = conn.record_samples(&ac, t0, 0, false).unwrap();
+    assert!(first.is_empty());
+
+    // Advance a second of virtual time, then record the past second.
+    for _ in 0..10 {
+        clock.advance(800);
+        handle.run_update();
+    }
+    let (now, data) = conn.record_samples(&ac, t0 + 800u32, 4000, true).unwrap();
+    assert_eq!(data.len(), 4000);
+    assert!(now.is_after(t0));
+    let dbm = audiofile::dsp::power::power_dbm_ulaw(&data);
+    assert!(dbm > -15.0, "recorded tone at {dbm} dBm");
+    server.shutdown();
+}
+
+#[test]
+fn nonblocking_record_returns_partial() {
+    let fx = Fixture::new();
+    let handle = fx.server.handle();
+    let mut conn = fx.connect();
+    let ac = conn
+        .create_ac(0, AcMask::default(), &AcAttributes::default())
+        .unwrap();
+
+    let t0 = conn.get_time(0).unwrap();
+    let (_, _) = conn.record_samples(&ac, t0, 0, false).unwrap();
+    fx.run(&handle, 800);
+    // Ask for 2000 frames but only ~800 have elapsed.
+    let (_, data) = conn.record_samples(&ac, t0, 2000, false).unwrap();
+    assert!(data.len() >= 700 && data.len() <= 900, "got {}", data.len());
+}
+
+#[test]
+fn blocking_record_waits_for_time_to_advance() {
+    let fx = Fixture::new();
+    let handle = fx.server.handle();
+    let mut conn = fx.connect();
+    let ac = conn
+        .create_ac(0, AcMask::default(), &AcAttributes::default())
+        .unwrap();
+    let t0 = conn.get_time(0).unwrap();
+    let (_, _) = conn.record_samples(&ac, t0, 0, false).unwrap();
+
+    // Drive the clock from another thread while the record blocks.
+    let clock = fx.clock.clone();
+    let driver = std::thread::spawn(move || {
+        for _ in 0..5 {
+            std::thread::sleep(std::time::Duration::from_millis(30));
+            clock.advance(800);
+            handle.run_update();
+        }
+    });
+    let (_, data) = conn.record_samples(&ac, t0, 2000, true).unwrap();
+    assert_eq!(data.len(), 2000);
+    driver.join().unwrap();
+}
+
+#[test]
+fn play_flow_control_blocks_beyond_four_seconds() {
+    let fx = Fixture::new();
+    let handle = fx.server.handle();
+    let mut conn = fx.connect();
+    let ac = conn
+        .create_ac(0, AcMask::default(), &AcAttributes::default())
+        .unwrap();
+    let t0 = conn.get_time(0).unwrap();
+
+    // Fill the entire 4-second buffer; this completes immediately.
+    let body = vec![0x30u8; 32_768];
+    conn.play_samples(&ac, t0, &body).unwrap();
+
+    // The next second of audio must block until the clock advances.
+    let clock = fx.clock.clone();
+    let driver = std::thread::spawn(move || {
+        for _ in 0..12 {
+            std::thread::sleep(std::time::Duration::from_millis(20));
+            clock.advance(800);
+            handle.run_update();
+        }
+    });
+    let start = std::time::Instant::now();
+    conn.play_samples(&ac, t0 + 32_768u32, &vec![0x31u8; 8000])
+        .unwrap();
+    assert!(
+        start.elapsed() > std::time::Duration::from_millis(50),
+        "play did not block for flow control"
+    );
+    driver.join().unwrap();
+}
+
+#[test]
+fn silence_skipping_needs_no_data() {
+    // A client advances its play time across a silent interval (§2.2).
+    let fx = Fixture::new();
+    let handle = fx.server.handle();
+    let mut conn = fx.connect();
+    let ac = conn
+        .create_ac(0, AcMask::default(), &AcAttributes::default())
+        .unwrap();
+    conn.play_samples(&ac, ATime::new(1000), &[0x21; 100])
+        .unwrap();
+    conn.play_samples(&ac, ATime::new(3000), &[0x22; 100])
+        .unwrap();
+    fx.run(&handle, 4000);
+    let cap = fx.speaker.lock();
+    assert_eq!(&cap[1000..1100], &[0x21; 100][..]);
+    assert!(cap[1100..3000].iter().all(|&b| b == SIL));
+    assert_eq!(&cap[3000..3100], &[0x22; 100][..]);
+}
+
+#[test]
+fn unix_socket_transport_works() {
+    let clock = Arc::new(VirtualClock::new(8000));
+    let path = std::env::temp_dir().join(format!("af-e2e-{}.sock", std::process::id()));
+    let (sink, _speaker) = CaptureSink::new(1 << 16);
+    let mut builder = ServerBuilder::new().listen_unix(path.clone());
+    builder.add_codec(
+        clock.clone(),
+        Box::new(sink),
+        Box::new(SilenceSource::new(SIL)),
+    );
+    let server = builder.spawn().unwrap();
+    let mut conn = AudioConn::open(path.to_str().unwrap()).unwrap();
+    let t0 = conn.get_time(0).unwrap();
+    clock.advance(500);
+    assert_eq!(conn.get_time(0).unwrap() - t0, 500);
+    server.shutdown();
+}
+
+#[test]
+fn big_endian_client_interoperates() {
+    // A "big-endian machine" client: every wire field byte-swapped by the
+    // library, byte-swapped back by the server (§7.3.1).
+    let fx = Fixture::new();
+    let handle = fx.server.handle();
+    let addr = fx.server.tcp_addr().unwrap().to_string();
+    let mut conn = AudioConn::open_with_order(&addr, audiofile::proto::ByteOrder::Big).unwrap();
+    let ac = conn
+        .create_ac(0, AcMask::default(), &AcAttributes::default())
+        .unwrap();
+    let t = conn.get_time(0).unwrap();
+    conn.play_samples(&ac, t + 500u32, &[0x42u8; 64]).unwrap();
+    fx.run(&handle, 1600);
+    let cap = fx.speaker.lock();
+    let s = (t.ticks() + 500) as usize;
+    assert_eq!(&cap[s..s + 64], &[0x42u8; 64][..]);
+}
+
+#[test]
+fn wire_loopback_record_of_played_audio() {
+    // Speaker wired to microphone: play a marker and record it back.
+    let clock = Arc::new(VirtualClock::new(8000));
+    let wire = Wire::new(1 << 20, SIL);
+    let mut builder = ServerBuilder::new().listen_tcp("127.0.0.1:0".parse().unwrap());
+    builder.add_codec(
+        clock.clone(),
+        Box::new(wire.sink()),
+        Box::new(wire.source()),
+    );
+    let server = builder.spawn().unwrap();
+    let handle = server.handle();
+    let mut conn = AudioConn::open(&server.tcp_addr().unwrap().to_string()).unwrap();
+    let ac = conn
+        .create_ac(0, AcMask::default(), &AcAttributes::default())
+        .unwrap();
+
+    let t0 = conn.get_time(0).unwrap();
+    conn.record_samples(&ac, t0, 0, false).unwrap(); // Arm the recorder.
+    conn.play_samples(&ac, t0 + 1000u32, &[0x5A; 200]).unwrap();
+    for _ in 0..3 {
+        clock.advance(800);
+        handle.run_update();
+    }
+    let (_, heard) = conn.record_samples(&ac, t0 + 1000u32, 200, true).unwrap();
+    assert_eq!(heard, vec![0x5A; 200]);
+    server.shutdown();
+}
+
+#[test]
+fn interrupt_erases_buffered_audio() {
+    // aplay's control-C behaviour (§8.1.2): after queueing seconds of
+    // audio, preemptive silence over [now, end) stops playback on a dime.
+    let fx = Fixture::new();
+    let handle = fx.server.handle();
+    let mut conn = fx.connect();
+    let ac = conn
+        .create_ac(0, AcMask::default(), &AcAttributes::default())
+        .unwrap();
+
+    let t0 = conn.get_time(0).unwrap();
+    let body = vec![0x2Au8; 16_000]; // Two seconds queued ahead.
+    let end = t0 + 800u32 + 16_000u32;
+    conn.play_samples(&ac, t0 + 800u32, &body).unwrap();
+
+    // Let half a second play, then "interrupt".
+    fx.run(&handle, 4000);
+    let nact = conn.get_time(0).unwrap();
+    audiofile::util::erase::erase_future(&mut conn, &ac, nact, end).unwrap();
+
+    fx.run(&handle, 16_000);
+    let cap = fx.speaker.lock();
+    // Audio played up to about the erase point...
+    let played_marker = cap[..nact.ticks() as usize]
+        .iter()
+        .filter(|&&b| b == 0x2A)
+        .count();
+    assert!(played_marker > 2000, "nothing played before the interrupt");
+    // ...and (allowing one update interval of already-committed samples)
+    // silence after it.
+    let slack = 1100; // One hardware lead of write-through latency.
+    let after = &cap[(nact.ticks() as usize + slack)..];
+    let leaked = after.iter().filter(|&&b| b == 0x2A).count();
+    assert_eq!(leaked, 0, "buffered audio survived the erase");
+}
+
+#[test]
+fn synchronous_mode_surfaces_errors_immediately() {
+    // AFSynchronize: "particularly [useful] when debugging" (§6.1.3).
+    let fx = Fixture::new();
+    let mut conn = fx.connect();
+    conn.set_synchronous(true);
+    // An async request with a bad device: the error arrives on the very
+    // next call, not at some later round trip.
+    conn.set_output_gain(99, 0).unwrap();
+    let errs = conn.take_async_errors();
+    assert_eq!(errs.len(), 1);
+    assert_eq!(errs[0].code, audiofile::proto::ErrorCode::BadDevice);
+}
+
+#[test]
+fn error_handler_intercepts_async_errors() {
+    use std::sync::atomic::{AtomicU32, Ordering};
+    let fx = Fixture::new();
+    let mut conn = fx.connect();
+    static HITS: AtomicU32 = AtomicU32::new(0);
+    conn.set_error_handler(Some(Box::new(|e| {
+        assert_eq!(e.code, audiofile::proto::ErrorCode::BadDevice);
+        HITS.fetch_add(1, Ordering::SeqCst);
+    })));
+    conn.set_output_gain(99, 0).unwrap();
+    conn.sync().unwrap();
+    assert_eq!(HITS.load(Ordering::SeqCst), 1);
+    // Handled errors are not queued.
+    assert!(conn.take_async_errors().is_empty());
+}
+
+#[test]
+fn free_ac_releases_record_reference() {
+    // After the last recording AC is freed, the record update stops
+    // running and recorded_until resumes tracking "now" with no capture.
+    let fx = Fixture::new();
+    let handle = fx.server.handle();
+    let mut conn = fx.connect();
+    let ac = conn
+        .create_ac(0, AcMask::default(), &AcAttributes::default())
+        .unwrap();
+    let t0 = conn.get_time(0).unwrap();
+    conn.record_samples(&ac, t0, 0, false).unwrap(); // Arm.
+    fx.run(&handle, 800);
+    conn.free_ac(ac).unwrap();
+    conn.sync().unwrap();
+
+    // A new AC can be created and the server still behaves.
+    let ac2 = conn
+        .create_ac(0, AcMask::default(), &AcAttributes::default())
+        .unwrap();
+    fx.run(&handle, 800);
+    let t = conn.get_time(0).unwrap();
+    let (_, data) = conn.record_samples(&ac2, t - 700u32, 400, true).unwrap();
+    assert_eq!(data.len(), 400);
+}
+
+#[test]
+fn per_request_preempt_flag_overrides_mixing_context() {
+    let fx = Fixture::new();
+    let handle = fx.server.handle();
+    let mut conn = fx.connect();
+    let ac = conn
+        .create_ac(0, AcMask::default(), &AcAttributes::default())
+        .unwrap();
+    let a = audiofile::dsp::g711::linear_to_ulaw(5000);
+    let p = audiofile::dsp::g711::linear_to_ulaw(-2000);
+    conn.play_samples(&ac, ATime::new(2000), &[a; 100])
+        .unwrap();
+    conn.play_samples_with_flags(
+        &ac,
+        ATime::new(2000),
+        &[p; 100],
+        audiofile::client::play_flags::PREEMPT,
+    )
+    .unwrap();
+    fx.run(&handle, 4000);
+    let got = audiofile::dsp::g711::ulaw_to_linear(fx.speaker.lock()[2050]);
+    assert!(
+        (i32::from(got) + 2000).abs() < 200,
+        "expected preempted -2000, got {got}"
+    );
+}
+
+#[test]
+fn devices_keep_separate_notions_of_time() {
+    // "When a server supports multiple audio devices, it traffics in
+    // device time for each device separately" (§2.1).
+    let fast = Arc::new(VirtualClock::new(8000));
+    let slow = Arc::new(VirtualClock::new(8000));
+    let mut builder = ServerBuilder::new().listen_tcp("127.0.0.1:0".parse().unwrap());
+    builder.add_codec(
+        fast.clone(),
+        Box::new(audiofile::device::NullSink),
+        Box::new(SilenceSource::new(SIL)),
+    );
+    builder.add_codec(
+        slow.clone(),
+        Box::new(audiofile::device::NullSink),
+        Box::new(SilenceSource::new(SIL)),
+    );
+    let server = builder.spawn().unwrap();
+    let mut conn = AudioConn::open(&server.tcp_addr().unwrap().to_string()).unwrap();
+
+    let a0 = conn.get_time(0).unwrap();
+    let b0 = conn.get_time(1).unwrap();
+    fast.advance(5000);
+    slow.advance(1000);
+    assert_eq!(conn.get_time(0).unwrap() - a0, 5000);
+    assert_eq!(conn.get_time(1).unwrap() - b0, 1000);
+    server.shutdown();
+}
+
+#[test]
+fn oversized_frame_drops_connection_only() {
+    use std::io::{Read, Write};
+    let fx = Fixture::new();
+    let addr = fx.server.tcp_addr().unwrap();
+    {
+        let mut raw = std::net::TcpStream::connect(addr).unwrap();
+        raw.write_all(&audiofile::proto::ConnSetup::new().encode())
+            .unwrap();
+        let mut len_buf = [0u8; 4];
+        raw.read_exact(&mut len_buf).unwrap();
+        let mut body = vec![0u8; u32::from_le_bytes(len_buf) as usize];
+        raw.read_exact(&mut body).unwrap();
+        // Claim the maximum length (0xFFFF words) without sending payload;
+        // the server must not allocate-and-hang forever on other clients.
+        raw.write_all(&[0xFF, 0xFF, 7, 0]).unwrap();
+        // Leave the payload unsent and drop.
+    }
+    let mut conn = fx.connect();
+    assert!(conn.get_time(0).is_ok(), "server hurt by oversized frame");
+}
