@@ -1,0 +1,28 @@
+//! Deterministic fault injection for AudioFile's I/O boundaries.
+//!
+//! The paper's server assumes a reliable byte stream and a well-behaved
+//! LAN (§5.1, §7.4.3).  At production scale the opposite holds: slow
+//! clients, half-open sockets, and dropped UDP packets are the common
+//! case.  This crate provides seedable wrappers that make those failures
+//! reproducible in tests:
+//!
+//! * [`ChaosStream`] wraps any `Read + Write` byte stream (a client or
+//!   server TCP/Unix connection) and injects partial reads and writes,
+//!   latency, byte corruption, and abrupt disconnects.
+//! * [`ChaosUdp`] wraps a `UdpSocket` (the LineServer link) and injects
+//!   packet drop, duplication, reordering, and corruption.
+//!
+//! Faults are drawn from a [`ChaosRng`] — a SplitMix64 generator — so a
+//! fixed seed always produces the same fault schedule.  The crate has no
+//! dependencies and no global state; every wrapper owns its own stream of
+//! randomness.
+
+mod plan;
+mod rng;
+mod stream;
+mod udp;
+
+pub use plan::{StreamFaultPlan, UdpFaultPlan};
+pub use rng::ChaosRng;
+pub use stream::ChaosStream;
+pub use udp::ChaosUdp;

@@ -1,0 +1,197 @@
+//! Fault plans: declarative descriptions of what should go wrong.
+
+use std::time::Duration;
+
+/// Faults to inject into a byte stream (TCP or Unix-domain connection).
+///
+/// A plan is inert data; wrap a stream with
+/// [`ChaosStream::new`](crate::ChaosStream::new) to apply it.  All
+/// probabilities are per read/write operation.  The default plan injects
+/// nothing.
+#[derive(Clone, Debug)]
+pub struct StreamFaultPlan {
+    /// Seed for the fault schedule; equal seeds reproduce equal runs.
+    pub seed: u64,
+    /// Deliver at most this many bytes per read (partial reads).
+    pub read_chunk_max: Option<usize>,
+    /// Accept at most this many bytes per write (partial writes).
+    pub write_chunk_max: Option<usize>,
+    /// Probability of sleeping `latency` before an operation.
+    pub latency_chance: f64,
+    /// Injected delay when `latency_chance` fires.
+    pub latency: Duration,
+    /// Probability of flipping one random byte of the data moved by an
+    /// operation (frame corruption).
+    pub corrupt_chance: f64,
+    /// Abruptly fail the stream once this many total bytes (reads plus
+    /// writes) have crossed it — a half-open connection appearing as a
+    /// reset.
+    pub cut_after_bytes: Option<u64>,
+    /// Probability of an operation failing with `ConnectionReset` outright.
+    pub error_chance: f64,
+}
+
+impl Default for StreamFaultPlan {
+    fn default() -> Self {
+        StreamFaultPlan::new(0)
+    }
+}
+
+impl StreamFaultPlan {
+    /// A plan that injects nothing, with the given seed.
+    pub fn new(seed: u64) -> StreamFaultPlan {
+        StreamFaultPlan {
+            seed,
+            read_chunk_max: None,
+            write_chunk_max: None,
+            latency_chance: 0.0,
+            latency: Duration::ZERO,
+            corrupt_chance: 0.0,
+            cut_after_bytes: None,
+            error_chance: 0.0,
+        }
+    }
+
+    /// Sets the seed (builder style).
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Splits reads into chunks of at most `max` bytes.
+    pub fn partial_reads(mut self, max: usize) -> Self {
+        self.read_chunk_max = Some(max.max(1));
+        self
+    }
+
+    /// Splits writes into chunks of at most `max` bytes.
+    pub fn partial_writes(mut self, max: usize) -> Self {
+        self.write_chunk_max = Some(max.max(1));
+        self
+    }
+
+    /// Sleeps `delay` before an operation with probability `chance`.
+    pub fn latency(mut self, chance: f64, delay: Duration) -> Self {
+        self.latency_chance = chance;
+        self.latency = delay;
+        self
+    }
+
+    /// Flips one byte of moved data with probability `chance` per op.
+    pub fn corruption(mut self, chance: f64) -> Self {
+        self.corrupt_chance = chance;
+        self
+    }
+
+    /// Resets the stream after `bytes` total bytes have crossed it.
+    pub fn cut_after(mut self, bytes: u64) -> Self {
+        self.cut_after_bytes = Some(bytes);
+        self
+    }
+
+    /// Fails an operation with `ConnectionReset` with probability `chance`.
+    pub fn random_errors(mut self, chance: f64) -> Self {
+        self.error_chance = chance;
+        self
+    }
+}
+
+/// Faults to inject into a UDP socket (the LineServer link).
+///
+/// Send-side faults model a lossy path toward the peer; receive-side
+/// faults model losses on the way back.  The default plan injects
+/// nothing.
+#[derive(Clone, Debug)]
+pub struct UdpFaultPlan {
+    /// Seed for the fault schedule.
+    pub seed: u64,
+    /// Probability an outbound datagram is silently dropped.
+    pub drop_send: f64,
+    /// Probability an outbound datagram is sent twice (duplication).
+    pub dup_send: f64,
+    /// Probability an outbound datagram is held back and released after
+    /// the next one (reordering).
+    pub reorder_send: f64,
+    /// Probability one byte of an outbound datagram is flipped.
+    pub corrupt_send: f64,
+    /// Probability an inbound datagram is discarded after arrival.
+    pub drop_recv: f64,
+    /// Probability one byte of an inbound datagram is flipped.
+    pub corrupt_recv: f64,
+    /// Probability of sleeping `latency` before a send.
+    pub latency_chance: f64,
+    /// Injected delay when `latency_chance` fires.
+    pub latency: Duration,
+}
+
+impl Default for UdpFaultPlan {
+    fn default() -> Self {
+        UdpFaultPlan::new(0)
+    }
+}
+
+impl UdpFaultPlan {
+    /// A plan that injects nothing, with the given seed.
+    pub fn new(seed: u64) -> UdpFaultPlan {
+        UdpFaultPlan {
+            seed,
+            drop_send: 0.0,
+            dup_send: 0.0,
+            reorder_send: 0.0,
+            corrupt_send: 0.0,
+            drop_recv: 0.0,
+            corrupt_recv: 0.0,
+            latency_chance: 0.0,
+            latency: Duration::ZERO,
+        }
+    }
+
+    /// Sets the seed (builder style).
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Drops outbound datagrams with probability `p`.
+    pub fn drop_send(mut self, p: f64) -> Self {
+        self.drop_send = p;
+        self
+    }
+
+    /// Duplicates outbound datagrams with probability `p`.
+    pub fn duplicate(mut self, p: f64) -> Self {
+        self.dup_send = p;
+        self
+    }
+
+    /// Reorders outbound datagrams with probability `p`.
+    pub fn reorder(mut self, p: f64) -> Self {
+        self.reorder_send = p;
+        self
+    }
+
+    /// Corrupts outbound datagrams with probability `p`.
+    pub fn corrupt_send(mut self, p: f64) -> Self {
+        self.corrupt_send = p;
+        self
+    }
+
+    /// Discards inbound datagrams with probability `p`.
+    pub fn drop_recv(mut self, p: f64) -> Self {
+        self.drop_recv = p;
+        self
+    }
+
+    /// Corrupts inbound datagrams with probability `p`.
+    pub fn corrupt_recv(mut self, p: f64) -> Self {
+        self.corrupt_recv = p;
+        self
+    }
+
+    /// Sleeps `delay` before a send with probability `chance`.
+    pub fn latency(mut self, chance: f64, delay: Duration) -> Self {
+        self.latency_chance = chance;
+        self.latency = delay;
+        self
+    }
+}

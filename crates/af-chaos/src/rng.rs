@@ -1,0 +1,117 @@
+//! A tiny deterministic generator for fault schedules.
+
+/// A SplitMix64 pseudo-random generator.
+///
+/// Chosen for fault injection because it is seedable, has no external
+/// dependencies, passes through all 2^64 states, and two generators with
+/// the same seed always agree — the property the chaos tests rely on.
+#[derive(Clone, Debug)]
+pub struct ChaosRng {
+    state: u64,
+}
+
+impl ChaosRng {
+    /// Creates a generator from a seed.  Equal seeds yield equal streams.
+    pub fn new(seed: u64) -> ChaosRng {
+        ChaosRng { state: seed }
+    }
+
+    /// The next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// A uniform value in `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        // 53 mantissa bits of the raw output.
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// Returns `true` with probability `p` (clamped to `[0, 1]`).
+    pub fn chance(&mut self, p: f64) -> bool {
+        if p <= 0.0 {
+            return false;
+        }
+        if p >= 1.0 {
+            return true;
+        }
+        self.next_f64() < p
+    }
+
+    /// A uniform value in `[lo, hi)`; `lo` when the range is empty.
+    pub fn range(&mut self, lo: usize, hi: usize) -> usize {
+        if hi <= lo {
+            return lo;
+        }
+        lo + (self.next_u64() as usize) % (hi - lo)
+    }
+
+    /// Derives an independent generator for a substream (e.g. one per
+    /// accepted connection) without disturbing this one's sequence.
+    pub fn fork(&self, salt: u64) -> ChaosRng {
+        let mut mixer = ChaosRng::new(self.state ^ salt.wrapping_mul(0xA076_1D64_78BD_642F));
+        ChaosRng::new(mixer.next_u64())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = ChaosRng::new(42);
+        let mut b = ChaosRng::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = ChaosRng::new(1);
+        let mut b = ChaosRng::new(2);
+        assert_ne!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn chance_extremes() {
+        let mut r = ChaosRng::new(7);
+        for _ in 0..10 {
+            assert!(!r.chance(0.0));
+            assert!(r.chance(1.0));
+        }
+    }
+
+    #[test]
+    fn chance_roughly_calibrated() {
+        let mut r = ChaosRng::new(9);
+        let hits = (0..10_000).filter(|_| r.chance(0.25)).count();
+        assert!((2000..3000).contains(&hits), "hits = {hits}");
+    }
+
+    #[test]
+    fn range_bounds() {
+        let mut r = ChaosRng::new(3);
+        for _ in 0..1000 {
+            let v = r.range(5, 17);
+            assert!((5..17).contains(&v));
+        }
+        assert_eq!(r.range(4, 4), 4);
+        assert_eq!(r.range(9, 2), 9);
+    }
+
+    #[test]
+    fn forks_are_independent_but_deterministic() {
+        let base = ChaosRng::new(11);
+        let mut f1 = base.fork(1);
+        let mut f2 = base.fork(2);
+        let mut f1b = base.fork(1);
+        assert_eq!(f1.next_u64(), f1b.next_u64());
+        assert_ne!(f1.next_u64(), f2.next_u64());
+    }
+}

@@ -1,0 +1,249 @@
+//! A fault-injecting wrapper over a UDP socket.
+
+use crate::plan::UdpFaultPlan;
+use crate::rng::ChaosRng;
+use std::io;
+use std::net::{SocketAddr, UdpSocket};
+use std::sync::Mutex;
+use std::time::Duration;
+
+struct UdpFaultState {
+    plan: UdpFaultPlan,
+    rng: ChaosRng,
+    /// A datagram held back for reordering, released after the next send.
+    held: Option<Vec<u8>>,
+    dropped: u64,
+    duplicated: u64,
+    reordered: u64,
+    corrupted: u64,
+}
+
+/// A connected UDP socket with faults injected per a [`UdpFaultPlan`].
+///
+/// Mirrors the `UdpSocket` subset the LineServer link uses: `send`,
+/// `recv`, and read timeouts.  Send-side faults (drop, duplicate,
+/// reorder, corrupt) model a lossy path toward the peer; receive-side
+/// faults model the return path.
+pub struct ChaosUdp {
+    socket: UdpSocket,
+    state: Mutex<UdpFaultState>,
+}
+
+impl ChaosUdp {
+    /// Wraps an already configured socket.
+    pub fn wrap(socket: UdpSocket, plan: UdpFaultPlan) -> ChaosUdp {
+        let rng = ChaosRng::new(plan.seed);
+        ChaosUdp {
+            socket,
+            state: Mutex::new(UdpFaultState {
+                plan,
+                rng,
+                held: None,
+                dropped: 0,
+                duplicated: 0,
+                reordered: 0,
+                corrupted: 0,
+            }),
+        }
+    }
+
+    /// Binds an ephemeral local socket, connects it to `addr`, and wraps it.
+    pub fn connect(addr: SocketAddr, plan: UdpFaultPlan) -> io::Result<ChaosUdp> {
+        let socket = UdpSocket::bind(("127.0.0.1", 0))?;
+        socket.connect(addr)?;
+        Ok(ChaosUdp::wrap(socket, plan))
+    }
+
+    /// The wrapped socket.
+    pub fn get_ref(&self) -> &UdpSocket {
+        &self.socket
+    }
+
+    /// `(dropped, duplicated, reordered, corrupted)` datagram counts.
+    pub fn fault_counts(&self) -> (u64, u64, u64, u64) {
+        let st = self.state.lock().expect("chaos state poisoned");
+        (st.dropped, st.duplicated, st.reordered, st.corrupted)
+    }
+
+    /// Sends one datagram, applying send-side faults.
+    ///
+    /// Always reports the full length as sent — the faults are invisible
+    /// to the caller, as genuine packet loss would be.
+    pub fn send(&self, buf: &[u8]) -> io::Result<usize> {
+        let (delay, actions) = {
+            let mut guard = self.state.lock().expect("chaos state poisoned");
+            let st = &mut *guard;
+            let latency_chance = st.plan.latency_chance;
+            let delay =
+                (latency_chance > 0.0 && st.rng.chance(latency_chance)).then(|| st.plan.latency);
+            // Decide this datagram's fate.
+            let mut to_send: Vec<Vec<u8>> = Vec::new();
+            let released = st.held.take();
+            if st.plan.drop_send > 0.0 && st.rng.chance(st.plan.drop_send) {
+                st.dropped += 1;
+            } else {
+                let mut payload = buf.to_vec();
+                if st.plan.corrupt_send > 0.0 && st.rng.chance(st.plan.corrupt_send) {
+                    corrupt(&mut payload, &mut st.rng);
+                    st.corrupted += 1;
+                }
+                let dup = st.plan.dup_send > 0.0 && st.rng.chance(st.plan.dup_send);
+                if released.is_none()
+                    && st.plan.reorder_send > 0.0
+                    && st.rng.chance(st.plan.reorder_send)
+                {
+                    // Hold this one back; it goes out after the next send.
+                    st.held = Some(payload);
+                    st.reordered += 1;
+                } else {
+                    if dup {
+                        st.duplicated += 1;
+                        to_send.push(payload.clone());
+                    }
+                    to_send.push(payload);
+                }
+            }
+            // A previously held datagram goes out now, after the current
+            // one — the pair arrives in swapped order.
+            if let Some(old) = released {
+                to_send.push(old);
+            }
+            (delay, to_send)
+        };
+        if let Some(d) = delay {
+            std::thread::sleep(d);
+        }
+        for payload in actions {
+            self.socket.send(&payload)?;
+        }
+        Ok(buf.len())
+    }
+
+    /// Receives one datagram, applying receive-side faults.
+    ///
+    /// Dropped inbound datagrams are consumed and the call keeps waiting,
+    /// so a drop looks exactly like loss: the read timeout fires.
+    pub fn recv(&self, buf: &mut [u8]) -> io::Result<usize> {
+        loop {
+            let n = self.socket.recv(buf)?;
+            let mut guard = self.state.lock().expect("chaos state poisoned");
+            let st = &mut *guard;
+            if st.plan.drop_recv > 0.0 && st.rng.chance(st.plan.drop_recv) {
+                st.dropped += 1;
+                continue;
+            }
+            if st.plan.corrupt_recv > 0.0 && st.rng.chance(st.plan.corrupt_recv) {
+                corrupt(&mut buf[..n], &mut st.rng);
+                st.corrupted += 1;
+            }
+            return Ok(n);
+        }
+    }
+
+    /// Sets the read timeout on the wrapped socket.
+    pub fn set_read_timeout(&self, dur: Option<Duration>) -> io::Result<()> {
+        self.socket.set_read_timeout(dur)
+    }
+
+    /// The wrapped socket's local address.
+    pub fn local_addr(&self) -> io::Result<SocketAddr> {
+        self.socket.local_addr()
+    }
+}
+
+fn corrupt(data: &mut [u8], rng: &mut ChaosRng) {
+    if data.is_empty() {
+        return;
+    }
+    let i = rng.range(0, data.len());
+    let bit = 1u8 << rng.range(0, 8);
+    data[i] ^= bit;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    /// A local echo pair: returns (chaos socket, plain peer).
+    fn pair(plan: UdpFaultPlan) -> (ChaosUdp, UdpSocket) {
+        let peer = UdpSocket::bind(("127.0.0.1", 0)).unwrap();
+        peer.set_read_timeout(Some(Duration::from_millis(200)))
+            .unwrap();
+        let chaos = ChaosUdp::connect(peer.local_addr().unwrap(), plan).unwrap();
+        chaos
+            .set_read_timeout(Some(Duration::from_millis(200)))
+            .unwrap();
+        (chaos, peer)
+    }
+
+    #[test]
+    fn passthrough_with_default_plan() {
+        let (chaos, peer) = pair(UdpFaultPlan::new(1));
+        chaos.send(b"ping").unwrap();
+        let mut buf = [0u8; 16];
+        let (n, from) = peer.recv_from(&mut buf).unwrap();
+        assert_eq!(&buf[..n], b"ping");
+        peer.send_to(b"pong", from).unwrap();
+        let n = chaos.recv(&mut buf).unwrap();
+        assert_eq!(&buf[..n], b"pong");
+    }
+
+    #[test]
+    fn dropped_sends_never_arrive() {
+        let (chaos, peer) = pair(UdpFaultPlan::new(2).drop_send(1.0));
+        for _ in 0..5 {
+            chaos.send(b"gone").unwrap();
+        }
+        let mut buf = [0u8; 16];
+        assert!(peer.recv_from(&mut buf).is_err(), "all datagrams dropped");
+        assert_eq!(chaos.fault_counts().0, 5);
+    }
+
+    #[test]
+    fn duplicates_arrive_twice() {
+        let (chaos, peer) = pair(UdpFaultPlan::new(3).duplicate(1.0));
+        chaos.send(b"twin").unwrap();
+        let mut buf = [0u8; 16];
+        let (n1, _) = peer.recv_from(&mut buf).unwrap();
+        assert_eq!(&buf[..n1], b"twin");
+        let (n2, _) = peer.recv_from(&mut buf).unwrap();
+        assert_eq!(&buf[..n2], b"twin");
+    }
+
+    #[test]
+    fn reordering_swaps_adjacent_datagrams() {
+        let (chaos, peer) = pair(UdpFaultPlan::new(4).reorder(1.0));
+        chaos.send(b"first").unwrap();
+        chaos.send(b"second").unwrap();
+        let mut buf = [0u8; 16];
+        let (n1, _) = peer.recv_from(&mut buf).unwrap();
+        assert_eq!(&buf[..n1], b"second", "held datagram released second");
+        let (n2, _) = peer.recv_from(&mut buf).unwrap();
+        assert_eq!(&buf[..n2], b"first");
+    }
+
+    #[test]
+    fn recv_drop_looks_like_timeout() {
+        let (chaos, peer) = pair(UdpFaultPlan::new(5).drop_recv(1.0));
+        chaos.send(b"hello").unwrap();
+        let mut buf = [0u8; 16];
+        let (_, from) = peer.recv_from(&mut buf).unwrap();
+        peer.send_to(b"reply", from).unwrap();
+        let err = chaos.recv(&mut buf).unwrap_err();
+        assert!(
+            err.kind() == io::ErrorKind::WouldBlock || err.kind() == io::ErrorKind::TimedOut,
+            "got {err:?}"
+        );
+    }
+
+    #[test]
+    fn corrupt_send_flips_one_bit() {
+        let (chaos, peer) = pair(UdpFaultPlan::new(6).corrupt_send(1.0));
+        chaos.send(&[0u8; 32]).unwrap();
+        let mut buf = [0u8; 32];
+        let (n, _) = peer.recv_from(&mut buf).unwrap();
+        let ones: u32 = buf[..n].iter().map(|b| b.count_ones()).sum();
+        assert_eq!(ones, 1);
+    }
+}

@@ -8,14 +8,45 @@ use af_proto::{
     AcAttributes, AcId, AcMask, Atom, ByteOrder, ConnSetup, DeviceDesc, DeviceId, Event, EventMask,
     Reply, Request, SetupReply, WireError, CHUNK_BYTES,
 };
+use af_chaos::StreamFaultPlan;
 use af_time::ATime;
 use std::collections::VecDeque;
 use std::io::{ErrorKind, Read, Write};
-use std::net::TcpStream;
+use std::net::{TcpStream, ToSocketAddrs};
 use std::os::unix::net::UnixStream;
+use std::time::Duration;
 
 /// Flush threshold for the outbound request buffer.
 const OUT_FLUSH_BYTES: usize = 16 * 1024;
+
+/// Connection policy for opening an audio connection.
+///
+/// The C library's `AFOpenAudioConn` blocked in `connect()` without limit;
+/// these options bound every step of connection establishment and retry
+/// transient failures with exponential backoff.
+#[derive(Clone, Debug)]
+pub struct ConnectOptions {
+    /// Per-attempt limit on both `connect()` and the setup reply read.
+    pub timeout: Duration,
+    /// Additional attempts after the first fails with a transient error
+    /// ([`AfError::is_transient`]); a deliberate server refusal is final.
+    pub retries: u32,
+    /// Delay before the second attempt, doubling for each one after.
+    pub backoff: Duration,
+    /// Faults injected into this side of the connection (chaos testing).
+    pub chaos: Option<StreamFaultPlan>,
+}
+
+impl Default for ConnectOptions {
+    fn default() -> Self {
+        ConnectOptions {
+            timeout: Duration::from_secs(10),
+            retries: 2,
+            backoff: Duration::from_millis(100),
+            chaos: None,
+        }
+    }
+}
 
 /// A parsed server name: where to connect.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -132,6 +163,9 @@ impl AudioConn {
     /// Opens a connection (`AFOpenAudioConn`).
     ///
     /// `name` may be empty to fall back to `$AUDIOFILE` then `$DISPLAY`.
+    /// Uses the default [`ConnectOptions`]: a 10-second per-attempt
+    /// timeout with two retries, so an unreachable host fails in bounded
+    /// time instead of blocking forever.
     pub fn open(name: &str) -> AfResult<AudioConn> {
         Self::open_with_order(name, ByteOrder::native())
     }
@@ -139,18 +173,48 @@ impl AudioConn {
     /// Opens a connection declaring a specific byte order — mainly for
     /// exercising the server's byte-swapping path (§7.3.1).
     pub fn open_with_order(name: &str, order: ByteOrder) -> AfResult<AudioConn> {
+        Self::open_with_options(name, order, &ConnectOptions::default())
+    }
+
+    /// Opens a connection under an explicit connection policy.
+    pub fn open_with_options(
+        name: &str,
+        order: ByteOrder,
+        opts: &ConnectOptions,
+    ) -> AfResult<AudioConn> {
         let resolved = ServerName::resolve(name)?;
-        let (stream, display_name): (Box<dyn ClientStream>, String) = match &resolved {
+        let mut delay = opts.backoff;
+        let mut attempt = 0u32;
+        loop {
+            match Self::try_open(&resolved, order, opts) {
+                Ok(conn) => return Ok(conn),
+                Err(e) if attempt < opts.retries && e.is_transient() => {
+                    std::thread::sleep(delay);
+                    delay = delay.saturating_mul(2);
+                    attempt += 1;
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    /// One connection attempt: connect, optionally wrap in faults, shake
+    /// hands under the setup read timeout.
+    fn try_open(
+        resolved: &ServerName,
+        order: ByteOrder,
+        opts: &ConnectOptions,
+    ) -> AfResult<AudioConn> {
+        let (stream, display_name): (Box<dyn ClientStream>, String) = match resolved {
             ServerName::Tcp(hostport) => {
-                let s = TcpStream::connect(hostport.as_str())
-                    .map_err(|e| AfError::ConnectFailed(format!("{hostport}: {e}")))?;
+                let s = Self::connect_tcp(hostport, opts.timeout)?;
                 let _ = s.set_nodelay(true);
-                (Box::new(s), hostport.clone())
+                (Self::wrap_chaos(s, &opts.chaos), hostport.clone())
             }
             ServerName::Unix(path) => {
                 let s = UnixStream::connect(path)
                     .map_err(|e| AfError::ConnectFailed(format!("{}: {e}", path.display())))?;
-                (Box::new(s), path.display().to_string())
+                (Self::wrap_chaos(s, &opts.chaos), path.display().to_string())
             }
         };
         let mut conn = AudioConn {
@@ -168,8 +232,41 @@ impl AudioConn {
             next_ac_id: 1,
             error_handler: None,
         };
-        conn.handshake()?;
+        // Bound the handshake so a server that accepts but never answers
+        // cannot hang the client; replies afterwards may block freely.
+        let _ = conn.stream.set_read_timeout(Some(opts.timeout));
+        let hs = conn.handshake();
+        let _ = conn.stream.set_read_timeout(None);
+        hs?;
         Ok(conn)
+    }
+
+    /// Connects to `host:port` with a per-address timeout.
+    fn connect_tcp(hostport: &str, timeout: Duration) -> AfResult<TcpStream> {
+        let addrs = hostport
+            .to_socket_addrs()
+            .map_err(|e| AfError::ConnectFailed(format!("{hostport}: {e}")))?;
+        let mut last: Option<std::io::Error> = None;
+        for addr in addrs {
+            match TcpStream::connect_timeout(&addr, timeout) {
+                Ok(s) => return Ok(s),
+                Err(e) => last = Some(e),
+            }
+        }
+        Err(AfError::ConnectFailed(match last {
+            Some(e) => format!("{hostport}: {e}"),
+            None => format!("{hostport}: no addresses resolved"),
+        }))
+    }
+
+    fn wrap_chaos<S: ClientStream + 'static>(
+        stream: S,
+        chaos: &Option<StreamFaultPlan>,
+    ) -> Box<dyn ClientStream> {
+        match chaos {
+            Some(plan) => Box::new(af_chaos::ChaosStream::new(stream, plan.clone())),
+            None => Box::new(stream),
+        }
     }
 
     fn handshake(&mut self) -> AfResult<()> {
@@ -967,5 +1064,80 @@ mod tests {
         assert_eq!(stereo.frame_bytes(), 4);
         assert_eq!(stereo.bytes_to_frames(4000), 1000);
         assert_eq!(stereo.frames_to_bytes(1000), 4000);
+    }
+
+    #[test]
+    fn connect_options_defaults_are_bounded() {
+        let opts = ConnectOptions::default();
+        assert_eq!(opts.timeout, Duration::from_secs(10));
+        assert_eq!(opts.retries, 2);
+        assert_eq!(opts.backoff, Duration::from_millis(100));
+        assert!(opts.chaos.is_none());
+    }
+
+    #[test]
+    fn refused_connection_fails_in_bounded_time() {
+        // Bind then drop a listener so the port is known-refusing.
+        let port = {
+            let l = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+            l.local_addr().unwrap().port()
+        };
+        let opts = ConnectOptions {
+            timeout: Duration::from_millis(200),
+            retries: 1,
+            backoff: Duration::from_millis(10),
+            chaos: None,
+        };
+        let started = std::time::Instant::now();
+        let err = match AudioConn::open_with_options(
+            &format!("127.0.0.1:{port}"),
+            ByteOrder::native(),
+            &opts,
+        ) {
+            Ok(_) => panic!("expected the connection to fail"),
+            Err(e) => e,
+        };
+        assert!(matches!(err, AfError::ConnectFailed(_)), "got {err}");
+        assert!(err.is_transient());
+        // Two attempts at ≤200 ms each plus a 10 ms backoff, with slack.
+        assert!(started.elapsed() < Duration::from_secs(5));
+    }
+
+    #[test]
+    fn setup_refusal_is_not_retried() {
+        // A listener that immediately sends a Failed setup reply.
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let served = std::sync::Arc::new(std::sync::atomic::AtomicU32::new(0));
+        let served_in_thread = std::sync::Arc::clone(&served);
+        std::thread::spawn(move || {
+            while let Ok((mut sock, _)) = listener.accept() {
+                served_in_thread.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+                let mut buf = [0u8; 256];
+                let _ = sock.read(&mut buf);
+                let reply = SetupReply::Failed {
+                    reason: "go away".into(),
+                };
+                let _ = sock.write_all(&reply.encode(ByteOrder::native()));
+            }
+        });
+        let opts = ConnectOptions {
+            timeout: Duration::from_millis(500),
+            retries: 3,
+            backoff: Duration::from_millis(10),
+            chaos: None,
+        };
+        let err =
+            match AudioConn::open_with_options(&format!("{addr}"), ByteOrder::native(), &opts) {
+                Ok(_) => panic!("expected the setup to be refused"),
+                Err(e) => e,
+            };
+        assert!(matches!(err, AfError::SetupFailed(_)), "got {err}");
+        assert!(!err.is_transient());
+        assert_eq!(
+            served.load(std::sync::atomic::Ordering::SeqCst),
+            1,
+            "a deliberate refusal must not be retried"
+        );
     }
 }

@@ -30,6 +30,21 @@ pub enum AfError {
 /// Shorthand result type for client calls.
 pub type AfResult<T> = Result<T, AfError>;
 
+impl AfError {
+    /// Whether retrying could plausibly succeed: transport-level failures
+    /// are transient, while the server's deliberate refusal at setup
+    /// ([`AfError::SetupFailed`]) and caller mistakes are not.
+    pub fn is_transient(&self) -> bool {
+        matches!(
+            self,
+            AfError::Io(_)
+                | AfError::ConnectFailed(_)
+                | AfError::ConnectionClosed
+                | AfError::Protocol(_)
+        )
+    }
+}
+
 /// Translates a protocol error code into a string (`AFGetErrorText`).
 pub fn error_text(code: ErrorCode) -> &'static str {
     code.text()

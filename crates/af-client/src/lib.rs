@@ -30,8 +30,9 @@ mod conn;
 mod error;
 mod stream;
 
-pub use conn::{Ac, AudioConn, ServerName};
+pub use conn::{Ac, AudioConn, ConnectOptions, ServerName};
 pub use error::{error_text, AfError, AfResult};
+pub use stream::ClientStream;
 
 // Protocol types applications use directly.
 pub use af_proto::request::play_flags;

@@ -3,21 +3,46 @@
 use std::io::{Read, Write};
 use std::net::TcpStream;
 use std::os::unix::net::UnixStream;
+use std::time::Duration;
 
 /// A byte-stream transport for an AudioFile connection.
 pub trait ClientStream: Read + Write + Send {
     /// Switches the socket between blocking and non-blocking reads.
     fn set_nonblocking(&mut self, nb: bool) -> std::io::Result<()>;
+
+    /// Bounds how long a blocking read may wait (`None` = forever).
+    ///
+    /// Used during connection setup so a server that accepts but never
+    /// answers cannot hang the client.
+    fn set_read_timeout(&mut self, timeout: Option<Duration>) -> std::io::Result<()>;
 }
 
 impl ClientStream for TcpStream {
     fn set_nonblocking(&mut self, nb: bool) -> std::io::Result<()> {
         TcpStream::set_nonblocking(self, nb)
     }
+
+    fn set_read_timeout(&mut self, timeout: Option<Duration>) -> std::io::Result<()> {
+        TcpStream::set_read_timeout(self, timeout)
+    }
 }
 
 impl ClientStream for UnixStream {
     fn set_nonblocking(&mut self, nb: bool) -> std::io::Result<()> {
         UnixStream::set_nonblocking(self, nb)
+    }
+
+    fn set_read_timeout(&mut self, timeout: Option<Duration>) -> std::io::Result<()> {
+        UnixStream::set_read_timeout(self, timeout)
+    }
+}
+
+impl<S: ClientStream> ClientStream for af_chaos::ChaosStream<S> {
+    fn set_nonblocking(&mut self, nb: bool) -> std::io::Result<()> {
+        self.get_mut().set_nonblocking(nb)
+    }
+
+    fn set_read_timeout(&mut self, timeout: Option<Duration>) -> std::io::Result<()> {
+        self.get_mut().set_read_timeout(timeout)
     }
 }

@@ -26,6 +26,10 @@ use std::time::Duration;
 /// LineServer buffer size: 2048 samples, "1/4 second at 8 kHz".
 pub const LS_BUFFER_SAMPLES: u32 = 2048;
 
+/// How many recent replies the firmware keeps for answering retransmitted
+/// requests without re-executing them (at-most-once semantics).
+pub const LS_REPLY_CACHE: usize = 32;
+
 /// Number of device registers (gains, config).
 pub const LS_NUM_REGS: usize = 16;
 
@@ -166,16 +170,35 @@ impl LineServerFirmware {
 
     /// Runs the firmware loop until stopped: the "network thread" of the
     /// real firmware, with the "update thread" folded into each iteration.
+    ///
+    /// A small reply cache gives retransmissions at-most-once semantics: a
+    /// request whose `(peer, seq)` matches a recent exchange is answered
+    /// with the original reply bytes instead of being executed again, so a
+    /// link that times out and resends cannot double-play samples or
+    /// double-apply register writes.
     pub fn run(mut self) {
         let mut buf = vec![0u8; 65_536];
+        let mut cache: std::collections::VecDeque<(SocketAddr, u32, Vec<u8>)> =
+            std::collections::VecDeque::with_capacity(LS_REPLY_CACHE);
         while !self.stop.load(Ordering::Relaxed) {
             // Interrupt-driven sample movement, batched.
             self.hw.service();
             match self.socket.recv_from(&mut buf) {
                 Ok((n, peer)) => {
                     if let Some(req) = LsPacket::decode(&buf[..n]) {
-                        let reply = self.process(req);
-                        let _ = self.socket.send_to(&reply.encode(), peer);
+                        let seq = req.seq;
+                        if let Some((_, _, bytes)) =
+                            cache.iter().find(|(p, s, _)| *p == peer && *s == seq)
+                        {
+                            let _ = self.socket.send_to(bytes, peer);
+                        } else {
+                            let encoded = self.process(req).encode();
+                            let _ = self.socket.send_to(&encoded, peer);
+                            if cache.len() == LS_REPLY_CACHE {
+                                cache.pop_front();
+                            }
+                            cache.push_back((peer, seq, encoded));
+                        }
                     }
                     // Malformed packets are dropped silently, as firmware
                     // would.
@@ -232,9 +255,39 @@ impl LineServerFirmware {
     }
 }
 
+/// The datagram transport under a [`LineServerLink`]: either a plain UDP
+/// socket or a fault-injecting [`af_chaos::ChaosUdp`] wrapper for tests.
+enum LinkSocket {
+    Plain(UdpSocket),
+    Chaos(af_chaos::ChaosUdp),
+}
+
+impl LinkSocket {
+    fn send(&self, buf: &[u8]) -> io::Result<usize> {
+        match self {
+            LinkSocket::Plain(s) => s.send(buf),
+            LinkSocket::Chaos(s) => s.send(buf),
+        }
+    }
+
+    fn recv(&self, buf: &mut [u8]) -> io::Result<usize> {
+        match self {
+            LinkSocket::Plain(s) => s.recv(buf),
+            LinkSocket::Chaos(s) => s.recv(buf),
+        }
+    }
+
+    fn set_read_timeout(&self, dur: Option<Duration>) -> io::Result<()> {
+        match self {
+            LinkSocket::Plain(s) => s.set_read_timeout(dur),
+            LinkSocket::Chaos(s) => s.set_read_timeout(dur),
+        }
+    }
+}
+
 /// The workstation side of the private protocol, used by the `Als` backend.
 pub struct LineServerLink {
-    socket: UdpSocket,
+    socket: LinkSocket,
     next_seq: u32,
     /// `(local instant, remote time)` of the last reply, for time estimates.
     last_observation: Option<(std::time::Instant, ATime)>,
@@ -247,24 +300,59 @@ impl LineServerLink {
         socket.connect(addr)?;
         socket.set_read_timeout(Some(Duration::from_millis(100)))?;
         Ok(LineServerLink {
-            socket,
+            socket: LinkSocket::Plain(socket),
             next_seq: 1,
             last_observation: None,
         })
     }
 
-    /// Sends one request and waits for its reply.
+    /// Connects through a fault-injecting UDP wrapper: every datagram in
+    /// both directions is subject to `plan`.  For exercising the
+    /// retransmission and dedup paths in tests.
+    pub fn connect_chaos(
+        addr: SocketAddr,
+        plan: af_chaos::UdpFaultPlan,
+    ) -> io::Result<LineServerLink> {
+        let socket = af_chaos::ChaosUdp::connect(addr, plan)?;
+        socket.set_read_timeout(Some(Duration::from_millis(100)))?;
+        Ok(LineServerLink {
+            socket: LinkSocket::Chaos(socket),
+            next_seq: 1,
+            last_observation: None,
+        })
+    }
+
+    /// Bounds how long one attempt waits for a reply before retransmitting.
+    pub fn set_reply_timeout(&self, timeout: Duration) -> io::Result<()> {
+        self.socket.set_read_timeout(Some(timeout))
+    }
+
+    /// `(dropped, duplicated, reordered, corrupted)` datagram counts when
+    /// connected via [`LineServerLink::connect_chaos`], else `None`.
+    pub fn fault_counts(&self) -> Option<(u64, u64, u64, u64)> {
+        match &self.socket {
+            LinkSocket::Plain(_) => None,
+            LinkSocket::Chaos(s) => Some(s.fault_counts()),
+        }
+    }
+
+    /// Sends one request and waits for its reply, retransmitting on reply
+    /// timeout up to `retries` extra times.
     ///
-    /// Play and record are *not* retried ("by then, it is probably too late
-    /// anyway"); pass `retries > 0` only for register operations.
+    /// Retransmission is safe for every function — including `Play` and
+    /// register writes — because the firmware answers a repeated sequence
+    /// number from its reply cache instead of executing it again.  Replies
+    /// to earlier, timed-out sequence numbers are recognized as stale and
+    /// skipped.  Callers on the real-time path should still keep `retries`
+    /// small: a retried play is late by at least one reply timeout.
     pub fn transact(&mut self, mut req: LsPacket, retries: u32) -> io::Result<LsPacket> {
         req.seq = self.next_seq;
         self.next_seq = self.next_seq.wrapping_add(1);
         let encoded = req.encode();
         let mut attempts = 0;
+        let mut buf = vec![0u8; 65_536];
+        self.socket.send(&encoded)?;
         loop {
-            self.socket.send(&encoded)?;
-            let mut buf = vec![0u8; 65_536];
             match self.socket.recv(&mut buf) {
                 Ok(n) => {
                     if let Some(reply) = LsPacket::decode(&buf[..n]) {
@@ -274,8 +362,9 @@ impl LineServerLink {
                         }
                         // Stale reply from a timed-out earlier exchange:
                         // keep waiting within this attempt.
-                        continue;
                     }
+                    // Undecodable (truncated or corrupted) datagrams are
+                    // ignored the same way.
                 }
                 Err(e)
                     if e.kind() == io::ErrorKind::WouldBlock
@@ -288,6 +377,7 @@ impl LineServerLink {
                         ));
                     }
                     attempts += 1;
+                    self.socket.send(&encoded)?;
                 }
                 Err(e) => return Err(e),
             }
@@ -459,6 +549,133 @@ mod tests {
         assert_eq!(reply.data, vec![1, 2, 3, 4]);
         assert!(reply.time.ticks() >= 500);
         assert!(link.estimate_time(8000).is_some());
+
+        stop.store(true, Ordering::Relaxed);
+        handle.join().unwrap();
+    }
+
+    /// Boots a firmware with null/silence endpoints and runs it on a thread.
+    fn booted(
+        clock: SharedClock,
+    ) -> (
+        SocketAddr,
+        Arc<AtomicBool>,
+        std::thread::JoinHandle<()>,
+    ) {
+        let (fw, addr) = LineServerFirmware::boot(
+            clock,
+            Box::new(crate::io::NullSink),
+            Box::new(crate::io::SilenceSource::new(0xFF)),
+        )
+        .unwrap();
+        let stop = fw.stop_handle();
+        let handle = std::thread::spawn(move || fw.run());
+        (addr, stop, handle)
+    }
+
+    #[test]
+    fn retransmitted_request_is_answered_from_cache_not_reexecuted() {
+        let clock = Arc::new(VirtualClock::new(8000));
+        let (addr, stop, handle) = booted(clock.clone());
+
+        // Talk to the firmware with a raw socket so the same encoded bytes
+        // (same seq) can be sent twice, as a timed-out link would.
+        let sock = UdpSocket::bind(("127.0.0.1", 0)).unwrap();
+        sock.connect(addr).unwrap();
+        sock.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+        clock.advance(100);
+        let req = LsPacket {
+            seq: 42,
+            time: ATime::ZERO,
+            function: LsFunction::Loopback,
+            param: 0,
+            aux: 0,
+            data: vec![5, 6, 7],
+        }
+        .encode();
+
+        let mut buf = vec![0u8; 65_536];
+        sock.send(&req).unwrap();
+        let n = sock.recv(&mut buf).unwrap();
+        let first = LsPacket::decode(&buf[..n]).unwrap();
+
+        // Advance device time, then retransmit.  A re-executed request
+        // would stamp its reply with the later time; a cache hit returns
+        // the original reply verbatim.
+        clock.advance(500);
+        sock.send(&req).unwrap();
+        let n = sock.recv(&mut buf).unwrap();
+        let second = LsPacket::decode(&buf[..n]).unwrap();
+        assert_eq!(first, second, "duplicate seq must be served from cache");
+
+        // A fresh sequence number executes normally and sees the new time.
+        let mut fresh = LsPacket::decode(&req).unwrap();
+        fresh.seq = 43;
+        sock.send(&fresh.encode()).unwrap();
+        let n = sock.recv(&mut buf).unwrap();
+        let third = LsPacket::decode(&buf[..n]).unwrap();
+        assert!(
+            third.time.ticks() > first.time.ticks(),
+            "new seq must be re-executed"
+        );
+
+        stop.store(true, Ordering::Relaxed);
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn link_recovers_over_lossy_reordering_path() {
+        let clock = Arc::new(VirtualClock::new(8000));
+        let (addr, stop, handle) = booted(clock.clone());
+
+        // A deterministic 35%-loss, reordering path in both directions.
+        let plan = af_chaos::UdpFaultPlan::new(0xA51F)
+            .drop_send(0.35)
+            .drop_recv(0.2)
+            .reorder(0.25)
+            .duplicate(0.2);
+        let mut link = LineServerLink::connect_chaos(addr, plan).unwrap();
+        link.set_reply_timeout(Duration::from_millis(25)).unwrap();
+
+        // Register writes followed by read-backs: every transact must
+        // eventually succeed, and dedup must keep the state consistent
+        // despite duplicated and retransmitted writes.
+        for i in 0..10u16 {
+            clock.advance(50);
+            link.transact(
+                LsPacket {
+                    seq: 0,
+                    time: ATime::ZERO,
+                    function: LsFunction::WriteReg,
+                    param: LS_REG_OUTPUT_GAIN,
+                    aux: 100 + i,
+                    data: vec![],
+                },
+                20,
+            )
+            .expect("write survives lossy link");
+            let reply = link
+                .transact(
+                    LsPacket {
+                        seq: 0,
+                        time: ATime::ZERO,
+                        function: LsFunction::ReadReg,
+                        param: LS_REG_OUTPUT_GAIN,
+                        aux: 0,
+                        data: vec![],
+                    },
+                    20,
+                )
+                .expect("read survives lossy link");
+            assert_eq!(reply.aux, 100 + i);
+        }
+
+        let (dropped, duplicated, reordered, _) = link.fault_counts().unwrap();
+        assert!(
+            dropped > 0 && duplicated + reordered > 0,
+            "plan must actually have injected faults: {:?}",
+            link.fault_counts()
+        );
 
         stop.store(true, Ordering::Relaxed);
         handle.join().unwrap();

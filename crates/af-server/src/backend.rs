@@ -84,8 +84,18 @@ pub struct AlsBackend {
     link: LineServerLink,
     rate: u32,
     lead: u32,
+    /// The last valid device time (the paper's `timeLastValid`): when the
+    /// link stops answering, time free-runs from here at the nominal rate
+    /// so the engine degrades to silence instead of stalling.
     last_time: ATime,
+    /// Local instant paired with `last_time`, anchoring the free-run.
+    last_anchor: std::time::Instant,
 }
+
+/// Retransmissions per LineServer exchange.  Safe for every function now
+/// that the firmware deduplicates repeated sequence numbers, but kept at
+/// one on the real-time path: a second retry would already be late.
+const ALS_RETRIES: u32 = 1;
 
 impl AlsBackend {
     /// Wraps a connected LineServer link.
@@ -95,6 +105,7 @@ impl AlsBackend {
             rate,
             lead: lead_frames,
             last_time: ATime::ZERO,
+            last_anchor: std::time::Instant::now(),
         }
     }
 
@@ -109,10 +120,23 @@ impl AlsBackend {
             aux: 0,
             data: Vec::new(),
         };
-        if let Ok(reply) = self.link.transact(req, 1) {
-            self.last_time = reply.time;
+        match self.link.transact(req, ALS_RETRIES) {
+            Ok(reply) => self.anchor(reply.time),
+            Err(_) => self.free_run(),
         }
         self.last_time
+    }
+
+    fn anchor(&mut self, time: ATime) {
+        self.last_time = time;
+        self.last_anchor = std::time::Instant::now();
+    }
+
+    /// Advances `last_time` at the nominal sample rate while the link is
+    /// down, so callers keep seeing monotonic device time.
+    fn free_run(&mut self) {
+        let elapsed = self.last_anchor.elapsed().as_secs_f64();
+        self.anchor(self.last_time + (elapsed * f64::from(self.rate)) as u32);
     }
 }
 
@@ -120,7 +144,7 @@ impl HwBackend for AlsBackend {
     fn now(&mut self) -> ATime {
         match self.link.estimate_time(self.rate) {
             Some(t) => {
-                self.last_time = t;
+                self.anchor(t);
                 t
             }
             None => self.refresh_time(),
@@ -133,8 +157,9 @@ impl HwBackend for AlsBackend {
     }
 
     fn write_play(&mut self, time: ATime, data: &[u8]) {
-        // "No attempt is made to retry play or record packets (by then, it
-        // is probably too late anyway)."
+        // The paper did not retry play packets ("by then, it is probably
+        // too late anyway"); with firmware-side dedup one retransmission
+        // is safe, and a lost exchange degrades to a silent gap.
         let req = LsPacket {
             seq: 0,
             time,
@@ -143,7 +168,10 @@ impl HwBackend for AlsBackend {
             aux: 0,
             data: data.to_vec(),
         };
-        let _ = self.link.transact(req, 0);
+        match self.link.transact(req, ALS_RETRIES) {
+            Ok(reply) => self.anchor(reply.time),
+            Err(_) => self.free_run(),
+        }
     }
 
     fn read_rec(&mut self, time: ATime, out: &mut [u8]) {
@@ -155,15 +183,20 @@ impl HwBackend for AlsBackend {
             aux: out.len().min(u16::MAX as usize) as u16,
             data: Vec::new(),
         };
-        match self.link.transact(req, 0) {
+        match self.link.transact(req, ALS_RETRIES) {
             Ok(reply) => {
+                self.anchor(reply.time);
                 let n = reply.data.len().min(out.len());
                 out[..n].copy_from_slice(&reply.data[..n]);
                 for b in &mut out[n..] {
                     *b = af_dsp::g711::ULAW_SILENCE;
                 }
             }
-            Err(_) => out.fill(af_dsp::g711::ULAW_SILENCE),
+            Err(_) => {
+                // Degrade, don't stall: silence in, time keeps moving.
+                self.free_run();
+                out.fill(af_dsp::g711::ULAW_SILENCE);
+            }
         }
     }
 

@@ -10,8 +10,9 @@
 use crate::backend::{AlsBackend, LocalBackend};
 use crate::buffer::DeviceBuffers;
 use crate::dispatch::{Dispatcher, ServerCore};
-use crate::state::{AccessControl, AtomRegistry, ControlMsg, Device, ServerEvent};
+use crate::state::{AccessControl, AtomRegistry, ControlMsg, Device, ServerEvent, ServerStats};
 use crate::transport::{self, TransportShared};
+use af_chaos::StreamFaultPlan;
 use af_device::hardware::{HwConfig, VirtualAudioHw};
 use af_device::io::{NullSink, SampleSink, SampleSource, SilenceSource};
 use af_device::lineserver::LineServerLink;
@@ -48,6 +49,8 @@ pub struct ServerBuilder {
     tcp: Option<SocketAddr>,
     unix: Option<PathBuf>,
     access_enabled: bool,
+    idle_timeout: Option<Duration>,
+    chaos: Option<StreamFaultPlan>,
 }
 
 /// Server play/record buffer frames for an 8 kHz device: ≈ 4 seconds
@@ -66,6 +69,8 @@ impl ServerBuilder {
             tcp: None,
             unix: None,
             access_enabled: true,
+            idle_timeout: None,
+            chaos: None,
         }
     }
 
@@ -96,6 +101,24 @@ impl ServerBuilder {
     /// Starts with access control disabled (any host may connect).
     pub fn access_control(mut self, enabled: bool) -> Self {
         self.access_enabled = enabled;
+        self
+    }
+
+    /// Evicts clients that send no requests for `timeout`.
+    ///
+    /// Suspended clients (waiting on the server) are exempt.  Off by
+    /// default, matching the paper's model of long-lived idle connections.
+    pub fn idle_timeout(mut self, timeout: Duration) -> Self {
+        self.idle_timeout = Some(timeout);
+        self
+    }
+
+    /// Injects deterministic faults into every accepted connection.
+    ///
+    /// Each connection's fault schedule is forked from the plan's seed and
+    /// the connection id, so runs with the same seed see the same faults.
+    pub fn chaos(mut self, plan: StreamFaultPlan) -> Self {
+        self.chaos = Some(plan);
         self
     }
 
@@ -250,6 +273,12 @@ impl ServerBuilder {
     /// Adds a device served by a remote LineServer over UDP (`Als`).
     pub fn add_lineserver(&mut self, addr: SocketAddr) -> std::io::Result<usize> {
         let link = LineServerLink::connect(addr)?;
+        Ok(self.add_lineserver_link(link))
+    }
+
+    /// Adds a LineServer device over an already-connected link — the hook
+    /// for links with a fault-injecting UDP socket underneath.
+    pub fn add_lineserver_link(&mut self, link: LineServerLink) -> usize {
         let backend = AlsBackend::new(link, 8000, af_device::lineserver::LS_BUFFER_SAMPLES);
         let buffers =
             DeviceBuffers::new(Box::new(backend), Encoding::Mu255, 1, CODEC_BUFFER_FRAMES);
@@ -259,13 +288,13 @@ impl ServerBuilder {
             channels: 1,
             ring_frames: af_device::lineserver::LS_BUFFER_SAMPLES,
         };
-        Ok(self.push(DeviceSetup {
+        self.push(DeviceSetup {
             desc: Self::desc_for(DeviceKind::LineServer, &cfg, CODEC_BUFFER_FRAMES, (0, 0)),
             buffers: Some(buffers),
             mono_of: None,
             phone: None,
             passthrough_peer: None,
-        }))
+        })
     }
 
     /// Adds a fully custom device.
@@ -336,19 +365,22 @@ impl ServerBuilder {
         }
         let mut access = AccessControl::new();
         access.set_enabled(self.access_enabled);
+        let stats = Arc::new(ServerStats::default());
         let core = ServerCore {
             vendor: self.vendor,
             devices,
             clients: HashMap::new(),
             atoms: AtomRegistry::new(),
             access,
+            stats: Arc::clone(&stats),
         };
-        let dispatcher = Dispatcher::new(core, rx, self.update_interval);
+        let dispatcher =
+            Dispatcher::new(core, rx, self.update_interval).with_idle_timeout(self.idle_timeout);
         let join = std::thread::Builder::new()
             .name("af-dispatcher".into())
             .spawn(move || dispatcher.run())?;
 
-        let shared = TransportShared::new(tx.clone());
+        let shared = TransportShared::with_chaos(tx.clone(), self.chaos);
         let tcp_addr = match self.tcp {
             Some(addr) => Some(transport::spawn_tcp(Arc::clone(&shared), addr)?),
             None => None,
@@ -359,6 +391,7 @@ impl ServerBuilder {
         Ok(RunningServer {
             handle: ServerHandle { events: tx },
             shared,
+            stats,
             tcp_addr,
             unix_path: self.unix,
             join: Some(join),
@@ -416,6 +449,7 @@ impl ServerHandle {
 pub struct RunningServer {
     handle: ServerHandle,
     shared: Arc<TransportShared>,
+    stats: Arc<ServerStats>,
     tcp_addr: Option<SocketAddr>,
     unix_path: Option<PathBuf>,
     join: Option<std::thread::JoinHandle<()>>,
@@ -425,6 +459,11 @@ impl RunningServer {
     /// The bound TCP address, if a TCP listener was configured.
     pub fn tcp_addr(&self) -> Option<SocketAddr> {
         self.tcp_addr
+    }
+
+    /// Failure counters (evictions, protocol errors, disconnects).
+    pub fn stats(&self) -> Arc<ServerStats> {
+        Arc::clone(&self.stats)
     }
 
     /// The Unix-domain socket path, if configured.

@@ -7,8 +7,8 @@
 //! the device-dependent layer through [`crate::buffer::DeviceBuffers`].
 
 use crate::state::{
-    AccessControl, AtomRegistry, Blocked, BlockedOp, ClientId, ClientState, ControlMsg, Device,
-    PropertyValue, RawRequest, ServerAc, ServerEvent,
+    AccessControl, AtomRegistry, Blocked, BlockedOp, ClientId, ClientState, ConnKick, ControlMsg,
+    Device, PropertyValue, RawRequest, ServerAc, ServerEvent, ServerStats,
 };
 use crate::task::{TaskKind, TaskQueue};
 use af_dsp::convert::Converter;
@@ -20,6 +20,7 @@ use af_proto::{
 use af_time::ATime;
 use crossbeam_channel::{Receiver, RecvTimeoutError};
 use std::collections::HashMap;
+use std::sync::Arc;
 use std::time::{Duration, Instant, SystemTime};
 
 /// All state owned by the dispatcher thread.
@@ -34,6 +35,8 @@ pub struct ServerCore {
     pub atoms: AtomRegistry,
     /// Host access control.
     pub access: AccessControl,
+    /// Failure counters, shared with the server handle.
+    pub stats: Arc<ServerStats>,
 }
 
 impl ServerCore {
@@ -92,6 +95,10 @@ pub struct Dispatcher {
     rx: Receiver<ServerEvent>,
     tasks: TaskQueue,
     update_interval: Duration,
+    /// Evict clients that send nothing for this long (checked during the
+    /// periodic update; suspended clients are exempt — they are waiting on
+    /// the server, not the other way round).
+    idle_timeout: Option<Duration>,
     shutdown: bool,
 }
 
@@ -111,8 +118,15 @@ impl Dispatcher {
             rx,
             tasks: TaskQueue::new(),
             update_interval,
+            idle_timeout: None,
             shutdown: false,
         }
+    }
+
+    /// Enables idle-connection eviction.
+    pub fn with_idle_timeout(mut self, timeout: Option<Duration>) -> Self {
+        self.idle_timeout = timeout;
+        self
     }
 
     /// Runs until shutdown (the `WaitForSomething` loop).
@@ -151,8 +165,12 @@ impl Dispatcher {
                 setup,
                 peer,
                 tx,
-            } => self.handle_new_client(id, &setup, peer, tx),
+                kick,
+            } => self.handle_new_client(id, &setup, peer, tx, kick),
             ServerEvent::Request { id, raw } => {
+                if let Some(c) = self.core.clients.get_mut(&id) {
+                    c.last_activity = Instant::now();
+                }
                 let blocked = self
                     .core
                     .clients
@@ -167,6 +185,12 @@ impl Dispatcher {
                     self.process_request(id, raw);
                 }
             }
+            ServerEvent::ProtocolError { id, error: _ } => {
+                // A framing violation poisons only the offending
+                // connection; other clients are untouched.
+                ServerStats::bump(&self.core.stats.protocol_errors);
+                self.evict(id);
+            }
             ServerEvent::Disconnect { id } => self.remove_client(id),
             ServerEvent::Control(msg) => match msg {
                 ControlMsg::RunUpdate { ack } => {
@@ -179,6 +203,9 @@ impl Dispatcher {
                 ControlMsg::Shutdown => self.shutdown = true,
             },
         }
+        // Any event may have queued outbound data; evict clients whose
+        // bounded queue overflowed rather than buffering without limit.
+        self.evict_overflowed();
     }
 
     fn handle_new_client(
@@ -187,6 +214,7 @@ impl Dispatcher {
         setup: &[u8],
         peer: Option<std::net::IpAddr>,
         tx: crossbeam_channel::Sender<Vec<u8>>,
+        kick: ConnKick,
     ) {
         let setup = match af_proto::ConnSetup::decode(setup) {
             Ok(s) => s,
@@ -222,7 +250,12 @@ impl Dispatcher {
         let _ = tx.send(reply.encode(order));
         self.core
             .clients
-            .insert(id, ClientState::new(id, order, tx));
+            .insert(id, ClientState::new(id, order, tx, kick));
+        ServerStats::bump(&self.core.stats.clients_total);
+        ServerStats::set(
+            &self.core.stats.clients_current,
+            self.core.clients.len() as u64,
+        );
     }
 
     fn remove_client(&mut self, id: ClientId) {
@@ -235,6 +268,58 @@ impl Dispatcher {
                     }
                 }
             }
+            ServerStats::bump(&self.core.stats.disconnects);
+            ServerStats::set(
+                &self.core.stats.clients_current,
+                self.core.clients.len() as u64,
+            );
+        }
+    }
+
+    /// Forcibly disconnects `id`: closes its socket (unblocking the reader
+    /// thread) and drops its state (closing the writer's queue).  The
+    /// reader's eventual `Disconnect` event finds nothing and is a no-op.
+    fn evict(&mut self, id: ClientId) {
+        if let Some(c) = self.core.clients.get(&id) {
+            (c.kick)();
+        }
+        self.remove_client(id);
+    }
+
+    /// Evicts every client whose outbound queue overflowed.
+    fn evict_overflowed(&mut self) {
+        let ids: Vec<ClientId> = self
+            .core
+            .clients
+            .iter()
+            .filter(|(_, c)| c.overflowed.get())
+            .map(|(id, _)| *id)
+            .collect();
+        for id in ids {
+            ServerStats::bump(&self.core.stats.evicted_slow);
+            self.evict(id);
+        }
+    }
+
+    /// Evicts clients that have sent nothing for the idle timeout.
+    ///
+    /// Suspended clients are exempt: they are waiting on the *server* (a
+    /// play past the horizon, a blocking record), not the other way round.
+    fn sweep_idle(&mut self) {
+        let Some(timeout) = self.idle_timeout else {
+            return;
+        };
+        let now = Instant::now();
+        let ids: Vec<ClientId> = self
+            .core
+            .clients
+            .iter()
+            .filter(|(_, c)| c.blocked.is_none() && now.duration_since(c.last_activity) > timeout)
+            .map(|(id, _)| *id)
+            .collect();
+        for id in ids {
+            ServerStats::bump(&self.core.stats.evicted_idle);
+            self.evict(id);
         }
     }
 
@@ -251,6 +336,8 @@ impl Dispatcher {
         self.run_passthrough();
         self.poll_phone_events();
         self.retry_blocked_all();
+        self.sweep_idle();
+        self.evict_overflowed();
     }
 
     /// Moves audio directly between pass-through-connected device pairs.

@@ -27,6 +27,8 @@ pub mod transport;
 
 pub use buffer::{DeviceBuffers, PlayOutcome};
 pub use builder::{DeviceSetup, RunningServer, ServerBuilder, ServerHandle};
+pub use state::ServerStats;
+pub use transport::{FrameError, OUTBOUND_QUEUE_CAPACITY};
 
 /// The paper's `MSUPDATE`: the update task period, in milliseconds.
 pub const MSUPDATE: u64 = 100;

@@ -2,15 +2,59 @@
 //! control, and properties.
 
 use crate::buffer::DeviceBuffers;
+use crate::transport::FrameError;
 use af_dsp::convert::Converter;
 use af_proto::{AcAttributes, AcId, Atom, ByteOrder, DeviceDesc, DeviceId, EventMask, Opcode};
 use af_time::ATime;
 use crossbeam_channel::Sender;
+use std::cell::Cell;
 use std::collections::{HashMap, VecDeque};
 use std::net::IpAddr;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
 
 /// Server-assigned client connection identifier.
 pub type ClientId = u64;
+
+/// Forcibly closes a connection's underlying socket, unblocking its
+/// reader thread (used to evict slow or idle clients).
+pub type ConnKick = Arc<dyn Fn() + Send + Sync>;
+
+/// Failure counters for a running server, shared with test harnesses and
+/// operators.  All counters are monotonic except `clients_current`.
+#[derive(Default)]
+pub struct ServerStats {
+    /// Clients currently connected (gauge).
+    pub clients_current: AtomicU64,
+    /// Connections accepted over the server's lifetime.
+    pub clients_total: AtomicU64,
+    /// Clients evicted because their outbound queue overflowed.
+    pub evicted_slow: AtomicU64,
+    /// Clients evicted because they sent nothing for the idle timeout.
+    pub evicted_idle: AtomicU64,
+    /// Connections dropped for malformed or oversized framing.
+    pub protocol_errors: AtomicU64,
+    /// Connections that ended for any reason.
+    pub disconnects: AtomicU64,
+}
+
+impl ServerStats {
+    /// Reads a counter (helper avoiding `Ordering` noise at call sites).
+    pub fn get(counter: &AtomicU64) -> u64 {
+        counter.load(Ordering::Relaxed)
+    }
+
+    /// Bumps a counter.
+    pub fn bump(counter: &AtomicU64) {
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Sets a gauge to an absolute value.
+    pub fn set(counter: &AtomicU64, value: u64) {
+        counter.store(value, Ordering::Relaxed);
+    }
+}
 
 /// The server-wide atom registry (§5.9).
 ///
@@ -286,11 +330,19 @@ pub struct ClientState {
     pub blocked: Option<Blocked>,
     /// Requests received while suspended, in arrival order.
     pub queue: VecDeque<RawRequest>,
+    /// Closes the connection's socket to unblock its reader thread.
+    pub kick: ConnKick,
+    /// Set when the bounded outbound queue rejected a message: the writer
+    /// cannot keep up and the protocol stream is no longer coherent, so
+    /// the client must be evicted (checked after every event).
+    pub overflowed: Cell<bool>,
+    /// When the client last sent a request (for idle-connection eviction).
+    pub last_activity: Instant,
 }
 
 impl ClientState {
     /// Creates state for a newly accepted connection.
-    pub fn new(id: ClientId, order: ByteOrder, tx: Sender<Vec<u8>>) -> ClientState {
+    pub fn new(id: ClientId, order: ByteOrder, tx: Sender<Vec<u8>>, kick: ConnKick) -> ClientState {
         ClientState {
             id,
             order,
@@ -300,6 +352,9 @@ impl ClientState {
             event_masks: HashMap::new(),
             blocked: None,
             queue: VecDeque::new(),
+            kick,
+            overflowed: Cell::new(false),
+            last_activity: Instant::now(),
         }
     }
 
@@ -308,9 +363,20 @@ impl ClientState {
         self.event_masks.get(&device).copied().unwrap_or_default()
     }
 
-    /// Sends encoded bytes to this client (ignores a vanished writer).
+    /// Queues encoded bytes for this client's writer thread.
+    ///
+    /// The queue is bounded
+    /// ([`crate::transport::OUTBOUND_QUEUE_CAPACITY`]); a full queue means
+    /// the client is reading more slowly than the server is producing, so
+    /// instead of buffering without limit (the seed behavior) the client
+    /// is flagged for eviction.  A vanished writer is ignored — the
+    /// reader's disconnect event is already in flight.
     pub fn send(&self, bytes: Vec<u8>) {
-        let _ = self.tx.send(bytes);
+        match self.tx.try_send(bytes) {
+            Ok(()) => {}
+            Err(crossbeam_channel::TrySendError::Full(_)) => self.overflowed.set(true),
+            Err(crossbeam_channel::TrySendError::Disconnected(_)) => {}
+        }
     }
 }
 
@@ -326,6 +392,8 @@ pub enum ServerEvent {
         peer: Option<IpAddr>,
         /// Outbound channel to the connection's writer thread.
         tx: Sender<Vec<u8>>,
+        /// Closes the connection's socket (for forced eviction).
+        kick: ConnKick,
     },
     /// A framed request arrived.
     Request {
@@ -333,6 +401,14 @@ pub enum ServerEvent {
         id: ClientId,
         /// The request bytes.
         raw: RawRequest,
+    },
+    /// The connection sent an unrecoverable malformed frame; only this
+    /// client is disconnected.
+    ProtocolError {
+        /// The offending connection.
+        id: ClientId,
+        /// What the framing decoder rejected.
+        error: FrameError,
     },
     /// The connection closed or failed.
     Disconnect {
@@ -408,9 +484,22 @@ mod tests {
     #[test]
     fn client_state_defaults() {
         let (tx, _rx) = crossbeam_channel::unbounded();
-        let c = ClientState::new(1, ByteOrder::Little, tx);
+        let c = ClientState::new(1, ByteOrder::Little, tx, Arc::new(|| {}));
         assert_eq!(c.mask_for(0), EventMask::NONE);
         assert!(c.blocked.is_none());
         assert!(c.queue.is_empty());
+        assert!(!c.overflowed.get());
+    }
+
+    #[test]
+    fn bounded_send_flags_overflow_instead_of_growing() {
+        let (tx, rx) = crossbeam_channel::bounded(2);
+        let c = ClientState::new(1, ByteOrder::Little, tx, Arc::new(|| {}));
+        c.send(vec![1]);
+        c.send(vec![2]);
+        assert!(!c.overflowed.get());
+        c.send(vec![3]); // Queue full: flagged, not grown.
+        assert!(c.overflowed.get());
+        assert_eq!(rx.len(), 2, "queue never exceeds its bound");
     }
 }

@@ -3,21 +3,33 @@
 //! The paper's server multiplexed client sockets with `select()`.  Here
 //! each accepted connection gets a reader thread (which performs the
 //! framing: 4-byte header, length-derived payload) and a writer thread
-//! (which drains an outbound queue); both feed or are fed by the
-//! dispatcher's single event channel, preserving single-threaded semantics
-//! over all server state.
+//! (which drains a **bounded** outbound queue); both feed or are fed by
+//! the dispatcher's single event channel, preserving single-threaded
+//! semantics over all server state.
+//!
+//! Failure model: a malformed or oversized frame header is a protocol
+//! error that disconnects only the offending client; a client that stops
+//! reading fills its bounded queue and is evicted instead of growing
+//! server memory; a [`StreamFaultPlan`] on the transport injects faults
+//! into every accepted connection for chaos testing.
 //!
 //! TCP and Unix-domain sockets are supported, matching §5.1.
 
-use crate::state::{ClientId, RawRequest, ServerEvent};
+use crate::state::{ClientId, ConnKick, RawRequest, ServerEvent};
+use af_chaos::{ChaosStream, StreamFaultPlan};
 use af_proto::{ByteOrder, ConnSetup, MAX_REQUEST_BYTES};
 use crossbeam_channel::Sender;
 use std::io::{Read, Write};
-use std::net::{IpAddr, SocketAddr, TcpListener, TcpStream};
+use std::net::{IpAddr, Shutdown, SocketAddr, TcpListener, TcpStream};
 use std::os::unix::net::{UnixListener, UnixStream};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
+
+/// Bound on each connection's outbound (server → client) queue, in
+/// messages.  A slow client hits this bound and is evicted; the seed's
+/// unbounded queue grew without limit instead.
+pub const OUTBOUND_QUEUE_CAPACITY: usize = 256;
 
 /// Where a server listens.
 #[derive(Clone, Debug)]
@@ -28,6 +40,50 @@ pub enum ListenAddr {
     Unix(PathBuf),
 }
 
+/// Why the framing layer rejected an inbound frame.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FrameError {
+    /// The length field was zero — below the minimum one-word frame.
+    ZeroLength,
+    /// The frame claimed more payload than [`MAX_REQUEST_BYTES`].
+    Oversized {
+        /// The claimed payload size in bytes.
+        bytes: usize,
+    },
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameError::ZeroLength => write!(f, "zero-length frame header"),
+            FrameError::Oversized { bytes } => {
+                write!(f, "oversized frame: {bytes} bytes > {MAX_REQUEST_BYTES}")
+            }
+        }
+    }
+}
+
+/// Decodes a 4-byte request frame header into `(opcode, payload_len)`.
+///
+/// The header is `[len_lo, len_hi, opcode, pad]` with the length counted
+/// in 4-byte words including the header itself.  Garbage prefixes decode
+/// to out-of-range lengths and are rejected rather than trusted — an
+/// attacker-controlled or corrupted length must never size an allocation.
+pub fn decode_frame_header(order: ByteOrder, header: [u8; 4]) -> Result<(u8, usize), FrameError> {
+    let words = match order {
+        ByteOrder::Little => u16::from_le_bytes([header[0], header[1]]),
+        ByteOrder::Big => u16::from_be_bytes([header[0], header[1]]),
+    } as usize;
+    if words == 0 {
+        return Err(FrameError::ZeroLength);
+    }
+    let payload_len = words * 4 - 4;
+    if payload_len > MAX_REQUEST_BYTES {
+        return Err(FrameError::Oversized { bytes: payload_len });
+    }
+    Ok((header[2], payload_len))
+}
+
 /// Shared transport bookkeeping.
 pub struct TransportShared {
     /// Dispatcher event channel.
@@ -36,16 +92,44 @@ pub struct TransportShared {
     pub next_id: AtomicU64,
     /// Set to stop accept loops.
     pub stop: AtomicBool,
+    /// Faults injected into every accepted connection (chaos testing).
+    pub chaos: Option<StreamFaultPlan>,
 }
 
 impl TransportShared {
     /// Creates shared state feeding `events`.
     pub fn new(events: Sender<ServerEvent>) -> Arc<TransportShared> {
+        Self::with_chaos(events, None)
+    }
+
+    /// Creates shared state with an optional per-connection fault plan.
+    pub fn with_chaos(
+        events: Sender<ServerEvent>,
+        chaos: Option<StreamFaultPlan>,
+    ) -> Arc<TransportShared> {
         Arc::new(TransportShared {
             events,
             next_id: AtomicU64::new(1),
             stop: AtomicBool::new(false),
+            chaos,
         })
+    }
+}
+
+/// Starts reader/writer threads for `stream`, wrapping it in the shared
+/// fault plan (reseeded per connection) when one is configured.
+fn spawn_wrapped<S: Conn>(shared: Arc<TransportShared>, stream: S, peer: Option<IpAddr>) {
+    match &shared.chaos {
+        Some(plan) => {
+            // Each connection gets its own fault schedule, derived
+            // deterministically from the plan seed and the connection id.
+            let salt = shared.next_id.load(Ordering::Relaxed);
+            let mut plan = plan.clone();
+            plan.seed = af_chaos::ChaosRng::new(plan.seed).fork(salt).next_u64();
+            let wrapped = ChaosStream::new(stream, plan);
+            spawn_connection(Arc::clone(&shared), wrapped, peer);
+        }
+        None => spawn_connection(shared, stream, peer),
     }
 }
 
@@ -64,7 +148,7 @@ pub fn spawn_tcp(shared: Arc<TransportShared>, addr: SocketAddr) -> std::io::Res
                     Ok(s) => {
                         let _ = s.set_nodelay(true);
                         let peer = s.peer_addr().ok().map(|a| a.ip());
-                        spawn_connection(Arc::clone(&shared), s, peer);
+                        spawn_wrapped(Arc::clone(&shared), s, peer);
                     }
                     Err(_) => break,
                 }
@@ -85,7 +169,7 @@ pub fn spawn_unix(shared: Arc<TransportShared>, path: &Path) -> std::io::Result<
                     break;
                 }
                 match stream {
-                    Ok(s) => spawn_connection(Arc::clone(&shared), s, None),
+                    Ok(s) => spawn_wrapped(Arc::clone(&shared), s, None),
                     Err(_) => break,
                 }
             }
@@ -94,14 +178,28 @@ pub fn spawn_unix(shared: Arc<TransportShared>, path: &Path) -> std::io::Result<
 }
 
 /// A bidirectional byte stream usable as an AudioFile connection.
-pub trait Conn: Read + Write + Send + Sized + 'static {
+///
+/// `Sync` is required so a shared handle can live inside the dispatcher's
+/// [`ConnKick`] closure.
+pub trait Conn: Read + Write + Send + Sync + Sized + 'static {
     /// Clones the stream for the writer thread.
     fn split(&self) -> std::io::Result<Self>;
+
+    /// Forcibly shuts down both directions, unblocking any reader.
+    ///
+    /// The dispatcher holds this (via a [`ConnKick`] closure) so it can
+    /// evict a client whose socket would otherwise keep a reader thread
+    /// parked in `read_exact` forever.
+    fn shutdown(&self);
 }
 
 impl Conn for TcpStream {
     fn split(&self) -> std::io::Result<TcpStream> {
         self.try_clone()
+    }
+
+    fn shutdown(&self) {
+        let _ = TcpStream::shutdown(self, Shutdown::Both);
     }
 }
 
@@ -109,16 +207,35 @@ impl Conn for UnixStream {
     fn split(&self) -> std::io::Result<UnixStream> {
         self.try_clone()
     }
+
+    fn shutdown(&self) {
+        let _ = UnixStream::shutdown(self, Shutdown::Both);
+    }
+}
+
+impl<S: Conn> Conn for ChaosStream<S> {
+    fn split(&self) -> std::io::Result<Self> {
+        Ok(self.fork(self.get_ref().split()?))
+    }
+
+    fn shutdown(&self) {
+        self.get_ref().shutdown();
+    }
 }
 
 /// Sets up reader and writer threads for one accepted connection.
 pub fn spawn_connection<S: Conn>(shared: Arc<TransportShared>, stream: S, peer: Option<IpAddr>) {
     let id = shared.next_id.fetch_add(1, Ordering::Relaxed);
-    let (tx, rx) = crossbeam_channel::unbounded::<Vec<u8>>();
+    let (tx, rx) = crossbeam_channel::bounded::<Vec<u8>>(OUTBOUND_QUEUE_CAPACITY);
     let mut write_half = match stream.split() {
         Ok(s) => s,
         Err(_) => return,
     };
+    let kick_half = match stream.split() {
+        Ok(s) => s,
+        Err(_) => return,
+    };
+    let kick: ConnKick = Arc::new(move || kick_half.shutdown());
 
     // Writer: drain outbound queue until the channel closes.
     let _ = std::thread::Builder::new()
@@ -137,7 +254,7 @@ pub fn spawn_connection<S: Conn>(shared: Arc<TransportShared>, stream: S, peer: 
         .name(format!("af-reader-{id}"))
         .spawn(move || {
             let mut stream = stream;
-            if let Some(order) = read_setup(&mut stream, &shared, id, peer, tx) {
+            if let Some(order) = read_setup(&mut stream, &shared, id, peer, tx, kick) {
                 read_requests(&mut stream, &shared, id, order);
             }
             let _ = shared.events.send(ServerEvent::Disconnect { id });
@@ -150,6 +267,7 @@ fn read_setup<S: Read>(
     id: ClientId,
     peer: Option<IpAddr>,
     tx: Sender<Vec<u8>>,
+    kick: ConnKick,
 ) -> Option<ByteOrder> {
     let mut header = [0u8; ConnSetup::HEADER_SIZE];
     stream.read_exact(&mut header).ok()?;
@@ -167,6 +285,7 @@ fn read_setup<S: Read>(
             setup,
             peer,
             tx,
+            kick,
         })
         .ok()?;
     Some(order)
@@ -183,25 +302,20 @@ fn read_requests<S: Read>(
         if stream.read_exact(&mut header).is_err() {
             return;
         }
-        let words = match order {
-            ByteOrder::Little => u16::from_le_bytes([header[0], header[1]]),
-            ByteOrder::Big => u16::from_be_bytes([header[0], header[1]]),
-        } as usize;
-        if words == 0 {
-            return; // Malformed framing: drop the connection.
-        }
-        let payload_len = words * 4 - 4;
-        if payload_len > MAX_REQUEST_BYTES {
-            return;
-        }
+        let (opcode, payload_len) = match decode_frame_header(order, header) {
+            Ok(decoded) => decoded,
+            Err(error) => {
+                // Protocol violation: report it so the dispatcher can
+                // account for it, then drop only this connection.
+                let _ = shared.events.send(ServerEvent::ProtocolError { id, error });
+                return;
+            }
+        };
         let mut payload = vec![0u8; payload_len];
         if stream.read_exact(&mut payload).is_err() {
             return;
         }
-        let raw = RawRequest {
-            opcode: header[2],
-            payload,
-        };
+        let raw = RawRequest { opcode, payload };
         if shared
             .events
             .send(ServerEvent::Request { id, raw })
@@ -286,14 +400,87 @@ mod tests {
         let mut sock = TcpStream::connect(addr).unwrap();
         sock.write_all(&ConnSetup::new().encode()).unwrap();
         let _ = rx.recv_timeout(std::time::Duration::from_secs(2)).unwrap();
-        // A zero length header is invalid.
+        // A zero length header is invalid: the transport reports the
+        // protocol error, then drops the connection.
         sock.write_all(&[0, 0, 33, 0]).unwrap();
+        match rx.recv_timeout(std::time::Duration::from_secs(2)).unwrap() {
+            ServerEvent::ProtocolError { error, .. } => {
+                assert_eq!(error, FrameError::ZeroLength);
+            }
+            _ => panic!("expected ProtocolError for bad framing"),
+        }
         match rx.recv_timeout(std::time::Duration::from_secs(2)).unwrap() {
             ServerEvent::Disconnect { .. } => {}
             _ => panic!("expected Disconnect for bad framing"),
         }
         shared.stop.store(true, Ordering::Relaxed);
         poke_tcp(addr);
+    }
+
+    #[test]
+    fn truncated_max_length_frame_disconnects_without_desync() {
+        let (tx, rx) = crossbeam_channel::unbounded();
+        let shared = TransportShared::new(tx);
+        let addr = spawn_tcp(Arc::clone(&shared), "127.0.0.1:0".parse().unwrap()).unwrap();
+
+        let mut sock = TcpStream::connect(addr).unwrap();
+        sock.write_all(&ConnSetup::new().encode()).unwrap();
+        let _ = rx.recv_timeout(std::time::Duration::from_secs(2)).unwrap();
+        // Claim the maximum expressible frame length (0xffff words, which
+        // reads the same in either byte order), then hang up without
+        // sending the payload.  The reader must not emit a partial request.
+        sock.write_all(&[0xff, 0xff, 33, 0]).unwrap();
+        drop(sock);
+        match rx.recv_timeout(std::time::Duration::from_secs(2)).unwrap() {
+            ServerEvent::Disconnect { .. } => {}
+            _ => panic!("expected Disconnect for truncated frame"),
+        }
+        shared.stop.store(true, Ordering::Relaxed);
+        poke_tcp(addr);
+    }
+
+    #[test]
+    fn decode_frame_header_bounds_every_possible_prefix() {
+        // Zero length in both byte orders.
+        assert_eq!(
+            decode_frame_header(ByteOrder::Little, [0, 0, 7, 0]),
+            Err(FrameError::ZeroLength)
+        );
+        assert_eq!(
+            decode_frame_header(ByteOrder::Big, [0, 0, 7, 0]),
+            Err(FrameError::ZeroLength)
+        );
+        // Minimum valid frame: one word, no payload — opcode preserved.
+        assert_eq!(
+            decode_frame_header(ByteOrder::Little, [1, 0, 42, 0]),
+            Ok((42, 0))
+        );
+        assert_eq!(
+            decode_frame_header(ByteOrder::Big, [0, 1, 42, 0]),
+            Ok((42, 0))
+        );
+        // The allocation-safety property: over the ENTIRE header space, a
+        // garbage prefix either errors or yields a payload length at most
+        // MAX_REQUEST_BYTES — the length field never sizes an unbounded
+        // allocation.  (The u16 length field tops out at 262,136 bytes,
+        // just under the limit, so today Oversized guards against the
+        // limit shrinking or the field widening.)
+        for hi in 0..=255u8 {
+            for lo in [0u8, 1, 2, 0x7f, 0x80, 0xfe, 0xff] {
+                for order in [ByteOrder::Little, ByteOrder::Big] {
+                    match decode_frame_header(order, [lo, hi, 0xAB, 0xCD]) {
+                        Ok((op, len)) => {
+                            assert_eq!(op, 0xAB);
+                            assert!(len <= MAX_REQUEST_BYTES);
+                        }
+                        Err(FrameError::ZeroLength) => {}
+                        Err(FrameError::Oversized { bytes }) => {
+                            assert!(bytes > MAX_REQUEST_BYTES);
+                        }
+                    }
+                }
+            }
+        }
     }
 
     #[test]

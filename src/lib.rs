@@ -11,6 +11,8 @@
 //!   tables, tones, DTMF, FFT, power measurement.
 //! * [`device`] — simulated audio hardware: clocks, rings, phone line,
 //!   LineServer.
+//! * [`chaos`] — deterministic fault injection for streams and UDP links,
+//!   used to test failure handling end to end.
 //! * [`time`] — the 32-bit wrapping device-time abstraction.
 //! * [`util`] — client utility procedures: dialing, sound file I/O.
 //!
@@ -46,6 +48,7 @@
 //! server.shutdown();
 //! ```
 
+pub use af_chaos as chaos;
 pub use af_client as client;
 pub use af_device as device;
 pub use af_dsp as dsp;

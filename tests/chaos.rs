@@ -1,0 +1,288 @@
+//! Chaos soak: full client ↔ server ↔ LineServer sessions under injected
+//! faults.  Every scenario uses a fixed seed, runs in bounded time, and
+//! asserts the system *recovers* — no hangs, no panics, no unbounded
+//! queues, and healthy clients keep getting audio service.
+
+use audiofile::chaos::{StreamFaultPlan, UdpFaultPlan};
+use audiofile::client::{AcAttributes, AcMask, AudioConn, ConnectOptions};
+use audiofile::device::lineserver::{LineServerFirmware, LineServerLink};
+use audiofile::device::{NullSink, SilenceSource, SystemClock, VirtualClock};
+use audiofile::proto::{ByteOrder, ConnSetup, Request};
+use audiofile::server::{RunningServer, ServerBuilder, ServerStats, OUTBOUND_QUEUE_CAPACITY};
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+fn codec_server() -> RunningServer {
+    let clock = Arc::new(VirtualClock::new(8000));
+    let mut builder = ServerBuilder::new().listen_tcp("127.0.0.1:0".parse().unwrap());
+    builder.add_codec(
+        clock,
+        Box::new(NullSink),
+        Box::new(SilenceSource::new(0xFF)),
+    );
+    builder.spawn().unwrap()
+}
+
+/// Opens a raw TCP connection and completes the setup handshake.
+fn raw_handshake(server: &RunningServer) -> TcpStream {
+    let mut raw = TcpStream::connect(server.tcp_addr().unwrap()).unwrap();
+    raw.write_all(&ConnSetup::new().encode()).unwrap();
+    let mut len_buf = [0u8; 4];
+    raw.read_exact(&mut len_buf).unwrap();
+    let mut body = vec![0u8; u32::from_le_bytes(len_buf) as usize];
+    raw.read_exact(&mut body).unwrap();
+    raw
+}
+
+#[test]
+fn slow_client_is_evicted_not_fatal() {
+    let server = codec_server();
+    let stats = server.stats();
+
+    // A well-behaved client, connected before the abuse starts.
+    let mut healthy = AudioConn::open(&server.tcp_addr().unwrap().to_string()).unwrap();
+    assert!(healthy.get_time(0).is_ok());
+
+    // The slow client: floods reply-bearing requests and never reads a
+    // byte back.  Replies pile up — first in the kernel socket buffers,
+    // then in the server's per-client outbound queue, which is bounded at
+    // OUTBOUND_QUEUE_CAPACITY.  When it overflows, the dispatcher must
+    // evict this client rather than buffer without limit or stall.
+    assert!(
+        OUTBOUND_QUEUE_CAPACITY <= 1024,
+        "outbound queue must stay small enough that a slow client \
+         cannot hold significant server memory"
+    );
+    let mut slow = raw_handshake(&server);
+    slow.set_nodelay(true).unwrap();
+    let get_time = Request::GetTime { device: 0 }.encode(ByteOrder::native());
+    let batch: Vec<u8> = get_time
+        .iter()
+        .copied()
+        .cycle()
+        .take(get_time.len() * 1024)
+        .collect();
+
+    let start = Instant::now();
+    let mut evicted = false;
+    // 2048 batches ≈ 2M requests ≫ any sane socket buffering; in practice
+    // eviction lands far earlier.
+    for _ in 0..2048 {
+        if slow.write_all(&batch).is_err() {
+            // Kicked: the server shut the socket down under us.
+            evicted = true;
+            break;
+        }
+        if ServerStats::get(&stats.evicted_slow) > 0 {
+            evicted = true;
+            break;
+        }
+        assert!(
+            start.elapsed() < Duration::from_secs(25),
+            "server failed to evict a slow client in bounded time"
+        );
+    }
+    assert!(evicted, "slow client was never evicted");
+
+    // Give the eviction a moment to fully settle, then verify the healthy
+    // client and new connections still get service.
+    server.handle().barrier();
+    assert!(ServerStats::get(&stats.evicted_slow) >= 1);
+    assert!(healthy.get_time(0).is_ok());
+    let mut fresh = AudioConn::open(&server.tcp_addr().unwrap().to_string()).unwrap();
+    assert!(fresh.get_time(0).is_ok());
+}
+
+#[test]
+fn lossy_lineserver_degrades_to_silence_not_stall() {
+    // LineServer firmware on a real-time clock; the server reaches it
+    // through a UDP link that drops over half of all datagrams.
+    let clock = Arc::new(SystemClock::new(8000));
+    let (fw, addr) = LineServerFirmware::boot(
+        clock,
+        Box::new(NullSink),
+        Box::new(SilenceSource::new(0xFF)),
+    )
+    .unwrap();
+    let stop = fw.stop_handle();
+    let fw_thread = std::thread::spawn(move || fw.run());
+
+    let plan = UdpFaultPlan::new(0xDE5A)
+        .drop_send(0.4)
+        .drop_recv(0.4)
+        .reorder(0.2)
+        .duplicate(0.2);
+    let link = LineServerLink::connect_chaos(addr, plan).unwrap();
+    link.set_reply_timeout(Duration::from_millis(25)).unwrap();
+
+    let mut builder = ServerBuilder::new()
+        .listen_tcp("127.0.0.1:0".parse().unwrap())
+        .update_interval(Duration::from_millis(50));
+    builder.add_lineserver_link(link);
+    let server = builder.spawn().unwrap();
+
+    let mut conn = AudioConn::open(&server.tcp_addr().unwrap().to_string()).unwrap();
+    let ac = conn
+        .create_ac(0, AcMask::default(), &AcAttributes::default())
+        .unwrap();
+
+    // Time must keep flowing even when individual exchanges are lost:
+    // successful replies re-anchor it, lost ones free-run it locally.
+    let t0 = conn.get_time(0).unwrap();
+    std::thread::sleep(Duration::from_millis(250));
+    let t1 = conn.get_time(0).unwrap();
+    let advanced = t1 - t0;
+    assert!(
+        (500..=16_000).contains(&advanced),
+        "device time advanced {advanced} ticks in 250 ms under loss"
+    );
+
+    // Play and record keep completing: lost play exchanges become silent
+    // gaps, lost record exchanges come back as silence fill — never a
+    // stall, never an error surfaced to the client.
+    let start = Instant::now();
+    for _ in 0..5 {
+        let t = conn.get_time(0).unwrap();
+        conn.play_samples(&ac, t + 1200u32, &[0x44u8; 400]).unwrap();
+        conn.record_samples(&ac, t, 0, false).unwrap(); // Arm.
+        let (_, data) = conn.record_samples(&ac, t + 200u32, 400, true).unwrap();
+        assert_eq!(data.len(), 400, "record must return the full buffer");
+    }
+    assert!(
+        start.elapsed() < Duration::from_secs(20),
+        "audio calls must complete in bounded time under loss"
+    );
+
+    server.shutdown();
+    stop.store(true, Ordering::Relaxed);
+    fw_thread.join().unwrap();
+}
+
+#[test]
+fn corrupting_stream_disconnects_only_that_client() {
+    let server = codec_server();
+    let stats = server.stats();
+
+    let mut healthy = AudioConn::open(&server.tcp_addr().unwrap().to_string()).unwrap();
+
+    // A deterministically fatal framing error: a zero-length frame header.
+    // The server must treat it as a protocol error and drop that client.
+    let mut garbage = raw_handshake(&server);
+    garbage.write_all(&[0, 0, 0, 0]).unwrap();
+    let mut buf = [0u8; 64];
+    // The server closes the connection; reads drain to EOF.
+    loop {
+        match garbage.read(&mut buf) {
+            Ok(0) | Err(_) => break,
+            Ok(_) => {}
+        }
+    }
+
+    // A connection whose writes are randomly corrupted, dribbled out in
+    // 7-byte chunks, and cut after 8 KB.  Whatever reaches the server,
+    // the damage must stay contained to this one connection.  A timeout
+    // on the underlying socket keeps the probe itself bounded: corrupted
+    // length fields can leave the server legitimately waiting for bytes
+    // that never come.
+    let raw = TcpStream::connect(server.tcp_addr().unwrap()).unwrap();
+    raw.set_read_timeout(Some(Duration::from_millis(50))).unwrap();
+    let mut chaotic = audiofile::chaos::ChaosStream::new(
+        raw,
+        StreamFaultPlan::new(0xC0DE)
+            .corruption(0.3)
+            .partial_writes(7)
+            .cut_after(8192),
+    );
+    let get_time = Request::GetTime { device: 0 }.encode(ByteOrder::native());
+    let _ = chaotic.write_all(&ConnSetup::new().encode());
+    for _ in 0..64 {
+        // Errors (resets, timeouts, the cut) are expected; hangs are not.
+        if chaotic.write_all(&get_time).is_err() {
+            break;
+        }
+        let _ = chaotic.read(&mut buf);
+    }
+    drop(chaotic);
+
+    // Meanwhile a client over a merely *awkward* stream — partial reads
+    // and writes, no corruption — must work: framing reassembles chunks.
+    let opts = ConnectOptions {
+        chaos: Some(StreamFaultPlan::new(0x5EED).partial_reads(3).partial_writes(5)),
+        ..ConnectOptions::default()
+    };
+    let mut dribble = AudioConn::open_with_options(
+        &server.tcp_addr().unwrap().to_string(),
+        ByteOrder::native(),
+        &opts,
+    )
+    .expect("partial I/O alone must not break a client");
+    assert!(dribble.get_time(0).is_ok());
+
+    server.handle().barrier();
+    assert!(
+        ServerStats::get(&stats.protocol_errors) >= 1,
+        "zero-length frame must be counted as a protocol error"
+    );
+    // The blast radius was one connection: the healthy client never
+    // noticed, and new clients are served.
+    assert!(healthy.get_time(0).is_ok());
+    assert!(healthy.sync().is_ok());
+    let mut fresh = AudioConn::open(&server.tcp_addr().unwrap().to_string()).unwrap();
+    assert!(fresh.get_time(0).is_ok());
+}
+
+#[test]
+fn flapping_connection_reconnects() {
+    // Phase 1: a server dies under a connected client.
+    let server = codec_server();
+    let addr = server.tcp_addr().unwrap();
+    let mut conn = AudioConn::open(&addr.to_string()).unwrap();
+    assert!(conn.get_time(0).is_ok());
+    server.shutdown();
+    let err = match conn.get_time(0) {
+        Ok(_) => panic!("call must fail once the server is gone"),
+        Err(e) => e,
+    };
+    assert!(err.is_transient(), "a dead server is a retryable condition");
+
+    // Phase 2: the client retries with backoff while the server is still
+    // coming back, and connects once it is up.  Reserve a port, start the
+    // reconnect attempt against it, then bring the server up mid-retry.
+    let reserved = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = reserved.local_addr().unwrap();
+    drop(reserved);
+
+    let opts = ConnectOptions {
+        timeout: Duration::from_millis(500),
+        retries: 10,
+        backoff: Duration::from_millis(50),
+        chaos: None,
+    };
+    let client = std::thread::spawn(move || {
+        let start = Instant::now();
+        let conn = AudioConn::open_with_options(&addr.to_string(), ByteOrder::native(), &opts);
+        (conn, start.elapsed())
+    });
+
+    std::thread::sleep(Duration::from_millis(300));
+    let clock = Arc::new(VirtualClock::new(8000));
+    let mut builder = ServerBuilder::new().listen_tcp(addr);
+    builder.add_codec(
+        clock,
+        Box::new(NullSink),
+        Box::new(SilenceSource::new(0xFF)),
+    );
+    let revived = builder.spawn().unwrap();
+
+    let (conn, elapsed) = client.join().unwrap();
+    let mut conn = conn.expect("client must reconnect once the server returns");
+    assert!(conn.get_time(0).is_ok());
+    assert!(
+        elapsed < Duration::from_secs(15),
+        "reconnect took {elapsed:?}; backoff must stay bounded"
+    );
+    revived.shutdown();
+}
