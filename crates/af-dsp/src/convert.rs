@@ -10,7 +10,7 @@
 //! byte-swaps on the wire when client and server disagree (§7.3.1), so by the
 //! time data reaches these kernels it is in native buffer order.
 
-use crate::{adpcm, tables, Encoding};
+use crate::{adpcm, sample, tables, Encoding};
 
 /// Error converting between encodings.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -32,45 +32,111 @@ impl core::fmt::Display for ConvertError {
 
 impl std::error::Error for ConvertError {}
 
-/// Decodes raw bytes of `encoding` into 16-bit linear samples.
+/// Decodes raw bytes of `encoding` into 16-bit linear samples, appending to
+/// `out` (cleared first) so a caller-owned scratch buffer can be reused
+/// across blocks.
 ///
 /// For ADPCM the caller supplies (and the function updates) codec state so
 /// that a continuous stream can be converted block by block.
-pub fn decode_to_lin16(
+pub fn decode_to_lin16_into(
     encoding: Encoding,
     data: &[u8],
     adpcm_state: &mut adpcm::AdpcmState,
-) -> Result<Vec<i16>, ConvertError> {
+    out: &mut Vec<i16>,
+) -> Result<(), ConvertError> {
+    out.clear();
     match encoding {
         Encoding::Mu255 => {
             let t = tables::exp_u();
-            Ok(data.iter().map(|&b| t[b as usize]).collect())
+            out.extend(data.iter().map(|&b| t[b as usize]));
         }
         Encoding::Alaw => {
             let t = tables::exp_a();
-            Ok(data.iter().map(|&b| t[b as usize]).collect())
+            out.extend(data.iter().map(|&b| t[b as usize]));
         }
         Encoding::Lin16 => {
             if !data.len().is_multiple_of(2) {
                 return Err(ConvertError::PartialSample);
             }
-            Ok(data
-                .chunks_exact(2)
-                .map(|c| i16::from_le_bytes([c[0], c[1]]))
-                .collect())
+            match sample::as_lin16(data) {
+                Some(s) => out.extend_from_slice(s),
+                None => out.extend(
+                    data.chunks_exact(2)
+                        .map(|c| i16::from_le_bytes([c[0], c[1]])),
+                ),
+            }
         }
         Encoding::Lin32 => {
             if !data.len().is_multiple_of(4) {
                 return Err(ConvertError::PartialSample);
             }
-            Ok(data
-                .chunks_exact(4)
-                .map(|c| (i32::from_le_bytes([c[0], c[1], c[2], c[3]]) >> 16) as i16)
-                .collect())
+            match sample::as_lin32(data) {
+                Some(s) => out.extend(s.iter().map(|&v| (v >> 16) as i16)),
+                None => out.extend(
+                    data.chunks_exact(4)
+                        .map(|c| (i32::from_le_bytes([c[0], c[1], c[2], c[3]]) >> 16) as i16),
+                ),
+            }
         }
-        Encoding::Adpcm32 => Ok(adpcm::decode(adpcm_state, data, data.len() * 2)),
-        other => Err(ConvertError::Unsupported(other)),
+        Encoding::Adpcm32 => out.extend(adpcm::decode(adpcm_state, data, data.len() * 2)),
+        other => return Err(ConvertError::Unsupported(other)),
     }
+    Ok(())
+}
+
+/// Decodes raw bytes of `encoding` into 16-bit linear samples.
+pub fn decode_to_lin16(
+    encoding: Encoding,
+    data: &[u8],
+    adpcm_state: &mut adpcm::AdpcmState,
+) -> Result<Vec<i16>, ConvertError> {
+    let mut out = Vec::new();
+    decode_to_lin16_into(encoding, data, adpcm_state, &mut out)?;
+    Ok(out)
+}
+
+/// Encodes 16-bit linear samples into raw bytes of `encoding`, appending to
+/// `out` (cleared first).
+pub fn encode_from_lin16_into(
+    encoding: Encoding,
+    pcm: &[i16],
+    adpcm_state: &mut adpcm::AdpcmState,
+    out: &mut Vec<u8>,
+) -> Result<(), ConvertError> {
+    out.clear();
+    match encoding {
+        Encoding::Mu255 => out.extend(pcm.iter().map(|&s| tables::ulaw_encode_fast(s))),
+        Encoding::Alaw => out.extend(pcm.iter().map(|&s| tables::alaw_encode_fast(s))),
+        Encoding::Lin16 => {
+            out.resize(pcm.len() * 2, 0);
+            match sample::as_lin16_mut(out) {
+                Some(view) => view.copy_from_slice(pcm),
+                None => {
+                    for (c, s) in out.chunks_exact_mut(2).zip(pcm) {
+                        c.copy_from_slice(&s.to_le_bytes());
+                    }
+                }
+            }
+        }
+        Encoding::Lin32 => {
+            out.resize(pcm.len() * 4, 0);
+            match sample::as_lin32_mut(out) {
+                Some(view) => {
+                    for (d, s) in view.iter_mut().zip(pcm) {
+                        *d = i32::from(*s) << 16;
+                    }
+                }
+                None => {
+                    for (c, s) in out.chunks_exact_mut(4).zip(pcm) {
+                        c.copy_from_slice(&(i32::from(*s) << 16).to_le_bytes());
+                    }
+                }
+            }
+        }
+        Encoding::Adpcm32 => out.extend(adpcm::encode(adpcm_state, pcm)),
+        other => return Err(ConvertError::Unsupported(other)),
+    }
+    Ok(())
 }
 
 /// Encodes 16-bit linear samples into raw bytes of `encoding`.
@@ -79,26 +145,9 @@ pub fn encode_from_lin16(
     pcm: &[i16],
     adpcm_state: &mut adpcm::AdpcmState,
 ) -> Result<Vec<u8>, ConvertError> {
-    match encoding {
-        Encoding::Mu255 => Ok(pcm.iter().map(|&s| tables::ulaw_encode_fast(s)).collect()),
-        Encoding::Alaw => Ok(pcm.iter().map(|&s| tables::alaw_encode_fast(s)).collect()),
-        Encoding::Lin16 => {
-            let mut out = Vec::with_capacity(pcm.len() * 2);
-            for s in pcm {
-                out.extend_from_slice(&s.to_le_bytes());
-            }
-            Ok(out)
-        }
-        Encoding::Lin32 => {
-            let mut out = Vec::with_capacity(pcm.len() * 4);
-            for s in pcm {
-                out.extend_from_slice(&((i32::from(*s)) << 16).to_le_bytes());
-            }
-            Ok(out)
-        }
-        Encoding::Adpcm32 => Ok(adpcm::encode(adpcm_state, pcm)),
-        other => Err(ConvertError::Unsupported(other)),
-    }
+    let mut out = Vec::new();
+    encode_from_lin16_into(encoding, pcm, adpcm_state, &mut out)?;
+    Ok(out)
 }
 
 /// A stateful converter from one encoding to another.
@@ -111,6 +160,8 @@ pub struct Converter {
     to: Encoding,
     decode_state: adpcm::AdpcmState,
     encode_state: adpcm::AdpcmState,
+    /// Linear staging buffer reused across blocks ([`Converter::convert_into`]).
+    scratch: Vec<i16>,
 }
 
 impl Converter {
@@ -126,6 +177,7 @@ impl Converter {
             to,
             decode_state: adpcm::AdpcmState::new(),
             encode_state: adpcm::AdpcmState::new(),
+            scratch: Vec::new(),
         })
     }
 
@@ -146,23 +198,43 @@ impl Converter {
 
     /// Converts one block of raw bytes.
     pub fn convert(&mut self, data: &[u8]) -> Result<Vec<u8>, ConvertError> {
+        let mut out = Vec::new();
+        self.convert_into(data, &mut out)?;
+        Ok(out)
+    }
+
+    /// Converts one block of raw bytes into `out` (cleared first).
+    ///
+    /// Linear staging goes through a scratch buffer owned by the converter,
+    /// so a steady stream of equal-sized blocks converts without allocating.
+    pub fn convert_into(&mut self, data: &[u8], out: &mut Vec<u8>) -> Result<(), ConvertError> {
         if self.is_identity() {
-            return Ok(data.to_vec());
+            out.clear();
+            out.extend_from_slice(data);
+            return Ok(());
         }
         // Fast path: companded-to-companded via the 256-entry tables.
         match (self.from, self.to) {
             (Encoding::Mu255, Encoding::Alaw) => {
                 let t = tables::cvt_u2a();
-                return Ok(data.iter().map(|&b| t[b as usize]).collect());
+                out.clear();
+                out.extend(data.iter().map(|&b| t[b as usize]));
+                return Ok(());
             }
             (Encoding::Alaw, Encoding::Mu255) => {
                 let t = tables::cvt_a2u();
-                return Ok(data.iter().map(|&b| t[b as usize]).collect());
+                out.clear();
+                out.extend(data.iter().map(|&b| t[b as usize]));
+                return Ok(());
             }
             _ => {}
         }
-        let pcm = decode_to_lin16(self.from, data, &mut self.decode_state)?;
-        encode_from_lin16(self.to, &pcm, &mut self.encode_state)
+        let mut pcm = std::mem::take(&mut self.scratch);
+        let decoded = decode_to_lin16_into(self.from, data, &mut self.decode_state, &mut pcm);
+        let result = decoded
+            .and_then(|()| encode_from_lin16_into(self.to, &pcm, &mut self.encode_state, out));
+        self.scratch = pcm;
+        result
     }
 }
 

@@ -91,17 +91,48 @@ pub fn gain_table_a(db: i32) -> Option<&'static GainTable> {
         .and_then(|i| set.get(i))
 }
 
+/// Precomputes the Q16 fixed-point multiplier for `db` decibels.
+///
+/// The linear kernels apply gain as `(sample * factor) >> 16`; computing the
+/// factor once per buffer (instead of per sample) is what makes the batched
+/// gain path a tight integer loop.
+#[inline]
+pub fn q16_factor(db: f64) -> i64 {
+    (db_to_linear(db) * 65_536.0).round() as i64
+}
+
+/// Applies one precomputed Q16 gain step to a 16-bit sample, saturating.
+#[inline]
+pub fn q16_gain_i16(sample: i16, factor: i64) -> i16 {
+    ((i64::from(sample) * factor) >> 16).clamp(-32_768, 32_767) as i16
+}
+
+/// Applies one precomputed Q16 gain step to a 32-bit sample, saturating.
+#[inline]
+pub fn q16_gain_i32(sample: i32, factor: i64) -> i32 {
+    ((i64::from(sample) * factor) >> 16).clamp(i64::from(i32::MIN), i64::from(i32::MAX)) as i32
+}
+
+/// Applies a precomputed Q16 gain to 16-bit samples in place, saturating.
+pub fn apply_gain_lin16_q16(samples: &mut [i16], factor: i64) {
+    for s in samples {
+        *s = q16_gain_i16(*s, factor);
+    }
+}
+
+/// Applies a precomputed Q16 gain to 32-bit samples in place, saturating.
+pub fn apply_gain_lin32_q16(samples: &mut [i32], factor: i64) {
+    for s in samples {
+        *s = q16_gain_i32(*s, factor);
+    }
+}
+
 /// Applies `db` of gain to 16-bit linear samples in place, saturating.
 pub fn apply_gain_lin16(samples: &mut [i16], db: f64) {
     if db == 0.0 {
         return;
     }
-    // Fixed point: gain in Q16.
-    let factor = (db_to_linear(db) * 65_536.0).round() as i64;
-    for s in samples {
-        let v = (i64::from(*s) * factor) >> 16;
-        *s = v.clamp(-32_768, 32_767) as i16;
-    }
+    apply_gain_lin16_q16(samples, q16_factor(db));
 }
 
 /// Applies `db` of gain to 32-bit linear samples in place, saturating.
@@ -109,11 +140,7 @@ pub fn apply_gain_lin32(samples: &mut [i32], db: f64) {
     if db == 0.0 {
         return;
     }
-    let factor = (db_to_linear(db) * 65_536.0).round() as i64;
-    for s in samples {
-        let v = (i64::from(*s) * factor) >> 16;
-        *s = v.clamp(i64::from(i32::MIN), i64::from(i32::MAX)) as i32;
-    }
+    apply_gain_lin32_q16(samples, q16_factor(db));
 }
 
 #[cfg(test)]

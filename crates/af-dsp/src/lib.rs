@@ -19,7 +19,9 @@
 //! * [`fft`] — radix-2 FFT and window functions (the core of `afft`),
 //! * [`adpcm`] — IMA ADPCM coding (the `SAMPLE_ADPCM32` type),
 //! * [`convert`] — conversion between any two supported encodings,
-//! * [`silence`] — per-encoding silence fill.
+//! * [`silence`] — per-encoding silence fill,
+//! * [`sample`] — byte↔sample slice views for the batched kernels,
+//! * [`reference`] — the frozen scalar seed kernels (test/bench baseline).
 
 pub mod adpcm;
 pub mod convert;
@@ -30,7 +32,9 @@ pub mod gain;
 pub mod goertzel;
 pub mod mix;
 pub mod power;
+pub mod reference;
 pub mod resample;
+pub mod sample;
 pub mod silence;
 pub mod tables;
 pub mod telephony;

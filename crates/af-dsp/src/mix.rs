@@ -5,7 +5,7 @@
 //! 64 KiB lookup tables of [`crate::tables`]; linear formats mix with
 //! saturating adds.
 
-use crate::tables;
+use crate::{sample, tables};
 
 /// Mixes `src` into `dst` (µ-law), saturating in the linear domain.
 pub fn mix_ulaw(dst: &mut [u8], src: &[u8]) {
@@ -39,36 +39,51 @@ pub fn mix_lin32(dst: &mut [i32], src: &[i32]) {
 
 /// Mixes raw little-endian sample bytes of the given encoding.
 ///
-/// `dst` and `src` must have the same length and hold whole samples.  This is
-/// the server's generic mixing entry point for its native buffer format.
+/// This is the server's generic mixing entry point for its native buffer
+/// format.  It mixes the whole samples both buffers hold — `min(dst, src)`
+/// truncated to a sample boundary — and leaves any trailing bytes of `dst`
+/// untouched, so a malformed client length cannot abort the server's update
+/// task.  Linear formats mix through `&[i16]`/`&[i32]` views of the byte
+/// buffers when alignment permits ([`crate::sample`]), falling back to a
+/// scalar loop otherwise.
 ///
 /// # Panics
 ///
-/// Panics if the encoding is not one of MU255, ALAW, LIN16, LIN32, or if the
-/// buffer lengths differ or are not a whole number of samples.
+/// Panics if the encoding is not one of MU255, ALAW, LIN16, LIN32.
 pub fn mix_bytes(encoding: crate::Encoding, dst: &mut [u8], src: &[u8]) {
     use crate::Encoding;
-    assert_eq!(dst.len(), src.len(), "mix length mismatch");
+    let unit = match encoding {
+        Encoding::Mu255 | Encoding::Alaw => 1,
+        Encoding::Lin16 => 2,
+        Encoding::Lin32 => 4,
+        other => panic!("mixing unsupported for encoding {other}"),
+    };
+    let len = dst.len().min(src.len()) / unit * unit;
+    let (dst, src) = (&mut dst[..len], &src[..len]);
     match encoding {
         Encoding::Mu255 => mix_ulaw(dst, src),
         Encoding::Alaw => mix_alaw(dst, src),
-        Encoding::Lin16 => {
-            assert_eq!(dst.len() % 2, 0, "partial LIN16 sample");
-            for (d, s) in dst.chunks_exact_mut(2).zip(src.chunks_exact(2)) {
-                let a = i16::from_le_bytes([d[0], d[1]]);
-                let b = i16::from_le_bytes([s[0], s[1]]);
-                d.copy_from_slice(&a.saturating_add(b).to_le_bytes());
+        Encoding::Lin16 => match (sample::as_lin16_mut(dst), sample::as_lin16(src)) {
+            (Some(d), Some(s)) => mix_lin16(d, s),
+            _ => {
+                for (d, s) in dst.chunks_exact_mut(2).zip(src.chunks_exact(2)) {
+                    let a = i16::from_le_bytes([d[0], d[1]]);
+                    let b = i16::from_le_bytes([s[0], s[1]]);
+                    d.copy_from_slice(&a.saturating_add(b).to_le_bytes());
+                }
             }
-        }
-        Encoding::Lin32 => {
-            assert_eq!(dst.len() % 4, 0, "partial LIN32 sample");
-            for (d, s) in dst.chunks_exact_mut(4).zip(src.chunks_exact(4)) {
-                let a = i32::from_le_bytes([d[0], d[1], d[2], d[3]]);
-                let b = i32::from_le_bytes([s[0], s[1], s[2], s[3]]);
-                d.copy_from_slice(&a.saturating_add(b).to_le_bytes());
+        },
+        Encoding::Lin32 => match (sample::as_lin32_mut(dst), sample::as_lin32(src)) {
+            (Some(d), Some(s)) => mix_lin32(d, s),
+            _ => {
+                for (d, s) in dst.chunks_exact_mut(4).zip(src.chunks_exact(4)) {
+                    let a = i32::from_le_bytes([d[0], d[1], d[2], d[3]]);
+                    let b = i32::from_le_bytes([s[0], s[1], s[2], s[3]]);
+                    d.copy_from_slice(&a.saturating_add(b).to_le_bytes());
+                }
             }
-        }
-        other => panic!("mixing unsupported for encoding {other}"),
+        },
+        _ => unreachable!(),
     }
 }
 
@@ -111,10 +126,47 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "length mismatch")]
-    fn mix_bytes_length_mismatch_panics() {
-        let mut dst = vec![0u8; 2];
-        mix_bytes(crate::Encoding::Mu255, &mut dst, &[0u8; 3]);
+    fn mix_bytes_truncates_length_mismatch() {
+        let a = g711::linear_to_ulaw(5_000);
+        let b = g711::linear_to_ulaw(3_000);
+        let mut dst = vec![a, a];
+        // Longer source: only the common prefix is mixed.
+        mix_bytes(crate::Encoding::Mu255, &mut dst, &[b, b, b]);
+        assert_eq!(dst[0], dst[1]);
+        assert!(i32::from(g711::ulaw_to_linear(dst[0])) > 6_000);
+    }
+
+    #[test]
+    fn mix_bytes_ignores_trailing_partial_sample() {
+        let mut dst = Vec::new();
+        dst.extend_from_slice(&1000i16.to_le_bytes());
+        dst.push(0x7A); // Trailing partial sample: must survive untouched.
+        let mut src = Vec::new();
+        src.extend_from_slice(&234i16.to_le_bytes());
+        src.push(0x01);
+        mix_bytes(crate::Encoding::Lin16, &mut dst, &src);
+        assert_eq!(i16::from_le_bytes([dst[0], dst[1]]), 1234);
+        assert_eq!(dst[2], 0x7A);
+    }
+
+    #[test]
+    fn mix_bytes_matches_scalar_reference() {
+        for encoding in [
+            crate::Encoding::Mu255,
+            crate::Encoding::Alaw,
+            crate::Encoding::Lin16,
+            crate::Encoding::Lin32,
+        ] {
+            let unit = encoding.bytes_for_samples(1);
+            let n = 64 * unit;
+            let dst: Vec<u8> = (0..n).map(|i| (i * 7 + 13) as u8).collect();
+            let src: Vec<u8> = (0..n).map(|i| (i * 31 + 5) as u8).collect();
+            let mut batched = dst.clone();
+            mix_bytes(encoding, &mut batched, &src);
+            let mut scalar = dst;
+            crate::reference::mix_bytes_scalar(encoding, &mut scalar, &src);
+            assert_eq!(batched, scalar, "encoding {encoding}");
+        }
     }
 
     #[test]

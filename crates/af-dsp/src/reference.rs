@@ -1,0 +1,175 @@
+//! Frozen scalar reference kernels.
+//!
+//! These are the seed implementations of the hot sample kernels, kept
+//! verbatim (per-sample decoding, one-element arrays, per-call float math)
+//! after the batched rewrites replaced them on the production path.  They
+//! serve two purposes:
+//!
+//! * the property tests pin the batched kernels bit-exact against them, and
+//! * `crates/bench` reports before/after kernel throughput against them,
+//!   so the speedup claimed in `BENCH_report.json` is measured, not assumed.
+//!
+//! Do not optimize this module; its slowness is the baseline.  The inner
+//! per-sample helpers are `#[inline(never)]` to preserve the seed's
+//! cross-crate call structure (the server called `af_dsp::gain` once per
+//! sample across a crate boundary, which the optimizer could not hoist).
+
+use crate::{tables, Encoding};
+
+/// Seed `mix_bytes`: per-sample `from_le_bytes` loops for the linear
+/// encodings, table lookups for the companded ones.
+///
+/// # Panics
+///
+/// Panics on length mismatch, partial samples, or non-native encodings,
+/// exactly as the seed did.
+pub fn mix_bytes_scalar(encoding: Encoding, dst: &mut [u8], src: &[u8]) {
+    assert_eq!(dst.len(), src.len(), "mix length mismatch");
+    match encoding {
+        Encoding::Mu255 => {
+            let t = tables::mix_u();
+            for (d, s) in dst.iter_mut().zip(src) {
+                *d = t.mix(*d, *s);
+            }
+        }
+        Encoding::Alaw => {
+            let t = tables::mix_a();
+            for (d, s) in dst.iter_mut().zip(src) {
+                *d = t.mix(*d, *s);
+            }
+        }
+        Encoding::Lin16 => {
+            assert_eq!(dst.len() % 2, 0, "partial LIN16 sample");
+            for (d, s) in dst.chunks_exact_mut(2).zip(src.chunks_exact(2)) {
+                let a = i16::from_le_bytes([d[0], d[1]]);
+                let b = i16::from_le_bytes([s[0], s[1]]);
+                d.copy_from_slice(&a.saturating_add(b).to_le_bytes());
+            }
+        }
+        Encoding::Lin32 => {
+            assert_eq!(dst.len() % 4, 0, "partial LIN32 sample");
+            for (d, s) in dst.chunks_exact_mut(4).zip(src.chunks_exact(4)) {
+                let a = i32::from_le_bytes([d[0], d[1], d[2], d[3]]);
+                let b = i32::from_le_bytes([s[0], s[1], s[2], s[3]]);
+                d.copy_from_slice(&a.saturating_add(b).to_le_bytes());
+            }
+        }
+        other => panic!("mixing unsupported for encoding {other}"),
+    }
+}
+
+#[inline(never)]
+fn gain_lin16_scalar(samples: &mut [i16], db: f64) {
+    if db == 0.0 {
+        return;
+    }
+    let factor = (crate::gain::db_to_linear(db) * 65_536.0).round() as i64;
+    for s in samples {
+        let v = (i64::from(*s) * factor) >> 16;
+        *s = v.clamp(-32_768, 32_767) as i16;
+    }
+}
+
+#[inline(never)]
+fn gain_lin32_scalar(samples: &mut [i32], db: f64) {
+    if db == 0.0 {
+        return;
+    }
+    let factor = (crate::gain::db_to_linear(db) * 65_536.0).round() as i64;
+    for s in samples {
+        let v = (i64::from(*s) * factor) >> 16;
+        *s = v.clamp(i64::from(i32::MIN), i64::from(i32::MAX)) as i32;
+    }
+}
+
+/// Seed `af-server` gain path: each linear sample round-trips through a
+/// one-element array and a per-sample call that redoes the dB→linear float
+/// conversion.  Companded formats use the gain tables (unchanged by the
+/// batched rewrite, so they are shared here).
+pub fn apply_gain_bytes_scalar(encoding: Encoding, data: &mut [u8], db: i32) {
+    if db == 0 || data.is_empty() {
+        return;
+    }
+    match encoding {
+        Encoding::Mu255 => match crate::gain::gain_table_u(db) {
+            Some(t) => t.apply_in_place(data),
+            None => crate::gain::GainTable::new_ulaw(db).apply_in_place(data),
+        },
+        Encoding::Alaw => match crate::gain::gain_table_a(db) {
+            Some(t) => t.apply_in_place(data),
+            None => crate::gain::GainTable::new_alaw(db).apply_in_place(data),
+        },
+        Encoding::Lin16 => {
+            for pair in data.chunks_exact_mut(2) {
+                let mut v = [i16::from_le_bytes([pair[0], pair[1]])];
+                gain_lin16_scalar(&mut v, f64::from(db));
+                pair.copy_from_slice(&v[0].to_le_bytes());
+            }
+        }
+        Encoding::Lin32 => {
+            for quad in data.chunks_exact_mut(4) {
+                let mut v = [i32::from_le_bytes([quad[0], quad[1], quad[2], quad[3]])];
+                gain_lin32_scalar(&mut v, f64::from(db));
+                quad.copy_from_slice(&v[0].to_le_bytes());
+            }
+        }
+        _ => {}
+    }
+}
+
+/// Seed decoder: per-call allocation, per-sample `from_le_bytes`.
+///
+/// Only the four native encodings are supported; ADPCM's stateful path is
+/// out of scope for the kernel baseline.
+///
+/// # Panics
+///
+/// Panics on a partial trailing sample.
+pub fn decode_to_lin16_scalar(encoding: Encoding, data: &[u8]) -> Vec<i16> {
+    match encoding {
+        Encoding::Mu255 => {
+            let t = tables::exp_u();
+            data.iter().map(|&b| t[b as usize]).collect()
+        }
+        Encoding::Alaw => {
+            let t = tables::exp_a();
+            data.iter().map(|&b| t[b as usize]).collect()
+        }
+        Encoding::Lin16 => {
+            assert_eq!(data.len() % 2, 0, "partial LIN16 sample");
+            data.chunks_exact(2)
+                .map(|c| i16::from_le_bytes([c[0], c[1]]))
+                .collect()
+        }
+        Encoding::Lin32 => {
+            assert_eq!(data.len() % 4, 0, "partial LIN32 sample");
+            data.chunks_exact(4)
+                .map(|c| (i32::from_le_bytes([c[0], c[1], c[2], c[3]]) >> 16) as i16)
+                .collect()
+        }
+        other => panic!("no scalar decoder for encoding {other}"),
+    }
+}
+
+/// Seed encoder: per-call allocation, per-sample `extend_from_slice`.
+pub fn encode_from_lin16_scalar(encoding: Encoding, pcm: &[i16]) -> Vec<u8> {
+    match encoding {
+        Encoding::Mu255 => pcm.iter().map(|&s| tables::ulaw_encode_fast(s)).collect(),
+        Encoding::Alaw => pcm.iter().map(|&s| tables::alaw_encode_fast(s)).collect(),
+        Encoding::Lin16 => {
+            let mut out = Vec::with_capacity(pcm.len() * 2);
+            for s in pcm {
+                out.extend_from_slice(&s.to_le_bytes());
+            }
+            out
+        }
+        Encoding::Lin32 => {
+            let mut out = Vec::with_capacity(pcm.len() * 4);
+            for s in pcm {
+                out.extend_from_slice(&((i32::from(*s)) << 16).to_le_bytes());
+            }
+            out
+        }
+        other => panic!("no scalar encoder for encoding {other}"),
+    }
+}

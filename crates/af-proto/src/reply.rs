@@ -125,7 +125,22 @@ impl Reply {
 
     /// Encodes the reply as a complete framed message.
     pub fn encode(&self, order: ByteOrder, sequence: u16) -> Vec<u8> {
-        let mut body = WireWriter::new(order);
+        let mut out = Vec::new();
+        self.encode_into(order, sequence, &mut out);
+        out
+    }
+
+    /// Encodes the reply as a complete framed message appended to `out`
+    /// (cleared first).
+    ///
+    /// Header and payload are written into the same buffer — an 8-byte
+    /// placeholder is patched once the body length is known — so a reply
+    /// costs one buffer and one `write` on the transport, and `out` can come
+    /// from a reuse pool.
+    pub fn encode_into(&self, order: ByteOrder, sequence: u16, out: &mut Vec<u8>) {
+        out.clear();
+        let mut body = WireWriter::over(order, std::mem::take(out));
+        body.pad(MessageHeader::SIZE); // Header placeholder, patched below.
         match self {
             Reply::Time { time } => {
                 body.u32(time.ticks());
@@ -189,17 +204,16 @@ impl Reply {
             }
         }
         body.pad_to_word();
-        let payload = body.finish();
-        debug_assert_eq!(payload.len(), pad4(payload.len()));
+        let payload_len = body.len() - MessageHeader::SIZE;
+        debug_assert_eq!(payload_len, pad4(payload_len));
         let header = MessageHeader {
             kind: MessageKind::Reply,
             detail: self.tag(),
             sequence,
-            extra_words: (payload.len() / 4) as u32,
+            extra_words: (payload_len / 4) as u32,
         };
-        let mut out = WireWriter::with_capacity(order, 8 + payload.len());
-        out.bytes(&header.encode(order)).bytes(&payload);
-        out.finish()
+        body.patch(0, &header.encode(order));
+        *out = body.finish();
     }
 
     /// Decodes a reply payload given its parsed header.

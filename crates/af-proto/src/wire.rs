@@ -72,6 +72,28 @@ impl WireWriter {
         }
     }
 
+    /// Creates a writer that appends to an existing buffer.
+    ///
+    /// Lets a caller encode a message directly into a reused (pooled)
+    /// buffer instead of allocating; reclaim the buffer with
+    /// [`WireWriter::finish`].
+    pub fn over(order: ByteOrder, buf: Vec<u8>) -> WireWriter {
+        WireWriter { order, buf }
+    }
+
+    /// Overwrites `bytes.len()` already-written bytes starting at `at`.
+    ///
+    /// Used to patch a fixed-size header placeholder once the body length
+    /// is known, so header and payload share one buffer and one write.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range `at..at + bytes.len()` has not been written yet.
+    pub fn patch(&mut self, at: usize, bytes: &[u8]) -> &mut Self {
+        self.buf[at..at + bytes.len()].copy_from_slice(bytes);
+        self
+    }
+
     /// The byte order in use.
     pub fn order(&self) -> ByteOrder {
         self.order

@@ -48,6 +48,9 @@ pub struct DeviceBuffers {
     rec_ref_count: u32,
     /// Frames the update task keeps ahead of now in the hardware.
     hw_lead: u32,
+    /// Reusable staging buffer for write-through copies, so the steady-state
+    /// play path performs no per-request allocation.
+    scratch: Vec<u8>,
 }
 
 impl DeviceBuffers {
@@ -87,6 +90,7 @@ impl DeviceBuffers {
             time_last_valid: now,
             rec_ref_count: 0,
             hw_lead,
+            scratch: Vec::new(),
         }
     }
 
@@ -182,11 +186,21 @@ impl DeviceBuffers {
         };
         if valid_end.is_after(self.time_next_update) {
             let nframes = (valid_end - self.time_next_update) as u32;
-            let mut buf = vec![0u8; nframes as usize * self.frame_bytes];
-            self.play.read_at(self.time_next_update, &mut buf);
             if output_enabled {
-                crate::gain::apply_gain_bytes(self.encoding, &mut buf, output_gain_db);
-                self.backend.write_play(self.time_next_update, &buf);
+                // Apply the output gain in place in the ring and hand each
+                // contiguous chunk straight to the hardware: no staging copy.
+                // Mutating the ring is safe because this exact region is
+                // back-filled with silence immediately below, so the gained
+                // samples are never read again.
+                let encoding = self.encoding;
+                let frame_bytes = self.frame_bytes;
+                let mut at = self.time_next_update;
+                let DeviceBuffers { play, backend, .. } = self;
+                play.with_frames_mut(at, nframes, |chunk| {
+                    crate::gain::apply_gain_bytes(encoding, chunk, output_gain_db);
+                    backend.write_play(at, chunk);
+                    at += (chunk.len() / frame_bytes) as u32;
+                });
             }
             // Back-fill the consumed server region with silence so the
             // slots can be reused one buffer-length later.
@@ -224,9 +238,15 @@ impl DeviceBuffers {
             start = hw_start;
             span = lead;
         }
-        let mut buf = vec![0u8; span as usize * self.frame_bytes];
-        self.backend.read_rec(start, &mut buf);
-        self.rec.write_at(start, &buf);
+        // Capture straight from the hardware into the ring's own storage —
+        // the intermediate copy buffer is gone.
+        let frame_bytes = self.frame_bytes;
+        let mut at = start;
+        let DeviceBuffers { rec, backend, .. } = self;
+        rec.with_frames_mut(at, span, |chunk| {
+            backend.read_rec(at, chunk);
+            at += (chunk.len() / frame_bytes) as u32;
+        });
         self.time_rec_last_updated = now;
     }
 
@@ -273,12 +293,19 @@ impl DeviceBuffers {
         let wt_end = self.backend.now() + self.hw_lead;
         if wt_end.is_after(start) {
             let wt_frames = ((wt_end - start) as u32).min(writable);
-            let mut through = vec![0u8; wt_frames as usize * self.frame_bytes];
+            // The copy is deliberate: the update task will read and gain this
+            // same region later, so gaining it in the ring here would apply
+            // the output gain twice.  The staging buffer is reused across
+            // requests, so the steady state allocates nothing.
+            let mut through = std::mem::take(&mut self.scratch);
+            through.clear();
+            through.resize(wt_frames as usize * self.frame_bytes, 0);
             self.play.read_at(start, &mut through);
             if output_enabled {
                 crate::gain::apply_gain_bytes(self.encoding, &mut through, output_gain_db);
                 self.backend.write_play(start, &through);
             }
+            self.scratch = through;
         }
     }
 
@@ -356,26 +383,27 @@ impl DeviceBuffers {
             };
         }
 
-        // Read the existing frames, splice the lane, write back.
-        let nbytes = writable as usize * self.frame_bytes;
-        let mut frames = vec![0u8; nbytes];
-        self.play.read_at(start, &mut frames);
+        // Splice the lane directly in the ring: the other lanes are never
+        // copied anywhere, so the read-modify-write round trip is gone.
+        // `with_frames_mut` chunks are whole-frame aligned.
+        let encoding = self.encoding;
+        let frame_bytes = self.frame_bytes;
         let lane_off = channel as usize * sample_bytes;
         let src_base = dropped as usize * sample_bytes;
-        for i in 0..writable as usize {
-            let dst = i * self.frame_bytes + lane_off;
-            let src = src_base + i * sample_bytes;
-            let dst_slice = &mut frames[dst..dst + sample_bytes];
-            let src_slice = &mono[src..src + sample_bytes];
-            if preempt {
-                dst_slice.copy_from_slice(src_slice);
-            } else {
-                af_dsp::mix::mix_bytes(self.encoding, dst_slice, src_slice);
+        let mut i = 0usize;
+        self.play.with_frames_mut(start, writable, |chunk| {
+            for frame in chunk.chunks_exact_mut(frame_bytes) {
+                let dst_slice = &mut frame[lane_off..lane_off + sample_bytes];
+                let src = src_base + i * sample_bytes;
+                let src_slice = &mono[src..src + sample_bytes];
+                if preempt {
+                    dst_slice.copy_from_slice(src_slice);
+                } else {
+                    af_dsp::mix::mix_bytes(encoding, dst_slice, src_slice);
+                }
+                i += 1;
             }
-        }
-        // The splice preserved the other lanes, so committing with a plain
-        // copy is correct regardless of the mix/preempt choice above.
-        self.play.write_at(start, &frames);
+        });
 
         let end = start + writable;
         if end.is_after(self.time_last_valid) {
@@ -431,11 +459,16 @@ impl DeviceBuffers {
         };
         let mix_frames = (mix_end - start).max(0) as u32;
         if mix_frames > 0 {
+            // Mix the incoming block into the ring's own storage: the seed's
+            // alloc + copy-out + mix + copy-back round trip collapses to one
+            // in-place batched pass over each contiguous chunk.
+            let encoding = self.encoding;
             let nbytes = mix_frames as usize * self.frame_bytes;
-            let mut existing = vec![0u8; nbytes];
-            self.play.read_at(start, &mut existing);
-            mix::mix_bytes(self.encoding, &mut existing, &data[..nbytes]);
-            self.play.write_at(start, &existing);
+            let mut src = &data[..nbytes];
+            self.play.with_frames_mut(start, mix_frames, |chunk| {
+                mix::mix_bytes(encoding, chunk, &src[..chunk.len()]);
+                src = &src[chunk.len()..];
+            });
         }
         if mix_frames < nframes {
             let off = mix_frames as usize * self.frame_bytes;

@@ -366,6 +366,9 @@ impl ServerBuilder {
         let mut access = AccessControl::new();
         access.set_enabled(self.access_enabled);
         let stats = Arc::new(ServerStats::default());
+        // The transport layer owns the buffer pool; the dispatcher shares it
+        // so reply buffers drained by writer threads come back around.
+        let shared = TransportShared::with_chaos(tx.clone(), self.chaos);
         let core = ServerCore {
             vendor: self.vendor,
             devices,
@@ -373,6 +376,7 @@ impl ServerBuilder {
             atoms: AtomRegistry::new(),
             access,
             stats: Arc::clone(&stats),
+            pool: Arc::clone(&shared.pool),
         };
         let dispatcher =
             Dispatcher::new(core, rx, self.update_interval).with_idle_timeout(self.idle_timeout);
@@ -380,7 +384,6 @@ impl ServerBuilder {
             .name("af-dispatcher".into())
             .spawn(move || dispatcher.run())?;
 
-        let shared = TransportShared::with_chaos(tx.clone(), self.chaos);
         let tcp_addr = match self.tcp {
             Some(addr) => Some(transport::spawn_tcp(Arc::clone(&shared), addr)?),
             None => None,

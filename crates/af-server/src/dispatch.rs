@@ -6,6 +6,7 @@
 //! (the periodic update, wake-ups for suspended clients), and calls into
 //! the device-dependent layer through [`crate::buffer::DeviceBuffers`].
 
+use crate::pool::{BufferPool, PooledBuf};
 use crate::state::{
     AccessControl, AtomRegistry, Blocked, BlockedOp, ClientId, ClientState, ConnKick, ControlMsg,
     Device, PropertyValue, RawRequest, ServerAc, ServerEvent, ServerStats,
@@ -37,6 +38,9 @@ pub struct ServerCore {
     pub access: AccessControl,
     /// Failure counters, shared with the server handle.
     pub stats: Arc<ServerStats>,
+    /// Reply/frame buffer pool, shared with the transport layer so reply
+    /// buffers drained by writer threads come back to the dispatcher.
+    pub pool: Arc<BufferPool>,
 }
 
 impl ServerCore {
@@ -100,6 +104,9 @@ pub struct Dispatcher {
     /// the server, not the other way round).
     idle_timeout: Option<Duration>,
     shutdown: bool,
+    /// Scratch for AC sample-type conversion, reused across requests so a
+    /// steady play/record stream converts without allocating.
+    conv_buf: Vec<u8>,
 }
 
 /// Milliseconds since the Unix epoch (the "host clock time" in events).
@@ -120,6 +127,7 @@ impl Dispatcher {
             update_interval,
             idle_timeout: None,
             shutdown: false,
+            conv_buf: Vec::new(),
         }
     }
 
@@ -213,7 +221,7 @@ impl Dispatcher {
         id: ClientId,
         setup: &[u8],
         peer: Option<std::net::IpAddr>,
-        tx: crossbeam_channel::Sender<Vec<u8>>,
+        tx: crossbeam_channel::Sender<PooledBuf>,
         kick: ConnKick,
     ) {
         let setup = match af_proto::ConnSetup::decode(setup) {
@@ -225,7 +233,7 @@ impl Dispatcher {
             let reply = SetupReply::Failed {
                 reason: "host not authorized".to_string(),
             };
-            let _ = tx.send(reply.encode(order));
+            let _ = tx.send(reply.encode(order).into());
             return;
         }
         if setup.major != af_proto::PROTOCOL_MAJOR {
@@ -238,7 +246,7 @@ impl Dispatcher {
                     af_proto::PROTOCOL_MINOR
                 ),
             };
-            let _ = tx.send(reply.encode(order));
+            let _ = tx.send(reply.encode(order).into());
             return;
         }
         let reply = SetupReply::Success {
@@ -247,7 +255,7 @@ impl Dispatcher {
             vendor: self.core.vendor.clone(),
             devices: self.core.devices.iter().map(|d| d.desc).collect(),
         };
-        let _ = tx.send(reply.encode(order));
+        let _ = tx.send(reply.encode(order).into());
         self.core
             .clients
             .insert(id, ClientState::new(id, order, tx, kick));
@@ -475,6 +483,7 @@ impl Dispatcher {
                 preempt,
                 start,
                 frames,
+                offset,
                 suppress_reply,
             } => {
                 let (gain, enabled) = self.core.output_state(device);
@@ -485,14 +494,17 @@ impl Dispatcher {
                     Some(_) => buffers.frame_bytes() / channels.max(1) as usize,
                     None => buffers.frame_bytes(),
                 };
+                let pending = &frames[offset..];
                 let outcome = match lane {
                     Some(ch) => buffers
-                        .write_play_channel(start, &frames, ch, channels, preempt, gain, enabled),
-                    None => buffers.write_play(start, &frames, preempt, gain, enabled),
+                        .write_play_channel(start, pending, ch, channels, preempt, gain, enabled),
+                    None => buffers.write_play(start, pending, preempt, gain, enabled),
                 };
                 let consumed = (outcome.dropped_past + outcome.written) as usize * fb;
                 if outcome.beyond_horizon > 0 {
-                    let remaining = frames[consumed..].to_vec();
+                    // Advance the cursor instead of re-copying the tail: the
+                    // request bytes are written exactly once no matter how
+                    // many wake-ups it takes to drain them.
                     let new_start = start + (outcome.dropped_past + outcome.written);
                     let wake = self.play_wake_instant(device, outcome.beyond_horizon);
                     let client = self.core.clients.get_mut(&id).expect("client exists");
@@ -502,7 +514,8 @@ impl Dispatcher {
                             device,
                             preempt,
                             start: new_start,
-                            frames: remaining,
+                            frames,
+                            offset: offset + consumed,
                             suppress_reply,
                         },
                     });
@@ -903,21 +916,29 @@ impl Dispatcher {
             if big {
                 crate::gain::swap_sample_bytes(ac.attrs.encoding, &mut data);
             }
-            let converted = match ac.play_conv.convert(&data) {
-                Ok(c) => c,
-                Err(_) => {
-                    self.send_error_to(
-                        id,
-                        order,
-                        seq,
-                        ErrorCode::BadLength,
-                        data.len() as u32,
-                        Opcode::PlaySamples.to_wire(),
-                    );
-                    return;
+            // Identity ACs skip conversion (and its copy) outright; other
+            // pipelines convert into the dispatcher's reusable scratch.
+            if !ac.play_conv.is_identity() {
+                let mut converted = std::mem::take(&mut self.conv_buf);
+                match ac.play_conv.convert_into(&data, &mut converted) {
+                    Ok(()) => {
+                        std::mem::swap(&mut data, &mut converted);
+                        self.conv_buf = converted;
+                    }
+                    Err(_) => {
+                        self.conv_buf = converted;
+                        self.send_error_to(
+                            id,
+                            order,
+                            seq,
+                            ErrorCode::BadLength,
+                            data.len() as u32,
+                            Opcode::PlaySamples.to_wire(),
+                        );
+                        return;
+                    }
                 }
-            };
-            data = converted;
+            }
             (
                 ac.device,
                 ac.attrs.preempt || flags & play_flags::PREEMPT != 0,
@@ -978,9 +999,10 @@ impl Dispatcher {
         };
         if outcome.beyond_horizon > 0 {
             // Suspend until time advances (§2.2: "requests that fall beyond
-            // the four-second buffer are suspended").
+            // the four-second buffer are suspended").  The whole buffer moves
+            // into the blocked op with a consumed-bytes cursor — no tail copy
+            // here or on any retry.
             let consumed = (outcome.dropped_past + outcome.written) as usize * fb;
-            let remaining = data[consumed..].to_vec();
             let new_start = start_time + (outcome.dropped_past + outcome.written);
             let wake = self.play_wake_instant(device, outcome.beyond_horizon);
             if let Some(client) = self.core.clients.get_mut(&id) {
@@ -990,7 +1012,8 @@ impl Dispatcher {
                         device,
                         preempt,
                         start: new_start,
-                        frames: remaining,
+                        frames: data,
+                        offset: consumed,
                         suppress_reply: suppress,
                     },
                 });
@@ -1149,7 +1172,12 @@ impl Dispatcher {
             let total_gain = input_gain + i32::from(ac.attrs.record_gain_db);
             crate::gain::apply_gain_bytes(dev_enc, &mut raw, total_gain);
         }
-        let mut out = ac.rec_conv.convert(&raw).unwrap_or_default();
+        // Convert through the dispatcher's reusable scratch, and reclaim it
+        // from the reply afterwards so steady recording never allocates here.
+        let mut out = std::mem::take(&mut self.conv_buf);
+        if ac.rec_conv.convert_into(&raw, &mut out).is_err() {
+            out.clear();
+        }
         if big_endian {
             crate::gain::swap_sample_bytes(ac.attrs.encoding, &mut out);
         }
@@ -1158,6 +1186,9 @@ impl Dispatcher {
             data: out,
         };
         self.send_reply_to(id, order, seq, &reply);
+        if let Reply::Record { data, .. } = reply {
+            self.conv_buf = data;
+        }
     }
 
     fn h_query_phone(&mut self, device: DeviceId) -> Result<Option<Reply>, (ErrorCode, u32)> {
@@ -1468,7 +1499,12 @@ impl Dispatcher {
 
     fn send_reply_to(&self, id: ClientId, order: af_proto::ByteOrder, seq: u16, reply: &Reply) {
         if let Some(c) = self.core.clients.get(&id) {
-            c.send(reply.encode(order, seq));
+            // Header and payload are encoded into one pooled buffer: one
+            // allocation-free encode, one `write` on the transport, and the
+            // writer thread's drop recycles the storage.
+            let mut buf = self.core.pool.take_empty();
+            reply.encode_into(order, seq, buf.vec_mut());
+            c.send(buf);
         }
     }
 

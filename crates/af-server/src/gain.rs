@@ -1,12 +1,14 @@
 //! Gain application on raw buffer bytes in a device's native encoding.
 
-use af_dsp::{gain, Encoding};
+use af_dsp::{gain, sample, Encoding};
 
 /// Applies `db` decibels of gain to `data` in place.
 ///
 /// Companded formats go through 256-entry gain tables (precomputed for the
-/// -30…+30 dB range, built on the fly outside it); linear formats use
-/// fixed-point multiplication.  A gain of 0 dB is free.
+/// -30…+30 dB range, built on the fly outside it); linear formats apply a
+/// Q16 fixed-point multiplier, computed once per buffer, over a typed
+/// sample view of the bytes (per-sample decode fallback when the buffer is
+/// misaligned or big-endian).  A gain of 0 dB is free.
 pub fn apply_gain_bytes(encoding: Encoding, data: &mut [u8], db: i32) {
     if db == 0 || data.is_empty() {
         return;
@@ -21,17 +23,27 @@ pub fn apply_gain_bytes(encoding: Encoding, data: &mut [u8], db: i32) {
             None => gain::GainTable::new_alaw(db).apply_in_place(data),
         },
         Encoding::Lin16 => {
-            for pair in data.chunks_exact_mut(2) {
-                let mut v = [i16::from_le_bytes([pair[0], pair[1]])];
-                gain::apply_gain_lin16(&mut v, f64::from(db));
-                pair.copy_from_slice(&v[0].to_le_bytes());
+            let factor = gain::q16_factor(f64::from(db));
+            match sample::as_lin16_mut(data) {
+                Some(samples) => gain::apply_gain_lin16_q16(samples, factor),
+                None => {
+                    for pair in data.chunks_exact_mut(2) {
+                        let v = i16::from_le_bytes([pair[0], pair[1]]);
+                        pair.copy_from_slice(&gain::q16_gain_i16(v, factor).to_le_bytes());
+                    }
+                }
             }
         }
         Encoding::Lin32 => {
-            for quad in data.chunks_exact_mut(4) {
-                let mut v = [i32::from_le_bytes([quad[0], quad[1], quad[2], quad[3]])];
-                gain::apply_gain_lin32(&mut v, f64::from(db));
-                quad.copy_from_slice(&v[0].to_le_bytes());
+            let factor = gain::q16_factor(f64::from(db));
+            match sample::as_lin32_mut(data) {
+                Some(samples) => gain::apply_gain_lin32_q16(samples, factor),
+                None => {
+                    for quad in data.chunks_exact_mut(4) {
+                        let v = i32::from_le_bytes([quad[0], quad[1], quad[2], quad[3]]);
+                        quad.copy_from_slice(&gain::q16_gain_i32(v, factor).to_le_bytes());
+                    }
+                }
             }
         }
         // Compressed data cannot be gain-adjusted in place; the conversion
@@ -116,6 +128,24 @@ mod tests {
         // Involution.
         swap_sample_bytes(Encoding::Lin32, &mut data);
         assert_eq!(data, vec![0x01, 0x02, 0x03, 0x04]);
+    }
+
+    #[test]
+    fn batched_gain_matches_scalar_reference() {
+        for encoding in [
+            Encoding::Mu255,
+            Encoding::Alaw,
+            Encoding::Lin16,
+            Encoding::Lin32,
+        ] {
+            for db in [-30, -6, 3, 18, 30] {
+                let mut batched: Vec<u8> = (0u16..256).flat_map(|i| [(i * 7) as u8]).collect();
+                let mut scalar = batched.clone();
+                apply_gain_bytes(encoding, &mut batched, db);
+                af_dsp::reference::apply_gain_bytes_scalar(encoding, &mut scalar, db);
+                assert_eq!(batched, scalar, "encoding={encoding:?} db={db}");
+            }
+        }
     }
 
     #[test]

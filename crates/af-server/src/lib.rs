@@ -21,12 +21,14 @@ pub mod buffer;
 pub mod builder;
 pub mod dispatch;
 pub mod gain;
+pub mod pool;
 pub mod state;
 pub mod task;
 pub mod transport;
 
 pub use buffer::{DeviceBuffers, PlayOutcome};
 pub use builder::{DeviceSetup, RunningServer, ServerBuilder, ServerHandle};
+pub use pool::{BufferPool, PooledBuf};
 pub use state::ServerStats;
 pub use transport::{FrameError, OUTBOUND_QUEUE_CAPACITY};
 

@@ -2,6 +2,7 @@
 //! control, and properties.
 
 use crate::buffer::DeviceBuffers;
+use crate::pool::PooledBuf;
 use crate::transport::FrameError;
 use af_dsp::convert::Converter;
 use af_proto::{AcAttributes, AcId, Atom, ByteOrder, DeviceDesc, DeviceId, EventMask, Opcode};
@@ -268,8 +269,9 @@ pub struct ServerAc {
 pub struct RawRequest {
     /// The raw opcode byte (may be invalid; the dispatcher validates).
     pub opcode: u8,
-    /// The payload after the 4-byte header.
-    pub payload: Vec<u8>,
+    /// The payload after the 4-byte header, in a pooled frame buffer that
+    /// recycles once the request is processed.
+    pub payload: PooledBuf,
 }
 
 /// Why a client is suspended, and what to do when it can continue.
@@ -283,8 +285,11 @@ pub enum BlockedOp {
         preempt: bool,
         /// Device time of the first remaining frame.
         start: ATime,
-        /// Remaining frames in device encoding.
+        /// The full request in device encoding; `offset` marks how much has
+        /// been consumed (a cursor, so retries never re-copy the tail).
         frames: Vec<u8>,
+        /// Bytes of `frames` already written into the device buffer.
+        offset: usize,
         /// Whether the final reply is suppressed.
         suppress_reply: bool,
     },
@@ -318,7 +323,7 @@ pub struct ClientState {
     /// The client's declared byte order.
     pub order: ByteOrder,
     /// Outbound bytes to the writer thread.
-    pub tx: Sender<Vec<u8>>,
+    pub tx: Sender<PooledBuf>,
     /// Requests processed on this connection (low 16 bits are the wire
     /// sequence number).
     pub seq: u16,
@@ -342,7 +347,12 @@ pub struct ClientState {
 
 impl ClientState {
     /// Creates state for a newly accepted connection.
-    pub fn new(id: ClientId, order: ByteOrder, tx: Sender<Vec<u8>>, kick: ConnKick) -> ClientState {
+    pub fn new(
+        id: ClientId,
+        order: ByteOrder,
+        tx: Sender<PooledBuf>,
+        kick: ConnKick,
+    ) -> ClientState {
         ClientState {
             id,
             order,
@@ -371,8 +381,8 @@ impl ClientState {
     /// instead of buffering without limit (the seed behavior) the client
     /// is flagged for eviction.  A vanished writer is ignored — the
     /// reader's disconnect event is already in flight.
-    pub fn send(&self, bytes: Vec<u8>) {
-        match self.tx.try_send(bytes) {
+    pub fn send<B: Into<PooledBuf>>(&self, bytes: B) {
+        match self.tx.try_send(bytes.into()) {
             Ok(()) => {}
             Err(crossbeam_channel::TrySendError::Full(_)) => self.overflowed.set(true),
             Err(crossbeam_channel::TrySendError::Disconnected(_)) => {}
@@ -391,7 +401,7 @@ pub enum ServerEvent {
         /// Peer address for access control (`None` for local transports).
         peer: Option<IpAddr>,
         /// Outbound channel to the connection's writer thread.
-        tx: Sender<Vec<u8>>,
+        tx: Sender<PooledBuf>,
         /// Closes the connection's socket (for forced eviction).
         kick: ConnKick,
     },

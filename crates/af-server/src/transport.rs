@@ -15,6 +15,7 @@
 //!
 //! TCP and Unix-domain sockets are supported, matching §5.1.
 
+use crate::pool::{BufferPool, PooledBuf};
 use crate::state::{ClientId, ConnKick, RawRequest, ServerEvent};
 use af_chaos::{ChaosStream, StreamFaultPlan};
 use af_proto::{ByteOrder, ConnSetup, MAX_REQUEST_BYTES};
@@ -94,6 +95,8 @@ pub struct TransportShared {
     pub stop: AtomicBool,
     /// Faults injected into every accepted connection (chaos testing).
     pub chaos: Option<StreamFaultPlan>,
+    /// Frame/reply buffer pool shared by reader threads and the dispatcher.
+    pub pool: Arc<BufferPool>,
 }
 
 impl TransportShared {
@@ -112,6 +115,7 @@ impl TransportShared {
             next_id: AtomicU64::new(1),
             stop: AtomicBool::new(false),
             chaos,
+            pool: BufferPool::shared(),
         })
     }
 }
@@ -226,7 +230,7 @@ impl<S: Conn> Conn for ChaosStream<S> {
 /// Sets up reader and writer threads for one accepted connection.
 pub fn spawn_connection<S: Conn>(shared: Arc<TransportShared>, stream: S, peer: Option<IpAddr>) {
     let id = shared.next_id.fetch_add(1, Ordering::Relaxed);
-    let (tx, rx) = crossbeam_channel::bounded::<Vec<u8>>(OUTBOUND_QUEUE_CAPACITY);
+    let (tx, rx) = crossbeam_channel::bounded::<PooledBuf>(OUTBOUND_QUEUE_CAPACITY);
     let mut write_half = match stream.split() {
         Ok(s) => s,
         Err(_) => return,
@@ -241,6 +245,9 @@ pub fn spawn_connection<S: Conn>(shared: Arc<TransportShared>, stream: S, peer: 
     let _ = std::thread::Builder::new()
         .name(format!("af-writer-{id}"))
         .spawn(move || {
+            // Each message arrives as one contiguous pooled buffer (header +
+            // payload), so it costs a single write; dropping the buffer
+            // afterwards recycles it through the pool.
             while let Ok(bytes) = rx.recv() {
                 if write_half.write_all(&bytes).is_err() {
                     break;
@@ -266,7 +273,7 @@ fn read_setup<S: Read>(
     shared: &TransportShared,
     id: ClientId,
     peer: Option<IpAddr>,
-    tx: Sender<Vec<u8>>,
+    tx: Sender<PooledBuf>,
     kick: ConnKick,
 ) -> Option<ByteOrder> {
     let mut header = [0u8; ConnSetup::HEADER_SIZE];
@@ -311,7 +318,9 @@ fn read_requests<S: Read>(
                 return;
             }
         };
-        let mut payload = vec![0u8; payload_len];
+        // Pooled: steady-state traffic recycles the same frame buffers
+        // instead of allocating one per request.
+        let mut payload = shared.pool.take_filled(payload_len);
         if stream.read_exact(&mut payload).is_err() {
             return;
         }
@@ -481,6 +490,48 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn reader_steady_state_recycles_frame_buffers() {
+        // The acceptance property for the buffer pool: on the steady-state
+        // request path, the reader does NOT allocate a Vec per frame.  A
+        // bounded(1) event channel forces lock-step with the consumer, so at
+        // most a few buffers are ever in flight; after 100 frames the pool
+        // must have satisfied nearly all takes from its free list.
+        let (tx, rx) = crossbeam_channel::bounded(1);
+        let shared = TransportShared::new(tx);
+        let pool = Arc::clone(&shared.pool);
+
+        let mut wire = Vec::new();
+        for _ in 0..100 {
+            wire.extend_from_slice(&[2, 0, 33, 0]); // 2 words: header + 4 bytes.
+            wire.extend_from_slice(&[1, 2, 3, 4]);
+        }
+        let reader = std::thread::spawn(move || {
+            let mut cur = std::io::Cursor::new(wire);
+            read_requests(&mut cur, &shared, 1, ByteOrder::Little);
+        });
+
+        let mut seen = 0;
+        while seen < 100 {
+            match rx.recv_timeout(std::time::Duration::from_secs(2)).unwrap() {
+                ServerEvent::Request { raw, .. } => {
+                    assert_eq!(&*raw.payload, &[1, 2, 3, 4]);
+                    seen += 1;
+                    // Dropping `raw` returns its buffer to the pool, exactly
+                    // as the dispatcher does after handling a request.
+                }
+                _ => panic!("expected Request"),
+            }
+        }
+        reader.join().unwrap();
+        assert!(
+            pool.allocs() <= 4,
+            "steady-state reader allocated per frame: {} allocs",
+            pool.allocs()
+        );
+        assert!(pool.reuses() >= 96, "only {} reuses", pool.reuses());
     }
 
     #[test]

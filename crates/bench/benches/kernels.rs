@@ -1,0 +1,84 @@
+//! Criterion benchmarks for the sample-pipeline kernels: the seed's
+//! scalar/allocating paths against the batched zero-copy paths, at the
+//! 1 KB – 64 KB block sizes of the §10 sweep.
+//!
+//! These are the interactive companion to `report`'s kernel section
+//! (which produces the machine-readable `BENCH_report.json`); run with
+//! `cargo bench -p bench --bench kernels` to get criterion's statistics
+//! and change detection on a single kernel.
+
+use af_dsp::convert::Converter;
+use af_dsp::{mix, reference, Encoding};
+use bench::kernels::KERNEL_SIZES;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+fn lin16_block(bytes: usize) -> Vec<u8> {
+    (0..bytes / 2)
+        .flat_map(|i| (((i as i32 * 2654435761u32 as i32) >> 16) as i16).to_le_bytes())
+        .collect()
+}
+
+fn bench_mix(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mix_lin16");
+    for &bytes in &KERNEL_SIZES {
+        group.throughput(Throughput::Bytes(bytes as u64));
+        let src = lin16_block(bytes);
+        let mut ring = lin16_block(bytes);
+        group.bench_with_input(BenchmarkId::new("seed_staged", bytes), &bytes, |b, _| {
+            b.iter(|| {
+                let mut existing = vec![0u8; bytes];
+                existing.copy_from_slice(&ring);
+                reference::mix_bytes_scalar(Encoding::Lin16, &mut existing, &src);
+                ring.copy_from_slice(&existing);
+            })
+        });
+        let mut ring = lin16_block(bytes);
+        group.bench_with_input(BenchmarkId::new("batched_in_place", bytes), &bytes, |b, _| {
+            b.iter(|| mix::mix_bytes(Encoding::Lin16, &mut ring, &src))
+        });
+    }
+    group.finish();
+}
+
+fn bench_gain(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gain_lin16_minus6db");
+    for &bytes in &KERNEL_SIZES {
+        group.throughput(Throughput::Bytes(bytes as u64));
+        let mut buf = lin16_block(bytes);
+        group.bench_with_input(BenchmarkId::new("seed_per_sample", bytes), &bytes, |b, _| {
+            b.iter(|| reference::apply_gain_bytes_scalar(Encoding::Lin16, &mut buf, -6))
+        });
+        let mut buf = lin16_block(bytes);
+        group.bench_with_input(BenchmarkId::new("batched_q16", bytes), &bytes, |b, _| {
+            b.iter(|| af_server::gain::apply_gain_bytes(Encoding::Lin16, &mut buf, -6))
+        });
+    }
+    group.finish();
+}
+
+fn bench_convert(c: &mut Criterion) {
+    let mut group = c.benchmark_group("convert_mu255_to_lin16");
+    for &bytes in &KERNEL_SIZES {
+        group.throughput(Throughput::Bytes(bytes as u64));
+        let src: Vec<u8> = (0..bytes).map(|i| (i % 255) as u8).collect();
+        group.bench_with_input(BenchmarkId::new("seed_allocating", bytes), &bytes, |b, _| {
+            b.iter(|| {
+                let pcm = reference::decode_to_lin16_scalar(Encoding::Mu255, &src);
+                reference::encode_from_lin16_scalar(Encoding::Lin16, &pcm)
+            })
+        });
+        let mut conv = Converter::new(Encoding::Mu255, Encoding::Lin16).unwrap();
+        let mut out = Vec::new();
+        group.bench_with_input(BenchmarkId::new("batched_reused", bytes), &bytes, |b, _| {
+            b.iter(|| conv.convert_into(&src, &mut out).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30);
+    targets = bench_mix, bench_gain, bench_convert
+}
+criterion_main!(benches);

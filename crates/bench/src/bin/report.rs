@@ -2,41 +2,140 @@
 //!
 //! Prints the same rows/series §10 reports, measured against this
 //! implementation's configurations (transport variants instead of 1993
-//! CPU variants).  Run with:
+//! CPU variants), and writes every number to `BENCH_report.json` so CI
+//! and regression tooling can diff runs without parsing markdown.
+//! Run with:
 //!
 //! ```text
-//! cargo run --release -p bench --bin report
+//! cargo run --release -p bench --bin report [-- --smoke] [-- --out PATH]
 //! ```
 //!
-//! The output is pasted into EXPERIMENTS.md next to the paper's numbers.
+//! `--smoke` cuts iteration counts for a fast CI sanity pass — the JSON
+//! records `"mode": "smoke"` so such runs are never mistaken for real
+//! measurements.  The markdown output is pasted into EXPERIMENTS.md next
+//! to the paper's numbers.
 
 use af_client::{Ac, AudioConn};
+use bench::kernels::{run_kernels, KernelMeasurement};
 use bench::{sweep_sizes, time_per_iter, Rig, Transport};
 
-/// Iterations for latency-style measurements (the paper used 1000).
-const LATENCY_ITERS: u32 = 1000;
-/// Iterations for data-moving measurements at large sizes.
-const DATA_ITERS: u32 = 300;
-
-fn main() {
-    let configs = Transport::standard();
-    println!("# AudioFile evaluation report (reproducing §10)\n");
-    println!("configurations: unix socket (local), loopback TCP, TCP + 0.5 ms wire\n");
-
-    figure10(&configs);
-    let record = figure11(&configs);
-    table10(&configs, &record);
-    let preempt = figure12_13(&configs, true);
-    let mix = figure12_13(&configs, false);
-    table11(&configs, &mix, &preempt);
-    table12(&configs);
-    table7();
+/// Per-run measurement settings.
+#[derive(Clone, Copy)]
+struct Settings {
+    smoke: bool,
+    /// Iterations for latency-style measurements (the paper used 1000).
+    latency_iters: u32,
+    /// Iterations for data-moving measurements.
+    data_iters: u32,
 }
 
-fn figure10(configs: &[(Transport, &'static str)]) {
+impl Settings {
+    fn new(smoke: bool) -> Settings {
+        if smoke {
+            Settings {
+                smoke,
+                latency_iters: 60,
+                data_iters: 20,
+            }
+        } else {
+            Settings {
+                smoke,
+                latency_iters: 1000,
+                data_iters: 300,
+            }
+        }
+    }
+}
+
+/// Everything the run measured, in emission order.
+struct Report {
+    mode: &'static str,
+    labels: Vec<&'static str>,
+    kernels: Vec<KernelMeasurement>,
+    /// Figure 10: mean AFGetTime() seconds per configuration.
+    get_time: Vec<f64>,
+    sizes: Vec<usize>,
+    /// Figures 11/12/13: seconds per call, per configuration, per size.
+    record: Vec<Vec<f64>>,
+    preempt: Vec<Vec<f64>>,
+    mix: Vec<Vec<f64>>,
+    /// Table 12: open-loop iteration seconds per configuration.
+    loop_time: Vec<f64>,
+    /// Table 7: decoded / total DTMF pairs.
+    dtmf_ok: u32,
+    dtmf_total: u32,
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_report.json".to_string());
+    let settings = Settings::new(smoke);
+
+    let configs = Transport::standard();
+    println!("# AudioFile evaluation report (reproducing §10)\n");
+    if smoke {
+        println!("**smoke mode** — reduced iterations, numbers are sanity checks only\n");
+    }
+    println!("configurations: unix socket (local), loopback TCP, TCP + 0.5 ms wire\n");
+
+    let kernels = kernel_section(settings);
+    let get_time = figure10(&configs, settings);
+    let record = figure11(&configs, settings);
+    table10(&configs, &record);
+    let preempt = figure12_13(&configs, settings, true);
+    let mix = figure12_13(&configs, settings, false);
+    table11(&configs, &mix, &preempt);
+    let loop_time = table12(&configs, settings);
+    let (dtmf_ok, dtmf_total) = table7();
+
+    let report = Report {
+        mode: if smoke { "smoke" } else { "full" },
+        labels: configs.iter().map(|&(_, l)| l).collect(),
+        kernels,
+        get_time,
+        sizes: sweep_sizes(),
+        record,
+        preempt,
+        mix,
+        loop_time,
+        dtmf_ok,
+        dtmf_total,
+    };
+    let json = render_json(&report);
+    std::fs::write(&out_path, json).expect("write BENCH_report.json");
+    println!("machine-readable report written to {out_path}");
+}
+
+fn kernel_section(settings: Settings) -> Vec<KernelMeasurement> {
+    println!("## Kernel throughput — seed scalar path vs batched path\n");
+    println!("| kernel | bytes | before (MB/s) | after (MB/s) | speedup |");
+    println!("|---|---|---|---|---|");
+    let results = run_kernels(settings.smoke);
+    for m in &results {
+        println!(
+            "| {} | {} | {:.0} | {:.0} | {:.2}x |",
+            m.kernel,
+            m.bytes,
+            m.before_mb_s,
+            m.after_mb_s,
+            m.speedup()
+        );
+    }
+    println!();
+    results
+}
+
+fn figure10(configs: &[(Transport, &'static str)], settings: Settings) -> Vec<f64> {
     println!("## Figure 10 — AFGetTime() round-trip time\n");
     println!("| configuration | mean per call |");
     println!("|---|---|");
+    let mut means = Vec::new();
     for &(t, label) in configs {
         let rig = Rig::start(t, false);
         let mut conn = rig.connect();
@@ -44,16 +143,18 @@ fn figure10(configs: &[(Transport, &'static str)]) {
         for _ in 0..50 {
             conn.get_time(0).unwrap();
         }
-        let s = time_per_iter(LATENCY_ITERS, || {
+        let s = time_per_iter(settings.latency_iters, || {
             conn.get_time(0).unwrap();
         });
         println!("| {label} | {:.1} µs |", s * 1e6);
+        means.push(s);
     }
     println!();
+    means
 }
 
 /// Measures record time per size per configuration; returns seconds.
-fn figure11(configs: &[(Transport, &'static str)]) -> Vec<Vec<f64>> {
+fn figure11(configs: &[(Transport, &'static str)], settings: Settings) -> Vec<Vec<f64>> {
     println!("## Figure 11 — AFRecordSamples() time vs request size\n");
     print!("| bytes |");
     for &(_, label) in configs {
@@ -82,7 +183,7 @@ fn figure11(configs: &[(Transport, &'static str)]) -> Vec<Vec<f64>> {
     for &size in &sizes {
         print!("| {size} |");
         for (ci, (conn, ac)) in rigs.iter_mut().enumerate() {
-            let iters = if size >= 16_384 { DATA_ITERS } else { 300 };
+            let iters = sweep_iters(settings, size);
             let s = time_per_iter(iters, || {
                 let now = conn.get_time(0).unwrap();
                 let start = now - (size as u32 + 8000);
@@ -96,6 +197,16 @@ fn figure11(configs: &[(Transport, &'static str)]) -> Vec<Vec<f64>> {
     }
     println!("\n(the step at 8 KB is the client library's request chunking, §10.1.2)\n");
     all
+}
+
+fn sweep_iters(settings: Settings, size: usize) -> u32 {
+    if settings.smoke {
+        settings.data_iters
+    } else if size >= 16_384 {
+        settings.data_iters
+    } else {
+        300
+    }
 }
 
 /// Least-squares slope of time vs bytes over the ≥ 4 KB sizes, inverted
@@ -128,7 +239,11 @@ fn table10(configs: &[(Transport, &'static str)], record: &[Vec<f64>]) {
     println!();
 }
 
-fn figure12_13(configs: &[(Transport, &'static str)], preempt: bool) -> Vec<Vec<f64>> {
+fn figure12_13(
+    configs: &[(Transport, &'static str)],
+    settings: Settings,
+    preempt: bool,
+) -> Vec<Vec<f64>> {
     let (fig, mode) = if preempt {
         (12, "preemptive")
     } else {
@@ -161,7 +276,7 @@ fn figure12_13(configs: &[(Transport, &'static str)], preempt: bool) -> Vec<Vec<
     for &size in &sizes {
         print!("| {size} |");
         for (ci, (conn, ac)) in rigs.iter_mut().enumerate() {
-            let iters = if size >= 16_384 { DATA_ITERS } else { 300 };
+            let iters = sweep_iters(settings, size);
             let s = time_per_iter(iters, || {
                 let now = conn.get_time(0).unwrap();
                 conn.play_samples(ac, now + 8000u32, &data[..size]).unwrap();
@@ -190,10 +305,11 @@ fn table11(configs: &[(Transport, &'static str)], mix: &[Vec<f64>], preempt: &[V
     println!();
 }
 
-fn table12(configs: &[(Transport, &'static str)]) {
+fn table12(configs: &[(Transport, &'static str)], settings: Settings) -> Vec<f64> {
     println!("## Table 12 — open-loop record/play iteration time\n");
     println!("| configuration | time (ms) |");
     println!("|---|---|");
+    let mut times = Vec::new();
     for &(t, label) in configs {
         let rig = Rig::start(t, true);
         let (mut conn, ac) = rig.connect_with_ac(false);
@@ -207,7 +323,7 @@ fn table12(configs: &[(Transport, &'static str)]) {
             }
             next = now;
         }
-        let s = time_per_iter(LATENCY_ITERS, || {
+        let s = time_per_iter(settings.latency_iters, || {
             let (now, data) = conn.record_samples(&ac, next, 8000, false).unwrap();
             if !data.is_empty() {
                 conn.play_samples(&ac, next + 4000u32, &data).unwrap();
@@ -215,17 +331,21 @@ fn table12(configs: &[(Transport, &'static str)]) {
             next = now;
         });
         println!("| {label} | {:.3} |", s * 1e3);
+        times.push(s);
     }
     println!();
+    times
 }
 
-fn table7() {
+fn table7() -> (u32, u32) {
     println!("## Table 7 — tone pairs verified by decoding\n");
     use af_dsp::goertzel::{DtmfDetector, DtmfEvent};
     use af_dsp::telephony::DTMF;
     use af_dsp::tone::tone_pair;
     let mut ok = 0;
+    let mut total = 0;
     for def in DTMF {
+        total += 1;
         let ulaw = tone_pair(def.spec, 8000.0, 480, 16);
         let pcm: Vec<i16> = ulaw
             .iter()
@@ -244,5 +364,117 @@ fn table7() {
             println!("FAILED to decode {}", def.name);
         }
     }
-    println!("all 16 DTMF tone pairs synthesized and decoded: {ok}/16\n");
+    println!("all 16 DTMF tone pairs synthesized and decoded: {ok}/{total}\n");
+    (ok, total)
+}
+
+// --- JSON emission -------------------------------------------------------
+//
+// The workspace has no serde; the report's shape is small and fixed, so a
+// few formatting helpers keep the output valid without a dependency.
+
+/// Formats a float with enough precision to diff runs, never NaN/inf
+/// (which are not JSON).
+fn jnum(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:.6}")
+    } else {
+        "null".to_string()
+    }
+}
+
+fn jstr(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// `{"label": [...], ...}` for a per-configuration series table.
+fn jseries(labels: &[&str], series: &[Vec<f64>], scale: f64) -> String {
+    let body: Vec<String> = labels
+        .iter()
+        .zip(series)
+        .map(|(l, row)| {
+            let vals: Vec<String> = row.iter().map(|&v| jnum(v * scale)).collect();
+            format!("{}: [{}]", jstr(l), vals.join(", "))
+        })
+        .collect();
+    format!("{{{}}}", body.join(", "))
+}
+
+/// `{"label": value, ...}` for a per-configuration scalar table.
+fn jscalars(labels: &[&str], vals: &[f64], scale: f64) -> String {
+    let body: Vec<String> = labels
+        .iter()
+        .zip(vals)
+        .map(|(l, &v)| format!("{}: {}", jstr(l), jnum(v * scale)))
+        .collect();
+    format!("{{{}}}", body.join(", "))
+}
+
+fn render_json(r: &Report) -> String {
+    let sizes = &r.sizes;
+    let labels = &r.labels;
+    let kernels: Vec<String> = r
+        .kernels
+        .iter()
+        .map(|m| {
+            format!(
+                "    {{\"kernel\": {}, \"bytes\": {}, \"before_mb_s\": {}, \"after_mb_s\": {}, \"speedup\": {}}}",
+                jstr(m.kernel),
+                m.bytes,
+                jnum(m.before_mb_s),
+                jnum(m.after_mb_s),
+                jnum(m.speedup())
+            )
+        })
+        .collect();
+    let sizes_json: Vec<String> = sizes.iter().map(|s| s.to_string()).collect();
+    let throughput_rows: Vec<String> = labels
+        .iter()
+        .enumerate()
+        .map(|(ci, l)| {
+            format!(
+                "    {}: {{\"record_kbs\": {}, \"play_mix_kbs\": {}, \"play_preempt_kbs\": {}}}",
+                jstr(l),
+                jnum(slope_kbs(sizes, &r.record[ci])),
+                jnum(slope_kbs(sizes, &r.mix[ci])),
+                jnum(slope_kbs(sizes, &r.preempt[ci]))
+            )
+        })
+        .collect();
+
+    format!(
+        "{{\n  \"schema\": \"audiofile-bench-report/1\",\n  \"mode\": {mode},\n  \
+         \"configurations\": [{configs}],\n  \"kernels\": [\n{kernels}\n  ],\n  \
+         \"figure10_get_time_us\": {get_time},\n  \"sweep_sizes_bytes\": [{sizes}],\n  \
+         \"figure11_record_us\": {record},\n  \"figure12_preempt_play_us\": {preempt},\n  \
+         \"figure13_mix_play_us\": {mix},\n  \"throughput_kbs\": {{\n{thr}\n  }},\n  \
+         \"table12_loop_ms\": {loops},\n  \"table7_dtmf\": {{\"decoded\": {ok}, \"total\": {tot}}}\n}}\n",
+        mode = jstr(r.mode),
+        configs = labels
+            .iter()
+            .map(|l| jstr(l))
+            .collect::<Vec<_>>()
+            .join(", "),
+        kernels = kernels.join(",\n"),
+        get_time = jscalars(labels, &r.get_time, 1e6),
+        sizes = sizes_json.join(", "),
+        record = jseries(labels, &r.record, 1e6),
+        preempt = jseries(labels, &r.preempt, 1e6),
+        mix = jseries(labels, &r.mix, 1e6),
+        thr = throughput_rows.join(",\n"),
+        loops = jscalars(labels, &r.loop_time, 1e3),
+        ok = r.dtmf_ok,
+        tot = r.dtmf_total,
+    )
 }

@@ -1,0 +1,171 @@
+//! Sample-pipeline micro-kernels: the seed's scalar paths against the
+//! batched zero-copy paths, measured side by side.
+//!
+//! Three kernels cover the per-byte work on the server's play/record hot
+//! path, each at the request sizes of the §10 sweep (1 KB – 64 KB):
+//!
+//! * **mix** — the merge path of `DeviceBuffers::merge_into_play`.  The
+//!   seed allocated a staging buffer, copied the ring region out, mixed
+//!   per sample, and copied the result back; the batched path mixes in
+//!   place over a typed `&[i16]` view of the ring storage.
+//! * **gain** — `apply_gain_bytes` on LIN16.  The seed decoded each sample
+//!   and crossed into the DSP crate once *per sample* (recomputing the
+//!   dB→linear factor every call); the batched path computes one Q16
+//!   multiplier per buffer and sweeps a sample slice.
+//! * **convert** — one µ-law→LIN16 block through an AC's converter.  The
+//!   seed allocated the linear staging vector and the output vector per
+//!   block; `Converter::convert_into` reuses both across blocks.
+//!
+//! The "before" sides call [`af_dsp::reference`], a frozen copy of the
+//! seed kernels kept precisely so this comparison stays honest as the
+//! batched paths evolve.  Property tests in `af-dsp` pin both sides
+//! bit-exact, so the speedups below are pure implementation, not changed
+//! semantics.
+
+use af_dsp::convert::Converter;
+use af_dsp::{mix, reference, Encoding};
+
+/// Block sizes for the kernel sweep: 1 KB to 64 KB, matching the request
+/// sizes of Figures 11–13.
+pub const KERNEL_SIZES: [usize; 4] = [1024, 4096, 16_384, 65_536];
+
+/// One kernel measured at one block size.
+#[derive(Clone, Debug)]
+pub struct KernelMeasurement {
+    /// Kernel name: `mix`, `gain`, or `convert`.
+    pub kernel: &'static str,
+    /// Block size in bytes.
+    pub bytes: usize,
+    /// Seed scalar path throughput, MB/s.
+    pub before_mb_s: f64,
+    /// Batched path throughput, MB/s.
+    pub after_mb_s: f64,
+}
+
+impl KernelMeasurement {
+    /// after / before.
+    pub fn speedup(&self) -> f64 {
+        self.after_mb_s / self.before_mb_s
+    }
+}
+
+/// Times `f` over blocks of `bytes` and converts to MB/s.
+fn throughput<F: FnMut()>(bytes: usize, iters: u32, mut f: F) -> f64 {
+    for _ in 0..(iters / 8).max(1) {
+        f(); // Warm up.
+    }
+    let s = crate::time_per_iter(iters, f);
+    bytes as f64 / s / 1e6
+}
+
+/// Iterations for a block size: enough bytes to smooth timer noise,
+/// scaled down in smoke mode.
+fn iters_for(bytes: usize, smoke: bool) -> u32 {
+    let budget: usize = if smoke { 4 << 20 } else { 256 << 20 };
+    ((budget / bytes).max(8)) as u32
+}
+
+/// A deterministic LIN16 test block: full-scale-ish audio, no flat spots.
+fn lin16_block(bytes: usize) -> Vec<u8> {
+    (0..bytes / 2)
+        .flat_map(|i| (((i as i32 * 2654435761u32 as i32) >> 16) as i16).to_le_bytes())
+        .collect()
+}
+
+/// The merge-path mix kernel (LIN16).
+fn measure_mix(bytes: usize, smoke: bool) -> KernelMeasurement {
+    let iters = iters_for(bytes, smoke);
+    let src = lin16_block(bytes);
+    // The seed: stage out of the ring, mix per sample, copy back.
+    let mut ring = lin16_block(bytes);
+    let before = throughput(bytes, iters, || {
+        let mut existing = vec![0u8; bytes];
+        existing.copy_from_slice(&ring);
+        reference::mix_bytes_scalar(Encoding::Lin16, &mut existing, &src);
+        ring.copy_from_slice(&existing);
+        std::hint::black_box(&ring);
+    });
+    // Batched: one in-place pass over the ring storage.
+    let mut ring = lin16_block(bytes);
+    let after = throughput(bytes, iters, || {
+        mix::mix_bytes(Encoding::Lin16, &mut ring, &src);
+        std::hint::black_box(&ring);
+    });
+    KernelMeasurement {
+        kernel: "mix",
+        bytes,
+        before_mb_s: before,
+        after_mb_s: after,
+    }
+}
+
+/// The LIN16 gain kernel at −6 dB.
+fn measure_gain(bytes: usize, smoke: bool) -> KernelMeasurement {
+    let iters = iters_for(bytes, smoke);
+    let mut buf = lin16_block(bytes);
+    let before = throughput(bytes, iters, || {
+        reference::apply_gain_bytes_scalar(Encoding::Lin16, &mut buf, -6);
+        std::hint::black_box(&buf);
+    });
+    let mut buf = lin16_block(bytes);
+    let after = throughput(bytes, iters, || {
+        af_server::gain::apply_gain_bytes(Encoding::Lin16, &mut buf, -6);
+        std::hint::black_box(&buf);
+    });
+    KernelMeasurement {
+        kernel: "gain",
+        bytes,
+        before_mb_s: before,
+        after_mb_s: after,
+    }
+}
+
+/// The µ-law→LIN16 conversion kernel.
+fn measure_convert(bytes: usize, smoke: bool) -> KernelMeasurement {
+    let iters = iters_for(bytes, smoke);
+    let src: Vec<u8> = (0..bytes).map(|i| (i % 255) as u8).collect();
+    // The seed: fresh staging and output vectors per block.
+    let before = throughput(bytes, iters, || {
+        let pcm = reference::decode_to_lin16_scalar(Encoding::Mu255, &src);
+        let out = reference::encode_from_lin16_scalar(Encoding::Lin16, &pcm);
+        std::hint::black_box(out);
+    });
+    // Batched: converter-owned scratch, caller-owned output, zero allocs
+    // in the steady state.
+    let mut conv = Converter::new(Encoding::Mu255, Encoding::Lin16).unwrap();
+    let mut out = Vec::new();
+    let after = throughput(bytes, iters, || {
+        conv.convert_into(&src, &mut out).unwrap();
+        std::hint::black_box(&out);
+    });
+    KernelMeasurement {
+        kernel: "convert",
+        bytes,
+        before_mb_s: before,
+        after_mb_s: after,
+    }
+}
+
+/// Runs the full kernel sweep.  `smoke` trades precision for speed (CI).
+pub fn run_kernels(smoke: bool) -> Vec<KernelMeasurement> {
+    let mut results = Vec::new();
+    for &bytes in &KERNEL_SIZES {
+        results.push(measure_mix(bytes, smoke));
+        results.push(measure_gain(bytes, smoke));
+        results.push(measure_convert(bytes, smoke));
+    }
+    results
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kernels_run_and_report_positive_throughput() {
+        for m in run_kernels(true) {
+            assert!(m.before_mb_s > 0.0, "{}/{}", m.kernel, m.bytes);
+            assert!(m.after_mb_s > 0.0, "{}/{}", m.kernel, m.bytes);
+        }
+    }
+}
