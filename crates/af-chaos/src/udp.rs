@@ -75,7 +75,7 @@ impl ChaosUdp {
             let st = &mut *guard;
             let latency_chance = st.plan.latency_chance;
             let delay =
-                (latency_chance > 0.0 && st.rng.chance(latency_chance)).then(|| st.plan.latency);
+                (latency_chance > 0.0 && st.rng.chance(latency_chance)).then_some(st.plan.latency);
             // Decide this datagram's fate.
             let mut to_send: Vec<Vec<u8>> = Vec::new();
             let released = st.held.take();

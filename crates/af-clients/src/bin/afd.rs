@@ -10,8 +10,9 @@
 //!
 //! Options: `-tcp host:port` (default 127.0.0.1:7000), `-unix path`,
 //! `-update ms`, `-loopback` (wire local speaker to microphone, useful for
-//! `apass` experiments), `-noaccess` (disable access control), and
-//! `-ring-every secs` (LoFi shape only: a scripted caller rings the
+//! `apass` experiments), `-noaccess` (disable access control),
+//! `-sharded` (run the per-device audio-worker data plane, DESIGN.md §9),
+//! and `-ring-every secs` (LoFi shape only: a scripted caller rings the
 //! simulated line periodically, for exercising `aevents`/answering-machine
 //! scripts).
 //!
@@ -26,7 +27,14 @@ use af_util::aod;
 use std::sync::Arc;
 
 fn main() {
-    let args = Args::from_env(&["-lofi", "-codec", "-lineserver", "-loopback", "-noaccess"])
+    let args = Args::from_env(&[
+        "-lofi",
+        "-codec",
+        "-lineserver",
+        "-loopback",
+        "-noaccess",
+        "-sharded",
+    ])
         .unwrap_or_else(|e| {
             eprintln!("afd: {e}");
             std::process::exit(1);
@@ -117,7 +125,8 @@ fn main() {
     builder = builder
         .listen_tcp(tcp)
         .update_interval(std::time::Duration::from_millis(update_ms))
-        .access_control(!args.has_flag("-noaccess"));
+        .access_control(!args.has_flag("-noaccess"))
+        .sharded_data_plane(args.has_flag("-sharded"));
     if let Some(path) = args.get_str("-unix") {
         builder = builder.listen_unix(path.into());
     }

@@ -12,6 +12,10 @@ use crate::buffer::DeviceBuffers;
 use crate::dispatch::{Dispatcher, ServerCore};
 use crate::state::{AccessControl, AtomRegistry, ControlMsg, Device, ServerEvent, ServerStats};
 use crate::transport::{self, TransportShared};
+use crate::worker::{
+    AudioWorker, DeviceControl, WorkerDevice, WorkerHandle, WorkerLink, WorkerStats,
+    WORKER_QUEUE_CAPACITY,
+};
 use af_chaos::StreamFaultPlan;
 use af_device::hardware::{HwConfig, VirtualAudioHw};
 use af_device::io::{NullSink, SampleSink, SampleSource, SilenceSource};
@@ -51,6 +55,7 @@ pub struct ServerBuilder {
     access_enabled: bool,
     idle_timeout: Option<Duration>,
     chaos: Option<StreamFaultPlan>,
+    sharded: bool,
 }
 
 /// Server play/record buffer frames for an 8 kHz device: ≈ 4 seconds
@@ -71,7 +76,18 @@ impl ServerBuilder {
             access_enabled: true,
             idle_timeout: None,
             chaos: None,
+            sharded: false,
         }
+    }
+
+    /// Shards the sample hot path: each buffer-owning device (grouped with
+    /// its pass-through peer) moves onto a dedicated audio worker thread
+    /// that drains play/record jobs, runs its own periodic update, and
+    /// replies to clients directly.  Control requests keep the paper's
+    /// single-threaded dispatcher semantics (§7.3.1).  Off by default.
+    pub fn sharded_data_plane(mut self, enabled: bool) -> Self {
+        self.sharded = enabled;
+        self
     }
 
     /// Sets the vendor string reported at connection setup.
@@ -361,6 +377,7 @@ impl ServerBuilder {
                 gain_control_locked: false,
                 pt_in: ATime::ZERO,
                 pt_out: ATime::ZERO,
+                worker: None,
             });
         }
         let mut access = AccessControl::new();
@@ -369,6 +386,94 @@ impl ServerBuilder {
         // The transport layer owns the buffer pool; the dispatcher shares it
         // so reply buffers drained by writer threads come back around.
         let shared = TransportShared::with_chaos(tx.clone(), self.chaos);
+        let mut workers: Vec<WorkerHandle> = Vec::new();
+        if self.sharded {
+            // Group buffer owners so pass-through pairs share one worker
+            // (their cursor work crosses both rings); everything else gets
+            // its own thread.  Mono views stay with their owner implicitly —
+            // they have no buffers and resolve through `mono_of`.
+            let n = devices.len();
+            let mut root: Vec<usize> = (0..n).collect();
+            fn find(root: &mut [usize], mut i: usize) -> usize {
+                while root[i] != i {
+                    root[i] = root[root[i]];
+                    i = root[i];
+                }
+                i
+            }
+            let peers: Vec<Option<usize>> = devices.iter().map(|d| d.passthrough_peer).collect();
+            for (i, peer) in peers.iter().enumerate() {
+                if let Some(p) = *peer {
+                    if p < n {
+                        let (a, b) = (find(&mut root, i), find(&mut root, p));
+                        if a != b {
+                            root[a] = b;
+                        }
+                    }
+                }
+            }
+            let owners: Vec<bool> = devices.iter().map(|d| d.buffers.is_some()).collect();
+            let mut groups: HashMap<usize, Vec<usize>> = HashMap::new();
+            for (i, owns) in owners.iter().enumerate() {
+                if *owns {
+                    let r = find(&mut root, i);
+                    groups.entry(r).or_default().push(i);
+                }
+            }
+            let mut group_list: Vec<Vec<usize>> = groups.into_values().collect();
+            group_list.sort_by_key(|g| g[0]);
+            for (gi, members) in group_list.into_iter().enumerate() {
+                let (jtx, jrx) = crossbeam_channel::bounded(WORKER_QUEUE_CAPACITY);
+                let wstats = Arc::new(WorkerStats::new(format!("audio-worker-{gi}")));
+                stats.register_worker(Arc::clone(&wstats));
+                let mut wdevs = Vec::with_capacity(members.len());
+                for &i in &members {
+                    let d = &mut devices[i];
+                    let buffers = d.buffers.take().expect("grouped device owns buffers");
+                    let control = Arc::new(DeviceControl::new(
+                        d.output_gain_db,
+                        d.input_gain_db,
+                        d.inputs_enabled,
+                        d.outputs_enabled,
+                    ));
+                    let snapshot = Arc::new(std::sync::atomic::AtomicU64::new(0));
+                    d.worker = Some(WorkerLink {
+                        worker_id: gi,
+                        tx: jtx.clone(),
+                        snapshot: Arc::clone(&snapshot),
+                        control: Arc::clone(&control),
+                        stats: Arc::clone(&wstats),
+                        enc: buffers.encoding(),
+                        frame_bytes: buffers.frame_bytes(),
+                        frames: buffers.frames(),
+                    });
+                    wdevs.push(WorkerDevice {
+                        index: i,
+                        buffers,
+                        control,
+                        snapshot,
+                        rate: d.desc.play_sample_freq,
+                        channels: d.desc.play_nchannels,
+                        passthrough: false,
+                        passthrough_peer: d.passthrough_peer,
+                        pt_in: ATime::ZERO,
+                        pt_out: ATime::ZERO,
+                    });
+                }
+                let worker = AudioWorker::new(
+                    jrx,
+                    wdevs,
+                    self.update_interval,
+                    Arc::clone(&wstats),
+                    tx.clone(),
+                    Arc::clone(&shared.pool),
+                );
+                let join = std::thread::Builder::new()
+                    .name(format!("af-audio-{gi}"))
+                    .spawn(move || worker.run())?;
+                workers.push(WorkerHandle { tx: jtx, join });
+            }
+        }
         let core = ServerCore {
             vendor: self.vendor,
             devices,
@@ -378,8 +483,9 @@ impl ServerBuilder {
             stats: Arc::clone(&stats),
             pool: Arc::clone(&shared.pool),
         };
-        let dispatcher =
-            Dispatcher::new(core, rx, self.update_interval).with_idle_timeout(self.idle_timeout);
+        let dispatcher = Dispatcher::new(core, rx, self.update_interval)
+            .with_idle_timeout(self.idle_timeout)
+            .with_workers(workers);
         let join = std::thread::Builder::new()
             .name("af-dispatcher".into())
             .spawn(move || dispatcher.run())?;

@@ -12,6 +12,7 @@ use crate::state::{
     Device, PropertyValue, RawRequest, ServerAc, ServerEvent, ServerStats,
 };
 use crate::task::{TaskKind, TaskQueue};
+use crate::worker::{AudioJob, WorkerHandle};
 use af_dsp::convert::Converter;
 use af_proto::request::{play_flags, record_flags, PropertyMode};
 use af_proto::{
@@ -75,10 +76,29 @@ impl ServerCore {
     }
 
     /// Current device time of `id` (the owner's clock for mono views).
+    /// Sharded devices answer from the worker's published snapshot, so
+    /// this never blocks on the data plane.
     fn dev_now(&mut self, id: DeviceId) -> ATime {
-        self.buffers_mut(id)
-            .map(|(b, _, _)| b.now())
-            .unwrap_or(ATime::ZERO)
+        self.try_dev_now(id).unwrap_or(ATime::ZERO)
+    }
+
+    /// `dev_now` distinguishing "no such device" from time zero.
+    fn try_dev_now(&mut self, id: DeviceId) -> Option<ATime> {
+        let (owner, _) = self.resolve(id)?;
+        if let Some(w) = &self.devices[owner].worker {
+            return Some(w.now());
+        }
+        self.devices[owner].buffers.as_mut().map(|b| b.now())
+    }
+
+    /// The buffer owner's native encoding, whichever plane owns the
+    /// buffers.
+    fn owner_encoding(&self, owner: usize) -> Option<af_dsp::Encoding> {
+        let d = self.devices.get(owner)?;
+        d.buffers
+            .as_ref()
+            .map(|b| b.encoding())
+            .or_else(|| d.worker.as_ref().map(|w| w.enc))
     }
 
     /// Output gain and enablement that apply to `id`'s buffer owner.
@@ -107,6 +127,9 @@ pub struct Dispatcher {
     /// Scratch for AC sample-type conversion, reused across requests so a
     /// steady play/record stream converts without allocating.
     conv_buf: Vec<u8>,
+    /// Data-plane workers (sharded mode): joined at shutdown, fanned out
+    /// to on explicit `RunUpdate` so the handle stays a full barrier.
+    workers: Vec<WorkerHandle>,
 }
 
 /// Milliseconds since the Unix epoch (the "host clock time" in events).
@@ -128,12 +151,19 @@ impl Dispatcher {
             idle_timeout: None,
             shutdown: false,
             conv_buf: Vec::new(),
+            workers: Vec::new(),
         }
     }
 
     /// Enables idle-connection eviction.
     pub fn with_idle_timeout(mut self, timeout: Option<Duration>) -> Self {
         self.idle_timeout = timeout;
+        self
+    }
+
+    /// Attaches the data-plane workers (sharded mode).
+    pub fn with_workers(mut self, workers: Vec<WorkerHandle>) -> Self {
+        self.workers = workers;
         self
     }
 
@@ -160,9 +190,16 @@ impl Dispatcher {
                         self.tasks
                             .schedule(now + self.update_interval, TaskKind::Update);
                     }
-                    TaskKind::WakeBlocked => self.retry_blocked_all(),
+                    TaskKind::WakeBlocked(device) => self.retry_blocked_device(device),
                 }
             }
+        }
+        // Drain the data plane: each worker exits after its queued jobs.
+        for w in &self.workers {
+            let _ = w.tx.send(AudioJob::Shutdown);
+        }
+        for w in self.workers.drain(..) {
+            let _ = w.join.join();
         }
     }
 
@@ -183,7 +220,7 @@ impl Dispatcher {
                     .core
                     .clients
                     .get(&id)
-                    .map(|c| c.blocked.is_some())
+                    .map(|c| c.blocked.is_some() || c.awaiting_worker)
                     .unwrap_or(true);
                 if blocked {
                     if let Some(c) = self.core.clients.get_mut(&id) {
@@ -200,9 +237,16 @@ impl Dispatcher {
                 self.evict(id);
             }
             ServerEvent::Disconnect { id } => self.remove_client(id),
+            ServerEvent::WorkerDone { id } => {
+                if let Some(c) = self.core.clients.get_mut(&id) {
+                    c.awaiting_worker = false;
+                }
+                self.drain_queue(id);
+            }
             ServerEvent::Control(msg) => match msg {
                 ControlMsg::RunUpdate { ack } => {
                     self.run_update();
+                    self.run_worker_updates();
                     let _ = ack.send(());
                 }
                 ControlMsg::Barrier { ack } => {
@@ -273,6 +317,23 @@ impl Dispatcher {
                 if ac.recording {
                     if let Some((buffers, _, _)) = self.core.buffers_mut(ac.device) {
                         buffers.remove_recorder();
+                    } else if let Some((owner, _)) = self.core.resolve(ac.device) {
+                        if let Some(w) = &self.core.devices[owner].worker {
+                            let _ = w.tx.send(AudioJob::RemoveRecorder { device: owner });
+                        }
+                    }
+                }
+            }
+            // Drop worker-side converter state for the client's ACs.
+            let mut notified: Vec<usize> = Vec::new();
+            for d in &self.core.devices {
+                if let Some(w) = &d.worker {
+                    if !notified.contains(&w.worker_id) {
+                        notified.push(w.worker_id);
+                        let _ = w.tx.send(AudioJob::ForgetAc {
+                            client: id,
+                            ac: None,
+                        });
                     }
                 }
             }
@@ -300,7 +361,7 @@ impl Dispatcher {
             .core
             .clients
             .iter()
-            .filter(|(_, c)| c.overflowed.get())
+            .filter(|(_, c)| c.overflowed.load(std::sync::atomic::Ordering::Acquire))
             .map(|(id, _)| *id)
             .collect();
         for id in ids {
@@ -322,7 +383,11 @@ impl Dispatcher {
             .core
             .clients
             .iter()
-            .filter(|(_, c)| c.blocked.is_none() && now.duration_since(c.last_activity) > timeout)
+            .filter(|(_, c)| {
+                c.blocked.is_none()
+                    && !c.awaiting_worker
+                    && now.duration_since(c.last_activity) > timeout
+            })
             .map(|(id, _)| *id)
             .collect();
         for id in ids {
@@ -334,6 +399,8 @@ impl Dispatcher {
     // ---- The update task (§7.2). ----
 
     fn run_update(&mut self) {
+        // Worker-owned devices have `buffers == None` here and update on
+        // their own threads; this loop covers only dispatcher-owned ones.
         for dev in &mut self.core.devices {
             let gain = dev.output_gain_db;
             let enabled = dev.output_enabled();
@@ -346,6 +413,23 @@ impl Dispatcher {
         self.retry_blocked_all();
         self.sweep_idle();
         self.evict_overflowed();
+    }
+
+    /// Fans an explicit update out to every worker and waits for the
+    /// acks, so `ServerHandle::run_update` remains a synchronous barrier
+    /// over the whole server in sharded mode.  The periodic task does
+    /// *not* call this — workers run their own periodic updates.
+    fn run_worker_updates(&mut self) {
+        let mut acks = Vec::with_capacity(self.workers.len());
+        for w in &self.workers {
+            let (ack, done) = crossbeam_channel::bounded(1);
+            if w.tx.send(AudioJob::Update { ack }).is_ok() {
+                acks.push(done);
+            }
+        }
+        for done in acks {
+            let _ = done.recv_timeout(Duration::from_secs(10));
+        }
     }
 
     /// Moves audio directly between pass-through-connected device pairs.
@@ -397,7 +481,10 @@ impl Dispatcher {
             if signals.is_empty() {
                 continue;
             }
-            let device_time = dev.buffers.as_mut().map(|b| b.now()).unwrap_or(ATime::ZERO);
+            let device_time = match dev.buffers.as_mut() {
+                Some(b) => b.now(),
+                None => dev.worker.as_ref().map(|w| w.now()).unwrap_or(ATime::ZERO),
+            };
             for s in signals {
                 let detail = match s {
                     af_device::PhoneSignal::Ring(r) => EventDetail::Ring { ringing: r },
@@ -450,13 +537,30 @@ impl Dispatcher {
         }
     }
 
+    /// Retries only the clients suspended on `device` — the scoped form a
+    /// `WakeBlocked(device)` task runs, so one device's wake-up does not
+    /// re-attempt every suspended request server-wide.
+    fn retry_blocked_device(&mut self, device: DeviceId) {
+        let ids: Vec<ClientId> = self
+            .core
+            .clients
+            .iter()
+            .filter(|(_, c)| c.blocked.as_ref().is_some_and(|b| b.op.device() == device))
+            .map(|(id, _)| *id)
+            .collect();
+        for id in ids {
+            self.retry_blocked(id);
+            self.drain_queue(id);
+        }
+    }
+
     fn drain_queue(&mut self, id: ClientId) {
         loop {
             let raw = {
                 let Some(c) = self.core.clients.get_mut(&id) else {
                     return;
                 };
-                if c.blocked.is_some() {
+                if c.blocked.is_some() || c.awaiting_worker {
                     return;
                 }
                 match c.queue.pop_front() {
@@ -519,7 +623,7 @@ impl Dispatcher {
                             suppress_reply,
                         },
                     });
-                    self.tasks.schedule(wake, TaskKind::WakeBlocked);
+                    self.tasks.schedule(wake, TaskKind::WakeBlocked(device));
                 } else if !suppress_reply {
                     let now = self.core.dev_now(device);
                     self.send_reply_to(id, order, seq, &Reply::Time { time: now });
@@ -560,7 +664,7 @@ impl Dispatcher {
                             big_endian,
                         },
                     });
-                    self.tasks.schedule(wake, TaskKind::WakeBlocked);
+                    self.tasks.schedule(wake, TaskKind::WakeBlocked(device));
                 }
             }
         }
@@ -655,8 +759,10 @@ impl Dispatcher {
                 self.h_record(id, order, seq, ac, start_time, nbytes, flags);
                 return;
             }
-            R::GetTime { device } => match self.core.buffers_mut(device) {
-                Some((b, _, _)) => Ok(Some(Reply::Time { time: b.now() })),
+            R::GetTime { device } => match self.core.try_dev_now(device) {
+                // Sharded devices answer from the worker's atomic snapshot,
+                // so GetTime never waits on the data plane.
+                Some(now) => Ok(Some(Reply::Time { time: now })),
                 None => Err((ErrorCode::BadDevice, u32::from(device))),
             },
             R::QueryPhone { device } => self.h_query_phone(device),
@@ -776,10 +882,9 @@ impl Dispatcher {
                 .core
                 .resolve(device)
                 .ok_or((ErrorCode::BadDevice, u32::from(device)))?;
-            let enc = self.core.devices[owner]
-                .buffers
-                .as_ref()
-                .map(|b| b.encoding())
+            let enc = self
+                .core
+                .owner_encoding(owner)
                 .ok_or((ErrorCode::BadDevice, u32::from(device)))?;
             // Mono views advertise one channel over the owner's encoding.
             let channels = self.core.devices[device as usize].desc.play_nchannels;
@@ -841,7 +946,7 @@ impl Dispatcher {
                 .filter_map(|i| {
                     let id = i as DeviceId;
                     let (owner, _) = self.core.resolve(id)?;
-                    let enc = self.core.devices[owner].buffers.as_ref()?.encoding();
+                    let enc = self.core.owner_encoding(owner)?;
                     Some((id, (enc, self.core.devices[i].desc.play_nchannels)))
                 })
                 .collect();
@@ -877,6 +982,21 @@ impl Dispatcher {
             .get_mut(&id)
             .ok_or((ErrorCode::BadAccess, 0))?;
         let ac = client.acs.remove(&ac_id).ok_or((ErrorCode::BadAc, ac_id))?;
+        if let Some((owner, _)) = self.core.resolve(ac.device) {
+            if let Some(w) = &self.core.devices[owner].worker {
+                if ac.recording {
+                    let _ = w.tx.send(AudioJob::RemoveRecorder { device: owner });
+                }
+                // Drop the worker's cached converters so a recreated AC
+                // starts with fresh codec state, matching the per-AC
+                // converters of the classic path.
+                let _ = w.tx.send(AudioJob::ForgetAc {
+                    client: id,
+                    ac: Some(ac_id),
+                });
+                return Ok(None);
+            }
+        }
         if ac.recording {
             if let Some((buffers, _, _)) = self.core.buffers_mut(ac.device) {
                 buffers.remove_recorder();
@@ -896,6 +1016,73 @@ impl Dispatcher {
         flags: u8,
         mut data: Vec<u8>,
     ) {
+        // Sharded data plane: validate here (control plane), then hand the
+        // raw payload to the owning device's worker.  Byte swapping,
+        // conversion, gain, and the ring write all happen in-ring on the
+        // worker thread; control state is captured now so the job sees
+        // exactly what a synchronous request would have seen.
+        let sharded = {
+            let Some(client) = self.core.clients.get(&id) else {
+                return;
+            };
+            let Some(ac) = client.acs.get(&ac_id) else {
+                self.send_error_to(
+                    id,
+                    order,
+                    seq,
+                    ErrorCode::BadAc,
+                    ac_id,
+                    Opcode::PlaySamples.to_wire(),
+                );
+                return;
+            };
+            let device = ac.device;
+            match self.core.resolve(device) {
+                Some((owner, lane)) if self.core.devices[owner].worker.is_some() => Some((
+                    owner,
+                    lane,
+                    device,
+                    ac.attrs.big_endian_data || flags & play_flags::BIG_ENDIAN_DATA != 0,
+                    ac.attrs.encoding,
+                    i32::from(ac.attrs.play_gain_db),
+                    ac.attrs.preempt || flags & play_flags::PREEMPT != 0,
+                    flags & play_flags::SUPPRESS_REPLY != 0,
+                )),
+                _ => None,
+            }
+        };
+        if let Some((owner, lane, device, swap_bytes, src_enc, play_gain_db, preempt, suppress)) =
+            sharded
+        {
+            let (out_gain_db, out_enabled) = self.core.output_state(device);
+            let sink = {
+                let Some(client) = self.core.clients.get_mut(&id) else {
+                    return;
+                };
+                client.awaiting_worker = true;
+                client.reply_sink(&self.core.pool)
+            };
+            let w = self.core.devices[owner].worker.as_ref().expect("sharded");
+            let _ = w.tx.send(AudioJob::Play {
+                sink,
+                client: id,
+                ac: ac_id,
+                seq,
+                device: owner,
+                lane,
+                start: start_time,
+                preempt,
+                suppress_reply: suppress,
+                swap_bytes,
+                src_enc,
+                play_gain_db,
+                out_gain_db,
+                out_enabled,
+                data,
+            });
+            w.stats.observe_depth(w.tx.len() as u64);
+            return;
+        }
         // Convert through the AC pipeline to device frames.
         let (device, preempt, suppress) = {
             let Some(client) = self.core.clients.get_mut(&id) else {
@@ -1018,7 +1205,7 @@ impl Dispatcher {
                     },
                 });
             }
-            self.tasks.schedule(wake, TaskKind::WakeBlocked);
+            self.tasks.schedule(wake, TaskKind::WakeBlocked(device));
             return;
         }
         if !suppress {
@@ -1049,7 +1236,7 @@ impl Dispatcher {
             );
             return;
         }
-        let (device, nframes, big_endian, newly_recording) = {
+        let (device, nframes, big_endian, newly_recording, dst_enc, record_gain_db) = {
             let Some(client) = self.core.clients.get_mut(&id) else {
                 return;
             };
@@ -1073,8 +1260,50 @@ impl Dispatcher {
                 // marks the context as recording."
                 ac.recording = true;
             }
-            (ac.device, nframes, big, newly)
+            (
+                ac.device,
+                nframes,
+                big,
+                newly,
+                ac.attrs.encoding,
+                i32::from(ac.attrs.record_gain_db),
+            )
         };
+        // Sharded data plane: the worker owns the record update, blocking,
+        // and the read; the dispatcher only validates and captures
+        // request-time control state.
+        if let Some((owner, lane)) = self.core.resolve(device) {
+            if self.core.devices[owner].worker.is_some() {
+                let (out_gain_db, out_enabled) = self.core.output_state(device);
+                let sink = {
+                    let Some(client) = self.core.clients.get_mut(&id) else {
+                        return;
+                    };
+                    client.awaiting_worker = true;
+                    client.reply_sink(&self.core.pool)
+                };
+                let w = self.core.devices[owner].worker.as_ref().expect("sharded");
+                let _ = w.tx.send(AudioJob::Record {
+                    sink,
+                    client: id,
+                    ac: ac_id,
+                    seq,
+                    device: owner,
+                    lane,
+                    start: start_time,
+                    nframes,
+                    block: flags & record_flags::BLOCK != 0,
+                    big_endian,
+                    dst_enc,
+                    record_gain_db,
+                    add_recorder: newly_recording,
+                    out_gain_db,
+                    out_enabled,
+                });
+                w.stats.observe_depth(w.tx.len() as u64);
+                return;
+            }
+        }
         let (gain, enabled) = self.core.output_state(device);
         let Some((buffers, _, _)) = self.core.buffers_mut(device) else {
             self.send_error_to(
@@ -1113,7 +1342,7 @@ impl Dispatcher {
                         },
                     });
                 }
-                self.tasks.schedule(wake, TaskKind::WakeBlocked);
+                self.tasks.schedule(wake, TaskKind::WakeBlocked(device));
                 return;
             }
             // Non-blocking: return whatever is available now.
@@ -1255,6 +1484,37 @@ impl Dispatcher {
         if self.core.devices[di].passthrough == enable {
             return Ok(None);
         }
+        // Sharded data plane: passthrough pairs are grouped onto one worker
+        // by the builder, so the cursor work happens in-ring.  The
+        // dispatcher mirrors the flags so idempotence and peer lookups keep
+        // working without consulting the worker.
+        if let (Some(wd), Some(wp)) = (
+            self.core.devices[di].worker.as_ref(),
+            self.core.devices[peer].worker.as_ref(),
+        ) {
+            if wd.worker_id != wp.worker_id {
+                return Err((ErrorCode::BadMatch, u32::from(device)));
+            }
+            let (ack, done) = crossbeam_channel::bounded(1);
+            if wd
+                .tx
+                .send(AudioJob::SetPassthrough {
+                    device: di,
+                    peer,
+                    enable,
+                    ack,
+                })
+                .is_ok()
+            {
+                // Wait for the cursor setup so pass-through starts from the
+                // device time of *this* request, as the classic path does.
+                let _ = done.recv_timeout(Duration::from_secs(10));
+            }
+            self.core.devices[di].passthrough = enable;
+            self.core.devices[peer].passthrough = enable;
+            self.core.devices[peer].passthrough_peer = Some(di);
+            return Ok(None);
+        }
         // Pass-through needs both devices' record streams flowing, and
         // fresh cursors: consume the peer's stream from its current
         // position, write a small lead ahead of our own now.  Mono views
@@ -1308,6 +1568,17 @@ impl Dispatcher {
             dev.input_gain_db = db;
         } else {
             dev.output_gain_db = db;
+        }
+        // Mirror into the worker's control block synchronously, before any
+        // later job is enqueued, so the data plane observes control changes
+        // in dispatch order.
+        if let Some(w) = &dev.worker {
+            let cell = if input {
+                &w.control.input_gain_db
+            } else {
+                &w.control.output_gain_db
+            };
+            cell.store(db, std::sync::atomic::Ordering::Release);
         }
         Ok(None)
     }
@@ -1367,6 +1638,15 @@ impl Dispatcher {
             *target |= mask;
         } else {
             *target &= !mask;
+        }
+        let updated = *target;
+        if let Some(w) = &dev.worker {
+            let cell = if input {
+                &w.control.inputs_enabled
+            } else {
+                &w.control.outputs_enabled
+            };
+            cell.store(updated, std::sync::atomic::Ordering::Release);
         }
         Ok(None)
     }

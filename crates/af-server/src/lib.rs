@@ -25,12 +25,14 @@ pub mod pool;
 pub mod state;
 pub mod task;
 pub mod transport;
+pub mod worker;
 
 pub use buffer::{DeviceBuffers, PlayOutcome};
 pub use builder::{DeviceSetup, RunningServer, ServerBuilder, ServerHandle};
 pub use pool::{BufferPool, PooledBuf};
 pub use state::ServerStats;
-pub use transport::{FrameError, OUTBOUND_QUEUE_CAPACITY};
+pub use transport::{FrameError, ReplySink, OUTBOUND_QUEUE_CAPACITY};
+pub use worker::{WorkerStats, WorkerStatsSnapshot, WORKER_QUEUE_CAPACITY};
 
 /// The paper's `MSUPDATE`: the update task period, in milliseconds.
 pub const MSUPDATE: u64 = 100;

@@ -78,6 +78,13 @@ impl BufferPool {
         }
     }
 
+    /// Returns a detached `Vec`'s storage to the free list — the hook for
+    /// audio workers recycling drained job payloads without wrapping them
+    /// in a [`PooledBuf`] first.
+    pub fn recycle(&self, buf: Vec<u8>) {
+        self.give(buf);
+    }
+
     fn give(&self, buf: Vec<u8>) {
         if buf.capacity() == 0 {
             return;

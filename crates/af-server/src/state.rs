@@ -8,11 +8,10 @@ use af_dsp::convert::Converter;
 use af_proto::{AcAttributes, AcId, Atom, ByteOrder, DeviceDesc, DeviceId, EventMask, Opcode};
 use af_time::ATime;
 use crossbeam_channel::Sender;
-use std::cell::Cell;
 use std::collections::{HashMap, VecDeque};
 use std::net::IpAddr;
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 /// Server-assigned client connection identifier.
@@ -38,12 +37,29 @@ pub struct ServerStats {
     pub protocol_errors: AtomicU64,
     /// Connections that ended for any reason.
     pub disconnects: AtomicU64,
+    /// Per-worker data-plane counters (sharded servers only).
+    pub workers: Mutex<Vec<Arc<crate::worker::WorkerStats>>>,
 }
 
 impl ServerStats {
     /// Reads a counter (helper avoiding `Ordering` noise at call sites).
     pub fn get(counter: &AtomicU64) -> u64 {
         counter.load(Ordering::Relaxed)
+    }
+
+    /// Registers an audio worker's counters for snapshotting.
+    pub fn register_worker(&self, stats: Arc<crate::worker::WorkerStats>) {
+        self.workers.lock().expect("stats lock").push(stats);
+    }
+
+    /// Copies out every registered worker's counters.
+    pub fn worker_snapshots(&self) -> Vec<crate::worker::WorkerStatsSnapshot> {
+        self.workers
+            .lock()
+            .expect("stats lock")
+            .iter()
+            .map(|w| w.snapshot())
+            .collect()
     }
 
     /// Bumps a counter.
@@ -208,6 +224,9 @@ pub struct PropertyValue {
 pub struct Device {
     /// The advertised attributes (sent at connection setup).
     pub desc: DeviceDesc,
+    /// In sharded mode, the handle to the audio worker that owns this
+    /// device's buffers (buffer owners only; `buffers` is then `None`).
+    pub worker: Option<crate::worker::WorkerLink>,
     /// The buffering engine over the hardware backend (owners only).
     pub buffers: Option<DeviceBuffers>,
     /// For mono views: `(parent device index, channel lane)`.
@@ -308,6 +327,15 @@ pub enum BlockedOp {
     },
 }
 
+impl BlockedOp {
+    /// The device the suspension is waiting on (for per-device wake-ups).
+    pub fn device(&self) -> DeviceId {
+        match self {
+            BlockedOp::Play { device, .. } | BlockedOp::Record { device, .. } => *device,
+        }
+    }
+}
+
 /// A suspended request plus its sequence number (for the eventual reply).
 pub struct Blocked {
     /// Sequence number the reply must carry.
@@ -339,10 +367,15 @@ pub struct ClientState {
     pub kick: ConnKick,
     /// Set when the bounded outbound queue rejected a message: the writer
     /// cannot keep up and the protocol stream is no longer coherent, so
-    /// the client must be evicted (checked after every event).
-    pub overflowed: Cell<bool>,
+    /// the client must be evicted (checked after every event).  Shared
+    /// (atomically) with audio-worker reply sinks, which can also hit the
+    /// bound.
+    pub overflowed: Arc<AtomicBool>,
     /// When the client last sent a request (for idle-connection eviction).
     pub last_activity: Instant,
+    /// A sample job for this client is in flight on an audio worker;
+    /// further requests wait in `queue` so per-client reply order holds.
+    pub awaiting_worker: bool,
 }
 
 impl ClientState {
@@ -363,8 +396,9 @@ impl ClientState {
             blocked: None,
             queue: VecDeque::new(),
             kick,
-            overflowed: Cell::new(false),
+            overflowed: Arc::new(AtomicBool::new(false)),
             last_activity: Instant::now(),
+            awaiting_worker: false,
         }
     }
 
@@ -384,9 +418,22 @@ impl ClientState {
     pub fn send<B: Into<PooledBuf>>(&self, bytes: B) {
         match self.tx.try_send(bytes.into()) {
             Ok(()) => {}
-            Err(crossbeam_channel::TrySendError::Full(_)) => self.overflowed.set(true),
+            Err(crossbeam_channel::TrySendError::Full(_)) => {
+                self.overflowed.store(true, Ordering::Release)
+            }
             Err(crossbeam_channel::TrySendError::Disconnected(_)) => {}
         }
+    }
+
+    /// A detached reply route for audio workers: same queue, same
+    /// overflow policy, no dispatcher involvement.
+    pub fn reply_sink(&self, pool: &Arc<crate::pool::BufferPool>) -> crate::transport::ReplySink {
+        crate::transport::ReplySink::new(
+            self.tx.clone(),
+            self.order,
+            Arc::clone(&self.overflowed),
+            Arc::clone(pool),
+        )
     }
 }
 
@@ -423,6 +470,12 @@ pub enum ServerEvent {
     /// The connection closed or failed.
     Disconnect {
         /// The connection that went away.
+        id: ClientId,
+    },
+    /// An audio worker finished (or failed) the client's in-flight sample
+    /// job; the dispatcher may release the client's queued requests.
+    WorkerDone {
+        /// The client whose job completed.
         id: ClientId,
     },
     /// An out-of-band control message.
@@ -498,7 +551,8 @@ mod tests {
         assert_eq!(c.mask_for(0), EventMask::NONE);
         assert!(c.blocked.is_none());
         assert!(c.queue.is_empty());
-        assert!(!c.overflowed.get());
+        assert!(!c.overflowed.load(Ordering::Acquire));
+        assert!(!c.awaiting_worker);
     }
 
     #[test]
@@ -507,9 +561,9 @@ mod tests {
         let c = ClientState::new(1, ByteOrder::Little, tx, Arc::new(|| {}));
         c.send(vec![1]);
         c.send(vec![2]);
-        assert!(!c.overflowed.get());
+        assert!(!c.overflowed.load(Ordering::Acquire));
         c.send(vec![3]); // Queue full: flagged, not grown.
-        assert!(c.overflowed.get());
+        assert!(c.overflowed.load(Ordering::Acquire));
         assert_eq!(rx.len(), 2, "queue never exceeds its bound");
     }
 }

@@ -16,8 +16,10 @@ pub enum TaskKind {
     /// Run the per-device update and reschedule (the `codecUpdateTask`
     /// analogue).
     Update,
-    /// Re-check suspended clients (a blocked request may now complete).
-    WakeBlocked,
+    /// Re-check clients suspended on the given device (a blocked request
+    /// may now complete).  Scoped per device so one device's wake-up does
+    /// not re-walk every suspended client on every other device.
+    WakeBlocked(af_proto::DeviceId),
 }
 
 /// A time-ordered queue of pending tasks.
@@ -77,7 +79,7 @@ mod tests {
     fn pops_in_time_order() {
         let mut q = TaskQueue::new();
         let t0 = Instant::now();
-        q.schedule(t0 + Duration::from_millis(20), TaskKind::WakeBlocked);
+        q.schedule(t0 + Duration::from_millis(20), TaskKind::WakeBlocked(0));
         q.schedule(t0 + Duration::from_millis(10), TaskKind::Update);
         assert_eq!(q.next_deadline(), Some(t0 + Duration::from_millis(10)));
 
@@ -89,7 +91,7 @@ mod tests {
         assert_eq!(due, vec![TaskKind::Update]);
 
         let due = q.pop_due(t0 + Duration::from_millis(25));
-        assert_eq!(due, vec![TaskKind::WakeBlocked]);
+        assert_eq!(due, vec![TaskKind::WakeBlocked(0)]);
         assert!(q.is_empty());
         assert_eq!(q.next_deadline(), None);
     }
@@ -98,9 +100,19 @@ mod tests {
     fn equal_deadlines_pop_in_insertion_order() {
         let mut q = TaskQueue::new();
         let t = Instant::now();
-        q.schedule(t, TaskKind::WakeBlocked);
+        q.schedule(t, TaskKind::WakeBlocked(3));
         q.schedule(t, TaskKind::Update);
         let due = q.pop_due(t);
-        assert_eq!(due, vec![TaskKind::WakeBlocked, TaskKind::Update]);
+        assert_eq!(due, vec![TaskKind::WakeBlocked(3), TaskKind::Update]);
+    }
+
+    #[test]
+    fn wake_blocked_is_scoped_per_device() {
+        let mut q = TaskQueue::new();
+        let t = Instant::now();
+        q.schedule(t, TaskKind::WakeBlocked(1));
+        q.schedule(t, TaskKind::WakeBlocked(2));
+        let due = q.pop_due(t);
+        assert_eq!(due, vec![TaskKind::WakeBlocked(1), TaskKind::WakeBlocked(2)]);
     }
 }

@@ -18,7 +18,7 @@
 use crate::pool::{BufferPool, PooledBuf};
 use crate::state::{ClientId, ConnKick, RawRequest, ServerEvent};
 use af_chaos::{ChaosStream, StreamFaultPlan};
-use af_proto::{ByteOrder, ConnSetup, MAX_REQUEST_BYTES};
+use af_proto::{message, ByteOrder, ConnSetup, ErrorCode, Reply, WireError, MAX_REQUEST_BYTES};
 use crossbeam_channel::Sender;
 use std::io::{Read, Write};
 use std::net::{IpAddr, Shutdown, SocketAddr, TcpListener, TcpStream};
@@ -31,6 +31,71 @@ use std::sync::Arc;
 /// messages.  A slow client hits this bound and is evicted; the seed's
 /// unbounded queue grew without limit instead.
 pub const OUTBOUND_QUEUE_CAPACITY: usize = 256;
+
+/// A detached route to one client's writer thread, handed to audio
+/// workers so data-plane replies bypass the dispatcher entirely.
+///
+/// Mirrors the dispatcher's outbound path exactly: replies encode into a
+/// pooled buffer, the bounded queue is tried without blocking, and a full
+/// queue flags the shared overflow bit so the dispatcher evicts the
+/// client on its next pass — the same slow-client policy either way.
+#[derive(Clone)]
+pub struct ReplySink {
+    tx: Sender<PooledBuf>,
+    order: ByteOrder,
+    overflowed: Arc<AtomicBool>,
+    pool: Arc<BufferPool>,
+}
+
+impl ReplySink {
+    /// Builds a sink over a client's writer queue and overflow flag.
+    pub fn new(
+        tx: Sender<PooledBuf>,
+        order: ByteOrder,
+        overflowed: Arc<AtomicBool>,
+        pool: Arc<BufferPool>,
+    ) -> ReplySink {
+        ReplySink {
+            tx,
+            order,
+            overflowed,
+            pool,
+        }
+    }
+
+    /// Encodes and queues a reply.
+    pub fn send_reply(&self, seq: u16, reply: &Reply) {
+        let mut buf = self.pool.take_empty();
+        reply.encode_into(self.order, seq, buf.vec_mut());
+        self.push(buf);
+    }
+
+    /// Encodes and queues a protocol error.
+    pub fn send_error(&self, seq: u16, code: ErrorCode, bad_value: u32, opcode: u8) {
+        self.push(
+            message::encode_error(
+                self.order,
+                &WireError {
+                    code,
+                    sequence: seq,
+                    bad_value,
+                    opcode,
+                },
+            )
+            .into(),
+        );
+    }
+
+    fn push(&self, buf: PooledBuf) {
+        match self.tx.try_send(buf) {
+            Ok(()) => {}
+            Err(crossbeam_channel::TrySendError::Full(_)) => {
+                self.overflowed.store(true, Ordering::Release);
+            }
+            Err(crossbeam_channel::TrySendError::Disconnected(_)) => {}
+        }
+    }
+}
 
 /// Where a server listens.
 #[derive(Clone, Debug)]

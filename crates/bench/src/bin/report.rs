@@ -15,9 +15,9 @@
 //! measurements.  The markdown output is pasted into EXPERIMENTS.md next
 //! to the paper's numbers.
 
-use af_client::{Ac, AudioConn};
+use af_client::{Ac, AcAttributes, AcMask, AudioConn};
 use bench::kernels::{run_kernels, KernelMeasurement};
-use bench::{sweep_sizes, time_per_iter, Rig, Transport};
+use bench::{cpu_cores, sweep_sizes, time_per_iter, Rig, Transport};
 
 /// Per-run measurement settings.
 #[derive(Clone, Copy)]
@@ -64,7 +64,21 @@ struct Report {
     /// Table 7: decoded / total DTMF pairs.
     dtmf_ok: u32,
     dtmf_total: u32,
+    /// Multi-device aggregate play throughput, classic vs sharded.
+    multi_device: Vec<MultiDeviceRow>,
 }
+
+/// One multi-device throughput measurement.
+struct MultiDeviceRow {
+    devices: usize,
+    mode: &'static str,
+    aggregate_mb_s: f64,
+}
+
+/// Concurrent clients in the multi-device benchmark.
+const MULTI_CLIENTS: usize = 8;
+/// Bytes per play request in the multi-device benchmark.
+const MULTI_CHUNK: usize = 8192;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -93,6 +107,7 @@ fn main() {
     table11(&configs, &mix, &preempt);
     let loop_time = table12(&configs, settings);
     let (dtmf_ok, dtmf_total) = table7();
+    let multi_device = multi_device_section(settings);
 
     let report = Report {
         mode: if smoke { "smoke" } else { "full" },
@@ -106,6 +121,7 @@ fn main() {
         loop_time,
         dtmf_ok,
         dtmf_total,
+        multi_device,
     };
     let json = render_json(&report);
     std::fs::write(&out_path, json).expect("write BENCH_report.json");
@@ -200,9 +216,7 @@ fn figure11(configs: &[(Transport, &'static str)], settings: Settings) -> Vec<Ve
 }
 
 fn sweep_iters(settings: Settings, size: usize) -> u32 {
-    if settings.smoke {
-        settings.data_iters
-    } else if size >= 16_384 {
+    if settings.smoke || size >= 16_384 {
         settings.data_iters
     } else {
         300
@@ -368,6 +382,66 @@ fn table7() -> (u32, u32) {
     (ok, total)
 }
 
+/// Aggregate play throughput with 8 concurrent clients spread round-robin
+/// over 1 and 4 devices, classic single-threaded path vs sharded per-device
+/// audio workers.
+///
+/// Every client loops `get_time` + mixing `play_samples` of 8 KB, so each
+/// iteration crosses the dispatcher once for control and lands one chunk of
+/// DSP work on the data plane.  On a multi-core host the 4-device sharded
+/// row can scale with the worker threads; the report records `cpu_cores`
+/// so single-core runs (where no parallel speedup is physically possible)
+/// are read as what they are: a check that sharding costs nothing.
+fn multi_device_section(settings: Settings) -> Vec<MultiDeviceRow> {
+    println!(
+        "## Multi-device throughput — {MULTI_CLIENTS} clients, {MULTI_CHUNK} B mixing plays \
+         (cpu_cores = {})\n",
+        cpu_cores()
+    );
+    println!("| devices | data plane | aggregate (MB/s) |");
+    println!("|---|---|---|");
+    let iters: u32 = if settings.smoke { 50 } else { 600 };
+    let mut rows = Vec::new();
+    for &devices in &[1usize, 4] {
+        for &(sharded, mode) in &[(false, "classic"), (true, "sharded")] {
+            let rig = Rig::start_multi(Transport::Tcp, devices, sharded, false);
+            let start = std::time::Instant::now();
+            let handles: Vec<_> = (0..MULTI_CLIENTS)
+                .map(|i| {
+                    let name = rig.conn_name.clone();
+                    let device = (i % devices) as u8;
+                    std::thread::spawn(move || {
+                        let mut conn = AudioConn::open(&name).expect("connect");
+                        let ac = conn
+                            .create_ac(device, AcMask::default(), &AcAttributes::default())
+                            .expect("create ac");
+                        let data = vec![0x31u8; MULTI_CHUNK];
+                        for _ in 0..iters {
+                            let now = conn.get_time(device).expect("get_time");
+                            conn.play_samples(&ac, now + 8000u32, &data).expect("play");
+                        }
+                    })
+                })
+                .collect();
+            for h in handles {
+                h.join().expect("client thread");
+            }
+            let elapsed = start.elapsed().as_secs_f64();
+            let bytes = MULTI_CLIENTS * iters as usize * MULTI_CHUNK;
+            let mb_s = bytes as f64 / elapsed / 1e6;
+            println!("| {devices} | {mode} | {mb_s:.1} |");
+            rows.push(MultiDeviceRow {
+                devices,
+                mode,
+                aggregate_mb_s: mb_s,
+            });
+            rig.server.shutdown();
+        }
+    }
+    println!();
+    rows
+}
+
 // --- JSON emission -------------------------------------------------------
 //
 // The workspace has no serde; the report's shape is small and fixed, so a
@@ -453,14 +527,34 @@ fn render_json(r: &Report) -> String {
         })
         .collect();
 
+    let multi_rows: Vec<String> = r
+        .multi_device
+        .iter()
+        .map(|row| {
+            format!(
+                "      {{\"devices\": {}, \"mode\": {}, \"aggregate_mb_s\": {}}}",
+                row.devices,
+                jstr(row.mode),
+                jnum(row.aggregate_mb_s)
+            )
+        })
+        .collect();
+
     format!(
         "{{\n  \"schema\": \"audiofile-bench-report/1\",\n  \"mode\": {mode},\n  \
+         \"cpu_cores\": {cores},\n  \
          \"configurations\": [{configs}],\n  \"kernels\": [\n{kernels}\n  ],\n  \
          \"figure10_get_time_us\": {get_time},\n  \"sweep_sizes_bytes\": [{sizes}],\n  \
          \"figure11_record_us\": {record},\n  \"figure12_preempt_play_us\": {preempt},\n  \
          \"figure13_mix_play_us\": {mix},\n  \"throughput_kbs\": {{\n{thr}\n  }},\n  \
-         \"table12_loop_ms\": {loops},\n  \"table7_dtmf\": {{\"decoded\": {ok}, \"total\": {tot}}}\n}}\n",
+         \"table12_loop_ms\": {loops},\n  \"table7_dtmf\": {{\"decoded\": {ok}, \"total\": {tot}}},\n  \
+         \"multi_device\": {{\n    \"clients\": {mclients},\n    \"chunk_bytes\": {mchunk},\n    \
+         \"rows\": [\n{mrows}\n    ]\n  }}\n}}\n",
         mode = jstr(r.mode),
+        cores = cpu_cores(),
+        mclients = MULTI_CLIENTS,
+        mchunk = MULTI_CHUNK,
+        mrows = multi_rows.join(",\n"),
         configs = labels
             .iter()
             .map(|l| jstr(l))

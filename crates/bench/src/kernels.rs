@@ -68,7 +68,7 @@ fn iters_for(bytes: usize, smoke: bool) -> u32 {
 /// A deterministic LIN16 test block: full-scale-ish audio, no flat spots.
 fn lin16_block(bytes: usize) -> Vec<u8> {
     (0..bytes / 2)
-        .flat_map(|i| (((i as i32 * 2654435761u32 as i32) >> 16) as i16).to_le_bytes())
+        .flat_map(|i| ((((i as i32).wrapping_mul(2654435761u32 as i32)) >> 16) as i16).to_le_bytes())
         .collect()
 }
 

@@ -64,19 +64,28 @@ impl Rig {
     /// `mic_tone` selects a 440 Hz microphone (for record benches) instead
     /// of silence.
     pub fn start(transport: Transport, mic_tone: bool) -> Rig {
-        let clock = Arc::new(SystemClock::new(8000));
-        let source: Box<dyn af_device::SampleSource> = if mic_tone {
-            Box::new(ToneSource::ulaw(440.0, 8000.0, 10_000.0))
-        } else {
-            Box::new(SilenceSource::new(af_dsp::g711::ULAW_SILENCE))
-        };
+        Rig::start_multi(transport, 1, false, mic_tone)
+    }
+
+    /// Starts a server with `devices` independent codec devices, optionally
+    /// with the sharded data plane (one audio worker thread per device).
+    pub fn start_multi(transport: Transport, devices: usize, sharded: bool, mic_tone: bool) -> Rig {
         let mut builder = ServerBuilder::new();
-        builder.add_codec_with_buffer(
-            clock,
-            Box::new(af_device::NullSink),
-            source,
-            BENCH_BUFFER_FRAMES,
-        );
+        for _ in 0..devices {
+            let clock = Arc::new(SystemClock::new(8000));
+            let source: Box<dyn af_device::SampleSource> = if mic_tone {
+                Box::new(ToneSource::ulaw(440.0, 8000.0, 10_000.0))
+            } else {
+                Box::new(SilenceSource::new(af_dsp::g711::ULAW_SILENCE))
+            };
+            builder.add_codec_with_buffer(
+                clock,
+                Box::new(af_device::NullSink),
+                source,
+                BENCH_BUFFER_FRAMES,
+            );
+        }
+        let builder = builder.sharded_data_plane(sharded);
         match transport {
             Transport::Unix => {
                 let path = std::env::temp_dir().join(format!(
@@ -129,6 +138,11 @@ impl Rig {
 
     /// Opens a connection with a default audio context.
     pub fn connect_with_ac(&self, preempt: bool) -> (AudioConn, af_client::Ac) {
+        self.connect_with_ac_on(0, preempt)
+    }
+
+    /// Opens a connection with a default audio context on a given device.
+    pub fn connect_with_ac_on(&self, device: u8, preempt: bool) -> (AudioConn, af_client::Ac) {
         let mut conn = self.connect();
         let mut mask = AcMask::default();
         let mut attrs = AcAttributes::default();
@@ -136,9 +150,17 @@ impl Rig {
             mask = mask | AcMask::PREEMPTION;
             attrs.preempt = true;
         }
-        let ac = conn.create_ac(0, mask, &attrs).expect("create ac");
+        let ac = conn.create_ac(device, mask, &attrs).expect("create ac");
         (conn, ac)
     }
+}
+
+/// Number of CPU cores the benchmark process can use.  Recorded in the
+/// report so multi-device speedups are interpreted honestly: on a 1-core
+/// machine the sharded data plane cannot run workers in parallel, it can
+/// only overlap DSP with dispatcher I/O.
+pub fn cpu_cores() -> usize {
+    std::thread::available_parallelism().map_or(1, |n| n.get())
 }
 
 /// Starts a store-and-forward proxy to `target` adding `delay` per

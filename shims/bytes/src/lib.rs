@@ -1,0 +1,4 @@
+//! Offline stand-in for the `bytes` crate.
+//!
+//! The workspace declares `bytes` but does not currently use any of its
+//! items; this empty crate satisfies the dependency without network access.

@@ -1,0 +1,569 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build container has no network access, so the workspace vendors the
+//! property-testing subset its suites use: the `proptest!` macro, value
+//! strategies (`any`, ranges, `Just`, `prop_oneof!`, `prop::collection::vec`,
+//! character-class string patterns), `prop_map`, and the assertion macros.
+//! Cases are generated from a deterministic per-test PRNG; there is **no
+//! shrinking** — a failure reports the panic from the raw generated case.
+
+use std::marker::PhantomData;
+use std::ops::{Range, RangeInclusive};
+
+/// Test-runner types (`ProptestConfig` and case rejection).
+pub mod test_runner {
+    /// Configuration for a `proptest!` block.
+    #[derive(Clone, Copy, Debug)]
+    pub struct ProptestConfig {
+        /// Number of random cases to run per property.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// A config running `cases` random cases.
+        pub fn with_cases(cases: u32) -> ProptestConfig {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> ProptestConfig {
+            ProptestConfig { cases: 256 }
+        }
+    }
+
+    /// A case discarded by `prop_assume!`.
+    #[derive(Clone, Copy, Debug)]
+    pub struct Rejected;
+
+    /// Runs one generated case (the indirection keeps the expansion of
+    /// `proptest!` free of clippy's redundant-closure-call lint).
+    pub fn run_case<F: FnOnce() -> Result<(), Rejected>>(f: F) -> Result<(), Rejected> {
+        f()
+    }
+
+    /// The deterministic SplitMix64 generator behind every strategy.
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// Seeds from the test name so each property has a stable stream.
+        pub fn for_test(name: &str) -> TestRng {
+            let mut seed = 0xA076_1D64_78BD_642Fu64;
+            for b in name.bytes() {
+                seed = (seed ^ u64::from(b)).wrapping_mul(0x100_0000_01B3);
+            }
+            TestRng { state: seed }
+        }
+
+        /// The next 64 random bits.
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+
+        /// A uniform value in `[0, bound)` (`bound` 0 yields 0).
+        pub fn below(&mut self, bound: u64) -> u64 {
+            if bound == 0 {
+                0
+            } else {
+                self.next_u64() % bound
+            }
+        }
+
+        /// A uniform float in `[0, 1)`.
+        pub fn unit_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+        }
+    }
+}
+
+/// Strategy trait and combinators.
+pub mod strategy {
+    use super::test_runner::TestRng;
+
+    /// A recipe for generating random values of one type.
+    ///
+    /// Unlike real proptest there is no value tree: `generate` yields a
+    /// plain value and failures do not shrink.
+    pub trait Strategy {
+        /// The type of generated values.
+        type Value;
+
+        /// Generates one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Discards generated values failing `f` (retrying a bounded
+        /// number of times).
+        fn prop_filter<F>(self, _whence: &'static str, f: F) -> Filter<Self, F>
+        where
+            Self: Sized,
+            F: Fn(&Self::Value) -> bool,
+        {
+            Filter { inner: self, f }
+        }
+
+        /// Type-erases the strategy (for heterogeneous `prop_oneof!` arms).
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            Box::new(self)
+        }
+    }
+
+    /// A type-erased strategy.
+    pub type BoxedStrategy<V> = Box<dyn Strategy<Value = V>>;
+
+    impl<V> Strategy for BoxedStrategy<V> {
+        type Value = V;
+        fn generate(&self, rng: &mut TestRng) -> V {
+            (**self).generate(rng)
+        }
+    }
+
+    /// See [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        pub(crate) inner: S,
+        pub(crate) f: F,
+    }
+
+    impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+        type Value = O;
+        fn generate(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    /// See [`Strategy::prop_filter`].
+    pub struct Filter<S, F> {
+        pub(crate) inner: S,
+        pub(crate) f: F,
+    }
+
+    impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
+        type Value = S::Value;
+        fn generate(&self, rng: &mut TestRng) -> S::Value {
+            for _ in 0..1000 {
+                let v = self.inner.generate(rng);
+                if (self.f)(&v) {
+                    return v;
+                }
+            }
+            panic!("prop_filter rejected 1000 consecutive candidates");
+        }
+    }
+
+    /// Always generates a clone of the given value.
+    #[derive(Clone, Copy, Debug)]
+    pub struct Just<T>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// The strategy behind [`crate::any`].
+    pub struct Any<T>(pub std::marker::PhantomData<T>);
+
+    impl<T: crate::Arbitrary> Strategy for Any<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    /// Uniform choice between boxed alternatives (see `prop_oneof!`).
+    pub struct OneOf<V>(pub Vec<BoxedStrategy<V>>);
+
+    impl<V> Strategy for OneOf<V> {
+        type Value = V;
+        fn generate(&self, rng: &mut TestRng) -> V {
+            let idx = rng.below(self.0.len() as u64) as usize;
+            self.0[idx].generate(rng)
+        }
+    }
+
+    macro_rules! tuple_strategy {
+        ($($s:ident / $v:ident),+) => {
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    let ($($v,)+) = self;
+                    ($($v.generate(rng),)+)
+                }
+            }
+        };
+    }
+
+    tuple_strategy!(A / a);
+    tuple_strategy!(A / a, B / b);
+    tuple_strategy!(A / a, B / b, C / c);
+    tuple_strategy!(A / a, B / b, C / c, D / d);
+    tuple_strategy!(A / a, B / b, C / c, D / d, E / e);
+    tuple_strategy!(A / a, B / b, C / c, D / d, E / e, F / f);
+    tuple_strategy!(A / a, B / b, C / c, D / d, E / e, F / f, G / g);
+    tuple_strategy!(A / a, B / b, C / c, D / d, E / e, F / f, G / g, H / h);
+}
+
+use strategy::Strategy;
+use test_runner::TestRng;
+
+/// Types with a canonical full-range strategy.
+pub trait Arbitrary {
+    /// Generates an unconstrained random value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! arbitrary_int {
+    ($($t:ty),+) => {
+        $(impl Arbitrary for $t {
+            #[allow(clippy::cast_possible_truncation)]
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        })+
+    };
+}
+
+arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for f32 {
+    fn arbitrary(rng: &mut TestRng) -> f32 {
+        (rng.unit_f64() * 2.0 - 1.0) as f32 * 1.0e6
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> f64 {
+        (rng.unit_f64() * 2.0 - 1.0) * 1.0e9
+    }
+}
+
+/// The full-range strategy for `T`.
+pub fn any<T: Arbitrary>() -> strategy::Any<T> {
+    strategy::Any(PhantomData)
+}
+
+macro_rules! range_strategy {
+    ($($t:ty),+) => {
+        $(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss, clippy::cast_possible_wrap)]
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end as i128 - self.start as i128) as u128;
+                    let off = u128::from(rng.next_u64()) % span;
+                    (self.start as i128 + off as i128) as $t
+                }
+            }
+            impl Strategy for RangeInclusive<$t> {
+                type Value = $t;
+                #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss, clippy::cast_possible_wrap)]
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "empty range strategy");
+                    let span = (hi as i128 - lo as i128) as u128 + 1;
+                    let off = u128::from(rng.next_u64()) % span;
+                    (lo as i128 + off as i128) as $t
+                }
+            }
+        )+
+    };
+}
+
+range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! float_range_strategy {
+    ($($t:ty),+) => {
+        $(impl Strategy for Range<$t> {
+            type Value = $t;
+            #[allow(clippy::cast_possible_truncation)]
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                self.start + (rng.unit_f64() as $t) * (self.end - self.start)
+            }
+        })+
+    };
+}
+
+float_range_strategy!(f32, f64);
+
+/// Strategies for `bool` (`proptest::bool::ANY`).
+pub mod bool {
+    /// Uniform true/false.
+    pub const ANY: crate::strategy::Any<::core::primitive::bool> =
+        crate::strategy::Any(std::marker::PhantomData);
+}
+
+/// Collection strategies (`prop::collection`).
+pub mod collection {
+    use super::strategy::Strategy;
+    use super::test_runner::TestRng;
+    use std::ops::{Range, RangeInclusive};
+
+    /// A length specification: exact, half-open, or inclusive.
+    #[derive(Clone, Copy, Debug)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize, // inclusive
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> SizeRange {
+            SizeRange { lo: n, hi: n }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> SizeRange {
+            assert!(r.start < r.end, "empty vec size range");
+            SizeRange {
+                lo: r.start,
+                hi: r.end - 1,
+            }
+        }
+    }
+
+    impl From<RangeInclusive<usize>> for SizeRange {
+        fn from(r: RangeInclusive<usize>) -> SizeRange {
+            SizeRange {
+                lo: *r.start(),
+                hi: *r.end(),
+            }
+        }
+    }
+
+    /// Generates `Vec`s whose elements come from `element`.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// A strategy for vectors with lengths in `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.size.hi - self.size.lo) as u64 + 1;
+            let len = self.size.lo + rng.below(span) as usize;
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// A tiny character-class pattern interpreter so string strategies like
+/// `"[a-zA-Z0-9_]{0,40}"` work.  Supports exactly one `[class]{lo,hi}`
+/// (or `[class]{n}` / `[class]*` / `[class]+`) production; anything else
+/// panics so unsupported patterns fail loudly instead of silently.
+fn generate_from_pattern(pattern: &str, rng: &mut TestRng) -> String {
+    let rest = pattern
+        .strip_prefix('[')
+        .unwrap_or_else(|| panic!("unsupported string pattern: {pattern}"));
+    let (class, reps) = rest
+        .split_once(']')
+        .unwrap_or_else(|| panic!("unsupported string pattern: {pattern}"));
+    let mut chars = Vec::new();
+    let cs: Vec<char> = class.chars().collect();
+    let mut i = 0;
+    while i < cs.len() {
+        if i + 2 < cs.len() && cs[i + 1] == '-' {
+            for c in cs[i]..=cs[i + 2] {
+                chars.push(c);
+            }
+            i += 3;
+        } else {
+            chars.push(cs[i]);
+            i += 1;
+        }
+    }
+    assert!(!chars.is_empty(), "empty character class: {pattern}");
+    let (lo, hi) = match reps {
+        "*" => (0usize, 8usize),
+        "+" => (1, 8),
+        "" => (1, 1),
+        braced => {
+            let inner = braced
+                .strip_prefix('{')
+                .and_then(|b| b.strip_suffix('}'))
+                .unwrap_or_else(|| panic!("unsupported repetition: {pattern}"));
+            match inner.split_once(',') {
+                Some((a, b)) => (
+                    a.trim().parse().expect("repetition bound"),
+                    b.trim().parse().expect("repetition bound"),
+                ),
+                None => {
+                    let n = inner.trim().parse().expect("repetition count");
+                    (n, n)
+                }
+            }
+        }
+    };
+    let len = lo + rng.below((hi - lo) as u64 + 1) as usize;
+    (0..len)
+        .map(|_| chars[rng.below(chars.len() as u64) as usize])
+        .collect()
+}
+
+impl Strategy for &'static str {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        generate_from_pattern(self, rng)
+    }
+}
+
+/// The `prop::` module path used by the prelude (`prop::collection::vec`).
+pub mod prop {
+    pub use crate::collection;
+}
+
+/// The common imports: `use proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{any, prop, Arbitrary};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest};
+}
+
+/// Declares property tests: each function runs its body over many
+/// generated cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest! { @run ($cfg) $($rest)* }
+    };
+    (@run ($cfg:expr) $($(#[$meta:meta])* fn $name:ident($($arg:ident in $strat:expr),* $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $cfg;
+                let mut rng = $crate::test_runner::TestRng::for_test(stringify!($name));
+                $(let $arg = $strat;)*
+                for _case in 0..config.cases {
+                    $(let $arg = $crate::strategy::Strategy::generate(&$arg, &mut rng);)*
+                    let _ = $crate::test_runner::run_case(|| { { $body }; Ok(()) });
+                }
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest! { @run ($crate::test_runner::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+/// Asserts a condition inside a property (plain assert: no shrinking).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Asserts equality inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Asserts inequality inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+/// Discards the current case when the precondition fails.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return Err($crate::test_runner::Rejected);
+        }
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !($cond) {
+            return Err($crate::test_runner::Rejected);
+        }
+    };
+}
+
+/// Uniform choice among strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {{
+        let arms: ::std::vec::Vec<$crate::strategy::BoxedStrategy<_>> =
+            vec![$($crate::strategy::Strategy::boxed($arm)),+];
+        $crate::strategy::OneOf(arms)
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn pattern_strings_match_class_and_length() {
+        let mut rng = crate::test_runner::TestRng::for_test("pattern");
+        for _ in 0..100 {
+            let s = crate::generate_from_pattern("[a-zA-Z0-9_]{0,40}", &mut rng);
+            assert!(s.len() <= 40);
+            assert!(s.chars().all(|c| c.is_ascii_alphanumeric() || c == '_'));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_stay_in_bounds(x in 10u32..20, y in -5i32..=5, f in 0.25f32..0.75) {
+            prop_assert!((10..20).contains(&x));
+            prop_assert!((-5..=5).contains(&y));
+            prop_assert!((0.25..0.75).contains(&f));
+        }
+
+        #[test]
+        fn combinators_compose(
+            v in prop::collection::vec(any::<u8>(), 3..6),
+            tag in prop_oneof![Just(1u8), Just(2u8), (5u8..7).prop_map(|x| x)],
+            flag in crate::bool::ANY,
+        ) {
+            prop_assert!(v.len() >= 3 && v.len() < 6);
+            prop_assert!(matches!(tag, 1 | 2 | 5 | 6));
+            // A tautology on purpose: exercises prop_assume's accept path.
+            prop_assume!(usize::from(flag) + usize::from(!flag) == 1);
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn default_config_runs(x in any::<u16>()) {
+            let x2 = u32::from(x) * 2;
+            prop_assert_eq!(x2, u32::from(x) + u32::from(x));
+        }
+    }
+}

@@ -1,0 +1,73 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The workspace's own deterministic generators (af-chaos's SplitMix64)
+//! cover its randomness needs; this crate provides a minimal `Rng` /
+//! `thread_rng` so stray `rand` usage still compiles without network
+//! access.  Not cryptographically secure.
+
+use std::cell::Cell;
+
+/// Minimal random-value source.
+pub trait Rng {
+    /// The next 64 uniformly random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// A uniformly random value in `[0, bound)`.
+    fn gen_range_u64(&mut self, bound: u64) -> u64 {
+        if bound == 0 {
+            return 0;
+        }
+        self.next_u64() % bound
+    }
+}
+
+/// A SplitMix64 generator seeded from the thread and time.
+pub struct ThreadRng {
+    state: u64,
+}
+
+impl Rng for ThreadRng {
+    fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+thread_local! {
+    static SEED: Cell<u64> = const { Cell::new(0) };
+}
+
+/// A generator seeded per call from a thread-local counter and the clock.
+pub fn thread_rng() -> ThreadRng {
+    let nanos = std::time::SystemTime::now()
+        .duration_since(std::time::SystemTime::UNIX_EPOCH)
+        .map(|d| d.as_nanos() as u64)
+        .unwrap_or(0);
+    let bump = SEED.with(|s| {
+        let v = s.get().wrapping_add(1);
+        s.set(v);
+        v
+    });
+    ThreadRng {
+        state: nanos ^ bump.rotate_left(32),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generates_varied_values() {
+        let mut rng = thread_rng();
+        let a = rng.next_u64();
+        let b = rng.next_u64();
+        assert_ne!(a, b);
+        for _ in 0..100 {
+            assert!(rng.gen_range_u64(10) < 10);
+        }
+    }
+}

@@ -1,0 +1,503 @@
+//! The sharded data plane: per-device audio workers behind the
+//! single-threaded dispatcher.
+//!
+//! The contract is that sharding is *invisible* to clients: every sample a
+//! client plays lands on the same device frames, mixes in the same order,
+//! and every byte a client records is identical to what the classic
+//! single-threaded path produces.  The differential tests here replay one
+//! request trace against both server modes and compare the replies and
+//! the captured speaker output bit for bit.  The soak test then leans on
+//! the sharded path with many concurrent connections and a misbehaving
+//! client to show the control plane stays live.
+
+use audiofile::chaos::StreamFaultPlan;
+use audiofile::client::{AcAttributes, AcMask, AudioConn};
+use audiofile::device::{
+    CaptureSink, NullSink, SilenceSource, SystemClock, ToneSource, VirtualClock,
+};
+use audiofile::server::{RunningServer, ServerBuilder, ServerHandle, ServerStats};
+use audiofile::time::ATime;
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+const SIL: u8 = 0xFF;
+
+/// A codec pair on one virtual clock: device 0's speaker is captured and
+/// its mic hums at 440 Hz; device 1's mic hums at 200 Hz so pass-through
+/// has something recognizable to move.  The two are pass-through peers,
+/// which in sharded mode forces them onto one worker.
+struct Rig {
+    server: RunningServer,
+    clock: Arc<VirtualClock>,
+    speaker: audiofile::device::io::CaptureBuffer,
+}
+
+impl Rig {
+    fn new(sharded: bool) -> Rig {
+        let clock = Arc::new(VirtualClock::new(8000));
+        let (sink, speaker) = CaptureSink::new(1 << 22);
+        let mut builder = ServerBuilder::new()
+            .listen_tcp("127.0.0.1:0".parse().unwrap())
+            .sharded_data_plane(sharded);
+        let d0 = builder.add_codec(
+            clock.clone(),
+            Box::new(sink),
+            Box::new(ToneSource::ulaw(440.0, 8000.0, 10_000.0)),
+        );
+        let d1 = builder.add_codec(
+            clock.clone(),
+            Box::new(NullSink),
+            Box::new(ToneSource::ulaw(200.0, 8000.0, 10_000.0)),
+        );
+        builder.pair_passthrough(d0, d1);
+        let server = builder.spawn().unwrap();
+        Rig {
+            server,
+            clock,
+            speaker,
+        }
+    }
+
+    fn connect(&self) -> AudioConn {
+        AudioConn::open(&self.server.tcp_addr().unwrap().to_string()).unwrap()
+    }
+
+    /// Advances virtual time in update-sized steps, with a full-server
+    /// update barrier (dispatcher and, in sharded mode, every worker)
+    /// after each step.
+    fn run(&self, handle: &ServerHandle, samples: u32) {
+        let mut left = samples;
+        while left > 0 {
+            let n = left.min(800);
+            self.clock.advance(n);
+            handle.run_update();
+            left -= n;
+        }
+    }
+}
+
+/// Replays the reference trace against one server mode.
+///
+/// Returns `(transcript, speaker_capture)`.  The transcript logs every
+/// deterministic observable: reply times of synchronous requests issued
+/// between update barriers, and the bytes of every record reply.  Sample
+/// payloads of suspended (blocked) requests are covered by the speaker
+/// capture — their *completion timestamps* depend on wall-clock worker
+/// scheduling and are asserted for sanity instead of compared.
+fn replay_trace(sharded: bool) -> (Vec<String>, Vec<u8>) {
+    let rig = Rig::new(sharded);
+    let handle = rig.server.handle();
+    let mut log: Vec<String> = Vec::new();
+
+    let mut c1 = rig.connect();
+    let mut c2 = rig.connect();
+    let ac1 = c1
+        .create_ac(0, AcMask::default(), &AcAttributes::default())
+        .unwrap();
+    let ac2 = c2
+        .create_ac(0, AcMask::default(), &AcAttributes::default())
+        .unwrap();
+    let preempt_attrs = AcAttributes {
+        preempt: true,
+        ..AcAttributes::default()
+    };
+    let ac2p = c2.create_ac(0, AcMask::PREEMPTION, &preempt_attrs).unwrap();
+
+    let t0 = c1.get_time(0).unwrap();
+    log.push(format!("t0={}", t0.ticks()));
+
+    // Mixing and preemption: two clients overlap at 1200..1400, then a
+    // preemptive write replaces 1300..1400.
+    let a = audiofile::dsp::g711::linear_to_ulaw(4000);
+    let b = audiofile::dsp::g711::linear_to_ulaw(2000);
+    let p = audiofile::dsp::g711::linear_to_ulaw(-1500);
+    let t = c1.play_samples(&ac1, ATime::new(1000), &[a; 400]).unwrap();
+    log.push(format!("play1={}", t.ticks()));
+    let t = c2.play_samples(&ac2, ATime::new(1200), &[b; 400]).unwrap();
+    log.push(format!("play2={}", t.ticks()));
+    let t = c2.play_samples(&ac2p, ATime::new(1300), &[p; 100]).unwrap();
+    log.push(format!("play3={}", t.ticks()));
+
+    // Output gain applies at request time.
+    c1.set_output_gain(0, -6).unwrap();
+    c1.sync().unwrap();
+    let t = c1.play_samples(&ac1, ATime::new(2000), &[a; 200]).unwrap();
+    log.push(format!("play4={}", t.ticks()));
+    c1.set_output_gain(0, 0).unwrap();
+    c1.sync().unwrap();
+
+    // Arm the recorder, advance, then pull the recorded tone.
+    let (_, first) = c1.record_samples(&ac1, t0, 0, false).unwrap();
+    assert!(first.is_empty());
+    rig.run(&handle, 2400);
+    let now = c1.get_time(0).unwrap();
+    log.push(format!("after_2400={}", now.ticks()));
+    let (rt, data) = c1.record_samples(&ac1, t0, 4000, false).unwrap();
+    log.push(format!("rec1_time={} data={:?}", rt.ticks(), data));
+
+    // Input gain and the input-disabled silence fill, both read at
+    // completion time.
+    c1.set_input_gain(0, 6).unwrap();
+    c1.sync().unwrap();
+    let (rt, data) = c1.record_samples(&ac1, t0 + 800u32, 800, false).unwrap();
+    log.push(format!("rec_gain_time={} data={:?}", rt.ticks(), data));
+    c1.disable_input(0, 1).unwrap();
+    c1.sync().unwrap();
+    let (rt, data) = c1.record_samples(&ac1, t0 + 800u32, 800, false).unwrap();
+    log.push(format!("rec_muted_time={} data={:?}", rt.ticks(), data));
+    c1.enable_input(0, 1).unwrap();
+    c1.set_input_gain(0, 0).unwrap();
+    c1.sync().unwrap();
+
+    // A Lin16 context over the µ-law device: conversion runs in-ring in
+    // sharded mode, on the dispatcher classically.
+    let l16 = AcAttributes {
+        encoding: audiofile::dsp::Encoding::Lin16,
+        ..AcAttributes::default()
+    };
+    let acl = c1.create_ac(0, AcMask::ENCODING, &l16).unwrap();
+    let mut lin: Vec<u8> = Vec::new();
+    for i in 0..300i16 {
+        lin.extend_from_slice(&(i * 40).to_le_bytes());
+    }
+    let t = c1.play_samples(&acl, ATime::new(3600), &lin).unwrap();
+    log.push(format!("play_l16={}", t.ticks()));
+    let (rt, data) = c1.record_samples(&acl, t0 + 1000u32, 1200, false).unwrap();
+    log.push(format!("rec_l16_time={} data={:?}", rt.ticks(), data));
+    // Free and recreate: the replacement context must start from fresh
+    // converter state (the worker drops its cached pair on FreeAc).
+    c1.free_ac(acl).unwrap();
+    c1.sync().unwrap();
+    let acl = c1.create_ac(0, AcMask::ENCODING, &l16).unwrap();
+    let (rt, data) = c1.record_samples(&acl, t0 + 1000u32, 1200, false).unwrap();
+    log.push(format!("rec_l16b_time={} data={:?}", rt.ticks(), data));
+
+    // Pass-through: device 1's 200 Hz mic tone flows into device 0's
+    // speaker while enabled.
+    c1.enable_pass_through(0).unwrap();
+    c1.sync().unwrap();
+    rig.run(&handle, 1600);
+    c1.disable_pass_through(0).unwrap();
+    c1.sync().unwrap();
+
+    // A play past the 4-second horizon suspends and drains over wake-ups
+    // (§2.2).  The reply time depends on which update completes it, so
+    // only sanity is asserted here; the samples land at absolute device
+    // times and are compared through the speaker capture.
+    let anchor = c1.get_time(0).unwrap();
+    log.push(format!("anchor={}", anchor.ticks()));
+    let addr = rig.server.tcp_addr().unwrap().to_string();
+    let (ready_tx, ready_rx) = std::sync::mpsc::channel::<()>();
+    let big_play = std::thread::spawn(move || {
+        let mut c3 = AudioConn::open(&addr).unwrap();
+        let ac3 = c3
+            .create_ac(0, AcMask::default(), &AcAttributes::default())
+            .unwrap();
+        let tone = audiofile::dsp::g711::linear_to_ulaw(3000);
+        // In-horizon head: completes while the clock is frozen, so every
+        // frame is in the ring before the hardware could consume it.
+        c3.play_samples(&ac3, anchor, &vec![tone; 28_000]).unwrap();
+        let _ = ready_tx.send(());
+        // Beyond-horizon tail: suspends and drains over wake-ups.
+        let tail = audiofile::dsp::g711::linear_to_ulaw(-2500);
+        c3.play_samples(&ac3, anchor + 28_000u32, &vec![tail; 8_000])
+            .unwrap()
+    });
+    // A blocking record waits for time to advance past its end.  The rec
+    // ring has been armed by c1's context since t0, so the bytes it reads
+    // are deterministic no matter when this request lands.
+    let addr = rig.server.tcp_addr().unwrap().to_string();
+    let blocking_rec = std::thread::spawn(move || {
+        let mut c4 = AudioConn::open(&addr).unwrap();
+        let ac4 = c4
+            .create_ac(0, AcMask::default(), &AcAttributes::default())
+            .unwrap();
+        let (_, first) = c4.record_samples(&ac4, anchor, 0, false).unwrap();
+        assert!(first.is_empty());
+        c4.record_samples(&ac4, anchor, 1600, true).unwrap()
+    });
+    ready_rx.recv().expect("in-horizon head must complete");
+    rig.run(&handle, 38_400);
+    let t_done = big_play.join().unwrap();
+    assert!(
+        t_done.is_after(anchor),
+        "suspended play must complete after time advances"
+    );
+    let (rec_t, rec_data) = blocking_rec.join().unwrap();
+    assert_eq!(rec_data.len(), 1600);
+    assert!(rec_t.is_after(anchor + 1600u32) || rec_t == anchor + 1600u32);
+    log.push(format!("blocked_rec_data={rec_data:?}"));
+
+    // Quiesce: everything suspended has drained, device time is final.
+    rig.run(&handle, 1600);
+    let t_end = c1.get_time(0).unwrap();
+    log.push(format!("t_end={}", t_end.ticks()));
+    let stats = rig.server.stats();
+    assert_eq!(ServerStats::get(&stats.evicted_slow), 0);
+    if sharded {
+        let workers = stats.worker_snapshots();
+        assert!(!workers.is_empty(), "sharded server must register workers");
+        let jobs: u64 = workers.iter().map(|w| w.jobs_processed).sum();
+        assert!(jobs > 0, "workers must have processed sample jobs");
+    } else {
+        assert!(stats.worker_snapshots().is_empty());
+    }
+
+    drop(c1);
+    drop(c2);
+    let capture = rig.speaker.lock().clone();
+    rig.server.shutdown();
+    (log, capture)
+}
+
+#[test]
+fn sharded_data_plane_is_bit_exact_with_classic() {
+    let (classic_log, classic_cap) = replay_trace(false);
+    let (sharded_log, sharded_cap) = replay_trace(true);
+
+    assert_eq!(
+        classic_log.len(),
+        sharded_log.len(),
+        "transcript shapes differ"
+    );
+    for (i, (c, s)) in classic_log.iter().zip(sharded_log.iter()).enumerate() {
+        assert_eq!(c, s, "transcript entry {i} diverged");
+    }
+    assert_eq!(
+        classic_cap.len(),
+        sharded_cap.len(),
+        "speaker capture lengths differ"
+    );
+    if let Some(pos) = classic_cap
+        .iter()
+        .zip(sharded_cap.iter())
+        .position(|(a, b)| a != b)
+    {
+        panic!(
+            "speaker capture diverged at frame {pos}: classic={:#04x} sharded={:#04x}",
+            classic_cap[pos], sharded_cap[pos]
+        );
+    }
+}
+
+/// Mono views (§7.4.1) resolve to the stereo owner's worker: play into the
+/// left lane, mix into the right, and compare the interleaved capture.
+fn replay_hifi_trace(sharded: bool) -> (Vec<String>, Vec<u8>) {
+    let clock = Arc::new(VirtualClock::new(44_100));
+    let (sink, speaker) = CaptureSink::new(1 << 24);
+    let mut builder = ServerBuilder::new()
+        .listen_tcp("127.0.0.1:0".parse().unwrap())
+        .sharded_data_plane(sharded);
+    let (stereo, left, right) = builder.add_hifi_with_mono(
+        clock.clone(),
+        Box::new(sink),
+        Box::new(SilenceSource::new(0)),
+    );
+    let server = builder.spawn().unwrap();
+    let handle = server.handle();
+    let mut log = Vec::new();
+
+    let mut conn = AudioConn::open(&server.tcp_addr().unwrap().to_string()).unwrap();
+    let ac_l = conn
+        .create_ac(left as u8, AcMask::default(), &AcAttributes::default())
+        .unwrap();
+    let ac_r = conn
+        .create_ac(right as u8, AcMask::default(), &AcAttributes::default())
+        .unwrap();
+    let ac_s = conn
+        .create_ac(stereo as u8, AcMask::default(), &AcAttributes::default())
+        .unwrap();
+
+    let mono = |v: i16, n: usize| -> Vec<u8> {
+        let mut out = Vec::with_capacity(n * 2);
+        for _ in 0..n {
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+        out
+    };
+    let t = conn
+        .play_samples(&ac_l, ATime::new(4410), &mono(1000, 500))
+        .unwrap();
+    log.push(format!("left={}", t.ticks()));
+    let t = conn
+        .play_samples(&ac_r, ATime::new(4410), &mono(-2000, 500))
+        .unwrap();
+    log.push(format!("right={}", t.ticks()));
+    // A stereo write overlapping the lane writes mixes per channel.
+    let mut stereo_data = Vec::new();
+    for _ in 0..250 {
+        stereo_data.extend_from_slice(&500i16.to_le_bytes());
+        stereo_data.extend_from_slice(&500i16.to_le_bytes());
+    }
+    let t = conn
+        .play_samples(&ac_s, ATime::new(4600), &stereo_data)
+        .unwrap();
+    log.push(format!("stereo={}", t.ticks()));
+
+    // GetTime on a mono view answers from the owner's clock.
+    let mut left_time_before = conn.get_time(left as u8).unwrap();
+    let mut done = 0u32;
+    while done < 22_050 {
+        clock.advance(2205);
+        handle.run_update();
+        done += 2205;
+    }
+    let left_time_after = conn.get_time(left as u8).unwrap();
+    log.push(format!(
+        "mono_times={},{}",
+        left_time_before.ticks(),
+        left_time_after.ticks()
+    ));
+    left_time_before = left_time_after;
+    let _ = left_time_before;
+
+    let capture = speaker.lock().clone();
+    drop(conn);
+    server.shutdown();
+    (log, capture)
+}
+
+#[test]
+fn sharded_mono_views_are_bit_exact_with_classic() {
+    let (classic_log, classic_cap) = replay_hifi_trace(false);
+    let (sharded_log, sharded_cap) = replay_hifi_trace(true);
+    assert_eq!(classic_log, sharded_log);
+    assert_eq!(
+        classic_cap, sharded_cap,
+        "hifi speaker capture diverged between modes"
+    );
+}
+
+/// 32 concurrent connections streaming into 4 sharded devices on a real
+/// clock, plus one slow client that floods replies and never reads: the
+/// control plane must stay live, the slow client must be evicted by the
+/// bounded outbound queue, device times must advance monotonically, and
+/// the worker counters must show the data plane did the work.
+#[test]
+fn soak_many_clients_four_sharded_devices() {
+    let clock = Arc::new(SystemClock::new(8000));
+    let mut builder = ServerBuilder::new()
+        .listen_tcp("127.0.0.1:0".parse().unwrap())
+        .sharded_data_plane(true)
+        .chaos(
+            StreamFaultPlan::new(0x5047)
+                .partial_reads(9)
+                .partial_writes(9)
+                .latency(0.002, Duration::from_micros(200)),
+        );
+    for _ in 0..4 {
+        builder.add_codec(
+            clock.clone(),
+            Box::new(NullSink),
+            Box::new(SilenceSource::new(SIL)),
+        );
+    }
+    let server = builder.spawn().unwrap();
+    let addr = server.tcp_addr().unwrap().to_string();
+    let stats = server.stats();
+
+    // The slow client: floods reply-bearing requests and never reads.
+    // Replies pile into the bounded per-client outbound queue until the
+    // dispatcher evicts it.
+    let slow_addr = addr.clone();
+    let slow = std::thread::spawn(move || {
+        use audiofile::proto::{ByteOrder, ConnSetup, Request};
+        use std::io::{Read, Write};
+        let mut raw = std::net::TcpStream::connect(&slow_addr).unwrap();
+        raw.write_all(&ConnSetup::new().encode()).unwrap();
+        let mut len_buf = [0u8; 4];
+        raw.read_exact(&mut len_buf).unwrap();
+        let mut body = vec![0u8; u32::from_le_bytes(len_buf) as usize];
+        raw.read_exact(&mut body).unwrap();
+        let get_time = Request::GetTime { device: 0 }.encode(ByteOrder::native());
+        let batch: Vec<u8> = get_time
+            .iter()
+            .copied()
+            .cycle()
+            .take(get_time.len() * 1024)
+            .collect();
+        for _ in 0..4096 {
+            if raw.write_all(&batch).is_err() {
+                return; // Kicked.
+            }
+        }
+    });
+
+    let workers: Vec<_> = (0..32)
+        .map(|i| {
+            let addr = addr.clone();
+            std::thread::spawn(move || {
+                let device = (i % 4) as u8;
+                let mut conn = AudioConn::open(&addr).unwrap();
+                let ac = conn
+                    .create_ac(device, AcMask::default(), &AcAttributes::default())
+                    .unwrap();
+                let noise = vec![0x21u8; 4000];
+                let mut last = conn.get_time(device).unwrap();
+                for round in 0..30 {
+                    let now = conn.get_time(device).unwrap();
+                    assert!(
+                        !last.is_after(now),
+                        "device {device} time went backwards: {last:?} -> {now:?}"
+                    );
+                    last = now;
+                    // Anchor half a second ahead so the stream never blocks.
+                    conn.play_samples(&ac, now + 4000u32, &noise).unwrap();
+                    if round % 10 == 0 {
+                        let (_, _) = conn.record_samples(&ac, now, 0, false).unwrap();
+                    }
+                }
+                conn.sync().unwrap();
+            })
+        })
+        .collect();
+
+    let deadline = Instant::now() + Duration::from_secs(60);
+    for w in workers {
+        assert!(Instant::now() < deadline, "soak exceeded bounded time");
+        w.join().expect("streaming client panicked");
+    }
+    slow.join().expect("slow client thread panicked");
+
+    // The misbehaving client was evicted by the bounded queue, not served
+    // forever and not allowed to wedge the server.
+    let evict_deadline = Instant::now() + Duration::from_secs(10);
+    while ServerStats::get(&stats.evicted_slow) == 0 && Instant::now() < evict_deadline {
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    assert!(
+        ServerStats::get(&stats.evicted_slow) >= 1,
+        "slow client must be evicted"
+    );
+
+    // Device times still advance monotonically after the abuse.
+    let mut conn = AudioConn::open(&addr).unwrap();
+    for device in 0..4u8 {
+        let t1 = conn.get_time(device).unwrap();
+        std::thread::sleep(Duration::from_millis(120));
+        let t2 = conn.get_time(device).unwrap();
+        assert!(
+            t2.is_after(t1),
+            "device {device} time stalled: {t1:?} -> {t2:?}"
+        );
+    }
+
+    // The data plane did the work: four workers, all busy, queues bounded.
+    let snaps = stats.worker_snapshots();
+    assert_eq!(snaps.len(), 4, "one worker per unpaired device");
+    for s in &snaps {
+        assert!(
+            s.jobs_processed > 0,
+            "worker {} processed no jobs",
+            s.label
+        );
+        assert!(
+            s.queue_hwm <= audiofile::server::WORKER_QUEUE_CAPACITY as u64,
+            "worker {} queue exceeded its bound",
+            s.label
+        );
+    }
+    let _ = stats.clients_total.load(Ordering::Relaxed);
+    server.shutdown();
+}
