@@ -15,40 +15,36 @@ use crate::wire::{ByteOrder, WireReader, WireWriter};
 use crate::DeviceId;
 use af_time::ATime;
 
-/// The five defined event types.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
-#[repr(u8)]
-pub enum EventKind {
-    /// An incoming call is ringing (`PhoneRing`).
-    PhoneRing = 0,
-    /// A DTMF digit was detected on the line (`PhoneDTMF`).
-    PhoneDtmf = 1,
-    /// Loop current changed: the extension went on/off hook (`PhoneLoop`).
-    PhoneLoop = 2,
-    /// The local hookswitch changed state (`HookSwitch`).
-    HookSwitch = 3,
-    /// A device property was changed by some client (`PropertyChange`).
-    PropertyChange = 4,
+macro_rules! define_event_kind {
+    ($(($name:ident, $wire:literal, $doc:literal)),* $(,)?) => {
+        /// The five defined event types.
+        ///
+        /// Generated from [`crate::with_event_table`] — the one spec table
+        /// the `af-analyze` exhaustiveness lint cross-checks.
+        #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+        #[repr(u8)]
+        pub enum EventKind {
+            $(#[doc = $doc] $name = $wire,)*
+        }
+
+        impl EventKind {
+            /// All event kinds, in wire order.
+            pub const ALL: [EventKind; crate::spec::EVENT_COUNT] = [$(EventKind::$name,)*];
+
+            /// Decodes the wire value.
+            pub fn from_wire(v: u8) -> Result<EventKind, ProtoError> {
+                match v {
+                    $($wire => Ok(EventKind::$name),)*
+                    other => Err(ProtoError::BadEventKind(other)),
+                }
+            }
+        }
+    };
 }
 
+crate::with_event_table!(define_event_kind);
+
 impl EventKind {
-    /// All event kinds.
-    pub const ALL: [EventKind; 5] = [
-        EventKind::PhoneRing,
-        EventKind::PhoneDtmf,
-        EventKind::PhoneLoop,
-        EventKind::HookSwitch,
-        EventKind::PropertyChange,
-    ];
-
-    /// Decodes the wire value.
-    pub fn from_wire(v: u8) -> Result<EventKind, ProtoError> {
-        EventKind::ALL
-            .get(v as usize)
-            .copied()
-            .ok_or(ProtoError::BadEventKind(v))
-    }
-
     /// The wire value.
     pub const fn to_wire(self) -> u8 {
         self as u8

@@ -18,6 +18,7 @@
 //!   errors, replies and events share one 8-byte header, and events have a
 //!   fixed 32-byte size.
 
+#![forbid(unsafe_code)]
 pub mod ac;
 pub mod atoms;
 pub mod error;
@@ -27,6 +28,7 @@ pub mod opcode;
 pub mod reply;
 pub mod request;
 pub mod setup;
+pub mod spec;
 pub mod wire;
 
 pub use ac::{AcAttributes, AcId, AcMask};

@@ -1,174 +1,60 @@
 //! Request opcodes — the 37 protocol requests of Table 1.
+//!
+//! The enum, the `ALL` array, wire decoding and the reply classification
+//! are all generated from the one spec table in [`crate::spec`]; nothing
+//! here lists the opcodes by hand.
 
 use crate::error::ProtoError;
+use crate::spec::REQUEST_COUNT;
 
-/// A protocol request opcode.
-///
-/// The numbering groups requests as Table 1 does: audio and events,
-/// telephony, I/O control, access control, atoms and properties, and
-/// housekeeping.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
-#[repr(u8)]
-pub enum Opcode {
-    // Audio and events.
-    /// Select which events the client wants.
-    SelectEvents = 1,
-    /// Create an audio context.
-    CreateAc = 2,
-    /// Change the contents of an audio context.
-    ChangeAcAttributes = 3,
-    /// Free an audio context.
-    FreeAc = 4,
-    /// Play samples.
-    PlaySamples = 5,
-    /// Record samples.
-    RecordSamples = 6,
-    /// Get the audio device's time.
-    GetTime = 7,
-    // Telephony.
-    /// Get telephone state.
-    QueryPhone = 8,
-    /// Enable telephone passthrough.
-    EnablePassThrough = 9,
-    /// Disable telephone passthrough.
-    DisablePassThrough = 10,
-    /// Control hookswitch.
-    HookSwitch = 11,
-    /// Flash hookswitch.
-    FlashHook = 12,
-    /// Not for general use.
-    EnableGainControl = 13,
-    /// Not for general use.
-    DisableGainControl = 14,
-    /// Obsolete, do not use (client libraries dial with tones instead).
-    DialPhone = 15,
-    // I/O control.
-    /// Set input gain.
-    SetInputGain = 16,
-    /// Set output gain (volume).
-    SetOutputGain = 17,
-    /// Find out current input gain.
-    QueryInputGain = 18,
-    /// Find out current output gain.
-    QueryOutputGain = 19,
-    /// Enable input.
-    EnableInput = 20,
-    /// Enable output.
-    EnableOutput = 21,
-    /// Disable input.
-    DisableInput = 22,
-    /// Disable output.
-    DisableOutput = 23,
-    // Access control.
-    /// Set access control.
-    SetAccessControl = 24,
-    /// Change access control list.
-    ChangeHosts = 25,
-    /// List which hosts are permitted access.
-    ListHosts = 26,
-    // Atoms and properties.
-    /// Allocate unique ID.
-    InternAtom = 27,
-    /// Get name for ID.
-    GetAtomName = 28,
-    /// Change device property.
-    ChangeProperty = 29,
-    /// Remove device property.
-    DeleteProperty = 30,
-    /// Retrieve device property.
-    GetProperty = 31,
-    /// List all device properties.
-    ListProperties = 32,
-    // Housekeeping.
-    /// Non-blocking NoOperation.
-    NoOperation = 33,
-    /// Round-trip NoOperation.
-    SyncConnection = 34,
-    /// Not yet implemented.
-    QueryExtension = 35,
-    /// Not yet implemented.
-    ListExtensions = 36,
-    /// Not yet implemented.
-    KillClient = 37,
+macro_rules! define_opcode {
+    ($(($name:ident, $wire:literal, $reply:ident, $doc:literal)),* $(,)?) => {
+        /// A protocol request opcode.
+        ///
+        /// The numbering groups requests as Table 1 does: audio and events,
+        /// telephony, I/O control, access control, atoms and properties,
+        /// and housekeeping.  Generated from [`crate::with_request_table`].
+        #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+        #[repr(u8)]
+        pub enum Opcode {
+            $(#[doc = $doc] $name = $wire,)*
+        }
+
+        impl Opcode {
+            /// All 37 opcodes, in wire order.
+            pub const ALL: [Opcode; REQUEST_COUNT] = [$(Opcode::$name,)*];
+
+            /// Decodes a wire opcode byte.
+            pub fn from_wire(v: u8) -> Result<Opcode, ProtoError> {
+                match v {
+                    $($wire => Ok(Opcode::$name),)*
+                    other => Err(ProtoError::BadOpcode(other)),
+                }
+            }
+
+            /// Whether the server sends a reply for this request
+            /// unconditionally.
+            ///
+            /// `PlaySamples` replies unless the request suppresses it;
+            /// `NoOperation`, the AC and event management requests,
+            /// property writes and gain setters are asynchronous (one-way).
+            pub const fn always_replies(self) -> bool {
+                match self {
+                    $(Opcode::$name => define_opcode!(@replies $reply),)*
+                }
+            }
+        }
+    };
+    (@replies replies) => { true };
+    (@replies oneway) => { false };
 }
 
+crate::with_request_table!(define_opcode);
+
 impl Opcode {
-    /// All 37 opcodes, in wire order.
-    pub const ALL: [Opcode; 37] = [
-        Opcode::SelectEvents,
-        Opcode::CreateAc,
-        Opcode::ChangeAcAttributes,
-        Opcode::FreeAc,
-        Opcode::PlaySamples,
-        Opcode::RecordSamples,
-        Opcode::GetTime,
-        Opcode::QueryPhone,
-        Opcode::EnablePassThrough,
-        Opcode::DisablePassThrough,
-        Opcode::HookSwitch,
-        Opcode::FlashHook,
-        Opcode::EnableGainControl,
-        Opcode::DisableGainControl,
-        Opcode::DialPhone,
-        Opcode::SetInputGain,
-        Opcode::SetOutputGain,
-        Opcode::QueryInputGain,
-        Opcode::QueryOutputGain,
-        Opcode::EnableInput,
-        Opcode::EnableOutput,
-        Opcode::DisableInput,
-        Opcode::DisableOutput,
-        Opcode::SetAccessControl,
-        Opcode::ChangeHosts,
-        Opcode::ListHosts,
-        Opcode::InternAtom,
-        Opcode::GetAtomName,
-        Opcode::ChangeProperty,
-        Opcode::DeleteProperty,
-        Opcode::GetProperty,
-        Opcode::ListProperties,
-        Opcode::NoOperation,
-        Opcode::SyncConnection,
-        Opcode::QueryExtension,
-        Opcode::ListExtensions,
-        Opcode::KillClient,
-    ];
-
-    /// Decodes a wire opcode byte.
-    pub fn from_wire(v: u8) -> Result<Opcode, ProtoError> {
-        match (1..=37).contains(&v) {
-            true => Ok(Opcode::ALL[(v - 1) as usize]),
-            false => Err(ProtoError::BadOpcode(v)),
-        }
-    }
-
     /// The wire value.
     pub const fn to_wire(self) -> u8 {
         self as u8
-    }
-
-    /// Whether the server sends a reply for this request unconditionally.
-    ///
-    /// `PlaySamples` replies unless the request suppresses it;
-    /// `NoOperation`, the AC and event management requests, property writes
-    /// and gain setters are asynchronous (one-way).
-    pub const fn always_replies(self) -> bool {
-        matches!(
-            self,
-            Opcode::RecordSamples
-                | Opcode::GetTime
-                | Opcode::QueryPhone
-                | Opcode::QueryInputGain
-                | Opcode::QueryOutputGain
-                | Opcode::ListHosts
-                | Opcode::InternAtom
-                | Opcode::GetAtomName
-                | Opcode::GetProperty
-                | Opcode::ListProperties
-                | Opcode::SyncConnection
-                | Opcode::QueryExtension
-                | Opcode::ListExtensions
-        )
     }
 }
 
@@ -201,5 +87,33 @@ mod tests {
             .filter(|o| matches!(o, Opcode::PlaySamples | Opcode::RecordSamples))
             .collect();
         assert_eq!(data_ops.len(), 2);
+    }
+
+    #[test]
+    fn reply_classification_matches_seed() {
+        // The 13 requests the seed classified as always replying.
+        let replying: Vec<_> = Opcode::ALL
+            .iter()
+            .filter(|o| o.always_replies())
+            .copied()
+            .collect();
+        assert_eq!(
+            replying,
+            vec![
+                Opcode::RecordSamples,
+                Opcode::GetTime,
+                Opcode::QueryPhone,
+                Opcode::QueryInputGain,
+                Opcode::QueryOutputGain,
+                Opcode::ListHosts,
+                Opcode::InternAtom,
+                Opcode::GetAtomName,
+                Opcode::GetProperty,
+                Opcode::ListProperties,
+                Opcode::SyncConnection,
+                Opcode::QueryExtension,
+                Opcode::ListExtensions,
+            ]
+        );
     }
 }

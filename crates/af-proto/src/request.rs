@@ -300,50 +300,25 @@ pub enum Request {
     },
 }
 
-impl Request {
-    /// The opcode of this request.
-    pub fn opcode(&self) -> Opcode {
-        match self {
-            Request::SelectEvents { .. } => Opcode::SelectEvents,
-            Request::CreateAc { .. } => Opcode::CreateAc,
-            Request::ChangeAcAttributes { .. } => Opcode::ChangeAcAttributes,
-            Request::FreeAc { .. } => Opcode::FreeAc,
-            Request::PlaySamples { .. } => Opcode::PlaySamples,
-            Request::RecordSamples { .. } => Opcode::RecordSamples,
-            Request::GetTime { .. } => Opcode::GetTime,
-            Request::QueryPhone { .. } => Opcode::QueryPhone,
-            Request::EnablePassThrough { .. } => Opcode::EnablePassThrough,
-            Request::DisablePassThrough { .. } => Opcode::DisablePassThrough,
-            Request::HookSwitch { .. } => Opcode::HookSwitch,
-            Request::FlashHook { .. } => Opcode::FlashHook,
-            Request::EnableGainControl { .. } => Opcode::EnableGainControl,
-            Request::DisableGainControl { .. } => Opcode::DisableGainControl,
-            Request::DialPhone { .. } => Opcode::DialPhone,
-            Request::SetInputGain { .. } => Opcode::SetInputGain,
-            Request::SetOutputGain { .. } => Opcode::SetOutputGain,
-            Request::QueryInputGain { .. } => Opcode::QueryInputGain,
-            Request::QueryOutputGain { .. } => Opcode::QueryOutputGain,
-            Request::EnableInput { .. } => Opcode::EnableInput,
-            Request::EnableOutput { .. } => Opcode::EnableOutput,
-            Request::DisableInput { .. } => Opcode::DisableInput,
-            Request::DisableOutput { .. } => Opcode::DisableOutput,
-            Request::SetAccessControl { .. } => Opcode::SetAccessControl,
-            Request::ChangeHosts { .. } => Opcode::ChangeHosts,
-            Request::ListHosts => Opcode::ListHosts,
-            Request::InternAtom { .. } => Opcode::InternAtom,
-            Request::GetAtomName { .. } => Opcode::GetAtomName,
-            Request::ChangeProperty { .. } => Opcode::ChangeProperty,
-            Request::DeleteProperty { .. } => Opcode::DeleteProperty,
-            Request::GetProperty { .. } => Opcode::GetProperty,
-            Request::ListProperties { .. } => Opcode::ListProperties,
-            Request::NoOperation => Opcode::NoOperation,
-            Request::SyncConnection => Opcode::SyncConnection,
-            Request::QueryExtension { .. } => Opcode::QueryExtension,
-            Request::ListExtensions => Opcode::ListExtensions,
-            Request::KillClient { .. } => Opcode::KillClient,
+macro_rules! define_request_opcode {
+    ($(($name:ident, $wire:literal, $reply:ident, $doc:literal)),* $(,)?) => {
+        impl Request {
+            /// The opcode of this request.
+            ///
+            /// Generated from [`crate::with_request_table`]; a `Request`
+            /// variant missing from the spec table fails to compile here.
+            pub fn opcode(&self) -> Opcode {
+                match self {
+                    $(Request::$name { .. } => Opcode::$name,)*
+                }
+            }
         }
-    }
+    };
+}
 
+crate::with_request_table!(define_request_opcode);
+
+impl Request {
     /// Encodes the request as a complete framed message (header included).
     ///
     /// # Panics
