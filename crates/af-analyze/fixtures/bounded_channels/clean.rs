@@ -1,0 +1,10 @@
+// Fixture: must NOT trigger `bounded-channels` — every channel has a
+// capacity, and prose mentioning unbounded( is not a construction.
+
+pub const QUEUE_CAPACITY: usize = 256;
+
+pub fn build() {
+    let (_tx, _rx) = crossbeam_channel::bounded::<u32>(QUEUE_CAPACITY);
+    // "never call unbounded() here" — comment text does not count.
+    let _doc = "see the unbounded(...) discussion in DESIGN.md";
+}

@@ -1,0 +1,8 @@
+// Fixture: must trigger `bounded-channels` three times — plain and
+// turbofish `unbounded`, plus std's always-unbounded `mpsc::channel`.
+
+pub fn build() {
+    let (_tx, _rx) = crossbeam_channel::unbounded::<u32>();
+    let (_tx2, _rx2) = crossbeam_channel::unbounded();
+    let (_tx3, _rx3): (std::sync::mpsc::Sender<u32>, _) = std::sync::mpsc::channel();
+}

@@ -1,0 +1,17 @@
+// Fixture: must NOT trigger `lock-across-send` — the guard is released
+// before sending, by scope end or by explicit drop.
+
+pub fn forward_scoped(q: &std::sync::Mutex<Vec<u32>>, tx: &crossbeam_channel::Sender<u32>) {
+    let first = {
+        let guard = q.lock().unwrap_or_else(|p| p.into_inner());
+        guard[0]
+    };
+    tx.send(first).ok();
+}
+
+pub fn forward_dropped(q: &std::sync::Mutex<Vec<u32>>, tx: &crossbeam_channel::Sender<u32>) {
+    let guard = q.lock().unwrap_or_else(|p| p.into_inner());
+    let first = guard[0];
+    drop(guard);
+    tx.send(first).ok();
+}

@@ -1,0 +1,7 @@
+// Fixture: must trigger `lock-across-send` — the guard is still live when
+// the channel send can block.
+
+pub fn forward(q: &std::sync::Mutex<Vec<u32>>, tx: &crossbeam_channel::Sender<u32>) {
+    let guard = q.lock().unwrap_or_else(|p| p.into_inner());
+    tx.send(guard[0]).ok();
+}

@@ -1,0 +1,18 @@
+// Fixture: must NOT trigger `no-panics` — fallible cases degrade instead
+// of panicking, and `.unwrap_or` is not `.unwrap()`.
+
+pub fn handle(v: Option<u32>) -> u32 {
+    v.unwrap_or(0)
+}
+
+pub fn other(r: Result<u32, ()>) -> u32 {
+    match r {
+        Ok(v) => v,
+        Err(()) => 0,
+    }
+}
+
+pub fn mentions() -> &'static str {
+    // A string mentioning panic! or .unwrap() is not a call:
+    "do not panic! never .unwrap() anything"
+}

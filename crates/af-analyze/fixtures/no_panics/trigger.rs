@@ -1,0 +1,18 @@
+// Fixture: must trigger `no-panics` twice (unwrap + expect), but not in
+// the #[cfg(test)] module below.
+
+pub fn handle(v: Option<u32>) -> u32 {
+    v.unwrap()
+}
+
+pub fn other(r: Result<u32, ()>) -> u32 {
+    r.expect("always ok")
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn exempt() {
+        assert_eq!(Some(1).unwrap(), 1);
+    }
+}

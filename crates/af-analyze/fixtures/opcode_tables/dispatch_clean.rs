@@ -1,0 +1,12 @@
+// Fixture: the dispatcher has an arm for every request in the spec.
+
+impl Dispatcher {
+    fn dispatch(&mut self, req: Request) {
+        use Request as R;
+        match req {
+            R::SelectEvents { .. } => self.h_select(),
+            R::PlaySamples { .. } => self.h_play(),
+            R::GetTime { .. } => self.h_get_time(),
+        }
+    }
+}

@@ -1,0 +1,13 @@
+// Fixture: must trigger `opcode-tables` — GetTime has no dispatch arm
+// (swallowed by a wildcard, the drift this lint exists to catch).
+
+impl Dispatcher {
+    fn dispatch(&mut self, req: Request) {
+        use Request as R;
+        match req {
+            R::SelectEvents { .. } => self.h_select(),
+            R::PlaySamples { .. } => self.h_play(),
+            _ => {}
+        }
+    }
+}

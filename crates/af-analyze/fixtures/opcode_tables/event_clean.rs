@@ -1,0 +1,19 @@
+// Fixture: the event kinds are generated and decode covers them all.
+
+macro_rules! define_event_kind {
+    ($(($name:ident, $wire:literal, $doc:literal)),* $(,)?) => {
+        pub enum EventKind {
+            $($name = $wire,)*
+        }
+    };
+}
+crate::with_event_table!(define_event_kind);
+
+impl Event {
+    pub fn decode(kind: EventKind) -> Event {
+        match kind {
+            EventKind::PhoneRing => Event::ring(),
+            EventKind::PhoneDTMF => Event::dtmf(),
+        }
+    }
+}

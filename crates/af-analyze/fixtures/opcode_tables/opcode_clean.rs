@@ -1,0 +1,10 @@
+// Fixture: the opcode enum is generated from the spec table.
+
+macro_rules! define_opcode {
+    ($(($name:ident, $wire:literal, $reply:ident, $doc:literal)),* $(,)?) => {
+        pub enum Opcode {
+            $($name = $wire,)*
+        }
+    };
+}
+crate::with_request_table!(define_opcode);

@@ -1,0 +1,33 @@
+// Fixture: must trigger `opcode-tables` — encode_payload forgot GetTime
+// (a new opcode added to the spec but not to the length/encode table).
+
+macro_rules! define_request_opcode {
+    ($(($name:ident, $wire:literal, $reply:ident, $doc:literal)),* $(,)?) => {
+        impl Request {
+            pub fn opcode(&self) -> Opcode {
+                match self {
+                    $(Request::$name { .. } => Opcode::$name,)*
+                }
+            }
+        }
+    };
+}
+crate::with_request_table!(define_request_opcode);
+
+impl Request {
+    pub fn encode_payload(&self) -> Vec<u8> {
+        match self {
+            Request::SelectEvents { .. } => Vec::new(),
+            Request::PlaySamples { .. } => Vec::new(),
+            _ => Vec::new(),
+        }
+    }
+
+    pub fn decode(op: Opcode) -> Request {
+        match op {
+            Opcode::SelectEvents => Request::SelectEvents {},
+            Opcode::PlaySamples => Request::PlaySamples {},
+            Opcode::GetTime => Request::GetTime {},
+        }
+    }
+}

@@ -1,0 +1,26 @@
+// Fixture: must trigger `opcode-tables` — GetTime's wire value leaves a
+// gap (position implies 3), and the request count constant is stale.
+
+pub const REQUEST_COUNT: usize = 4;
+pub const EVENT_COUNT: usize = 2;
+
+#[macro_export]
+macro_rules! with_request_table {
+    ($m:ident) => {
+        $m! {
+            (SelectEvents, 1, oneway, "select future events"),
+            (PlaySamples, 2, oneway, "queue samples for playback"),
+            (GetTime, 4, replies, "read device time"),
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! with_event_table {
+    ($m:ident) => {
+        $m! {
+            (PhoneRing, 0, "ring state changed"),
+            (PhoneDTMF, 1, "DTMF digit decoded"),
+        }
+    };
+}

@@ -1,0 +1,10 @@
+// Fixture: must NOT trigger `tick-arith` — wrapping ops, lossless `from`
+// conversions and wrap-safe masking only.
+
+pub fn good(t: ATime, other: ATime, raw: u32) -> u32 {
+    let a = t.ticks().wrapping_add(1);
+    let b = other.ticks().wrapping_sub(t.ticks());
+    let c = u64::from(t.ticks());
+    let d = t.ticks() & 0xffff;
+    a ^ b ^ (c as u32) ^ d ^ raw
+}

@@ -1,0 +1,9 @@
+// Fixture: must trigger `tick-arith` three times — bare `+` after and
+// before a `.ticks()` value, and a bare `as` cast.
+
+pub fn bad(t: ATime, raw: u32) -> u32 {
+    let a = t.ticks() + 1;
+    let b = raw + t.ticks();
+    let c = t.ticks() as u64;
+    a ^ b ^ (c as u32)
+}

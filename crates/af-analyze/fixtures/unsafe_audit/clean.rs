@@ -1,0 +1,15 @@
+// Fixture: must NOT trigger `unsafe-audit` — the crate root carries the
+// gate and the one unsafe block carries its audit.
+
+#![deny(unsafe_code)]
+
+pub fn view(bytes: &[u8]) -> Option<&[u16]> {
+    if bytes.len() % 2 != 0 {
+        return None;
+    }
+    // SAFETY: u16 has no invalid bit patterns, `align_to` only yields a
+    // middle slice at correct alignment, and the length check above
+    // excludes partial samples.
+    let (head, samples, tail) = unsafe { bytes.align_to::<u16>() };
+    (head.is_empty() && tail.is_empty()).then_some(samples)
+}

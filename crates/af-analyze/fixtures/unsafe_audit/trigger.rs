@@ -1,0 +1,8 @@
+// Fixture: must trigger `unsafe-audit` twice when presented as a crate
+// root — no `#![forbid/deny(unsafe_code)]` gate, and an `unsafe` block
+// with no SAFETY audit.
+
+pub fn view(bytes: &[u8]) -> &[u16] {
+    let (_, samples, _) = unsafe { bytes.align_to::<u16>() };
+    samples
+}

@@ -1,0 +1,38 @@
+// Fixture: must trigger `wallclock` exactly once — h_play reads the wall
+// clock from inside a hot path.
+
+use std::time::Instant;
+
+pub struct Dispatcher;
+
+impl Dispatcher {
+    pub fn process_request(&mut self) {
+        self.dispatch();
+    }
+
+    pub fn dispatch(&mut self) {
+        self.h_play();
+        self.h_record();
+    }
+
+    fn h_play(&mut self) {
+        let _deadline = Instant::now();
+        self.drain_queue();
+    }
+
+    fn h_record(&mut self) {
+        self.finish_record();
+    }
+
+    fn finish_record(&mut self) {
+        let _ticks = 42u32;
+    }
+
+    fn drain_queue(&mut self) {
+        self.retry_blocked();
+    }
+
+    fn retry_blocked(&mut self) {
+        let _woken = 0u32;
+    }
+}

@@ -1,0 +1,39 @@
+// Fixture: must NOT trigger `wallclock`.  Every hot-path function from the
+// worker.rs registry exists and runs on device time only.
+
+pub struct Worker;
+
+impl Worker {
+    pub fn handle(&mut self) {
+        self.handle_play();
+        self.handle_record();
+    }
+
+    fn handle_play(&mut self) {
+        self.retry_one();
+    }
+
+    fn handle_record(&mut self) {
+        self.finish_record();
+    }
+
+    fn finish_record(&mut self) {
+        self.publish_snapshots();
+    }
+
+    fn retry_one(&mut self) {
+        let _retried = true;
+    }
+
+    pub fn run_group_update(&mut self) {
+        self.run_passthrough();
+    }
+
+    fn run_passthrough(&mut self) {
+        let _mixed = 0u32;
+    }
+
+    fn publish_snapshots(&mut self) {
+        let _ticks = 7u64;
+    }
+}

@@ -1,0 +1,26 @@
+//! The individual lints.
+//!
+//! Each module exposes `run(files: &[SourceFile]) -> Vec<Finding>` and owns
+//! one invariant from DESIGN.md §10.  Lints scope themselves by
+//! workspace-relative path — passing them a synthetic tree (as the fixture
+//! tests do) works as long as the `rel` paths match the production layout.
+
+pub mod bounded_channels;
+pub mod lock_across_send;
+pub mod no_panics;
+pub mod opcode_tables;
+pub mod tick_arith;
+pub mod unsafe_audit;
+pub mod wallclock;
+
+use crate::source::SourceFile;
+
+/// Whether the file is in-scope server production code.
+pub(crate) fn is_server_src(file: &SourceFile) -> bool {
+    file.rel.starts_with("crates/af-server/src/")
+}
+
+/// Iterates 0-based indices of non-test lines.
+pub(crate) fn prod_lines(file: &SourceFile) -> impl Iterator<Item = usize> + '_ {
+    (0..file.code.len()).filter(|&i| !file.in_test[i])
+}

@@ -1,0 +1,319 @@
+//! `opcode-tables`: the opcode space has one source of truth and full
+//! coverage.
+//!
+//! `af-proto/src/spec.rs` holds the only hand-written list of the 37
+//! request opcodes (Table 1) and 5 event kinds (§5.2).  The enums and
+//! reply classification are macro-generated from it, so they cannot
+//! drift; what *can* drift are the hand-written match tables that give
+//! each opcode its wire layout and server behavior.  This lint parses the
+//! spec rows straight out of the source and cross-checks:
+//!
+//! * the rows themselves: counts match `REQUEST_COUNT`/`EVENT_COUNT`,
+//!   wire values dense and duplicate-free, names unique;
+//! * `request.rs`: every request is matched in `encode_payload` (the
+//!   encode/length table) and `decode`;
+//! * `event.rs`: every event kind is matched in `Event::decode`;
+//! * `af-server/dispatch.rs`: every request has a dispatch arm;
+//! * the generated artifacts really are generated: `opcode.rs`,
+//!   `request.rs` and `event.rs` must invoke the table macros rather than
+//!   re-listing opcodes by hand.
+
+use crate::source::SourceFile;
+use crate::Finding;
+
+const LINT: &str = "opcode-tables";
+
+const SPEC: &str = "crates/af-proto/src/spec.rs";
+const OPCODE: &str = "crates/af-proto/src/opcode.rs";
+const REQUEST: &str = "crates/af-proto/src/request.rs";
+const EVENT: &str = "crates/af-proto/src/event.rs";
+const DISPATCH: &str = "crates/af-server/src/dispatch.rs";
+
+/// One parsed spec row.
+#[derive(Debug, PartialEq, Eq)]
+pub struct Row {
+    /// Variant name.
+    pub name: String,
+    /// Wire value.
+    pub wire: u32,
+    /// 0-based source line.
+    pub line: usize,
+}
+
+/// Runs the lint.
+pub fn run(files: &[SourceFile]) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    let get = |rel: &str| files.iter().find(|f| f.rel == rel);
+
+    let Some(spec) = get(SPEC) else {
+        findings.push(missing(SPEC));
+        return findings;
+    };
+    let (requests, events) = parse_spec(spec);
+    check_rows(spec, "request", &requests, 1, &mut findings);
+    check_rows(spec, "event", &events, 0, &mut findings);
+    check_count_const(spec, "REQUEST_COUNT", requests.len(), &mut findings);
+    check_count_const(spec, "EVENT_COUNT", events.len(), &mut findings);
+
+    match get(OPCODE) {
+        Some(opcode) => check_generated(opcode, "with_request_table!", &mut findings),
+        None => findings.push(missing(OPCODE)),
+    }
+
+    match get(REQUEST) {
+        Some(request) => {
+            check_generated(request, "with_request_table!", &mut findings);
+            check_fn_coverage(request, "encode_payload", "Request::", &requests, &mut findings);
+            check_fn_coverage(request, "decode", "Opcode::", &requests, &mut findings);
+        }
+        None => findings.push(missing(REQUEST)),
+    }
+
+    match get(EVENT) {
+        Some(event) => {
+            check_generated(event, "with_event_table!", &mut findings);
+            check_fn_coverage(event, "decode", "EventKind::", &events, &mut findings);
+        }
+        None => findings.push(missing(EVENT)),
+    }
+
+    match get(DISPATCH) {
+        Some(dispatch) => check_dispatch(dispatch, &requests, &mut findings),
+        None => findings.push(missing(DISPATCH)),
+    }
+
+    findings
+}
+
+fn missing(rel: &str) -> Finding {
+    Finding {
+        lint: LINT,
+        file: rel.to_owned(),
+        line: 0,
+        message: "file expected by the opcode-table cross-check does not exist; \
+                  update af-analyze if it moved"
+            .to_owned(),
+    }
+}
+
+/// Extracts the request and event rows from the two table macros.
+pub fn parse_spec(spec: &SourceFile) -> (Vec<Row>, Vec<Row>) {
+    #[derive(PartialEq)]
+    enum Mode {
+        None,
+        Requests,
+        Events,
+    }
+    let mut mode = Mode::None;
+    let mut requests = Vec::new();
+    let mut events = Vec::new();
+    for (i, code) in spec.code.iter().enumerate() {
+        if code.contains("macro_rules!") {
+            mode = if code.contains("with_request_table") {
+                Mode::Requests
+            } else if code.contains("with_event_table") {
+                Mode::Events
+            } else {
+                Mode::None
+            };
+            continue;
+        }
+        if mode == Mode::None {
+            continue;
+        }
+        let Some(row) = parse_row(code, i) else {
+            continue;
+        };
+        match mode {
+            Mode::Requests => requests.push(row),
+            Mode::Events => events.push(row),
+            Mode::None => {}
+        }
+    }
+    (requests, events)
+}
+
+/// Parses `(Name, wire, ...),` — returns `None` for non-row lines.
+fn parse_row(code: &str, line: usize) -> Option<Row> {
+    let t = code.trim();
+    let inner = t.strip_prefix('(')?;
+    let inner = inner
+        .strip_suffix("),")
+        .or_else(|| inner.strip_suffix(')'))?;
+    let mut fields = inner.split(',').map(str::trim);
+    let name = fields.next()?;
+    if name.is_empty() || !name.chars().all(|c| c.is_ascii_alphanumeric() || c == '_') {
+        return None;
+    }
+    if !name.chars().next()?.is_ascii_uppercase() {
+        return None;
+    }
+    let wire: u32 = fields.next()?.parse().ok()?;
+    Some(Row {
+        name: name.to_owned(),
+        wire,
+        line,
+    })
+}
+
+/// Rows must be non-empty, dense from `base`, and uniquely named.
+fn check_rows(spec: &SourceFile, what: &str, rows: &[Row], base: u32, out: &mut Vec<Finding>) {
+    if rows.is_empty() {
+        out.push(Finding {
+            lint: LINT,
+            file: spec.rel.clone(),
+            line: 0,
+            message: format!("no {what} rows found in the spec table"),
+        });
+        return;
+    }
+    for (i, row) in rows.iter().enumerate() {
+        let expect = base + i as u32;
+        if row.wire != expect {
+            out.push(Finding::at(
+                LINT,
+                spec,
+                row.line,
+                format!(
+                    "{what} `{}` has wire value {} but table position implies {expect}; \
+                     wire values must be dense and in order",
+                    row.name, row.wire
+                ),
+            ));
+        }
+        if rows[..i].iter().any(|r| r.name == row.name) {
+            out.push(Finding::at(
+                LINT,
+                spec,
+                row.line,
+                format!("duplicate {what} name `{}` in the spec table", row.name),
+            ));
+        }
+    }
+}
+
+/// `pub const NAME: usize = N;` must equal the actual row count.
+fn check_count_const(spec: &SourceFile, name: &str, actual: usize, out: &mut Vec<Finding>) {
+    let needle = format!("const {name}: usize =");
+    for (i, code) in spec.code.iter().enumerate() {
+        let Some(at) = code.find(&needle) else {
+            continue;
+        };
+        let declared: Option<usize> = code[at + needle.len()..]
+            .trim()
+            .trim_end_matches(';')
+            .parse()
+            .ok();
+        if declared != Some(actual) {
+            out.push(Finding::at(
+                LINT,
+                spec,
+                i,
+                format!("`{name}` declares {declared:?} but the table has {actual} rows"),
+            ));
+        }
+        return;
+    }
+    out.push(Finding {
+        lint: LINT,
+        file: spec.rel.clone(),
+        line: 0,
+        message: format!("`const {name}` not found in the spec module"),
+    });
+}
+
+/// The generated artifact must invoke its table macro.
+fn check_generated(file: &SourceFile, invocation: &str, out: &mut Vec<Finding>) {
+    if !file.code.iter().any(|l| l.contains(invocation)) {
+        out.push(Finding {
+            lint: LINT,
+            file: file.rel.clone(),
+            line: 0,
+            message: format!(
+                "expected `{invocation}` invocation; opcode artifacts must be \
+                 generated from the spec table, not hand-listed"
+            ),
+        });
+    }
+}
+
+/// Every row's `{prefix}{Name}` must occur inside `fn <fn_name>`'s span.
+fn check_fn_coverage(
+    file: &SourceFile,
+    fn_name: &str,
+    prefix: &str,
+    rows: &[Row],
+    out: &mut Vec<Finding>,
+) {
+    let Some((start, end)) = file.fn_span(fn_name) else {
+        out.push(Finding {
+            lint: LINT,
+            file: file.rel.clone(),
+            line: 0,
+            message: format!("function `{fn_name}` not found for coverage check"),
+        });
+        return;
+    };
+    let body = file.code[start..=end].join("\n");
+    for row in rows {
+        if !covers(&body, prefix, &row.name) {
+            out.push(Finding {
+                lint: LINT,
+                file: file.rel.clone(),
+                line: start + 1,
+                message: format!(
+                    "`{fn_name}` does not cover `{prefix}{}`; every spec-table row \
+                     needs an arm here",
+                    row.name
+                ),
+            });
+        }
+    }
+}
+
+/// The server dispatch match must have an arm per request (it imports
+/// `Request as R`, so accept either path prefix).
+fn check_dispatch(dispatch: &SourceFile, requests: &[Row], out: &mut Vec<Finding>) {
+    let Some((start, end)) = dispatch.fn_span("dispatch") else {
+        out.push(Finding {
+            lint: LINT,
+            file: dispatch.rel.clone(),
+            line: 0,
+            message: "function `dispatch` not found for coverage check".to_owned(),
+        });
+        return;
+    };
+    let body = dispatch.code[start..=end].join("\n");
+    for row in requests {
+        if !covers(&body, "Request::", &row.name) && !covers(&body, "R::", &row.name) {
+            out.push(Finding {
+                lint: LINT,
+                file: dispatch.rel.clone(),
+                line: start + 1,
+                message: format!(
+                    "server dispatch has no arm for `Request::{}`; every protocol \
+                     request must be routed (even if to an error reply)",
+                    row.name
+                ),
+            });
+        }
+    }
+}
+
+/// Whole-token occurrence of `{prefix}{name}` in `body`.
+fn covers(body: &str, prefix: &str, name: &str) -> bool {
+    let needle = format!("{prefix}{name}");
+    let bytes = body.as_bytes();
+    let mut from = 0;
+    while let Some(off) = body[from..].find(&needle) {
+        let end = from + off + needle.len();
+        let boundary = bytes
+            .get(end)
+            .is_none_or(|b| !(b.is_ascii_alphanumeric() || *b == b'_'));
+        if boundary {
+            return true;
+        }
+        from = from + off + 1;
+    }
+    false
+}

@@ -1,0 +1,82 @@
+//! `tick-arith`: device-time ticks must use wrapping arithmetic.
+//!
+//! Device time is a 32-bit counter that wraps about every 27 hours at
+//! 44.1 kHz (§2.1); correctness near the wrap point depends on every
+//! operation being explicitly wrapping (`ATime::offset`, `ATime::delta`,
+//! `wrapping_add`/`wrapping_sub`).  A bare `+`/`-` on a `.ticks()` value
+//! is either an overflow panic in debug builds or a silent 2³²-sized
+//! jump in release ones; a bare `as` cast hides sign/width bugs that
+//! `u64::from`/`i64::from` would reject.  Flag arithmetic directly
+//! adjacent to a `.ticks()` call; masking (`&`) and shifts are wrap-safe
+//! and stay allowed.
+
+use crate::lints::prod_lines;
+use crate::source::SourceFile;
+use crate::Finding;
+
+const LINT: &str = "tick-arith";
+
+/// Runs the lint.
+pub fn run(files: &[SourceFile]) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    for file in files {
+        for i in prod_lines(file) {
+            let code = &file.code[i];
+            let mut from = 0;
+            while let Some(off) = code[from..].find(".ticks()") {
+                let start = from + off;
+                let end = start + ".ticks()".len();
+                if let Some(op) = offending_op(code, start, end) {
+                    findings.push(Finding::at(
+                        LINT,
+                        file,
+                        i,
+                        format!(
+                            "bare `{op}` on a device-time tick value; use \
+                             `ATime::offset`/`delta` or `wrapping_*` ops \
+                             (and `u64::from` instead of `as` casts)"
+                        ),
+                    ));
+                }
+                from = end;
+            }
+        }
+    }
+    findings
+}
+
+/// Checks the characters around a `.ticks()` call for bare arithmetic.
+fn offending_op(code: &str, start: usize, end: usize) -> Option<&'static str> {
+    // After the call: `.ticks() + x`, `.ticks() - x`, `.ticks() as u32`.
+    let after = code[end..].trim_start();
+    if after.starts_with("+=") {
+        return Some("+=");
+    }
+    if after.starts_with('+') {
+        return Some("+");
+    }
+    if after.starts_with('-') && !after.starts_with("->") {
+        return Some("-");
+    }
+    if after.starts_with("as ") {
+        return Some("as");
+    }
+    // Before the receiver: `x + t.ticks()`.  Walk back over the receiver
+    // expression (identifiers, field access, `::`) to the operator.
+    let recv_start = code[..start]
+        .rfind(|c: char| !(c.is_ascii_alphanumeric() || c == '_' || c == '.' || c == ':'))
+        .map(|p| p + 1)
+        .unwrap_or(0);
+    let before = code[..recv_start].trim_end();
+    if before.ends_with('+') && !before.ends_with("++") {
+        return Some("+");
+    }
+    if before.ends_with('-') {
+        // `(a, -t.ticks())` unary minus is equally wrong on a u32; `->` is
+        // a return-type arrow.
+        if !before.ends_with("->") {
+            return Some("-");
+        }
+    }
+    None
+}

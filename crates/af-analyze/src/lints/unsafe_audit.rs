@@ -1,0 +1,86 @@
+//! `unsafe-audit`: unsafe code is denied by default and audited where kept.
+//!
+//! Three rules:
+//!
+//! 1. Every crate root (`crates/*/src/lib.rs` and the facade `src/lib.rs`)
+//!    must carry `#![forbid(unsafe_code)]` or `#![deny(unsafe_code)]`.
+//! 2. Re-enabling unsafe (`allow(unsafe_code)`) is a finding unless the
+//!    site carries a justified `af-analyze: allow(unsafe-audit)` marker —
+//!    the only place that does is `af-dsp`'s typed sample views.
+//! 3. Every remaining `unsafe` token in production code must have a
+//!    `// SAFETY:` comment on the same line or within the five lines
+//!    above, stating why the invariants hold.
+
+use crate::lints::prod_lines;
+use crate::source::{find_word, SourceFile};
+use crate::Finding;
+
+const LINT: &str = "unsafe-audit";
+
+/// Runs the lint.
+pub fn run(files: &[SourceFile]) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    for file in files {
+        if is_crate_root(&file.rel) && !has_unsafe_gate(file) {
+            findings.push(Finding {
+                lint: LINT,
+                file: file.rel.clone(),
+                line: 1,
+                message: "crate root must carry `#![forbid(unsafe_code)]` or \
+                          `#![deny(unsafe_code)]`"
+                    .to_owned(),
+            });
+        }
+        for i in prod_lines(file) {
+            let code = &file.code[i];
+            if code.contains("allow(unsafe_code)") {
+                findings.push(Finding::at(
+                    LINT,
+                    file,
+                    i,
+                    "re-enabling `unsafe_code` requires a justified \
+                     `af-analyze: allow(unsafe-audit)` marker"
+                        .to_owned(),
+                ));
+            }
+            if find_word(code, "unsafe").is_some()
+                && !code.contains("unsafe_code")
+                && !has_safety_comment(file, i)
+            {
+                findings.push(Finding::at(
+                    LINT,
+                    file,
+                    i,
+                    "`unsafe` without a `// SAFETY:` comment on or above the \
+                     line stating why the invariants hold"
+                        .to_owned(),
+                ));
+            }
+        }
+    }
+    findings
+}
+
+fn is_crate_root(rel: &str) -> bool {
+    if rel == "src/lib.rs" {
+        return true;
+    }
+    let Some(rest) = rel.strip_prefix("crates/") else {
+        return false;
+    };
+    matches!(rest.split_once('/'), Some((_, "src/lib.rs")))
+}
+
+fn has_unsafe_gate(file: &SourceFile) -> bool {
+    file.code.iter().any(|l| {
+        l.contains("#![forbid(unsafe_code)]") || l.contains("#![deny(unsafe_code)]")
+    })
+}
+
+/// `// SAFETY:` on the same line or within the five raw lines above.
+fn has_safety_comment(file: &SourceFile, line0: usize) -> bool {
+    let lo = line0.saturating_sub(5);
+    file.lines[lo..=line0]
+        .iter()
+        .any(|raw| raw.contains("SAFETY:"))
+}

@@ -1,0 +1,98 @@
+//! `wallclock`: hot sample paths must run on device time only.
+//!
+//! Device time (the 32-bit per-device sample counter, §2.1) is the only
+//! clock the data plane may consult: it is what play/record requests are
+//! timed against, it advances even when the host clock steps, and in the
+//! sharded plane it is read from a lock-free `AtomicU64` snapshot.
+//! Wall-clock reads (`Instant::now`, `SystemTime::now`, `.elapsed()`)
+//! belong to the *scheduling* layer — the dispatcher's select loop, the
+//! task queue, and the designated wake helpers (`wake_instant`,
+//! `play_wake_instant`) that convert a device-time deficit into a sleep.
+//!
+//! The registry below names every hot function; a function that is renamed
+//! or removed makes the lint fail loudly (stale registry) instead of
+//! silently checking nothing.
+
+use crate::source::SourceFile;
+use crate::Finding;
+
+const LINT: &str = "wallclock";
+
+/// The hot-path registry: file → functions that must not read wall clocks.
+const HOT_PATHS: &[(&str, &[&str])] = &[
+    (
+        "crates/af-server/src/dispatch.rs",
+        &[
+            "process_request",
+            "dispatch",
+            "h_play",
+            "h_record",
+            "finish_record",
+            "drain_queue",
+            "retry_blocked",
+        ],
+    ),
+    (
+        "crates/af-server/src/worker.rs",
+        &[
+            "handle",
+            "handle_play",
+            "handle_record",
+            "finish_record",
+            "retry_one",
+            "run_group_update",
+            "run_passthrough",
+            "publish_snapshots",
+        ],
+    ),
+];
+
+const CLOCK_READS: &[&str] = &["Instant::now", "SystemTime::now", ".elapsed("];
+
+/// Runs the lint.
+pub fn run(files: &[SourceFile]) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    for (path, fns) in HOT_PATHS {
+        let Some(file) = files.iter().find(|f| f.rel == *path) else {
+            findings.push(Finding {
+                lint: LINT,
+                file: (*path).to_owned(),
+                line: 0,
+                message: "hot-path registry names a file that no longer exists; \
+                          update HOT_PATHS in af-analyze"
+                    .to_owned(),
+            });
+            continue;
+        };
+        for name in *fns {
+            let Some((start, end)) = file.fn_span(name) else {
+                findings.push(Finding {
+                    lint: LINT,
+                    file: file.rel.clone(),
+                    line: 0,
+                    message: format!(
+                        "hot function `{name}` not found; update HOT_PATHS in af-analyze \
+                         if it was renamed"
+                    ),
+                });
+                continue;
+            };
+            for i in start..=end {
+                for read in CLOCK_READS {
+                    if file.code[i].contains(read) {
+                        findings.push(Finding::at(
+                            LINT,
+                            file,
+                            i,
+                            format!(
+                                "wall-clock read `{read}` inside hot path `{name}`; \
+                                 hot paths run on device time (ATime snapshots) only"
+                            ),
+                        ));
+                    }
+                }
+            }
+        }
+    }
+    findings
+}

@@ -1,0 +1,63 @@
+//! The `af-analyze` binary: run every project lint over the workspace.
+//!
+//! Usage: `cargo run -p af-analyze [--] [workspace-root]`.  With no
+//! argument the workspace root is found by walking up from the current
+//! directory to the first `Cargo.toml` declaring `[workspace]`.  Exit
+//! status is 0 when the tree is clean, 1 when any finding remains, 2 on
+//! usage/IO errors — CI treats nonzero as a failed gate.
+
+#![forbid(unsafe_code)]
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let root = match std::env::args().nth(1) {
+        Some(arg) => PathBuf::from(arg),
+        None => match find_workspace_root() {
+            Some(root) => root,
+            None => {
+                eprintln!("af-analyze: no workspace root found (run from inside the repo)");
+                return ExitCode::from(2);
+            }
+        },
+    };
+    match af_analyze::analyze_root(&root) {
+        Ok(findings) if findings.is_empty() => {
+            println!(
+                "af-analyze: clean ({} lints over {})",
+                af_analyze::LINT_NAMES.len(),
+                root.display()
+            );
+            ExitCode::SUCCESS
+        }
+        Ok(findings) => {
+            for finding in &findings {
+                println!("{finding}");
+            }
+            println!("af-analyze: {} finding(s)", findings.len());
+            ExitCode::FAILURE
+        }
+        Err(err) => {
+            eprintln!("af-analyze: {err}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn find_workspace_root() -> Option<PathBuf> {
+    let mut dir = std::env::current_dir().ok()?;
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if manifest.is_file() {
+            if let Ok(text) = std::fs::read_to_string(&manifest) {
+                if text.contains("[workspace]") {
+                    return Some(dir);
+                }
+            }
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}

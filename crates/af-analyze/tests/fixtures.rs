@@ -1,0 +1,305 @@
+//! Fixture tests: every lint has a must-trigger and a must-not-trigger
+//! case, so a refactor that silently disables a lint fails here rather
+//! than shipping a checker that checks nothing.  The fixtures live under
+//! `fixtures/` as plain text — they are linted, never compiled — and are
+//! presented to the lints at the workspace-relative paths each lint
+//! scopes itself to.
+
+use af_analyze::lints;
+use af_analyze::source::SourceFile;
+use af_analyze::analyze_files;
+
+/// Parses a fixture at a pretend workspace path.
+fn fx(rel: &str, text: &str) -> SourceFile {
+    SourceFile::parse(rel, text)
+}
+
+const SERVER: &str = "crates/af-server/src/fixture.rs";
+
+// ---- no-panics ---------------------------------------------------------
+
+#[test]
+fn no_panics_triggers() {
+    let files = [fx(SERVER, include_str!("../fixtures/no_panics/trigger.rs"))];
+    let found = lints::no_panics::run(&files);
+    assert_eq!(
+        found.len(),
+        2,
+        "unwrap + expect, test module exempt: {found:?}"
+    );
+    assert!(found.iter().all(|f| f.lint == "no-panics"));
+}
+
+#[test]
+fn no_panics_stays_quiet() {
+    let files = [fx(SERVER, include_str!("../fixtures/no_panics/clean.rs"))];
+    assert_eq!(lints::no_panics::run(&files), vec![]);
+}
+
+#[test]
+fn no_panics_is_scoped_to_af_server() {
+    // The same panicking source outside af-server is out of scope.
+    let files = [fx(
+        "crates/af-client/src/fixture.rs",
+        include_str!("../fixtures/no_panics/trigger.rs"),
+    )];
+    assert_eq!(lints::no_panics::run(&files), vec![]);
+}
+
+// ---- bounded-channels --------------------------------------------------
+
+#[test]
+fn bounded_channels_triggers() {
+    let files = [fx(
+        SERVER,
+        include_str!("../fixtures/bounded_channels/trigger.rs"),
+    )];
+    let found = lints::bounded_channels::run(&files);
+    assert_eq!(
+        found.len(),
+        3,
+        "plain, turbofish and mpsc forms: {found:?}"
+    );
+}
+
+#[test]
+fn bounded_channels_stays_quiet() {
+    let files = [fx(
+        SERVER,
+        include_str!("../fixtures/bounded_channels/clean.rs"),
+    )];
+    assert_eq!(lints::bounded_channels::run(&files), vec![]);
+}
+
+// ---- wallclock ---------------------------------------------------------
+
+const DISPATCH: &str = "crates/af-server/src/dispatch.rs";
+const WORKER: &str = "crates/af-server/src/worker.rs";
+
+#[test]
+fn wallclock_triggers_inside_hot_path() {
+    let files = [
+        fx(DISPATCH, include_str!("../fixtures/wallclock/dispatch_trigger.rs")),
+        fx(WORKER, include_str!("../fixtures/wallclock/worker_clean.rs")),
+    ];
+    let found = lints::wallclock::run(&files);
+    assert_eq!(found.len(), 1, "{found:?}");
+    assert!(found[0].message.contains("h_play"), "{found:?}");
+    assert!(found[0].message.contains("Instant::now"), "{found:?}");
+}
+
+#[test]
+fn wallclock_allows_scheduling_helpers() {
+    // dispatch_clean.rs reads the wall clock in `wake_instant`, which is
+    // not in the hot-path registry.
+    let files = [
+        fx(DISPATCH, include_str!("../fixtures/wallclock/dispatch_clean.rs")),
+        fx(WORKER, include_str!("../fixtures/wallclock/worker_clean.rs")),
+    ];
+    assert_eq!(lints::wallclock::run(&files), vec![]);
+}
+
+#[test]
+fn wallclock_reports_stale_registry() {
+    // A registry function that disappears must fail loudly, not silently
+    // check nothing.
+    let files = [
+        fx(DISPATCH, "pub fn process_request() {}\n"),
+        fx(WORKER, include_str!("../fixtures/wallclock/worker_clean.rs")),
+    ];
+    let found = lints::wallclock::run(&files);
+    assert!(
+        found.iter().any(|f| f.message.contains("not found")),
+        "{found:?}"
+    );
+}
+
+// ---- lock-across-send --------------------------------------------------
+
+#[test]
+fn lock_across_send_triggers() {
+    let files = [fx(
+        SERVER,
+        include_str!("../fixtures/lock_across_send/trigger.rs"),
+    )];
+    let found = lints::lock_across_send::run(&files);
+    assert_eq!(found.len(), 1, "{found:?}");
+    assert!(found[0].message.contains("guard"), "{found:?}");
+}
+
+#[test]
+fn lock_across_send_stays_quiet() {
+    let files = [fx(
+        SERVER,
+        include_str!("../fixtures/lock_across_send/clean.rs"),
+    )];
+    assert_eq!(lints::lock_across_send::run(&files), vec![]);
+}
+
+// ---- tick-arith --------------------------------------------------------
+
+#[test]
+fn tick_arith_triggers() {
+    let files = [fx(
+        "crates/af-time/src/fixture.rs",
+        include_str!("../fixtures/tick_arith/trigger.rs"),
+    )];
+    let found = lints::tick_arith::run(&files);
+    assert_eq!(found.len(), 3, "+, reversed + and `as`: {found:?}");
+}
+
+#[test]
+fn tick_arith_stays_quiet() {
+    let files = [fx(
+        "crates/af-time/src/fixture.rs",
+        include_str!("../fixtures/tick_arith/clean.rs"),
+    )];
+    assert_eq!(lints::tick_arith::run(&files), vec![]);
+}
+
+// ---- unsafe-audit ------------------------------------------------------
+
+#[test]
+fn unsafe_audit_triggers() {
+    let files = [fx(
+        "crates/af-fake/src/lib.rs",
+        include_str!("../fixtures/unsafe_audit/trigger.rs"),
+    )];
+    let found = lints::unsafe_audit::run(&files);
+    assert_eq!(found.len(), 2, "missing gate + unaudited unsafe: {found:?}");
+}
+
+#[test]
+fn unsafe_audit_stays_quiet() {
+    let files = [fx(
+        "crates/af-fake/src/lib.rs",
+        include_str!("../fixtures/unsafe_audit/clean.rs"),
+    )];
+    assert_eq!(lints::unsafe_audit::run(&files), vec![]);
+}
+
+// ---- opcode-tables -----------------------------------------------------
+
+const SPEC: &str = "crates/af-proto/src/spec.rs";
+const OPCODE: &str = "crates/af-proto/src/opcode.rs";
+const REQUEST: &str = "crates/af-proto/src/request.rs";
+const EVENT: &str = "crates/af-proto/src/event.rs";
+
+fn opcode_table_files(spec: &str, request: &str, dispatch: &str) -> [SourceFile; 5] {
+    [
+        fx(SPEC, spec),
+        fx(OPCODE, include_str!("../fixtures/opcode_tables/opcode_clean.rs")),
+        fx(REQUEST, request),
+        fx(EVENT, include_str!("../fixtures/opcode_tables/event_clean.rs")),
+        fx(DISPATCH, dispatch),
+    ]
+}
+
+#[test]
+fn opcode_tables_stay_quiet_when_consistent() {
+    let files = opcode_table_files(
+        include_str!("../fixtures/opcode_tables/spec_clean.rs"),
+        include_str!("../fixtures/opcode_tables/request_clean.rs"),
+        include_str!("../fixtures/opcode_tables/dispatch_clean.rs"),
+    );
+    assert_eq!(lints::opcode_tables::run(&files), vec![]);
+}
+
+#[test]
+fn opcode_tables_catch_wire_gap_and_stale_count() {
+    let files = opcode_table_files(
+        include_str!("../fixtures/opcode_tables/spec_trigger.rs"),
+        include_str!("../fixtures/opcode_tables/request_clean.rs"),
+        include_str!("../fixtures/opcode_tables/dispatch_clean.rs"),
+    );
+    let found = lints::opcode_tables::run(&files);
+    assert!(
+        found.iter().any(|f| f.message.contains("dense")),
+        "wire gap: {found:?}"
+    );
+    assert!(
+        found.iter().any(|f| f.message.contains("REQUEST_COUNT")),
+        "stale count: {found:?}"
+    );
+}
+
+#[test]
+fn opcode_tables_catch_missing_encode_arm() {
+    let files = opcode_table_files(
+        include_str!("../fixtures/opcode_tables/spec_clean.rs"),
+        include_str!("../fixtures/opcode_tables/request_trigger.rs"),
+        include_str!("../fixtures/opcode_tables/dispatch_clean.rs"),
+    );
+    let found = lints::opcode_tables::run(&files);
+    assert_eq!(found.len(), 1, "{found:?}");
+    assert_eq!(found[0].file, REQUEST);
+    assert!(found[0].message.contains("GetTime"), "{found:?}");
+    assert!(found[0].message.contains("encode_payload"), "{found:?}");
+}
+
+#[test]
+fn opcode_tables_catch_missing_dispatch_arm() {
+    let files = opcode_table_files(
+        include_str!("../fixtures/opcode_tables/spec_clean.rs"),
+        include_str!("../fixtures/opcode_tables/request_clean.rs"),
+        include_str!("../fixtures/opcode_tables/dispatch_trigger.rs"),
+    );
+    let found = lints::opcode_tables::run(&files);
+    assert_eq!(found.len(), 1, "{found:?}");
+    assert_eq!(found[0].file, DISPATCH);
+    assert!(found[0].message.contains("GetTime"), "{found:?}");
+}
+
+#[test]
+fn opcode_tables_report_missing_spec_file() {
+    let found = lints::opcode_tables::run(&[]);
+    assert!(!found.is_empty());
+    assert!(found[0].file.contains("spec.rs"));
+}
+
+// ---- allow-marker ------------------------------------------------------
+
+#[test]
+fn allow_marker_flags_unknown_lint_and_missing_reason() {
+    let files = [fx(SERVER, include_str!("../fixtures/allow_marker/trigger.rs"))];
+    let found = analyze_files(&files);
+    let markers: Vec<_> = found.iter().filter(|f| f.lint == "allow-marker").collect();
+    assert_eq!(markers.len(), 2, "{markers:?}");
+    assert!(markers.iter().any(|f| f.message.contains("no-such-lint")));
+    assert!(markers.iter().any(|f| f.message.contains("justification")));
+}
+
+#[test]
+fn allow_marker_suppresses_justified_finding() {
+    let files = [fx(SERVER, include_str!("../fixtures/allow_marker/clean.rs"))];
+    let found = analyze_files(&files);
+    // The expect() is suppressed by the marker and the marker itself is
+    // valid; everything left is other lints complaining about the files
+    // this synthetic tree does not contain.
+    assert!(
+        found
+            .iter()
+            .all(|f| f.lint != "no-panics" && f.lint != "allow-marker"),
+        "{found:?}"
+    );
+}
+
+// ---- the real tree -----------------------------------------------------
+
+#[test]
+fn workspace_is_clean() {
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(std::path::Path::parent)
+        .expect("workspace root");
+    let findings = af_analyze::analyze_root(root).expect("walk workspace");
+    assert!(
+        findings.is_empty(),
+        "the tree must satisfy its own invariants:\n{}",
+        findings
+            .iter()
+            .map(ToString::to_string)
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}
