@@ -31,6 +31,19 @@ use std::path::PathBuf;
 use std::sync::Arc;
 use std::time::Duration;
 
+/// Capacity of the dispatcher's central event queue.
+///
+/// Bounded so a stalled dispatcher exerts backpressure instead of growing
+/// the heap: transport readers block (which in turn stops reading the
+/// socket — TCP backpressure to the client), and audio workers block on
+/// their `WorkerDone` notifications.  The bound cannot deadlock the
+/// dispatcher↔worker cycle in practice: each client has at most one job in
+/// flight (`awaiting_worker`), so outstanding `WorkerDone` events are
+/// bounded by the client count, and each transport reader parks after a
+/// single blocked send — thousands of concurrent senders would be needed
+/// to fill the queue while the dispatcher is also blocked.
+pub const EVENT_QUEUE_CAPACITY: usize = 4096;
+
 /// Ingredients for one abstract audio device.
 pub struct DeviceSetup {
     /// Advertised description (index is assigned by the builder).
@@ -357,7 +370,7 @@ impl ServerBuilder {
 
     /// Starts the server: dispatcher thread plus configured transports.
     pub fn spawn(self) -> std::io::Result<RunningServer> {
-        let (tx, rx) = crossbeam_channel::unbounded::<ServerEvent>();
+        let (tx, rx) = crossbeam_channel::bounded::<ServerEvent>(EVENT_QUEUE_CAPACITY);
         let mut devices = Vec::with_capacity(self.devices.len());
         for (i, mut setup) in self.devices.into_iter().enumerate() {
             setup.desc.index = i as u8;
@@ -429,7 +442,12 @@ impl ServerBuilder {
                 let mut wdevs = Vec::with_capacity(members.len());
                 for &i in &members {
                     let d = &mut devices[i];
-                    let buffers = d.buffers.take().expect("grouped device owns buffers");
+                    // Groups are built from buffer owners only; if a member
+                    // has no buffers, leave it on the classic path rather
+                    // than dying during startup.
+                    let Some(buffers) = d.buffers.take() else {
+                        continue;
+                    };
                     let control = Arc::new(DeviceControl::new(
                         d.output_gain_db,
                         d.input_gain_db,

@@ -611,7 +611,9 @@ impl Dispatcher {
                     // many wake-ups it takes to drain them.
                     let new_start = start + (outcome.dropped_past + outcome.written);
                     let wake = self.play_wake_instant(device, outcome.beyond_horizon);
-                    let client = self.core.clients.get_mut(&id).expect("client exists");
+                    let Some(client) = self.core.clients.get_mut(&id) else {
+                        return; // disconnected mid-retry; drop the blocked op
+                    };
                     client.blocked = Some(Blocked {
                         seq,
                         op: BlockedOp::Play {
@@ -647,13 +649,16 @@ impl Dispatcher {
                     self.finish_record(id, order, seq, ac, device, start, nframes, big_endian);
                 } else {
                     let remaining = {
-                        let (buffers, _, _) =
-                            self.core.buffers_mut(device).expect("device resolves");
+                        let Some((buffers, _, _)) = self.core.buffers_mut(device) else {
+                            return; // device vanished since the check above
+                        };
                         let end = start + nframes;
                         (end - buffers.recorded_until()).max(1) as u32
                     };
                     let wake = self.play_wake_instant(device, remaining);
-                    let client = self.core.clients.get_mut(&id).expect("client exists");
+                    let Some(client) = self.core.clients.get_mut(&id) else {
+                        return; // disconnected mid-retry; drop the blocked op
+                    };
                     client.blocked = Some(Blocked {
                         seq,
                         op: BlockedOp::Record {
@@ -1055,6 +1060,19 @@ impl Dispatcher {
             sharded
         {
             let (out_gain_db, out_enabled) = self.core.output_state(device);
+            // Checked sharded above, but never panic the dispatcher on an
+            // internal inconsistency: report it and keep serving.
+            let Some(w) = self.core.devices[owner].worker.as_ref() else {
+                self.send_error_to(
+                    id,
+                    order,
+                    seq,
+                    ErrorCode::BadImplementation,
+                    ac_id,
+                    Opcode::PlaySamples.to_wire(),
+                );
+                return;
+            };
             let sink = {
                 let Some(client) = self.core.clients.get_mut(&id) else {
                     return;
@@ -1062,7 +1080,6 @@ impl Dispatcher {
                 client.awaiting_worker = true;
                 client.reply_sink(&self.core.pool)
             };
-            let w = self.core.devices[owner].worker.as_ref().expect("sharded");
             let _ = w.tx.send(AudioJob::Play {
                 sink,
                 client: id,
@@ -1275,6 +1292,19 @@ impl Dispatcher {
         if let Some((owner, lane)) = self.core.resolve(device) {
             if self.core.devices[owner].worker.is_some() {
                 let (out_gain_db, out_enabled) = self.core.output_state(device);
+                // Checked sharded above, but never panic the dispatcher on
+                // an internal inconsistency: report it and keep serving.
+                let Some(w) = self.core.devices[owner].worker.as_ref() else {
+                    self.send_error_to(
+                        id,
+                        order,
+                        seq,
+                        ErrorCode::BadImplementation,
+                        ac_id,
+                        Opcode::RecordSamples.to_wire(),
+                    );
+                    return;
+                };
                 let sink = {
                     let Some(client) = self.core.clients.get_mut(&id) else {
                         return;
@@ -1282,7 +1312,6 @@ impl Dispatcher {
                     client.awaiting_worker = true;
                     client.reply_sink(&self.core.pool)
                 };
-                let w = self.core.devices[owner].worker.as_ref().expect("sharded");
                 let _ = w.tx.send(AudioJob::Record {
                     sink,
                     client: id,
@@ -1525,14 +1554,20 @@ impl Dispatcher {
             }
         }
         for (a, b) in [(di, peer), (peer, di)] {
-            let peer_rec = self.core.devices[b]
+            // Both endpoints were verified to own buffers just above; if
+            // that ever stops holding, fail the request, not the server.
+            let Some(peer_rec) = self.core.devices[b]
                 .buffers
                 .as_ref()
-                .expect("checked above")
-                .recorded_until();
+                .map(|bufs| bufs.recorded_until())
+            else {
+                return Err((ErrorCode::BadMatch, u32::from(device)));
+            };
             let dev = &mut self.core.devices[a];
             dev.passthrough = enable;
-            let bufs = dev.buffers.as_mut().expect("checked above");
+            let Some(bufs) = dev.buffers.as_mut() else {
+                return Err((ErrorCode::BadMatch, u32::from(device)));
+            };
             if enable {
                 bufs.add_recorder();
                 let lead = 800u32.min(bufs.frames() / 4);

@@ -65,7 +65,14 @@ impl BufferPool {
     }
 
     fn pop(&self) -> Vec<u8> {
-        let recycled = self.idle.lock().expect("pool poisoned").pop();
+        // The lock scope is a leaf (no user code runs under it), so a
+        // poisoned pool only means another thread died mid-push; its free
+        // list is still structurally sound — recover it.
+        let recycled = self
+            .idle
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+            .pop();
         match recycled {
             Some(buf) => {
                 self.reuses.fetch_add(1, Ordering::Relaxed);
@@ -89,7 +96,10 @@ impl BufferPool {
         if buf.capacity() == 0 {
             return;
         }
-        let mut idle = self.idle.lock().expect("pool poisoned");
+        let mut idle = self
+            .idle
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner());
         if idle.len() < self.max_idle {
             idle.push(buf);
         }
@@ -107,7 +117,10 @@ impl BufferPool {
 
     /// Buffers currently idle in the free list.
     pub fn idle_len(&self) -> usize {
-        self.idle.lock().expect("pool poisoned").len()
+        self.idle
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+            .len()
     }
 }
 

@@ -49,14 +49,20 @@ impl ServerStats {
 
     /// Registers an audio worker's counters for snapshotting.
     pub fn register_worker(&self, stats: Arc<crate::worker::WorkerStats>) {
-        self.workers.lock().expect("stats lock").push(stats);
+        // Leaf lock over a plain Vec: a poisoning panic elsewhere cannot
+        // leave it structurally broken, so recover instead of spreading
+        // the panic into the server.
+        self.workers
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+            .push(stats);
     }
 
     /// Copies out every registered worker's counters.
     pub fn worker_snapshots(&self) -> Vec<crate::worker::WorkerStatsSnapshot> {
         self.workers
             .lock()
-            .expect("stats lock")
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
             .iter()
             .map(|w| w.snapshot())
             .collect()

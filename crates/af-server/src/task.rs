@@ -53,8 +53,9 @@ impl TaskQueue {
             if *at > now {
                 break;
             }
-            let Reverse((_, _, kind)) = self.heap.pop().expect("peeked");
-            due.push(kind);
+            if let Some(Reverse((_, _, kind))) = self.heap.pop() {
+                due.push(kind);
+            }
         }
         due
     }
