@@ -17,6 +17,7 @@
 //! dependencies and no global state; every wrapper owns its own stream of
 //! randomness.
 
+#![forbid(unsafe_code)]
 mod plan;
 mod rng;
 mod stream;

@@ -26,6 +26,7 @@
 //! | `AFHookSwitch` …           | [`AudioConn::hook_switch`] …            |
 //! | `AFGetErrorText`           | [`error_text`]                          |
 
+#![forbid(unsafe_code)]
 mod conn;
 mod error;
 mod stream;

@@ -23,6 +23,7 @@
 //! This library holds what the binaries share: a small argument parser and
 //! connection helpers.
 
+#![forbid(unsafe_code)]
 pub mod cli;
 
 use af_client::{AfResult, AudioConn, DeviceId};

@@ -26,6 +26,7 @@
 //! * [`lineserver`] — the LineServer's UDP wire protocol and a firmware
 //!   task speaking it over a real socket.
 
+#![forbid(unsafe_code)]
 pub mod clock;
 pub mod file_io;
 pub mod hardware;

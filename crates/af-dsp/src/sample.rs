@@ -9,6 +9,12 @@
 //! big-endian target never matches native order, so the view is refused
 //! there outright.
 
+// This module is the crate's single audited unsafe boundary — four
+// `align_to` reinterpretations, each guarded by the endianness/alignment/
+// length checks documented in the SAFETY comments below.
+// af-analyze: allow(unsafe-audit): audited align_to boundary, SAFETY comments on every site
+#![allow(unsafe_code)]
+
 /// Views a byte slice as 16-bit samples, or `None` if the bytes are
 /// misaligned, a partial sample, or the target is big-endian.
 #[inline]
@@ -95,7 +101,7 @@ mod tests {
     fn unaligned_slice_refused() {
         // A buffer with 16-byte-aligned storage: offsetting by one byte
         // guarantees a misaligned i16 view.
-        let buf = vec![0u64; 4];
+        let buf = [0u64; 4];
         let bytes: &[u8] = unsafe { buf.align_to::<u8>().1 };
         assert!(as_lin16(&bytes[1..3]).is_none());
         assert!(as_lin32(&bytes[1..5]).is_none());

@@ -16,6 +16,7 @@
 //! preserving the paper's fairness and "no rocket science" properties
 //! without a kernel dependency beyond ordinary sockets.
 
+#![forbid(unsafe_code)]
 pub mod backend;
 pub mod buffer;
 pub mod builder;

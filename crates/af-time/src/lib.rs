@@ -16,6 +16,7 @@
 //!   (distant past / recent past / near future / distant future), the
 //!   vocabulary of the play and record models of §2.2–2.3.
 
+#![forbid(unsafe_code)]
 mod atime;
 mod correspondence;
 mod region;

@@ -15,6 +15,7 @@
 //! buffer size is an advertised device attribute) so the full 1 B – 64 KB
 //! request sweep of Figures 11–13 fits without flow-control blocking.
 
+#![forbid(unsafe_code)]
 pub mod kernels;
 
 use af_client::{AcAttributes, AcMask, AudioConn};

@@ -48,6 +48,7 @@
 //! server.shutdown();
 //! ```
 
+#![forbid(unsafe_code)]
 pub use af_chaos as chaos;
 pub use af_client as client;
 pub use af_device as device;
