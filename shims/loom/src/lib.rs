@@ -1,0 +1,313 @@
+//! Offline stand-in for the `loom` model checker.
+//!
+//! Exposes the subset of loom's API this workspace uses — [`model`],
+//! [`thread::spawn`], [`sync::Mutex`] and [`sync::atomic`] — and runs the
+//! model body under a deterministic cooperative scheduler that explores
+//! **every** interleaving of the model's synchronization operations by
+//! depth-first search over scheduling decisions.
+//!
+//! Differences from real loom, by design:
+//!
+//! * Only sequentially-consistent interleavings are explored: every atomic
+//!   operation is performed `SeqCst` regardless of the ordering argument.
+//!   Weak-memory reorderings are out of scope; the checker targets lost
+//!   updates, lost wakeups, publication-order and deadlock bugs, which all
+//!   manifest under SC interleavings of *some* schedule.
+//! * Models run under plain `cargo test` — no `--cfg loom` build flag and
+//!   no separate CI matrix entry is required for correctness, though CI
+//!   still runs the model tests as a dedicated job.
+//! * Model bodies must be deterministic (no wall clock, no OS randomness):
+//!   schedules are replayed from recorded decision prefixes, and a body
+//!   whose runnable-thread sets diverge between replays aborts the run.
+//!
+//! Threads are real OS threads serialized by a token: at each sync
+//! operation the running thread hands the token to the scheduler, which
+//! picks the next runnable thread according to the schedule being
+//! explored.  A blocked set plus runnable-set emptiness check gives
+//! deadlock detection for free.
+
+mod rt;
+
+pub use rt::model;
+
+pub mod thread {
+    //! Model-aware replacement for `std::thread`.
+
+    use crate::rt;
+    use std::panic::{self, AssertUnwindSafe};
+    use std::sync::Arc;
+
+    /// Handle to a model thread; joining is a blocking scheduler operation.
+    pub struct JoinHandle<T> {
+        inner: std::thread::JoinHandle<T>,
+        tid: usize,
+        exec: Arc<rt::Execution>,
+    }
+
+    /// Spawns a model thread.  Must be called from inside [`crate::model`].
+    pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+    where
+        F: FnOnce() -> T + Send + 'static,
+        T: Send + 'static,
+    {
+        let ctx = rt::current().expect("loom::thread::spawn called outside loom::model");
+        let tid = ctx.exec.register_thread();
+        let exec = Arc::clone(&ctx.exec);
+        let inner = std::thread::spawn(move || {
+            rt::set_current(Some(rt::Ctx {
+                exec: Arc::clone(&exec),
+                tid,
+            }));
+            // The first-schedule wait must sit inside the catch: it panics
+            // when the run aborts, and `finish` must still be reached or
+            // the host's wait-for-all-finished would hang.
+            match panic::catch_unwind(AssertUnwindSafe(|| {
+                exec.wait_first_schedule(tid);
+                f()
+            })) {
+                Ok(v) => {
+                    exec.finish(tid, None);
+                    v
+                }
+                Err(e) => {
+                    exec.finish(tid, Some(rt::payload_to_string(&e)));
+                    panic::resume_unwind(e)
+                }
+            }
+        });
+        JoinHandle {
+            inner,
+            tid,
+            exec: ctx.exec,
+        }
+    }
+
+    impl<T> JoinHandle<T> {
+        /// Blocks (in the model scheduler) until the thread finishes.
+        pub fn join(self) -> std::thread::Result<T> {
+            if let Some(ctx) = rt::current() {
+                self.exec.block_on_join(ctx.tid, self.tid);
+            }
+            self.inner.join()
+        }
+    }
+
+    /// An explicit scheduling point with no memory effect.
+    pub fn yield_now() {
+        if let Some(ctx) = rt::current() {
+            ctx.exec.switch(ctx.tid);
+        }
+    }
+}
+
+pub mod sync {
+    //! Model-aware replacements for `std::sync` types.
+
+    pub use std::sync::Arc;
+
+    use crate::rt;
+    use std::ops::{Deref, DerefMut};
+    use std::sync::{LockResult, OnceLock};
+
+    /// A mutex whose lock acquisition is a scheduler blocking point.
+    ///
+    /// Outside a model it degrades to a plain `std::sync::Mutex`.
+    pub struct Mutex<T> {
+        inner: std::sync::Mutex<T>,
+        id: OnceLock<usize>,
+    }
+
+    impl<T> Mutex<T> {
+        /// Creates a new model mutex.
+        pub fn new(value: T) -> Mutex<T> {
+            Mutex {
+                inner: std::sync::Mutex::new(value),
+                id: OnceLock::new(),
+            }
+        }
+
+        /// Acquires the mutex, blocking the model thread until available.
+        pub fn lock(&self) -> LockResult<MutexGuard<'_, T>> {
+            if let Some(ctx) = rt::current() {
+                let id = *self.id.get_or_init(|| ctx.exec.register_mutex());
+                ctx.exec.switch(ctx.tid);
+                while !ctx.exec.try_acquire_mutex(id, ctx.tid) {
+                    ctx.exec.block_on_mutex(ctx.tid, id);
+                }
+                let guard = self
+                    .inner
+                    .try_lock()
+                    .expect("scheduler owner bookkeeping guarantees exclusivity");
+                Ok(MutexGuard {
+                    guard: Some(guard),
+                    release: Some((ctx, id)),
+                })
+            } else {
+                let guard = self.inner.lock().unwrap_or_else(|p| p.into_inner());
+                Ok(MutexGuard {
+                    guard: Some(guard),
+                    release: None,
+                })
+            }
+        }
+
+        /// Consumes the mutex, returning the inner value.
+        pub fn into_inner(self) -> LockResult<T> {
+            Ok(self.inner.into_inner().unwrap_or_else(|p| p.into_inner()))
+        }
+    }
+
+    /// RAII guard; dropping releases the lock and wakes blocked threads.
+    pub struct MutexGuard<'a, T> {
+        guard: Option<std::sync::MutexGuard<'a, T>>,
+        release: Option<(rt::Ctx, usize)>,
+    }
+
+    impl<T> Deref for MutexGuard<'_, T> {
+        type Target = T;
+        fn deref(&self) -> &T {
+            self.guard.as_ref().expect("guard live until drop")
+        }
+    }
+
+    impl<T> DerefMut for MutexGuard<'_, T> {
+        fn deref_mut(&mut self) -> &mut T {
+            self.guard.as_mut().expect("guard live until drop")
+        }
+    }
+
+    impl<T> Drop for MutexGuard<'_, T> {
+        fn drop(&mut self) {
+            // Release the std guard before telling the scheduler the mutex
+            // is free, so a woken thread's try_lock cannot race it.
+            drop(self.guard.take());
+            if let Some((ctx, id)) = self.release.take() {
+                ctx.exec.release_mutex(id);
+            }
+        }
+    }
+
+    pub mod atomic {
+        //! Atomics whose every operation is a scheduling point.
+        //!
+        //! All operations execute `SeqCst` regardless of the ordering
+        //! argument — see the crate docs for why.
+
+        pub use std::sync::atomic::Ordering;
+
+        use crate::rt;
+
+        fn scheduling_point() {
+            if let Some(ctx) = rt::current() {
+                ctx.exec.switch(ctx.tid);
+            }
+        }
+
+        macro_rules! model_atomic {
+            ($name:ident, $std:ident, $ty:ty) => {
+                /// Model-checked atomic; every access is a scheduling point.
+                #[derive(Debug, Default)]
+                pub struct $name(std::sync::atomic::$std);
+
+                impl $name {
+                    /// Creates a new atomic with the given initial value.
+                    pub fn new(v: $ty) -> Self {
+                        Self(std::sync::atomic::$std::new(v))
+                    }
+
+                    /// Atomic load (always `SeqCst`).
+                    pub fn load(&self, _order: Ordering) -> $ty {
+                        scheduling_point();
+                        self.0.load(Ordering::SeqCst)
+                    }
+
+                    /// Atomic store (always `SeqCst`).
+                    pub fn store(&self, v: $ty, _order: Ordering) {
+                        scheduling_point();
+                        self.0.store(v, Ordering::SeqCst)
+                    }
+
+                    /// Atomic swap (always `SeqCst`).
+                    pub fn swap(&self, v: $ty, _order: Ordering) -> $ty {
+                        scheduling_point();
+                        self.0.swap(v, Ordering::SeqCst)
+                    }
+
+                    /// Atomic compare-exchange (always `SeqCst`).
+                    pub fn compare_exchange(
+                        &self,
+                        current: $ty,
+                        new: $ty,
+                        _success: Ordering,
+                        _failure: Ordering,
+                    ) -> Result<$ty, $ty> {
+                        scheduling_point();
+                        self.0
+                            .compare_exchange(current, new, Ordering::SeqCst, Ordering::SeqCst)
+                    }
+
+                    /// Same exploration as [`Self::compare_exchange`]; the
+                    /// shim never fails spuriously.
+                    pub fn compare_exchange_weak(
+                        &self,
+                        current: $ty,
+                        new: $ty,
+                        success: Ordering,
+                        failure: Ordering,
+                    ) -> Result<$ty, $ty> {
+                        self.compare_exchange(current, new, success, failure)
+                    }
+                }
+            };
+        }
+
+        macro_rules! model_atomic_arith {
+            ($name:ident, $ty:ty) => {
+                impl $name {
+                    /// Atomic add, returning the previous value.
+                    pub fn fetch_add(&self, v: $ty, _order: Ordering) -> $ty {
+                        scheduling_point();
+                        self.0.fetch_add(v, Ordering::SeqCst)
+                    }
+
+                    /// Atomic subtract, returning the previous value.
+                    pub fn fetch_sub(&self, v: $ty, _order: Ordering) -> $ty {
+                        scheduling_point();
+                        self.0.fetch_sub(v, Ordering::SeqCst)
+                    }
+
+                    /// Atomic max, returning the previous value.
+                    pub fn fetch_max(&self, v: $ty, _order: Ordering) -> $ty {
+                        scheduling_point();
+                        self.0.fetch_max(v, Ordering::SeqCst)
+                    }
+                }
+            };
+        }
+
+        model_atomic!(AtomicU64, AtomicU64, u64);
+        model_atomic!(AtomicU32, AtomicU32, u32);
+        model_atomic!(AtomicUsize, AtomicUsize, usize);
+        model_atomic!(AtomicI32, AtomicI32, i32);
+        model_atomic!(AtomicBool, AtomicBool, bool);
+
+        model_atomic_arith!(AtomicU64, u64);
+        model_atomic_arith!(AtomicU32, u32);
+        model_atomic_arith!(AtomicUsize, usize);
+        model_atomic_arith!(AtomicI32, i32);
+
+        impl AtomicBool {
+            /// Atomic OR, returning the previous value.
+            pub fn fetch_or(&self, v: bool, _order: Ordering) -> bool {
+                scheduling_point();
+                self.0.fetch_or(v, Ordering::SeqCst)
+            }
+
+            /// Atomic AND, returning the previous value.
+            pub fn fetch_and(&self, v: bool, _order: Ordering) -> bool {
+                scheduling_point();
+                self.0.fetch_and(v, Ordering::SeqCst)
+            }
+        }
+    }
+}

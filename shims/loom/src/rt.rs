@@ -1,0 +1,342 @@
+//! The exploration runtime: token-passing scheduler + DFS over schedules.
+//!
+//! One model run executes the body with a fixed *decision prefix*: at every
+//! scheduling point where more than one thread is runnable, the scheduler
+//! either replays the recorded choice or (past the prefix) picks the first
+//! runnable thread and records the branch width.  After the run, the last
+//! decision with an unexplored sibling is incremented and everything after
+//! it discarded — classic depth-first search, the same strategy loom and
+//! CHESS use.  Exploration terminates when no decision has siblings left.
+
+use std::any::Any;
+use std::cell::RefCell;
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+
+/// Upper bound on scheduling decisions in one run; a model hitting this is
+/// looping (e.g. an unbounded spin) and cannot be explored exhaustively.
+const MAX_BRANCHES_PER_RUN: usize = 10_000;
+
+/// Upper bound on distinct schedules; models should stay small (two or
+/// three threads, a handful of operations each).
+const MAX_SCHEDULES: usize = 250_000;
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum TState {
+    Runnable,
+    BlockedMutex(usize),
+    BlockedJoin(usize),
+    Finished,
+}
+
+struct State {
+    threads: Vec<TState>,
+    /// Which thread currently holds the execution token.
+    active: usize,
+    /// Decisions to replay (from the previous run's backtrack).
+    prefix: Vec<usize>,
+    /// `(chosen, options)` for every branching decision made this run.
+    decisions: Vec<(usize, usize)>,
+    /// Owner per registered model mutex.
+    mutex_owner: Vec<Option<usize>>,
+    /// First panic observed in any model thread.
+    panic_msg: Option<String>,
+    /// Set on panic or deadlock: all threads unwind at their next
+    /// scheduling point so the run can terminate.
+    abort: bool,
+}
+
+/// One exploration run's shared scheduler state.
+pub(crate) struct Execution {
+    state: Mutex<State>,
+    cv: Condvar,
+}
+
+impl Execution {
+    fn new(prefix: Vec<usize>) -> Arc<Execution> {
+        Arc::new(Execution {
+            state: Mutex::new(State {
+                threads: vec![TState::Runnable],
+                active: 0,
+                prefix,
+                decisions: Vec::new(),
+                mutex_owner: Vec::new(),
+                panic_msg: None,
+                abort: false,
+            }),
+            cv: Condvar::new(),
+        })
+    }
+
+    fn lock(&self) -> MutexGuard<'_, State> {
+        self.state.lock().unwrap_or_else(|p| p.into_inner())
+    }
+
+    /// Registers a new thread (runnable, not yet scheduled); returns its id.
+    pub(crate) fn register_thread(&self) -> usize {
+        let mut st = self.lock();
+        st.threads.push(TState::Runnable);
+        st.threads.len() - 1
+    }
+
+    /// Registers a model mutex; returns its id.
+    pub(crate) fn register_mutex(&self) -> usize {
+        let mut st = self.lock();
+        st.mutex_owner.push(None);
+        st.mutex_owner.len() - 1
+    }
+
+    /// Picks the next thread to hold the token.  Records a DFS decision
+    /// when more than one thread is runnable; flags deadlock when none is
+    /// but some remain blocked.
+    fn pick_next(st: &mut State, cv: &Condvar) {
+        let runnable: Vec<usize> = st
+            .threads
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| **s == TState::Runnable)
+            .map(|(i, _)| i)
+            .collect();
+        if runnable.is_empty() {
+            if st.threads.iter().any(|s| *s != TState::Finished) {
+                Self::flag_abort(st, "deadlock: every live model thread is blocked".to_string());
+            }
+            cv.notify_all();
+            return;
+        }
+        let chosen = if runnable.len() == 1 {
+            runnable[0]
+        } else {
+            let k = st.decisions.len();
+            let i = if k < st.prefix.len() {
+                let i = st.prefix[k];
+                assert!(
+                    i < runnable.len(),
+                    "schedule replay diverged: model body is nondeterministic"
+                );
+                i
+            } else {
+                0
+            };
+            st.decisions.push((i, runnable.len()));
+            assert!(
+                st.decisions.len() <= MAX_BRANCHES_PER_RUN,
+                "model exceeds {MAX_BRANCHES_PER_RUN} scheduling decisions; \
+                 is a thread spinning?"
+            );
+            runnable[i]
+        };
+        st.active = chosen;
+        cv.notify_all();
+    }
+
+    fn flag_abort(st: &mut State, msg: String) {
+        if st.panic_msg.is_none() {
+            st.panic_msg = Some(msg);
+        }
+        st.abort = true;
+        // Unblock everything so the waiting loops can observe `abort` and
+        // unwind; they re-check the flag before touching shared data.
+        for s in st.threads.iter_mut() {
+            if matches!(s, TState::BlockedMutex(_) | TState::BlockedJoin(_)) {
+                *s = TState::Runnable;
+            }
+        }
+    }
+
+    fn wait_until_scheduled<'a>(
+        &'a self,
+        mut st: MutexGuard<'a, State>,
+        tid: usize,
+    ) -> MutexGuard<'a, State> {
+        while !st.abort && (st.active != tid || st.threads[tid] != TState::Runnable) {
+            st = self.cv.wait(st).unwrap_or_else(|p| p.into_inner());
+        }
+        if st.abort {
+            drop(st);
+            panic!("loom: run aborted");
+        }
+        st
+    }
+
+    /// A scheduling point: hands the token to the scheduler and returns
+    /// when this thread is scheduled again (possibly immediately).
+    pub(crate) fn switch(&self, tid: usize) {
+        let mut st = self.lock();
+        if st.abort {
+            drop(st);
+            panic!("loom: run aborted");
+        }
+        Self::pick_next(&mut st, &self.cv);
+        drop(self.wait_until_scheduled(st, tid));
+    }
+
+    /// First token acquisition of a spawned thread.
+    pub(crate) fn wait_first_schedule(&self, tid: usize) {
+        let st = self.lock();
+        drop(self.wait_until_scheduled(st, tid));
+    }
+
+    /// Attempts to take ownership of a model mutex.
+    pub(crate) fn try_acquire_mutex(&self, id: usize, tid: usize) -> bool {
+        let mut st = self.lock();
+        if st.mutex_owner[id].is_none() {
+            st.mutex_owner[id] = Some(tid);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Blocks until the mutex is released (then re-contends in the caller).
+    pub(crate) fn block_on_mutex(&self, tid: usize, id: usize) {
+        let mut st = self.lock();
+        if st.abort {
+            drop(st);
+            panic!("loom: run aborted");
+        }
+        st.threads[tid] = TState::BlockedMutex(id);
+        Self::pick_next(&mut st, &self.cv);
+        drop(self.wait_until_scheduled(st, tid));
+    }
+
+    /// Releases a model mutex and wakes threads blocked on it.
+    pub(crate) fn release_mutex(&self, id: usize) {
+        let mut st = self.lock();
+        st.mutex_owner[id] = None;
+        for s in st.threads.iter_mut() {
+            if *s == TState::BlockedMutex(id) {
+                *s = TState::Runnable;
+            }
+        }
+        self.cv.notify_all();
+    }
+
+    /// Blocks until `target` finishes.
+    pub(crate) fn block_on_join(&self, tid: usize, target: usize) {
+        loop {
+            let mut st = self.lock();
+            if st.abort {
+                drop(st);
+                panic!("loom: run aborted");
+            }
+            if st.threads[target] == TState::Finished {
+                return;
+            }
+            st.threads[tid] = TState::BlockedJoin(target);
+            Self::pick_next(&mut st, &self.cv);
+            drop(self.wait_until_scheduled(st, tid));
+        }
+    }
+
+    /// Marks `tid` finished (recording its panic, if any), wakes joiners
+    /// and hands the token onward.
+    pub(crate) fn finish(&self, tid: usize, panicked: Option<String>) {
+        let mut st = self.lock();
+        if let Some(msg) = panicked {
+            Self::flag_abort(&mut st, msg);
+        }
+        st.threads[tid] = TState::Finished;
+        for s in st.threads.iter_mut() {
+            if *s == TState::BlockedJoin(tid) {
+                *s = TState::Runnable;
+            }
+        }
+        if st.abort {
+            self.cv.notify_all();
+        } else {
+            Self::pick_next(&mut st, &self.cv);
+        }
+    }
+
+    /// Waits (on the host thread, outside the token protocol) until every
+    /// model thread has finished; returns the run's decisions and panic.
+    fn wait_done(&self) -> (Vec<(usize, usize)>, Option<String>) {
+        let mut st = self.lock();
+        while st.threads.iter().any(|s| *s != TState::Finished) {
+            st = self.cv.wait(st).unwrap_or_else(|p| p.into_inner());
+        }
+        (st.decisions.clone(), st.panic_msg.clone())
+    }
+}
+
+/// Per-thread handle back to the execution being explored.
+#[derive(Clone)]
+pub(crate) struct Ctx {
+    pub(crate) exec: Arc<Execution>,
+    pub(crate) tid: usize,
+}
+
+thread_local! {
+    static CTX: RefCell<Option<Ctx>> = const { RefCell::new(None) };
+}
+
+pub(crate) fn current() -> Option<Ctx> {
+    CTX.with(|c| c.borrow().clone())
+}
+
+pub(crate) fn set_current(ctx: Option<Ctx>) {
+    CTX.with(|c| *c.borrow_mut() = ctx);
+}
+
+pub(crate) fn payload_to_string(payload: &(dyn Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "model thread panicked".to_string()
+    }
+}
+
+/// Computes the next DFS prefix, or `None` when the space is exhausted.
+fn next_prefix(mut decisions: Vec<(usize, usize)>) -> Option<Vec<usize>> {
+    loop {
+        let (chosen, options) = decisions.pop()?;
+        if chosen + 1 < options {
+            decisions.push((chosen + 1, options));
+            return Some(decisions.into_iter().map(|(c, _)| c).collect());
+        }
+    }
+}
+
+/// Runs `body` under every interleaving of its synchronization operations.
+///
+/// Panics (with the failing schedule's decision prefix) if any interleaving
+/// panics, fails an assertion, or deadlocks.
+pub fn model<F>(body: F)
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    let body = Arc::new(body);
+    let mut prefix: Vec<usize> = Vec::new();
+    let mut schedules = 0usize;
+    loop {
+        schedules += 1;
+        assert!(
+            schedules <= MAX_SCHEDULES,
+            "loom shim: more than {MAX_SCHEDULES} schedules; shrink the model"
+        );
+        let exec = Execution::new(prefix.clone());
+        let (exec0, body0) = (Arc::clone(&exec), Arc::clone(&body));
+        std::thread::spawn(move || {
+            set_current(Some(Ctx {
+                exec: Arc::clone(&exec0),
+                tid: 0,
+            }));
+            let result = panic::catch_unwind(AssertUnwindSafe(|| body0()));
+            exec0.finish(0, result.err().map(|e| payload_to_string(&*e)));
+        });
+        let (decisions, panic_msg) = exec.wait_done();
+        if let Some(msg) = panic_msg {
+            panic!(
+                "loom model failed on schedule {schedules} \
+                 (replay prefix {prefix:?}): {msg}"
+            );
+        }
+        match next_prefix(decisions) {
+            Some(p) => prefix = p,
+            None => break,
+        }
+    }
+}
