@@ -51,11 +51,13 @@ fn slow_client_is_evicted_not_fatal() {
     // then in the server's per-client outbound queue, which is bounded at
     // OUTBOUND_QUEUE_CAPACITY.  When it overflows, the dispatcher must
     // evict this client rather than buffer without limit or stall.
-    assert!(
-        OUTBOUND_QUEUE_CAPACITY <= 1024,
-        "outbound queue must stay small enough that a slow client \
-         cannot hold significant server memory"
-    );
+    const {
+        assert!(
+            OUTBOUND_QUEUE_CAPACITY <= 1024,
+            "outbound queue must stay small enough that a slow client \
+             cannot hold significant server memory"
+        );
+    }
     let mut slow = raw_handshake(&server);
     slow.set_nodelay(true).unwrap();
     let get_time = Request::GetTime { device: 0 }.encode(ByteOrder::native());
