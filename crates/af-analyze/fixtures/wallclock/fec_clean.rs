@@ -1,0 +1,34 @@
+// Clean FEC hot paths: pure arithmetic, no clock reads.
+pub fn crc32(data: &[u8]) -> u32 {
+    data.len() as u32
+}
+
+fn gf_mul_acc(out: &mut [u8], data: &[u8], coeff: u8) {
+    for (o, d) in out.iter_mut().zip(data) {
+        *o ^= d.wrapping_mul(coeff);
+    }
+}
+
+impl FecEncoder {
+    fn close_group(&mut self) -> Vec<Vec<u8>> {
+        Vec::new()
+    }
+}
+
+impl FecFrame {
+    pub fn encode(&self) -> Vec<u8> {
+        Vec::new()
+    }
+
+    pub fn decode(bytes: &[u8]) -> Option<FecFrame> {
+        None
+    }
+}
+
+impl FecDecoder {
+    fn try_reconstruct(&mut self, slot: usize) -> Vec<Vec<u8>> {
+        Vec::new()
+    }
+
+    fn evict_oldest(&mut self) {}
+}

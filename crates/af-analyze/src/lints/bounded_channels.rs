@@ -6,7 +6,7 @@
 //! process dies.  An unbounded channel anywhere in the server silently
 //! removes that guarantee, so constructing one is a finding.
 
-use crate::lints::{is_server_src, prod_lines};
+use crate::lints::{is_link_hot_src, is_server_src, prod_lines};
 use crate::source::SourceFile;
 use crate::Finding;
 
@@ -15,7 +15,7 @@ const LINT: &str = "bounded-channels";
 /// Runs the lint.
 pub fn run(files: &[SourceFile]) -> Vec<Finding> {
     let mut findings = Vec::new();
-    for file in files.iter().filter(|f| is_server_src(f)) {
+    for file in files.iter().filter(|f| is_server_src(f) || is_link_hot_src(f)) {
         for i in prod_lines(file) {
             let code = &file.code[i];
             // `unbounded(...)` and the turbofish `unbounded::<T>()` form.

@@ -20,6 +20,13 @@ pub(crate) fn is_server_src(file: &SourceFile) -> bool {
     file.rel.starts_with("crates/af-server/src/")
 }
 
+/// Whether the file is WAN-link hot-path code (FEC and the jitter
+/// buffer): it runs inside the server's real-time pump, so it inherits
+/// the server-side panic and backpressure bans.
+pub(crate) fn is_link_hot_src(file: &SourceFile) -> bool {
+    file.rel == "crates/af-device/src/fec.rs" || file.rel == "crates/af-device/src/jitter.rs"
+}
+
 /// Iterates 0-based indices of non-test lines.
 pub(crate) fn prod_lines(file: &SourceFile) -> impl Iterator<Item = usize> + '_ {
     (0..file.code.len()).filter(|&i| !file.in_test[i])

@@ -7,7 +7,7 @@
 //! `.unwrap()`, `.expect(...)` and the panicking macros; `#[cfg(test)]`
 //! code is exempt.
 
-use crate::lints::{is_server_src, prod_lines};
+use crate::lints::{is_link_hot_src, is_server_src, prod_lines};
 use crate::source::SourceFile;
 use crate::Finding;
 
@@ -27,7 +27,7 @@ const PATTERNS: &[(&str, &str)] = &[
 /// Runs the lint.
 pub fn run(files: &[SourceFile]) -> Vec<Finding> {
     let mut findings = Vec::new();
-    for file in files.iter().filter(|f| is_server_src(f)) {
+    for file in files.iter().filter(|f| is_server_src(f) || is_link_hot_src(f)) {
         for i in prod_lines(file) {
             for (needle, why) in PATTERNS {
                 if file.code[i].contains(needle) {

@@ -45,6 +45,28 @@ const HOT_PATHS: &[(&str, &[&str])] = &[
             "publish_snapshots",
         ],
     ),
+    (
+        "crates/af-device/src/fec.rs",
+        &[
+            "crc32",
+            "gf_mul_acc",
+            "close_group",
+            "encode",
+            "decode",
+            "try_reconstruct",
+            "evict_oldest",
+        ],
+    ),
+    (
+        "crates/af-device/src/jitter.rs",
+        &[
+            "observe_transit",
+            "target_depth",
+            "insert",
+            "read",
+            "conceal_sample",
+        ],
+    ),
 ];
 
 const CLOCK_READS: &[&str] = &["Instant::now", "SystemTime::now", ".elapsed("];

@@ -46,6 +46,20 @@ fn no_panics_is_scoped_to_af_server() {
     assert_eq!(lints::no_panics::run(&files), vec![]);
 }
 
+#[test]
+fn no_panics_covers_wan_link_hot_paths() {
+    // FEC and the jitter buffer run inside the server's real-time pump,
+    // so they inherit the panic ban even though they live in af-device.
+    for path in [
+        "crates/af-device/src/fec.rs",
+        "crates/af-device/src/jitter.rs",
+    ] {
+        let files = [fx(path, include_str!("../fixtures/no_panics/trigger.rs"))];
+        let found = lints::no_panics::run(&files);
+        assert_eq!(found.len(), 2, "{path}: {found:?}");
+    }
+}
+
 // ---- bounded-channels --------------------------------------------------
 
 #[test]
@@ -75,13 +89,25 @@ fn bounded_channels_stays_quiet() {
 
 const DISPATCH: &str = "crates/af-server/src/dispatch.rs";
 const WORKER: &str = "crates/af-server/src/worker.rs";
+const FEC: &str = "crates/af-device/src/fec.rs";
+const JITTER: &str = "crates/af-device/src/jitter.rs";
+
+/// The registry-complete clean tail shared by every wallclock fixture set.
+fn wallclock_rest() -> [SourceFile; 3] {
+    [
+        fx(WORKER, include_str!("../fixtures/wallclock/worker_clean.rs")),
+        fx(FEC, include_str!("../fixtures/wallclock/fec_clean.rs")),
+        fx(JITTER, include_str!("../fixtures/wallclock/jitter_clean.rs")),
+    ]
+}
 
 #[test]
 fn wallclock_triggers_inside_hot_path() {
-    let files = [
-        fx(DISPATCH, include_str!("../fixtures/wallclock/dispatch_trigger.rs")),
-        fx(WORKER, include_str!("../fixtures/wallclock/worker_clean.rs")),
-    ];
+    let mut files = vec![fx(
+        DISPATCH,
+        include_str!("../fixtures/wallclock/dispatch_trigger.rs"),
+    )];
+    files.extend(wallclock_rest());
     let found = lints::wallclock::run(&files);
     assert_eq!(found.len(), 1, "{found:?}");
     assert!(found[0].message.contains("h_play"), "{found:?}");
@@ -92,21 +118,34 @@ fn wallclock_triggers_inside_hot_path() {
 fn wallclock_allows_scheduling_helpers() {
     // dispatch_clean.rs reads the wall clock in `wake_instant`, which is
     // not in the hot-path registry.
-    let files = [
-        fx(DISPATCH, include_str!("../fixtures/wallclock/dispatch_clean.rs")),
-        fx(WORKER, include_str!("../fixtures/wallclock/worker_clean.rs")),
-    ];
+    let mut files = vec![fx(
+        DISPATCH,
+        include_str!("../fixtures/wallclock/dispatch_clean.rs"),
+    )];
+    files.extend(wallclock_rest());
     assert_eq!(lints::wallclock::run(&files), vec![]);
+}
+
+#[test]
+fn wallclock_triggers_in_jitter_concealer() {
+    // The WAN-link hot paths (FEC, jitter buffer) are in the registry too.
+    let mut files = vec![fx(
+        DISPATCH,
+        include_str!("../fixtures/wallclock/dispatch_clean.rs"),
+    )];
+    files.extend(wallclock_rest());
+    files[3] = fx(JITTER, include_str!("../fixtures/wallclock/jitter_trigger.rs"));
+    let found = lints::wallclock::run(&files);
+    assert_eq!(found.len(), 1, "{found:?}");
+    assert!(found[0].message.contains("conceal_sample"), "{found:?}");
 }
 
 #[test]
 fn wallclock_reports_stale_registry() {
     // A registry function that disappears must fail loudly, not silently
     // check nothing.
-    let files = [
-        fx(DISPATCH, "pub fn process_request() {}\n"),
-        fx(WORKER, include_str!("../fixtures/wallclock/worker_clean.rs")),
-    ];
+    let mut files = vec![fx(DISPATCH, "pub fn process_request() {}\n")];
+    files.extend(wallclock_rest());
     let found = lints::wallclock::run(&files);
     assert!(
         found.iter().any(|f| f.message.contains("not found")),

@@ -10,7 +10,11 @@
 //!   server TCP/Unix connection) and injects partial reads and writes,
 //!   latency, byte corruption, and abrupt disconnects.
 //! * [`ChaosUdp`] wraps a `UdpSocket` (the LineServer link) and injects
-//!   packet drop, duplication, reordering, and corruption.
+//!   packet drop (independent or [`GilbertElliott`] bursts), duplication,
+//!   windowed reordering, and corruption.
+//! * [`Router`] simulates a whole multi-hop WAN path between a server
+//!   and its LineServers: per-hop fault plans, bounded drop-tail queues,
+//!   delay + jitter, and NAT-style address rewriting.
 //!
 //! Faults are drawn from a [`ChaosRng`] — a SplitMix64 generator — so a
 //! fixed seed always produces the same fault schedule.  The crate has no
@@ -20,10 +24,12 @@
 #![forbid(unsafe_code)]
 mod plan;
 mod rng;
+mod router;
 mod stream;
 mod udp;
 
-pub use plan::{StreamFaultPlan, UdpFaultPlan};
+pub use plan::{GeState, GilbertElliott, StreamFaultPlan, UdpFaultPlan};
 pub use rng::ChaosRng;
+pub use router::{HopPlan, HopStats, Router};
 pub use stream::ChaosStream;
 pub use udp::ChaosUdp;

@@ -1,6 +1,92 @@
 //! Fault plans: declarative descriptions of what should go wrong.
 
+use crate::rng::ChaosRng;
 use std::time::Duration;
+
+/// The Gilbert–Elliott two-state burst-loss model.
+///
+/// A Markov chain alternates between a *good* state (rare loss) and a
+/// *bad* state (heavy loss).  Unlike independent per-packet drops, this
+/// reproduces the bursty losses of congested WAN paths — several
+/// consecutive packets vanish, then the path is clean for a while —
+/// which is exactly the pattern FEC groups and jitter buffers must
+/// absorb.  The chain is stepped once per packet by [`GeState`], driven
+/// by the plan's own deterministic RNG so runs reproduce.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct GilbertElliott {
+    /// Probability of moving good → bad after a packet.
+    pub p_good_bad: f64,
+    /// Probability of moving bad → good after a packet.
+    pub p_bad_good: f64,
+    /// Loss probability while in the good state.
+    pub loss_good: f64,
+    /// Loss probability while in the bad state.
+    pub loss_bad: f64,
+}
+
+impl GilbertElliott {
+    /// A model with explicit transition and loss probabilities.
+    pub fn new(p_good_bad: f64, p_bad_good: f64, loss_good: f64, loss_bad: f64) -> Self {
+        GilbertElliott {
+            p_good_bad: p_good_bad.clamp(0.0, 1.0),
+            p_bad_good: p_bad_good.clamp(0.0, 1.0),
+            loss_good: loss_good.clamp(0.0, 1.0),
+            loss_bad: loss_bad.clamp(0.0, 1.0),
+        }
+    }
+
+    /// A bursty model hitting a target average loss rate: the bad state
+    /// loses everything, lasts `burst_len` packets on average, and the
+    /// good state is clean.  `avg_loss` must be in `(0, 1)`.
+    pub fn bursty(avg_loss: f64, burst_len: f64) -> Self {
+        let avg = avg_loss.clamp(0.001, 0.95);
+        let p_bad_good = (1.0 / burst_len.max(1.0)).clamp(0.0, 1.0);
+        // Stationary bad-state probability p_gb / (p_gb + p_bg) = avg.
+        let p_good_bad = (avg * p_bad_good / (1.0 - avg)).clamp(0.0, 1.0);
+        GilbertElliott::new(p_good_bad, p_bad_good, 0.0, 1.0)
+    }
+
+    /// The model's stationary average loss rate.
+    pub fn avg_loss(&self) -> f64 {
+        let denom = self.p_good_bad + self.p_bad_good;
+        if denom == 0.0 {
+            return self.loss_good; // Chain never leaves the good state.
+        }
+        let pi_bad = self.p_good_bad / denom;
+        (1.0 - pi_bad) * self.loss_good + pi_bad * self.loss_bad
+    }
+}
+
+/// Per-link runtime state of a [`GilbertElliott`] chain.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct GeState {
+    in_bad: bool,
+}
+
+impl GeState {
+    /// A chain starting in the good state.
+    pub fn new() -> GeState {
+        GeState::default()
+    }
+
+    /// Whether the chain is currently in the bad state.
+    pub fn in_bad(&self) -> bool {
+        self.in_bad
+    }
+
+    /// Advances the chain by one packet; returns `true` if that packet
+    /// is lost.  Loss is sampled in the current state, then the state
+    /// transition is sampled.
+    pub fn step(&mut self, ge: &GilbertElliott, rng: &mut ChaosRng) -> bool {
+        let loss_p = if self.in_bad { ge.loss_bad } else { ge.loss_good };
+        let lost = loss_p > 0.0 && rng.chance(loss_p);
+        let flip_p = if self.in_bad { ge.p_bad_good } else { ge.p_good_bad };
+        if flip_p > 0.0 && rng.chance(flip_p) {
+            self.in_bad = !self.in_bad;
+        }
+        lost
+    }
+}
 
 /// Faults to inject into a byte stream (TCP or Unix-domain connection).
 ///
@@ -112,12 +198,19 @@ pub struct UdpFaultPlan {
     /// Probability an outbound datagram is held back and released after
     /// the next one (reordering).
     pub reorder_send: f64,
+    /// How far a held datagram may be displaced, in subsequent sends
+    /// (at least 1).  Up to this many datagrams can be held at once.
+    pub reorder_window: usize,
     /// Probability one byte of an outbound datagram is flipped.
     pub corrupt_send: f64,
     /// Probability an inbound datagram is discarded after arrival.
     pub drop_recv: f64,
     /// Probability one byte of an inbound datagram is flipped.
     pub corrupt_recv: f64,
+    /// Bursty loss on the send side, applied on top of `drop_send`.
+    pub ge_send: Option<GilbertElliott>,
+    /// Bursty loss on the receive side, applied on top of `drop_recv`.
+    pub ge_recv: Option<GilbertElliott>,
     /// Probability of sleeping `latency` before a send.
     pub latency_chance: f64,
     /// Injected delay when `latency_chance` fires.
@@ -138,9 +231,12 @@ impl UdpFaultPlan {
             drop_send: 0.0,
             dup_send: 0.0,
             reorder_send: 0.0,
+            reorder_window: 1,
             corrupt_send: 0.0,
             drop_recv: 0.0,
             corrupt_recv: 0.0,
+            ge_send: None,
+            ge_recv: None,
             latency_chance: 0.0,
             latency: Duration::ZERO,
         }
@@ -167,6 +263,25 @@ impl UdpFaultPlan {
     /// Reorders outbound datagrams with probability `p`.
     pub fn reorder(mut self, p: f64) -> Self {
         self.reorder_send = p;
+        self
+    }
+
+    /// Lets reordered datagrams be displaced by up to `window` sends
+    /// (default 1, the adjacent swap).
+    pub fn reorder_window(mut self, window: usize) -> Self {
+        self.reorder_window = window.max(1);
+        self
+    }
+
+    /// Applies Gilbert–Elliott burst loss to outbound datagrams.
+    pub fn burst_send(mut self, ge: GilbertElliott) -> Self {
+        self.ge_send = Some(ge);
+        self
+    }
+
+    /// Applies Gilbert–Elliott burst loss to inbound datagrams.
+    pub fn burst_recv(mut self, ge: GilbertElliott) -> Self {
+        self.ge_recv = Some(ge);
         self
     }
 

@@ -1,0 +1,595 @@
+//! A userspace router simulating a lossy multi-hop WAN path.
+//!
+//! Tests stand up `server ← router ← LineServer`: the workstation link
+//! connects to the router's ingress address instead of the LineServer's,
+//! and every datagram then traverses a chain of simulated *hops* in each
+//! direction.  Each hop has its own deterministic fault plan —
+//! Gilbert–Elliott burst loss, independent drop, duplication, bit
+//! corruption, fixed delay plus uniform jitter — and a bounded in-flight
+//! queue that drop-tails under load, like a congested router's egress
+//! buffer.
+//!
+//! The router NAT-rewrites addresses: the upstream peer sees one router
+//! egress socket per downstream client and replies to it, never learning
+//! the client's real address; the router maps replies back through its
+//! NAT table.  Delay/jitter-induced *reordering* falls out naturally:
+//! two datagrams with different sampled jitter can leave in swapped
+//! order.
+//!
+//! Everything is driven by one pump thread with a delivery heap, so a
+//! `Router` costs one thread no matter how many hops or clients.
+
+use crate::plan::{GeState, GilbertElliott};
+use crate::rng::ChaosRng;
+use std::cmp::Ordering as CmpOrdering;
+use std::collections::{BinaryHeap, HashMap};
+use std::io;
+use std::net::{SocketAddr, UdpSocket};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Maximum NAT table entries (downstream clients) per router.
+const NAT_CAPACITY: usize = 64;
+
+/// Fault plan for one hop of the simulated path, applied per direction.
+#[derive(Clone, Debug)]
+pub struct HopPlan {
+    /// Burst loss (Gilbert–Elliott), stepped once per packet.
+    pub ge: Option<GilbertElliott>,
+    /// Independent per-packet loss, applied on top of `ge`.
+    pub drop: f64,
+    /// Probability a packet is forwarded twice.
+    pub dup: f64,
+    /// Probability one bit of a packet is flipped in transit.
+    pub corrupt: f64,
+    /// Fixed one-way delay through this hop.
+    pub base_delay: Duration,
+    /// Additional uniform random delay in `[0, jitter)` per packet.
+    pub jitter: Duration,
+    /// Bounded in-flight queue per direction; packets arriving while the
+    /// hop is full are drop-tailed.
+    pub queue: usize,
+}
+
+impl Default for HopPlan {
+    fn default() -> Self {
+        HopPlan::new()
+    }
+}
+
+impl HopPlan {
+    /// A clean hop: no loss, no delay, a generous queue.
+    pub fn new() -> HopPlan {
+        HopPlan {
+            ge: None,
+            drop: 0.0,
+            dup: 0.0,
+            corrupt: 0.0,
+            base_delay: Duration::ZERO,
+            jitter: Duration::ZERO,
+            queue: 256,
+        }
+    }
+
+    /// Applies Gilbert–Elliott burst loss.
+    pub fn ge(mut self, ge: GilbertElliott) -> Self {
+        self.ge = Some(ge);
+        self
+    }
+
+    /// Drops packets independently with probability `p`.
+    pub fn drop(mut self, p: f64) -> Self {
+        self.drop = p;
+        self
+    }
+
+    /// Duplicates packets with probability `p`.
+    pub fn duplicate(mut self, p: f64) -> Self {
+        self.dup = p;
+        self
+    }
+
+    /// Flips one bit with probability `p`.
+    pub fn corrupt(mut self, p: f64) -> Self {
+        self.corrupt = p;
+        self
+    }
+
+    /// Sets the fixed one-way delay.
+    pub fn base_delay(mut self, d: Duration) -> Self {
+        self.base_delay = d;
+        self
+    }
+
+    /// Sets the uniform jitter bound.
+    pub fn jitter(mut self, d: Duration) -> Self {
+        self.jitter = d;
+        self
+    }
+
+    /// Bounds the hop's in-flight queue per direction.
+    pub fn queue(mut self, packets: usize) -> Self {
+        self.queue = packets.max(1);
+        self
+    }
+}
+
+/// Monotonic per-hop counters, shared with [`Router::hop_stats`].
+#[derive(Debug, Default)]
+struct HopCounters {
+    forwarded: AtomicU64,
+    dropped_loss: AtomicU64,
+    dropped_queue: AtomicU64,
+    duplicated: AtomicU64,
+    corrupted: AtomicU64,
+}
+
+/// Point-in-time copy of one hop's counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct HopStats {
+    /// Packets that exited the hop (counting duplicates).
+    pub forwarded: u64,
+    /// Packets dropped by the hop's loss model (GE or independent).
+    pub dropped_loss: u64,
+    /// Packets drop-tailed because the hop's queue was full.
+    pub dropped_queue: u64,
+    /// Extra copies created by duplication.
+    pub duplicated: u64,
+    /// Packets with a bit flipped in transit.
+    pub corrupted: u64,
+}
+
+/// Which way a packet is moving through the hop chain.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Dir {
+    /// Client → upstream: hops walked 0, 1, …, last.
+    Up,
+    /// Upstream → client: hops walked last, …, 1, 0.
+    Down,
+}
+
+/// One scheduled hop exit in the delivery heap (min-heap by due time).
+struct Event {
+    due: Instant,
+    id: u64,
+    hop: usize,
+    dir: Dir,
+    client: SocketAddr,
+    payload: Vec<u8>,
+}
+
+impl PartialEq for Event {
+    fn eq(&self, other: &Self) -> bool {
+        self.due == other.due && self.id == other.id
+    }
+}
+impl Eq for Event {}
+impl PartialOrd for Event {
+    fn partial_cmp(&self, other: &Self) -> Option<CmpOrdering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Event {
+    fn cmp(&self, other: &Self) -> CmpOrdering {
+        // Reversed: BinaryHeap is a max-heap, we want earliest-due first.
+        other
+            .due
+            .cmp(&self.due)
+            .then_with(|| other.id.cmp(&self.id))
+    }
+}
+
+/// Mutable per-hop state owned by the pump thread.
+struct HopState {
+    plan: HopPlan,
+    rng: ChaosRng,
+    ge_up: GeState,
+    ge_down: GeState,
+    inflight_up: usize,
+    inflight_down: usize,
+    counters: Arc<HopCounters>,
+}
+
+impl HopState {
+    fn inflight(&mut self, dir: Dir) -> &mut usize {
+        match dir {
+            Dir::Up => &mut self.inflight_up,
+            Dir::Down => &mut self.inflight_down,
+        }
+    }
+}
+
+/// The running router; see the module docs for the topology it models.
+pub struct Router {
+    ingress_addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    counters: Vec<Arc<HopCounters>>,
+    pump: Option<std::thread::JoinHandle<()>>,
+}
+
+impl Router {
+    /// Spawns a router forwarding between downstream clients (who send to
+    /// [`Router::addr`]) and the `upstream` peer, across `hops` (at least
+    /// one; walked in order on the way up, reversed on the way down).
+    /// All fault schedules derive deterministically from `seed`.
+    pub fn spawn(upstream: SocketAddr, hops: Vec<HopPlan>, seed: u64) -> io::Result<Router> {
+        let ingress = UdpSocket::bind(("127.0.0.1", 0))?;
+        ingress.set_nonblocking(true)?;
+        let ingress_addr = ingress.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let base = ChaosRng::new(seed);
+        let hops = if hops.is_empty() {
+            vec![HopPlan::new()]
+        } else {
+            hops
+        };
+        let states: Vec<HopState> = hops
+            .into_iter()
+            .enumerate()
+            .map(|(i, plan)| HopState {
+                plan,
+                rng: base.fork(i as u64),
+                ge_up: GeState::new(),
+                ge_down: GeState::new(),
+                inflight_up: 0,
+                inflight_down: 0,
+                counters: Arc::new(HopCounters::default()),
+            })
+            .collect();
+        let counters: Vec<Arc<HopCounters>> = states.iter().map(|s| Arc::clone(&s.counters)).collect();
+        let pump_stop = Arc::clone(&stop);
+        let pump = std::thread::spawn(move || pump_loop(ingress, upstream, states, pump_stop));
+        Ok(Router {
+            ingress_addr,
+            stop,
+            counters,
+            pump: Some(pump),
+        })
+    }
+
+    /// The address downstream clients send to (the NAT'd face of the
+    /// upstream peer).
+    pub fn addr(&self) -> SocketAddr {
+        self.ingress_addr
+    }
+
+    /// Current per-hop statistics, index 0 nearest the clients.
+    pub fn hop_stats(&self) -> Vec<HopStats> {
+        self.counters
+            .iter()
+            .map(|c| HopStats {
+                forwarded: c.forwarded.load(Ordering::Relaxed),
+                dropped_loss: c.dropped_loss.load(Ordering::Relaxed),
+                dropped_queue: c.dropped_queue.load(Ordering::Relaxed),
+                duplicated: c.duplicated.load(Ordering::Relaxed),
+                corrupted: c.corrupted.load(Ordering::Relaxed),
+            })
+            .collect()
+    }
+
+    /// Stops the pump thread and waits for it to exit.
+    pub fn stop(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(h) = self.pump.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for Router {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+/// The single pump thread: polls sockets, walks packets through hops via
+/// the delivery heap, and forwards them at their due instants.
+fn pump_loop(
+    ingress: UdpSocket,
+    upstream: SocketAddr,
+    mut hops: Vec<HopState>,
+    stop: Arc<AtomicBool>,
+) {
+    let mut heap: BinaryHeap<Event> = BinaryHeap::new();
+    let mut next_id: u64 = 0;
+    // NAT table: client address → egress socket the upstream replies to.
+    let mut nat: HashMap<SocketAddr, UdpSocket> = HashMap::new();
+    let mut buf = vec![0u8; 65_536];
+    let last_hop = hops.len() - 1;
+    while !stop.load(Ordering::Relaxed) {
+        let now = Instant::now();
+        // 1. Ingress: client → upstream packets enter hop 0.
+        while let Ok((n, client)) = ingress.recv_from(&mut buf) {
+            if !nat.contains_key(&client) {
+                if nat.len() >= NAT_CAPACITY {
+                    continue; // NAT full: new flows are refused.
+                }
+                let egress = match UdpSocket::bind(("127.0.0.1", 0)) {
+                    Ok(s) => s,
+                    Err(_) => continue,
+                };
+                if egress.set_nonblocking(true).is_err() || egress.connect(upstream).is_err() {
+                    continue;
+                }
+                nat.insert(client, egress);
+            }
+            admit(
+                &mut hops,
+                &mut heap,
+                &mut next_id,
+                0,
+                Dir::Up,
+                client,
+                buf[..n].to_vec(),
+                now,
+            );
+        }
+        // 2. Egress sockets: upstream → client replies enter the last hop.
+        for (&client, egress) in &nat {
+            while let Ok(n) = egress.recv(&mut buf) {
+                admit(
+                    &mut hops,
+                    &mut heap,
+                    &mut next_id,
+                    last_hop,
+                    Dir::Down,
+                    client,
+                    buf[..n].to_vec(),
+                    now,
+                );
+            }
+        }
+        // 3. Deliver everything due: either on to the next hop or out a
+        //    socket.
+        while heap.peek().is_some_and(|e| e.due <= now) {
+            let Some(ev) = heap.pop() else { break };
+            *hops[ev.hop].inflight(ev.dir) -= 1;
+            hops[ev.hop].counters.forwarded.fetch_add(1, Ordering::Relaxed);
+            match ev.dir {
+                Dir::Up => {
+                    if ev.hop < last_hop {
+                        admit(
+                            &mut hops,
+                            &mut heap,
+                            &mut next_id,
+                            ev.hop + 1,
+                            Dir::Up,
+                            ev.client,
+                            ev.payload,
+                            ev.due,
+                        );
+                    } else if let Some(egress) = nat.get(&ev.client) {
+                        let _ = egress.send(&ev.payload);
+                    }
+                }
+                Dir::Down => {
+                    if ev.hop > 0 {
+                        admit(
+                            &mut hops,
+                            &mut heap,
+                            &mut next_id,
+                            ev.hop - 1,
+                            Dir::Down,
+                            ev.client,
+                            ev.payload,
+                            ev.due,
+                        );
+                    } else {
+                        let _ = ingress.send_to(&ev.payload, ev.client);
+                    }
+                }
+            }
+        }
+        // 4. Sleep until the next due event, briefly if idle.
+        let parked = heap
+            .peek()
+            .map(|e| e.due.saturating_duration_since(Instant::now()))
+            .unwrap_or(Duration::from_millis(1))
+            .min(Duration::from_millis(1));
+        std::thread::sleep(parked.max(Duration::from_micros(100)));
+    }
+}
+
+/// Applies hop `h`'s faults to a packet and, if it survives, schedules
+/// its exit from the hop.
+#[allow(clippy::too_many_arguments)]
+fn admit(
+    hops: &mut [HopState],
+    heap: &mut BinaryHeap<Event>,
+    next_id: &mut u64,
+    h: usize,
+    dir: Dir,
+    client: SocketAddr,
+    mut payload: Vec<u8>,
+    now: Instant,
+) {
+    let hop = &mut hops[h];
+    if *hop.inflight(dir) >= hop.plan.queue {
+        hop.counters.dropped_queue.fetch_add(1, Ordering::Relaxed);
+        return;
+    }
+    let ge_lost = match hop.plan.ge {
+        Some(ge) => match dir {
+            Dir::Up => hop.ge_up.step(&ge, &mut hop.rng),
+            Dir::Down => hop.ge_down.step(&ge, &mut hop.rng),
+        },
+        None => false,
+    };
+    if ge_lost || (hop.plan.drop > 0.0 && hop.rng.chance(hop.plan.drop)) {
+        hop.counters.dropped_loss.fetch_add(1, Ordering::Relaxed);
+        return;
+    }
+    if hop.plan.corrupt > 0.0 && hop.rng.chance(hop.plan.corrupt) && !payload.is_empty() {
+        let i = hop.rng.range(0, payload.len());
+        let bit = 1u8 << hop.rng.range(0, 8);
+        payload[i] ^= bit;
+        hop.counters.corrupted.fetch_add(1, Ordering::Relaxed);
+    }
+    let copies = if hop.plan.dup > 0.0 && hop.rng.chance(hop.plan.dup) {
+        hop.counters.duplicated.fetch_add(1, Ordering::Relaxed);
+        2
+    } else {
+        1
+    };
+    for _ in 0..copies {
+        if *hop.inflight(dir) >= hop.plan.queue {
+            hop.counters.dropped_queue.fetch_add(1, Ordering::Relaxed);
+            break;
+        }
+        let jitter = if hop.plan.jitter > Duration::ZERO {
+            hop.plan.jitter.mul_f64(hop.rng.next_f64())
+        } else {
+            Duration::ZERO
+        };
+        let due = now + hop.plan.base_delay + jitter;
+        *hop.inflight(dir) += 1;
+        heap.push(Event {
+            due,
+            id: *next_id,
+            hop: h,
+            dir,
+            client,
+            payload: payload.clone(),
+        });
+        *next_id += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    /// An echo server that prefixes replies with `!`.
+    fn echo_upstream() -> (SocketAddr, std::thread::JoinHandle<()>, Arc<AtomicBool>) {
+        let sock = UdpSocket::bind(("127.0.0.1", 0)).unwrap();
+        sock.set_read_timeout(Some(Duration::from_millis(20)))
+            .unwrap();
+        let addr = sock.local_addr().unwrap();
+        let stop = Arc::new(AtomicBool::new(false));
+        let tstop = Arc::clone(&stop);
+        let h = std::thread::spawn(move || {
+            let mut buf = [0u8; 2048];
+            while !tstop.load(Ordering::Relaxed) {
+                if let Ok((n, from)) = sock.recv_from(&mut buf) {
+                    let mut reply = vec![b'!'];
+                    reply.extend_from_slice(&buf[..n]);
+                    let _ = sock.send_to(&reply, from);
+                }
+            }
+        });
+        (addr, h, stop)
+    }
+
+    #[test]
+    fn clean_hops_round_trip_with_nat() {
+        let (upstream, h, stop) = echo_upstream();
+        let router = Router::spawn(upstream, vec![HopPlan::new(), HopPlan::new()], 1).unwrap();
+
+        let client = UdpSocket::bind(("127.0.0.1", 0)).unwrap();
+        client.connect(router.addr()).unwrap();
+        client
+            .set_read_timeout(Some(Duration::from_millis(500)))
+            .unwrap();
+        client.send(b"hello").unwrap();
+        let mut buf = [0u8; 64];
+        let n = client.recv(&mut buf).unwrap();
+        assert_eq!(&buf[..n], b"!hello");
+
+        let stats = router.hop_stats();
+        assert_eq!(stats.len(), 2);
+        // Request and reply each crossed both hops.
+        assert!(stats.iter().all(|s| s.forwarded >= 2), "{stats:?}");
+        stop.store(true, Ordering::Relaxed);
+        h.join().unwrap();
+    }
+
+    #[test]
+    fn total_loss_hop_blackholes() {
+        let (upstream, h, stop) = echo_upstream();
+        let router =
+            Router::spawn(upstream, vec![HopPlan::new().drop(1.0)], 2).unwrap();
+        let client = UdpSocket::bind(("127.0.0.1", 0)).unwrap();
+        client.connect(router.addr()).unwrap();
+        client
+            .set_read_timeout(Some(Duration::from_millis(100)))
+            .unwrap();
+        client.send(b"void").unwrap();
+        let mut buf = [0u8; 64];
+        assert!(client.recv(&mut buf).is_err());
+        assert!(router.hop_stats()[0].dropped_loss >= 1);
+        stop.store(true, Ordering::Relaxed);
+        h.join().unwrap();
+    }
+
+    #[test]
+    fn ge_burst_loss_is_deterministic() {
+        let ge = GilbertElliott::bursty(0.3, 4.0);
+        let mut runs = Vec::new();
+        for _ in 0..2 {
+            let mut st = GeState::new();
+            let mut rng = ChaosRng::new(99);
+            let losses: Vec<bool> = (0..200).map(|_| st.step(&ge, &mut rng)).collect();
+            runs.push(losses);
+        }
+        assert_eq!(runs[0], runs[1], "same seed must reproduce the schedule");
+        let lost = runs[0].iter().filter(|&&l| l).count();
+        assert!((20..=120).contains(&lost), "lost = {lost}");
+        // Losses must cluster: count loss runs >= 2.
+        let bursts = runs[0]
+            .windows(2)
+            .filter(|w| w[0] && w[1])
+            .count();
+        assert!(bursts > 0, "GE losses should come in bursts");
+    }
+
+    #[test]
+    fn delayed_hop_adds_latency() {
+        let (upstream, h, stop) = echo_upstream();
+        let router = Router::spawn(
+            upstream,
+            vec![HopPlan::new().base_delay(Duration::from_millis(30))],
+            3,
+        )
+        .unwrap();
+        let client = UdpSocket::bind(("127.0.0.1", 0)).unwrap();
+        client.connect(router.addr()).unwrap();
+        client
+            .set_read_timeout(Some(Duration::from_millis(1000)))
+            .unwrap();
+        let t0 = Instant::now();
+        client.send(b"slow").unwrap();
+        let mut buf = [0u8; 64];
+        let n = client.recv(&mut buf).unwrap();
+        assert_eq!(&buf[..n], b"!slow");
+        // 30 ms each way, minus scheduling slack.
+        assert!(t0.elapsed() >= Duration::from_millis(50), "{:?}", t0.elapsed());
+        stop.store(true, Ordering::Relaxed);
+        h.join().unwrap();
+    }
+
+    #[test]
+    fn queue_bound_drop_tails() {
+        let (upstream, h, stop) = echo_upstream();
+        // Long delay + tiny queue: a burst must overflow it.
+        let router = Router::spawn(
+            upstream,
+            vec![HopPlan::new()
+                .base_delay(Duration::from_millis(200))
+                .queue(2)],
+            4,
+        )
+        .unwrap();
+        let client = UdpSocket::bind(("127.0.0.1", 0)).unwrap();
+        client.connect(router.addr()).unwrap();
+        for _ in 0..20 {
+            client.send(b"burst").unwrap();
+        }
+        // Give the pump a moment to ingest the burst.
+        std::thread::sleep(Duration::from_millis(100));
+        assert!(router.hop_stats()[0].dropped_queue > 0);
+        stop.store(true, Ordering::Relaxed);
+        h.join().unwrap();
+    }
+}

@@ -1,6 +1,6 @@
 //! A fault-injecting wrapper over a UDP socket.
 
-use crate::plan::UdpFaultPlan;
+use crate::plan::{GeState, UdpFaultPlan};
 use crate::rng::ChaosRng;
 use std::io;
 use std::net::{SocketAddr, UdpSocket};
@@ -10,8 +10,13 @@ use std::time::Duration;
 struct UdpFaultState {
     plan: UdpFaultPlan,
     rng: ChaosRng,
-    /// A datagram held back for reordering, released after the next send.
-    held: Option<Vec<u8>>,
+    /// Datagrams held back for reordering, each with a countdown of
+    /// subsequent sends before release (bounded by the reorder window).
+    held: Vec<(Vec<u8>, usize)>,
+    /// Gilbert–Elliott chain for the send direction.
+    ge_send: GeState,
+    /// Gilbert–Elliott chain for the receive direction.
+    ge_recv: GeState,
     dropped: u64,
     duplicated: u64,
     reordered: u64,
@@ -38,7 +43,9 @@ impl ChaosUdp {
             state: Mutex::new(UdpFaultState {
                 plan,
                 rng,
-                held: None,
+                held: Vec::new(),
+                ge_send: GeState::new(),
+                ge_recv: GeState::new(),
                 dropped: 0,
                 duplicated: 0,
                 reordered: 0,
@@ -76,10 +83,25 @@ impl ChaosUdp {
             let latency_chance = st.plan.latency_chance;
             let delay =
                 (latency_chance > 0.0 && st.rng.chance(latency_chance)).then_some(st.plan.latency);
+            // Tick held datagrams; the ones whose countdown expires go
+            // out after the current datagram (arriving displaced).
+            let mut released: Vec<Vec<u8>> = Vec::new();
+            st.held.retain_mut(|(payload, countdown)| {
+                *countdown -= 1;
+                if *countdown == 0 {
+                    released.push(std::mem::take(payload));
+                    false
+                } else {
+                    true
+                }
+            });
             // Decide this datagram's fate.
             let mut to_send: Vec<Vec<u8>> = Vec::new();
-            let released = st.held.take();
-            if st.plan.drop_send > 0.0 && st.rng.chance(st.plan.drop_send) {
+            let ge_lost = match st.plan.ge_send {
+                Some(ge) => st.ge_send.step(&ge, &mut st.rng),
+                None => false,
+            };
+            if ge_lost || (st.plan.drop_send > 0.0 && st.rng.chance(st.plan.drop_send)) {
                 st.dropped += 1;
             } else {
                 let mut payload = buf.to_vec();
@@ -88,12 +110,15 @@ impl ChaosUdp {
                     st.corrupted += 1;
                 }
                 let dup = st.plan.dup_send > 0.0 && st.rng.chance(st.plan.dup_send);
-                if released.is_none()
+                let window = st.plan.reorder_window.max(1);
+                if released.is_empty()
+                    && st.held.len() < window
                     && st.plan.reorder_send > 0.0
                     && st.rng.chance(st.plan.reorder_send)
                 {
-                    // Hold this one back; it goes out after the next send.
-                    st.held = Some(payload);
+                    // Hold this one back for 1..=window subsequent sends.
+                    let countdown = st.rng.range(1, window + 1).max(1);
+                    st.held.push((payload, countdown));
                     st.reordered += 1;
                 } else {
                     if dup {
@@ -103,11 +128,7 @@ impl ChaosUdp {
                     to_send.push(payload);
                 }
             }
-            // A previously held datagram goes out now, after the current
-            // one — the pair arrives in swapped order.
-            if let Some(old) = released {
-                to_send.push(old);
-            }
+            to_send.extend(released);
             (delay, to_send)
         };
         if let Some(d) = delay {
@@ -128,7 +149,11 @@ impl ChaosUdp {
             let n = self.socket.recv(buf)?;
             let mut guard = self.state.lock().expect("chaos state poisoned");
             let st = &mut *guard;
-            if st.plan.drop_recv > 0.0 && st.rng.chance(st.plan.drop_recv) {
+            let ge_lost = match st.plan.ge_recv {
+                Some(ge) => st.ge_recv.step(&ge, &mut st.rng),
+                None => false,
+            };
+            if ge_lost || (st.plan.drop_recv > 0.0 && st.rng.chance(st.plan.drop_recv)) {
                 st.dropped += 1;
                 continue;
             }
@@ -143,6 +168,11 @@ impl ChaosUdp {
     /// Sets the read timeout on the wrapped socket.
     pub fn set_read_timeout(&self, dur: Option<Duration>) -> io::Result<()> {
         self.socket.set_read_timeout(dur)
+    }
+
+    /// Sets non-blocking mode on the wrapped socket.
+    pub fn set_nonblocking(&self, nb: bool) -> io::Result<()> {
+        self.socket.set_nonblocking(nb)
     }
 
     /// The wrapped socket's local address.

@@ -25,18 +25,26 @@
 //!   current, hookswitch, and an in-line DTMF decoder.
 //! * [`lineserver`] — the LineServer's UDP wire protocol and a firmware
 //!   task speaking it over a real socket.
+//! * [`fec`] — forward error correction for the LineServer's UDP audio
+//!   path: GF(256) parity groups (shard 0 is plain XOR) with CRC framing.
+//! * [`jitter`] — the adaptive jitter buffer the Als backend plays
+//!   recorded audio through when the link crosses a lossy WAN.
 
 #![forbid(unsafe_code)]
 pub mod clock;
+pub mod fec;
 pub mod file_io;
 pub mod hardware;
 pub mod io;
+pub mod jitter;
 pub mod lineserver;
 pub mod phone;
 pub mod ring;
 
 pub use clock::{Clock, SharedClock, SystemClock, VirtualClock};
+pub use fec::{FecConfig, FecDecoder, FecEncoder, FecFrame};
 pub use file_io::{FileSink, FileSource};
+pub use jitter::{JitterBuffer, LinkStats};
 pub use hardware::VirtualAudioHw;
 pub use io::{CaptureSink, NullSink, SampleSink, SampleSource, SilenceSource, ToneSource, Wire};
 pub use phone::{PhoneLine, PhoneSignal};

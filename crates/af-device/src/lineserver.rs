@@ -14,9 +14,12 @@
 //! `Als`-style device backend.
 
 use crate::clock::SharedClock;
+use crate::fec::{FecConfig, FecDecoder, FecDecoderStats, FecEncoder, FecFrame};
 use crate::hardware::{HwConfig, VirtualAudioHw};
 use crate::io::{SampleSink, SampleSource};
 use af_time::ATime;
+use std::collections::{HashMap, VecDeque};
+use std::fmt;
 use std::io;
 use std::net::{SocketAddr, UdpSocket};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -37,6 +40,59 @@ pub const LS_NUM_REGS: usize = 16;
 pub const LS_REG_OUTPUT_GAIN: u8 = 0;
 /// Register index: input gain.
 pub const LS_REG_INPUT_GAIN: u8 = 1;
+/// Register index: FEC group shape, `(k << 8) | m`; zero disables FEC.
+/// Written by the workstation at link setup; while non-zero the firmware
+/// wraps `Record` replies in FEC frames and accepts FEC-framed one-way
+/// requests (`Play`) from the peer.
+pub const LS_REG_FEC: u8 = 2;
+
+/// How many distinct peers the firmware keeps FEC / sequence state for
+/// before recycling (a real box served exactly one workstation).
+const LS_MAX_PEERS: usize = 16;
+
+/// How many out-of-band audio packets (stale or FEC-recovered `Record`
+/// replies) a link queues for the backend before dropping the oldest.
+const LINK_AUDIO_QUEUE: usize = 64;
+
+/// Why a [`LineServerLink`] transaction failed.
+#[derive(Debug)]
+pub enum LinkError {
+    /// The LineServer never replied: every attempt (original send plus
+    /// retransmissions) timed out.  The link should be treated as down
+    /// and the backend should free-run rather than keep blocking on it.
+    Down {
+        /// Total attempts made before giving up.
+        attempts: u32,
+    },
+    /// The local socket failed outright (not a timeout).
+    Io(io::Error),
+}
+
+impl fmt::Display for LinkError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LinkError::Down { attempts } => {
+                write!(f, "LineServer link down: no reply after {attempts} attempts")
+            }
+            LinkError::Io(e) => write!(f, "LineServer link I/O error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for LinkError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            LinkError::Down { .. } => None,
+            LinkError::Io(e) => Some(e),
+        }
+    }
+}
+
+impl From<io::Error> for LinkError {
+    fn from(e: io::Error) -> LinkError {
+        LinkError::Io(e)
+    }
+}
 
 /// The six packet function codes.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -131,6 +187,13 @@ pub struct LineServerFirmware {
     hw: VirtualAudioHw,
     regs: [u16; LS_NUM_REGS],
     stop: Arc<AtomicBool>,
+    /// Per-peer FEC encoders for outbound `Record` replies (active while
+    /// the FEC register is non-zero).
+    fec_tx: HashMap<SocketAddr, FecEncoder>,
+    /// Per-peer FEC decoders for inbound one-way frames.
+    fec_rx: HashMap<SocketAddr, FecDecoder>,
+    /// Highest executed request sequence per peer, for the stale guard.
+    last_seq: HashMap<SocketAddr, u32>,
 }
 
 impl LineServerFirmware {
@@ -158,6 +221,9 @@ impl LineServerFirmware {
                 hw: VirtualAudioHw::new(cfg, clock, sink, source),
                 regs: [0; LS_NUM_REGS],
                 stop: Arc::new(AtomicBool::new(false)),
+                fec_tx: HashMap::new(),
+                fec_rx: HashMap::new(),
+                last_seq: HashMap::new(),
             },
             addr,
         ))
@@ -175,40 +241,106 @@ impl LineServerFirmware {
     /// request whose `(peer, seq)` matches a recent exchange is answered
     /// with the original reply bytes instead of being executed again, so a
     /// link that times out and resends cannot double-play samples or
-    /// double-apply register writes.
+    /// double-apply register writes.  A per-peer high-water sequence mark
+    /// backs the cache up: a retransmission old enough to have been
+    /// evicted is dropped silently rather than re-executed, preserving
+    /// at-most-once past the cache horizon.
     pub fn run(mut self) {
         let mut buf = vec![0u8; 65_536];
-        let mut cache: std::collections::VecDeque<(SocketAddr, u32, Vec<u8>)> =
-            std::collections::VecDeque::with_capacity(LS_REPLY_CACHE);
+        let mut cache: VecDeque<(SocketAddr, u32, Vec<u8>)> =
+            VecDeque::with_capacity(LS_REPLY_CACHE);
         while !self.stop.load(Ordering::Relaxed) {
             // Interrupt-driven sample movement, batched.
             self.hw.service();
             match self.socket.recv_from(&mut buf) {
-                Ok((n, peer)) => {
-                    if let Some(req) = LsPacket::decode(&buf[..n]) {
-                        let seq = req.seq;
-                        if let Some((_, _, bytes)) =
-                            cache.iter().find(|(p, s, _)| *p == peer && *s == seq)
-                        {
-                            let _ = self.socket.send_to(bytes, peer);
-                        } else {
-                            let encoded = self.process(req).encode();
-                            let _ = self.socket.send_to(&encoded, peer);
-                            if cache.len() == LS_REPLY_CACHE {
-                                cache.pop_front();
-                            }
-                            cache.push_back((peer, seq, encoded));
-                        }
-                    }
-                    // Malformed packets are dropped silently, as firmware
-                    // would.
-                }
+                Ok((n, peer)) => self.handle_datagram(&buf[..n], peer, &mut cache),
                 Err(e)
                     if e.kind() == io::ErrorKind::WouldBlock
                         || e.kind() == io::ErrorKind::TimedOut => {}
                 Err(_) => break,
             }
         }
+    }
+
+    /// Handles one inbound datagram: an FEC frame carrying one-way inner
+    /// requests, or a plain request/reply exchange.
+    fn handle_datagram(
+        &mut self,
+        bytes: &[u8],
+        peer: SocketAddr,
+        cache: &mut VecDeque<(SocketAddr, u32, Vec<u8>)>,
+    ) {
+        // FEC frames first: the magic + CRC check makes a false positive
+        // against a plain packet practically impossible, while a plain
+        // decode of an FEC frame could succeed by accident.
+        if let Some(frame) = FecFrame::decode(bytes) {
+            if !self.fec_rx.contains_key(&peer) && self.fec_rx.len() >= LS_MAX_PEERS {
+                self.fec_rx.clear();
+            }
+            let payloads = self.fec_rx.entry(peer).or_default().push(frame);
+            for payload in payloads {
+                // One-way inner requests (play traffic): executed, reply
+                // discarded; duplicates were already shed by the decoder
+                // and replayed `Play` writes are idempotent.
+                if let Some(req) = LsPacket::decode(&payload) {
+                    let _ = self.process(req);
+                }
+            }
+            return;
+        }
+        let Some(req) = LsPacket::decode(bytes) else {
+            return; // Malformed packets dropped silently, as firmware would.
+        };
+        let seq = req.seq;
+        if let Some((_, _, bytes)) = cache.iter().find(|(p, s, _)| *p == peer && *s == seq) {
+            let _ = self.socket.send_to(bytes, peer);
+            return;
+        }
+        // Not cached: drop it silently if it is older than the newest
+        // executed request from this peer — a retransmission whose cache
+        // entry was evicted must not re-execute.
+        if let Some(&last) = self.last_seq.get(&peer) {
+            if seq.wrapping_sub(last) as i32 <= 0 {
+                return;
+            }
+        }
+        if !self.last_seq.contains_key(&peer) && self.last_seq.len() >= LS_MAX_PEERS {
+            self.last_seq.clear();
+        }
+        self.last_seq.insert(peer, seq);
+        let reply = self.process(req);
+        let encoded = reply.encode();
+        // While FEC is enabled, Record replies — the loss-sensitive,
+        // unretried audio path — go out wrapped in FEC frames; everything
+        // else stays plain so the reliable transact path is untouched.
+        let mut sent_fec = false;
+        if reply.function == LsFunction::Record {
+            if let Some(cfg) = FecConfig::from_reg(self.regs[usize::from(LS_REG_FEC)]) {
+                if !self.fec_tx.contains_key(&peer) && self.fec_tx.len() >= LS_MAX_PEERS {
+                    self.fec_tx.clear();
+                }
+                let enc = self
+                    .fec_tx
+                    .entry(peer)
+                    .or_insert_with(|| FecEncoder::new(cfg));
+                if enc.config() != cfg {
+                    *enc = FecEncoder::new(cfg);
+                }
+                for frame in enc.push(&encoded) {
+                    let _ = self.socket.send_to(&frame, peer);
+                }
+                sent_fec = true;
+            }
+        }
+        if !sent_fec {
+            let _ = self.socket.send_to(&encoded, peer);
+        }
+        if cache.len() == LS_REPLY_CACHE {
+            cache.pop_front();
+        }
+        // The cache keeps the *plain* reply: a retransmitted request gets
+        // a direct answer even if the FEC'd original was lost.
+        cache.push_back((peer, seq, encoded));
     }
 
     /// Processes one request into its reply.
@@ -231,6 +363,11 @@ impl LineServerFirmware {
                 let mut data = vec![0u8; n as usize];
                 self.hw.read_rec(req.time, &mut data);
                 reply.data = data;
+                // A Record reply's time is the *sample start time* (the
+                // request's), not "now": a late or FEC-recovered reply
+                // must still say where its samples belong on the device
+                // timeline so the jitter buffer can slot them in.
+                reply.time = req.time;
             }
             LsFunction::ReadReg => {
                 reply.aux = self
@@ -259,7 +396,9 @@ impl LineServerFirmware {
 /// socket or a fault-injecting [`af_chaos::ChaosUdp`] wrapper for tests.
 enum LinkSocket {
     Plain(UdpSocket),
-    Chaos(af_chaos::ChaosUdp),
+    // Boxed: ChaosUdp carries its whole fault plan inline and would bloat
+    // the common plain-socket case.
+    Chaos(Box<af_chaos::ChaosUdp>),
 }
 
 impl LinkSocket {
@@ -283,6 +422,13 @@ impl LinkSocket {
             LinkSocket::Chaos(s) => s.set_read_timeout(dur),
         }
     }
+
+    fn set_nonblocking(&self, nb: bool) -> io::Result<()> {
+        match self {
+            LinkSocket::Plain(s) => s.set_nonblocking(nb),
+            LinkSocket::Chaos(s) => s.set_nonblocking(nb),
+        }
+    }
 }
 
 /// The workstation side of the private protocol, used by the `Als` backend.
@@ -291,6 +437,19 @@ pub struct LineServerLink {
     next_seq: u32,
     /// `(local instant, remote time)` of the last reply, for time estimates.
     last_observation: Option<(std::time::Instant, ATime)>,
+    /// Encoder for outbound one-way FEC traffic, set by [`Self::enable_fec`].
+    fec_tx: Option<FecEncoder>,
+    /// Decoder for inbound FEC frames (Record replies), always live.
+    fec_rx: FecDecoder,
+    /// Audio-bearing packets that arrived outside their own transaction:
+    /// stale (post-timeout) and FEC-recovered `Record` replies.  The
+    /// backend drains these into its jitter buffer instead of losing them.
+    pending_audio: VecDeque<LsPacket>,
+    /// Retransmissions performed across all transactions.
+    retransmits: u64,
+    /// Inbound datagrams that decoded as neither FEC frame nor packet
+    /// (truncated or corrupted; CRC rejections land here too).
+    undecodable: u64,
 }
 
 impl LineServerLink {
@@ -299,11 +458,7 @@ impl LineServerLink {
         let socket = UdpSocket::bind(("127.0.0.1", 0))?;
         socket.connect(addr)?;
         socket.set_read_timeout(Some(Duration::from_millis(100)))?;
-        Ok(LineServerLink {
-            socket: LinkSocket::Plain(socket),
-            next_seq: 1,
-            last_observation: None,
-        })
+        Ok(LineServerLink::from_socket(LinkSocket::Plain(socket)))
     }
 
     /// Connects through a fault-injecting UDP wrapper: every datagram in
@@ -315,11 +470,45 @@ impl LineServerLink {
     ) -> io::Result<LineServerLink> {
         let socket = af_chaos::ChaosUdp::connect(addr, plan)?;
         socket.set_read_timeout(Some(Duration::from_millis(100)))?;
-        Ok(LineServerLink {
-            socket: LinkSocket::Chaos(socket),
+        Ok(LineServerLink::from_socket(LinkSocket::Chaos(Box::new(socket))))
+    }
+
+    fn from_socket(socket: LinkSocket) -> LineServerLink {
+        LineServerLink {
+            socket,
             next_seq: 1,
             last_observation: None,
-        })
+            fec_tx: None,
+            fec_rx: FecDecoder::new(),
+            pending_audio: VecDeque::new(),
+            retransmits: 0,
+            undecodable: 0,
+        }
+    }
+
+    /// Negotiates FEC with the LineServer: writes the group shape into
+    /// [`LS_REG_FEC`] over the reliable transact path, then FEC-frames
+    /// outbound one-way traffic.  Returns the shape actually in force.
+    /// On failure the link simply stays in plain mode.
+    pub fn enable_fec(&mut self, cfg: FecConfig, retries: u32) -> Result<FecConfig, LinkError> {
+        self.transact(
+            LsPacket {
+                seq: 0,
+                time: ATime::ZERO,
+                function: LsFunction::WriteReg,
+                param: LS_REG_FEC,
+                aux: cfg.to_reg(),
+                data: Vec::new(),
+            },
+            retries,
+        )?;
+        self.fec_tx = Some(FecEncoder::new(cfg));
+        Ok(cfg)
+    }
+
+    /// Whether [`Self::enable_fec`] has succeeded on this link.
+    pub fn fec_enabled(&self) -> bool {
+        self.fec_tx.is_some()
     }
 
     /// Bounds how long one attempt waits for a reply before retransmitting.
@@ -342,10 +531,12 @@ impl LineServerLink {
     /// Retransmission is safe for every function — including `Play` and
     /// register writes — because the firmware answers a repeated sequence
     /// number from its reply cache instead of executing it again.  Replies
-    /// to earlier, timed-out sequence numbers are recognized as stale and
-    /// skipped.  Callers on the real-time path should still keep `retries`
-    /// small: a retried play is late by at least one reply timeout.
-    pub fn transact(&mut self, mut req: LsPacket, retries: u32) -> io::Result<LsPacket> {
+    /// to earlier, timed-out sequence numbers are not discarded: if they
+    /// carry audio they are queued for [`Self::take_audio`], otherwise
+    /// they are skipped.  When every attempt times out the link reports
+    /// [`LinkError::Down`] so the caller can free-run immediately instead
+    /// of blocking its next request on a dead peer.
+    pub fn transact(&mut self, mut req: LsPacket, retries: u32) -> Result<LsPacket, LinkError> {
         req.seq = self.next_seq;
         self.next_seq = self.next_seq.wrapping_add(1);
         let encoded = req.encode();
@@ -355,33 +546,134 @@ impl LineServerLink {
         loop {
             match self.socket.recv(&mut buf) {
                 Ok(n) => {
-                    if let Some(reply) = LsPacket::decode(&buf[..n]) {
-                        if reply.seq == req.seq {
-                            self.last_observation = Some((std::time::Instant::now(), reply.time));
-                            return Ok(reply);
+                    let bytes = buf[..n].to_vec();
+                    if let Some(reply) = self.accept_datagram(&bytes, Some(req.seq)) {
+                        // Record replies carry their sample start time, not
+                        // the remote "now" — only the other functions are
+                        // clock observations.
+                        if reply.function != LsFunction::Record {
+                            self.last_observation =
+                                Some((std::time::Instant::now(), reply.time));
                         }
-                        // Stale reply from a timed-out earlier exchange:
-                        // keep waiting within this attempt.
+                        return Ok(reply);
                     }
-                    // Undecodable (truncated or corrupted) datagrams are
-                    // ignored the same way.
                 }
                 Err(e)
                     if e.kind() == io::ErrorKind::WouldBlock
                         || e.kind() == io::ErrorKind::TimedOut =>
                 {
                     if attempts >= retries {
-                        return Err(io::Error::new(
-                            io::ErrorKind::TimedOut,
-                            "LineServer did not reply",
-                        ));
+                        return Err(LinkError::Down {
+                            attempts: attempts + 1,
+                        });
                     }
                     attempts += 1;
+                    self.retransmits += 1;
                     self.socket.send(&encoded)?;
                 }
-                Err(e) => return Err(e),
+                Err(e) => return Err(LinkError::Io(e)),
             }
         }
+    }
+
+    /// Sends one request without waiting for any reply, FEC-framed when
+    /// [`Self::enable_fec`] is active.  This is the WAN play path: loss is
+    /// absorbed by parity (and by the play buffer's tolerance), never by
+    /// a blocking retransmission.
+    pub fn send_oneway(&mut self, mut req: LsPacket) -> Result<(), LinkError> {
+        req.seq = self.next_seq;
+        self.next_seq = self.next_seq.wrapping_add(1);
+        let encoded = req.encode();
+        match &mut self.fec_tx {
+            Some(enc) => {
+                for frame in enc.push(&encoded) {
+                    self.socket.send(&frame)?;
+                }
+            }
+            None => {
+                self.socket.send(&encoded)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Drains every datagram already queued on the socket without
+    /// blocking, routing audio-bearing packets to [`Self::take_audio`].
+    /// The backend calls this between transactions so FEC parity and
+    /// late replies are folded in promptly.
+    pub fn poll(&mut self) {
+        if self.socket.set_nonblocking(true).is_err() {
+            return;
+        }
+        let mut buf = vec![0u8; 65_536];
+        while let Ok(n) = self.socket.recv(&mut buf) {
+            let bytes = buf[..n].to_vec();
+            let _ = self.accept_datagram(&bytes, None);
+        }
+        let _ = self.socket.set_nonblocking(false);
+    }
+
+    /// Takes the audio-bearing packets that arrived outside their own
+    /// transaction (stale or FEC-recovered `Record` replies).
+    pub fn take_audio(&mut self) -> Vec<LsPacket> {
+        self.pending_audio.drain(..).collect()
+    }
+
+    /// FEC receive-side counters for this link.
+    pub fn fec_stats(&self) -> FecDecoderStats {
+        self.fec_rx.stats()
+    }
+
+    /// Total retransmissions performed by [`Self::transact`] so far.
+    pub fn retransmit_count(&self) -> u64 {
+        self.retransmits
+    }
+
+    /// Inbound datagrams rejected as undecodable (framing or CRC).
+    pub fn undecodable_count(&self) -> u64 {
+        self.undecodable
+    }
+
+    /// Classifies one inbound datagram.  Returns the packet matching
+    /// `want_seq` if present; all other audio-bearing packets (from FEC
+    /// recovery or stale replies) are queued for [`Self::take_audio`].
+    fn accept_datagram(&mut self, bytes: &[u8], want_seq: Option<u32>) -> Option<LsPacket> {
+        // FEC first: magic + CRC make misclassification of a plain packet
+        // practically impossible, and one frame can release several inner
+        // packets (the lost one plus the parity that repaired it).
+        if let Some(frame) = FecFrame::decode(bytes) {
+            let mut hit = None;
+            for payload in self.fec_rx.push(frame) {
+                if let Some(pkt) = LsPacket::decode(&payload) {
+                    if hit.is_none() && want_seq == Some(pkt.seq) {
+                        hit = Some(pkt);
+                    } else {
+                        self.queue_audio(pkt);
+                    }
+                }
+            }
+            return hit;
+        }
+        let Some(pkt) = LsPacket::decode(bytes) else {
+            self.undecodable += 1;
+            return None;
+        };
+        if want_seq == Some(pkt.seq) {
+            return Some(pkt);
+        }
+        self.queue_audio(pkt);
+        None
+    }
+
+    /// Queues an out-of-band packet if it carries recorded audio.
+    fn queue_audio(&mut self, pkt: LsPacket) {
+        if pkt.function != LsFunction::Record || pkt.data.is_empty() {
+            return;
+        }
+        if self.pending_audio.len() >= LINK_AUDIO_QUEUE {
+            self.pending_audio.pop_front();
+        }
+        self.pending_audio.push_back(pkt);
     }
 
     /// Estimates the LineServer's current device time from the time stamp of
@@ -618,6 +910,82 @@ mod tests {
             third.time.ticks() > first.time.ticks(),
             "new seq must be re-executed"
         );
+
+        stop.store(true, Ordering::Relaxed);
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn stale_retransmit_past_cache_horizon_is_not_reexecuted() {
+        // The eviction edge: a retransmission old enough to have fallen
+        // out of the 32-entry reply cache must be dropped silently by the
+        // stale-sequence guard — not executed a second time.
+        let clock = Arc::new(VirtualClock::new(8000));
+        let (addr, stop, handle) = booted(clock.clone());
+
+        let sock = UdpSocket::bind(("127.0.0.1", 0)).unwrap();
+        sock.connect(addr).unwrap();
+        sock.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+        let mut buf = vec![0u8; 65_536];
+
+        // seq 1: set the output gain to 1.
+        let stale = LsPacket {
+            seq: 1,
+            time: ATime::ZERO,
+            function: LsFunction::WriteReg,
+            param: LS_REG_OUTPUT_GAIN,
+            aux: 1,
+            data: vec![],
+        }
+        .encode();
+        sock.send(&stale).unwrap();
+        sock.recv(&mut buf).unwrap();
+
+        // Overwrite the gain, then push the cache well past seq 1 with a
+        // full window of newer exchanges.
+        for seq in 2..2 + LS_REPLY_CACHE as u32 + 4 {
+            let function = if seq == 2 {
+                LsFunction::WriteReg
+            } else {
+                LsFunction::Loopback
+            };
+            let req = LsPacket {
+                seq,
+                time: ATime::ZERO,
+                function,
+                param: LS_REG_OUTPUT_GAIN,
+                aux: 9,
+                data: vec![],
+            };
+            sock.send(&req.encode()).unwrap();
+            sock.recv(&mut buf).unwrap();
+        }
+
+        // Retransmit the evicted seq-1 write.  Re-execution would reset
+        // the gain to 1; a cache hit would produce a reply.  At-most-once
+        // past the horizon demands neither: silence.
+        sock.send(&stale).unwrap();
+        sock.set_read_timeout(Some(Duration::from_millis(100)))
+            .unwrap();
+        assert!(
+            sock.recv(&mut buf).is_err(),
+            "stale retransmit must be dropped silently"
+        );
+
+        // The register still holds the newer value.
+        sock.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+        let read = LsPacket {
+            seq: 100,
+            time: ATime::ZERO,
+            function: LsFunction::ReadReg,
+            param: LS_REG_OUTPUT_GAIN,
+            aux: 0,
+            data: vec![],
+        };
+        sock.send(&read.encode()).unwrap();
+        let n = sock.recv(&mut buf).unwrap();
+        let reply = LsPacket::decode(&buf[..n]).unwrap();
+        assert_eq!(reply.aux, 9, "stale retransmit must not re-execute");
 
         stop.store(true, Ordering::Relaxed);
         handle.join().unwrap();

@@ -23,6 +23,7 @@ pub mod ac;
 pub mod atoms;
 pub mod error;
 pub mod event;
+pub mod link;
 pub mod message;
 pub mod opcode;
 pub mod reply;

@@ -1,0 +1,83 @@
+//! Framing constants for the LineServer UDP link's loss-tolerant layer.
+//!
+//! The paper's LineServer protocol (§7.4.3) assumed a clean departmental
+//! Ethernet; the WAN-grade link layers forward error correction under it.
+//! The FEC frame format and its bounds live here, next to the rest of the
+//! wire protocol, so the workstation link (`af-device`), the firmware, and
+//! the analysis tooling agree on one definition.
+//!
+//! An FEC frame wraps one *shard* — either a whole inner packet (data
+//! shard) or parity bytes covering a group of inner packets:
+//!
+//! ```text
+//! offset  size  field
+//!      0     2  magic      FEC_MAGIC, little-endian
+//!      2     1  version    FEC_VERSION
+//!      3     4  group      group sequence number, little-endian
+//!      7     1  index      shard index: 0..k data, k..k+m parity
+//!      8     1  k          data shards per group
+//!      9     1  m          parity shards per group
+//!     10     2  len        payload length in bytes, little-endian
+//!     12   len  payload    shard bytes
+//! 12+len     4  crc        CRC-32 (IEEE) over bytes 0..12+len
+//! ```
+//!
+//! The CRC frames the whole datagram: a corrupted frame is dropped exactly
+//! like a lost one, which is what the erasure code expects (erasures, not
+//! errors).  The magic pair was chosen so a legacy `LsPacket` — whose first
+//! four bytes are a little-endian sequence number starting at 1 — collides
+//! only when its sequence number's low 16 bits equal `FEC_MAGIC`, and even
+//! then the CRC check rejects the misread before it can shadow the packet.
+
+/// First two bytes of every FEC frame (little-endian on the wire).
+pub const FEC_MAGIC: u16 = 0xFEC5;
+
+/// FEC frame format version carried in byte 2.
+pub const FEC_VERSION: u8 = 1;
+
+/// Fixed FEC frame header size in bytes (before the payload).
+pub const FEC_HEADER_BYTES: usize = 12;
+
+/// Trailing CRC-32 size in bytes.
+pub const FEC_CRC_BYTES: usize = 4;
+
+/// Upper bound on data shards per group (`k`).
+pub const FEC_MAX_K: usize = 32;
+
+/// Upper bound on parity shards per group (`m`).
+pub const FEC_MAX_M: usize = 8;
+
+/// Default data shards per group: one parity burst every four packets.
+pub const FEC_DEFAULT_K: usize = 4;
+
+/// Default parity shards per group: bursts of up to two lost datagrams per
+/// group reconstruct without a round trip.
+pub const FEC_DEFAULT_M: usize = 2;
+
+/// How many incomplete FEC groups a decoder keeps before evicting the
+/// oldest (bounded memory under sustained loss).
+pub const FEC_GROUP_WINDOW: usize = 16;
+
+/// Jitter-buffer playout depth floor, in device ticks (32 ms at 8 kHz).
+pub const JITTER_MIN_DEPTH: u32 = 256;
+
+/// Jitter-buffer playout depth ceiling, in device ticks (512 ms at 8 kHz).
+pub const JITTER_MAX_DEPTH: u32 = 4096;
+
+/// Ticks of repeat-with-fade concealment before the jitter buffer gives up
+/// and emits pure silence (100 ms at 8 kHz).
+pub const JITTER_FADE_TICKS: u32 = 800;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bounds_are_consistent() {
+        const { assert!(FEC_DEFAULT_K <= FEC_MAX_K) };
+        const { assert!(FEC_DEFAULT_M <= FEC_MAX_M) };
+        // The Cauchy construction needs k + m distinct field elements.
+        const { assert!(FEC_MAX_K + FEC_MAX_M < 256) };
+        const { assert!(JITTER_MIN_DEPTH < JITTER_MAX_DEPTH) };
+    }
+}

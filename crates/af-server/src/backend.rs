@@ -6,9 +6,12 @@
 //! time, a way to make the hardware consistent, and time-indexed play/record
 //! access.
 
-use af_device::lineserver::{LineServerLink, LsFunction, LsPacket};
+use af_device::fec::{FecConfig, FecDecoderStats};
+use af_device::jitter::{JitterBuffer, LinkStats};
+use af_device::lineserver::{LineServerLink, LinkError, LsFunction, LsPacket};
 use af_device::VirtualAudioHw;
 use af_time::ATime;
+use std::sync::Arc;
 
 /// The device-dependent hardware interface.
 pub trait HwBackend: Send {
@@ -80,6 +83,20 @@ impl HwBackend for LocalBackend {
 /// since crossing the network is a relatively expensive operation": only
 /// play/record traffic in the update regions crosses the wire, and times
 /// are estimated locally from reply timestamps between exchanges.
+///
+/// WAN hardening on top of the paper's design:
+///
+/// * Play traffic goes out *one-way*, FEC-framed when the firmware
+///   accepted [`FecConfig`] negotiation — loss is absorbed by parity,
+///   never by a blocking retransmission.
+/// * Recorded audio is prefetched in small single-attempt chunks and
+///   played out through an adaptive [`JitterBuffer`]: lost chunks are
+///   concealed, late and FEC-recovered ones are slotted in when they
+///   arrive.
+/// * A [`LinkError::Down`] verdict from the reliable control path puts
+///   the backend into a free-run backoff: for [`DOWN_BACKOFF_OPS`]
+///   operations no transaction is attempted, so one dead LineServer
+///   costs a timeout once, not on every request.
 pub struct AlsBackend {
     link: LineServerLink,
     rate: u32,
@@ -90,26 +107,81 @@ pub struct AlsBackend {
     last_time: ATime,
     /// Local instant paired with `last_time`, anchoring the free-run.
     last_anchor: std::time::Instant,
+    /// Playout buffer for the record path.
+    jb: JitterBuffer,
+    /// Shared health counters, registered with `ServerStats`.
+    stats: Arc<LinkStats>,
+    /// End (exclusive) of the recorded range already requested.
+    fetched_until: Option<ATime>,
+    /// Consecutive failed record prefetches (loss is expected on a WAN;
+    /// only a long run of misses means the link is down).
+    misses: u32,
+    /// Remaining operations to skip while backing off a down link.
+    down_backoff: u32,
+    /// FEC decoder counters at the last stats sync, for diffing.
+    fec_seen: FecDecoderStats,
 }
 
-/// Retransmissions per LineServer exchange.  Safe for every function now
-/// that the firmware deduplicates repeated sequence numbers, but kept at
-/// one on the real-time path: a second retry would already be late.
+/// Retransmissions per reliable (control-path) LineServer exchange.
+/// Kept at one on the real-time path: a second retry would already be
+/// late.
 const ALS_RETRIES: u32 = 1;
 
+/// Operations to skip after the link is declared down (~hundreds of ms
+/// of free-run at typical service cadence) before probing again.
+const DOWN_BACKOFF_OPS: u32 = 8;
+
+/// Consecutive record-prefetch misses that declare the link down.
+const DOWN_MISS_LIMIT: u32 = 8;
+
+/// Ticks held back from "now" when prefetching: the firmware may not
+/// have recorded the newest samples yet.
+const REC_GUARD_TICKS: i32 = 64;
+
+/// Record prefetch chunk size in ticks (64 ms at 8 kHz — small enough
+/// that one lost datagram is one concealable gap).
+const REC_CHUNK_TICKS: i32 = 512;
+
+/// Most chunks fetched per `read_rec` call, bounding its wire time.
+const REC_CHUNKS_PER_CALL: u32 = 4;
+
+/// Deepest history (in ticks) worth requesting: the LineServer's record
+/// ring is 2048 samples, so anything older is already overwritten.
+const REC_MAX_HISTORY: i32 = 1536;
+
 impl AlsBackend {
-    /// Wraps a connected LineServer link.
-    pub fn new(link: LineServerLink, rate: u32, lead_frames: u32) -> AlsBackend {
+    /// Wraps a connected LineServer link, negotiating FEC for the audio
+    /// path (the link stays in plain mode if the peer declines).
+    pub fn new(mut link: LineServerLink, rate: u32, lead_frames: u32) -> AlsBackend {
+        let _ = link.enable_fec(FecConfig::default(), ALS_RETRIES);
+        // A lost single-attempt prefetch should stall the pump briefly,
+        // not for the default 100 ms — the reply still arrives through
+        // `poll` if it was merely late.
+        let _ = link.set_reply_timeout(std::time::Duration::from_millis(30));
         AlsBackend {
             link,
             rate,
             lead: lead_frames,
             last_time: ATime::ZERO,
             last_anchor: std::time::Instant::now(),
+            jb: JitterBuffer::new(),
+            stats: Arc::new(LinkStats::default()),
+            fetched_until: None,
+            misses: 0,
+            down_backoff: 0,
+            fec_seen: FecDecoderStats::default(),
         }
     }
 
+    /// The link's shared health counters (register with `ServerStats`).
+    pub fn stats_handle(&self) -> Arc<LinkStats> {
+        Arc::clone(&self.stats)
+    }
+
     fn refresh_time(&mut self) -> ATime {
+        if self.enter_backoff_tick() {
+            return self.last_time;
+        }
         // A loopback exchange is the cheapest way to observe the remote
         // clock; register reads would also carry a timestamp.
         let req = LsPacket {
@@ -121,8 +193,12 @@ impl AlsBackend {
             data: Vec::new(),
         };
         match self.link.transact(req, ALS_RETRIES) {
-            Ok(reply) => self.anchor(reply.time),
-            Err(_) => self.free_run(),
+            Ok(reply) => {
+                self.misses = 0;
+                self.anchor(reply.time);
+            }
+            Err(LinkError::Down { .. }) => self.declare_down(),
+            Err(LinkError::Io(_)) => self.free_run(),
         }
         self.last_time
     }
@@ -137,6 +213,117 @@ impl AlsBackend {
     fn free_run(&mut self) {
         let elapsed = self.last_anchor.elapsed().as_secs_f64();
         self.anchor(self.last_time + (elapsed * f64::from(self.rate)) as u32);
+    }
+
+    /// Consumes one backoff tick; `true` means skip the network and
+    /// free-run this operation.
+    fn enter_backoff_tick(&mut self) -> bool {
+        if self.down_backoff == 0 {
+            return false;
+        }
+        self.down_backoff -= 1;
+        self.free_run();
+        true
+    }
+
+    /// Marks the link down: free-run immediately and skip transactions
+    /// for a while instead of blocking every request on timeouts.
+    fn declare_down(&mut self) {
+        LinkStats::add(&self.stats.link_downs, 1);
+        self.down_backoff = DOWN_BACKOFF_OPS;
+        self.misses = 0;
+        self.free_run();
+    }
+
+    /// Best current estimate of the device time without forcing a wire
+    /// exchange.
+    fn local_now(&mut self) -> ATime {
+        match self.link.estimate_time(self.rate) {
+            Some(t) => {
+                self.anchor(t);
+                t
+            }
+            None => {
+                self.free_run();
+                self.last_time
+            }
+        }
+    }
+
+    /// Drains out-of-band audio (late and FEC-recovered record replies)
+    /// into the jitter buffer and syncs the link counters into
+    /// [`LinkStats`].
+    fn drain_audio(&mut self, now_est: ATime) {
+        for pkt in self.link.take_audio() {
+            self.jb.observe_transit(i64::from(now_est.delta(pkt.time)));
+            self.jb.insert(pkt.time, &pkt.data, &self.stats);
+        }
+        let fec = self.link.fec_stats();
+        LinkStats::add(
+            &self.stats.fec_recovered,
+            fec.recovered.saturating_sub(self.fec_seen.recovered),
+        );
+        LinkStats::add(
+            &self.stats.fec_unrecoverable,
+            fec.unrecoverable.saturating_sub(self.fec_seen.unrecoverable),
+        );
+        self.fec_seen = fec;
+        LinkStats::set(&self.stats.crc_drops, self.link.undecodable_count());
+        LinkStats::set(&self.stats.retransmits, self.link.retransmit_count());
+    }
+
+    /// Requests recorded chunks covering up to `now_est − guard`, one
+    /// attempt each: a lost reply is parity's or the concealer's problem,
+    /// never a blocking retransmission.
+    fn prefetch(&mut self, now_est: ATime) {
+        let horizon = now_est.offset(-REC_GUARD_TICKS);
+        let depth_slack = (self.jb.depth() as i32).saturating_add(REC_CHUNK_TICKS);
+        let mut start = match self.fetched_until {
+            Some(f) => f,
+            None => horizon.offset(-depth_slack.min(REC_MAX_HISTORY)),
+        };
+        // Never ask for samples the 2048-sample firmware ring has already
+        // overwritten; skip ahead instead.
+        if horizon.delta(start) > REC_MAX_HISTORY {
+            start = horizon.offset(-REC_MAX_HISTORY);
+        }
+        let mut chunks = 0;
+        while start.is_before(horizon) && chunks < REC_CHUNKS_PER_CALL {
+            let span = horizon.delta(start).min(REC_CHUNK_TICKS);
+            if span <= 0 {
+                break;
+            }
+            let req = LsPacket {
+                seq: 0,
+                time: start,
+                function: LsFunction::Record,
+                param: 0,
+                aux: span as u16,
+                data: Vec::new(),
+            };
+            match self.link.transact(req, 0) {
+                Ok(reply) => {
+                    self.misses = 0;
+                    self.jb
+                        .observe_transit(i64::from(now_est.delta(reply.time)));
+                    self.jb.insert(reply.time, &reply.data, &self.stats);
+                }
+                Err(LinkError::Down { .. }) => {
+                    // One miss is ordinary WAN loss (the chunk is already
+                    // re-requestable as parity or conceal); a long run
+                    // means the peer is gone.
+                    self.misses += 1;
+                    if self.misses >= DOWN_MISS_LIMIT {
+                        self.declare_down();
+                    }
+                    // The chunk still counts as fetched: single-attempt.
+                }
+                Err(LinkError::Io(_)) => break,
+            }
+            start = start.offset(span);
+            chunks += 1;
+        }
+        self.fetched_until = Some(start);
     }
 }
 
@@ -157,9 +344,10 @@ impl HwBackend for AlsBackend {
     }
 
     fn write_play(&mut self, time: ATime, data: &[u8]) {
-        // The paper did not retry play packets ("by then, it is probably
-        // too late anyway"); with firmware-side dedup one retransmission
-        // is safe, and a lost exchange degrades to a silent gap.
+        // One-way, FEC-framed when negotiated.  The paper did not retry
+        // play packets ("by then, it is probably too late anyway"); here
+        // even the first timeout is gone from the path — parity carries
+        // the redundancy instead.
         let req = LsPacket {
             seq: 0,
             time,
@@ -168,36 +356,21 @@ impl HwBackend for AlsBackend {
             aux: 0,
             data: data.to_vec(),
         };
-        match self.link.transact(req, ALS_RETRIES) {
-            Ok(reply) => self.anchor(reply.time),
-            Err(_) => self.free_run(),
+        if self.link.send_oneway(req).is_err() {
+            self.free_run();
         }
     }
 
     fn read_rec(&mut self, time: ATime, out: &mut [u8]) {
-        let req = LsPacket {
-            seq: 0,
-            time,
-            function: LsFunction::Record,
-            param: 0,
-            aux: out.len().min(u16::MAX as usize) as u16,
-            data: Vec::new(),
-        };
-        match self.link.transact(req, ALS_RETRIES) {
-            Ok(reply) => {
-                self.anchor(reply.time);
-                let n = reply.data.len().min(out.len());
-                out[..n].copy_from_slice(&reply.data[..n]);
-                for b in &mut out[n..] {
-                    *b = af_dsp::g711::ULAW_SILENCE;
-                }
-            }
-            Err(_) => {
-                // Degrade, don't stall: silence in, time keeps moving.
-                self.free_run();
-                out.fill(af_dsp::g711::ULAW_SILENCE);
-            }
+        let now_est = self.local_now();
+        if !self.enter_backoff_tick() {
+            self.link.poll();
+            self.drain_audio(now_est);
+            self.prefetch(now_est);
         }
+        // Serve from the playout buffer: recorded time `time − depth`,
+        // concealing what never arrived.
+        self.jb.read(time, out, &self.stats);
     }
 
     fn lead_frames(&self) -> u32 {

@@ -69,6 +69,7 @@ pub struct ServerBuilder {
     idle_timeout: Option<Duration>,
     chaos: Option<StreamFaultPlan>,
     sharded: bool,
+    link_stats: Vec<Arc<af_device::jitter::LinkStats>>,
 }
 
 /// Server play/record buffer frames for an 8 kHz device: ≈ 4 seconds
@@ -90,6 +91,7 @@ impl ServerBuilder {
             idle_timeout: None,
             chaos: None,
             sharded: false,
+            link_stats: Vec::new(),
         }
     }
 
@@ -309,6 +311,7 @@ impl ServerBuilder {
     /// for links with a fault-injecting UDP socket underneath.
     pub fn add_lineserver_link(&mut self, link: LineServerLink) -> usize {
         let backend = AlsBackend::new(link, 8000, af_device::lineserver::LS_BUFFER_SAMPLES);
+        self.link_stats.push(backend.stats_handle());
         let buffers =
             DeviceBuffers::new(Box::new(backend), Encoding::Mu255, 1, CODEC_BUFFER_FRAMES);
         let cfg = HwConfig {
@@ -396,6 +399,9 @@ impl ServerBuilder {
         let mut access = AccessControl::new();
         access.set_enabled(self.access_enabled);
         let stats = Arc::new(ServerStats::default());
+        for link in self.link_stats {
+            stats.register_link(link);
+        }
         // The transport layer owns the buffer pool; the dispatcher shares it
         // so reply buffers drained by writer threads come back around.
         let shared = TransportShared::with_chaos(tx.clone(), self.chaos);

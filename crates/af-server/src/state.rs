@@ -39,6 +39,9 @@ pub struct ServerStats {
     pub disconnects: AtomicU64,
     /// Per-worker data-plane counters (sharded servers only).
     pub workers: Mutex<Vec<Arc<crate::worker::WorkerStats>>>,
+    /// Per-LineServer-link health counters (WAN deployments): jitter
+    /// buffer depth, concealments, reorders, FEC recoveries.
+    pub links: Mutex<Vec<Arc<af_device::jitter::LinkStats>>>,
 }
 
 impl ServerStats {
@@ -65,6 +68,24 @@ impl ServerStats {
             .unwrap_or_else(|poisoned| poisoned.into_inner())
             .iter()
             .map(|w| w.snapshot())
+            .collect()
+    }
+
+    /// Registers a LineServer link's counters for snapshotting.
+    pub fn register_link(&self, stats: Arc<af_device::jitter::LinkStats>) {
+        self.links
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+            .push(stats);
+    }
+
+    /// Copies out every registered link's counters, in registration order.
+    pub fn link_snapshots(&self) -> Vec<af_device::jitter::LinkStatsSnapshot> {
+        self.links
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+            .iter()
+            .map(|l| l.snapshot())
             .collect()
     }
 

@@ -1,0 +1,357 @@
+//! `chaos_soak` — sustained playback through a lossy multi-hop WAN.
+//!
+//! Stands up LineServer firmware behind a two-hop [`af_chaos::Router`]
+//! with Gilbert–Elliott burst loss at 20% and 40% end-to-end, drives a
+//! TCP client playing a marker stream and recording a tone through the
+//! adaptive jitter buffer, and measures what the WAN hardening delivers:
+//! the speaker-side gap distribution, client-visible request latency,
+//! per-link health counters, and per-hop router drops.  The run fails
+//! (non-zero exit) if any protocol error surfaces — loss must degrade
+//! audio, never the protocol.
+//!
+//! ```text
+//! cargo run --release -p bench --bin chaos_soak [-- --smoke] [-- --out PATH]
+//! ```
+//!
+//! Results merge into `BENCH_report.json` under the `"chaos_soak"` key,
+//! preserving every other key in the file.
+
+use af_chaos::{GilbertElliott, HopPlan, HopStats, Router};
+use af_client::{AcAttributes, AcMask, AudioConn};
+use af_device::io::{CaptureSink, ToneSource};
+use af_device::lineserver::LineServerFirmware;
+use af_device::SystemClock;
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// One loss level's measurements.
+struct LevelResult {
+    loss: f64,
+    duration_s: f64,
+    played: usize,
+    heard: usize,
+    gap_fraction: f64,
+    gap_runs: Vec<usize>,
+    rtt_us: Vec<f64>,
+    record_dbm: f64,
+    protocol_errors: u64,
+    link: af_device::jitter::LinkStatsSnapshot,
+    hops: Vec<HopStats>,
+}
+
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted.len() - 1) as f64 * p).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+fn percentile_usize(sorted: &[usize], p: f64) -> usize {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let idx = ((sorted.len() - 1) as f64 * p).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+/// Two hops whose independent losses compound to ≈ `end_to_end`.
+fn hops_for(end_to_end: f64) -> Vec<HopPlan> {
+    let per_hop = 1.0 - (1.0 - end_to_end).sqrt();
+    vec![
+        HopPlan::new()
+            .ge(GilbertElliott::bursty(per_hop, 2.5))
+            .base_delay(Duration::from_millis(2))
+            .jitter(Duration::from_millis(4)),
+        HopPlan::new()
+            .ge(GilbertElliott::bursty(per_hop, 1.5))
+            .jitter(Duration::from_millis(2)),
+    ]
+}
+
+const MARKER: u8 = 0x44;
+const CHUNK: usize = 800; // 100 ms of 8 kHz µ-law per play chunk.
+
+fn run_level(loss: f64, duration: Duration, seed: u64) -> LevelResult {
+    let clock = Arc::new(SystemClock::new(8000));
+    let (sink, speaker) = CaptureSink::new(1 << 22);
+    let (fw, fw_addr) = LineServerFirmware::boot(
+        clock,
+        Box::new(sink),
+        Box::new(ToneSource::ulaw(440.0, 8000.0, 10_000.0)),
+    )
+    .expect("boot firmware");
+    let stop = fw.stop_handle();
+    let fw_thread = std::thread::spawn(move || fw.run());
+
+    let mut router = Router::spawn(fw_addr, hops_for(loss), seed).expect("spawn router");
+
+    let mut builder = af_server::ServerBuilder::new()
+        .listen_tcp("127.0.0.1:0".parse().expect("addr"))
+        .update_interval(Duration::from_millis(50));
+    builder.add_lineserver(router.addr()).expect("add lineserver");
+    let server = builder.spawn().expect("spawn server");
+    let stats = server.stats();
+
+    let mut conn =
+        AudioConn::open(&server.tcp_addr().expect("tcp").to_string()).expect("connect");
+    let ac = conn
+        .create_ac(0, AcMask::default(), &AcAttributes::default())
+        .expect("create ac");
+
+    // Arm the record path, then stream marker chunks scheduled back to
+    // back while sampling client-visible round-trip latency.
+    let t0 = conn.get_time(0).expect("get_time");
+    conn.record_samples(&ac, t0, 0, false).expect("arm record");
+    let chunks = (duration.as_millis() as usize / 100).max(5);
+    let lead = 1600u32; // 200 ms scheduling lead.
+    let mut rtt_us = Vec::with_capacity(chunks);
+    let start = Instant::now();
+    for i in 0..chunks {
+        let at = t0 + (lead + (i * CHUNK) as u32);
+        conn.play_samples(&ac, at, &[MARKER; CHUNK]).expect("play");
+        let before = Instant::now();
+        let _ = conn.get_time(0).expect("get_time");
+        rtt_us.push(before.elapsed().as_secs_f64() * 1e6);
+        // Stay roughly real-time: one chunk per 100 ms of wall clock.
+        let target = Duration::from_millis(100 * (i as u64 + 1));
+        if let Some(nap) = target.checked_sub(start.elapsed()) {
+            std::thread::sleep(nap);
+        }
+    }
+    // Let the tail of the stream drain through the lead and the link.
+    std::thread::sleep(Duration::from_millis(400));
+
+    // Pull a recent window of the recorded tone back through the jitter
+    // buffer (older samples have scrolled out of the record ring on long
+    // runs).
+    let t_now = conn.get_time(0).expect("get_time");
+    let (_, recorded) = conn
+        .record_samples(&ac, t_now.offset(-4000), 2400, true)
+        .expect("record");
+    let record_dbm = {
+        let dbm = af_dsp::power::power_dbm_ulaw(&recorded);
+        if dbm.is_finite() {
+            dbm
+        } else {
+            -99.0 // All-silence window; keep the JSON finite.
+        }
+    };
+
+    // Gap analysis over the speaker capture, inside the marker window.
+    let (played, heard, gap_runs) = {
+        let cap = speaker.lock();
+        let first = cap.iter().position(|&b| b == MARKER);
+        let last = cap.iter().rposition(|&b| b == MARKER);
+        let mut runs = Vec::new();
+        let mut heard = 0usize;
+        if let (Some(a), Some(b)) = (first, last) {
+            let mut run = 0usize;
+            for &byte in &cap[a..=b] {
+                if byte == MARKER {
+                    heard += 1;
+                    if run > 0 {
+                        runs.push(run);
+                        run = 0;
+                    }
+                } else {
+                    run += 1;
+                }
+            }
+            if run > 0 {
+                runs.push(run);
+            }
+        }
+        (chunks * CHUNK, heard, runs)
+    };
+    let gap_fraction = 1.0 - heard as f64 / played.max(1) as f64;
+
+    let protocol_errors = stats.protocol_errors.load(Ordering::Relaxed);
+    let link = stats.link_snapshots().into_iter().next().unwrap_or_default();
+    let hops = router.hop_stats();
+
+    server.shutdown();
+    router.stop();
+    stop.store(true, Ordering::Relaxed);
+    let _ = fw_thread.join();
+
+    rtt_us.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    LevelResult {
+        loss,
+        duration_s: duration.as_secs_f64(),
+        played,
+        heard,
+        gap_fraction,
+        gap_runs,
+        rtt_us,
+        record_dbm,
+        protocol_errors,
+        link,
+        hops,
+    }
+}
+
+fn render_level(r: &LevelResult) -> String {
+    let mut runs = r.gap_runs.clone();
+    runs.sort_unstable();
+    let link = &r.link;
+    let hops: Vec<String> = r
+        .hops
+        .iter()
+        .map(|h| {
+            format!(
+                "{{\"forwarded\": {}, \"dropped_loss\": {}, \"dropped_queue\": {}, \
+                 \"duplicated\": {}, \"corrupted\": {}}}",
+                h.forwarded, h.dropped_loss, h.dropped_queue, h.duplicated, h.corrupted
+            )
+        })
+        .collect();
+    format!(
+        "{{\n      \"loss\": {loss:.2},\n      \"duration_s\": {dur:.1},\n      \
+         \"played_bytes\": {played},\n      \"marker_heard\": {heard},\n      \
+         \"gap_fraction\": {gapf:.4},\n      \
+         \"gap_runs\": {{\"count\": {gc}, \"p50\": {g50}, \"p95\": {g95}, \"max\": {gmax}}},\n      \
+         \"get_time_rtt_us\": {{\"p50\": {r50:.1}, \"p95\": {r95:.1}, \"p99\": {r99:.1}}},\n      \
+         \"record_power_dbm\": {dbm:.1},\n      \
+         \"protocol_errors\": {perr},\n      \
+         \"link\": {{\"conceals\": {conceals}, \"reorders\": {reorders}, \
+         \"late_drops\": {late}, \"fec_recovered\": {fecr}, \"fec_unrecoverable\": {fecu}, \
+         \"crc_drops\": {crc}, \"retransmits\": {rtx}, \"link_downs\": {downs}, \
+         \"depth\": {depth}, \"target_depth\": {tdepth}}},\n      \
+         \"router_hops\": [{hops}]\n    }}",
+        loss = r.loss,
+        dur = r.duration_s,
+        played = r.played,
+        heard = r.heard,
+        gapf = r.gap_fraction,
+        gc = runs.len(),
+        g50 = percentile_usize(&runs, 0.50),
+        g95 = percentile_usize(&runs, 0.95),
+        gmax = runs.last().copied().unwrap_or(0),
+        r50 = percentile(&r.rtt_us, 0.50),
+        r95 = percentile(&r.rtt_us, 0.95),
+        r99 = percentile(&r.rtt_us, 0.99),
+        dbm = r.record_dbm,
+        perr = r.protocol_errors,
+        conceals = link.conceals,
+        reorders = link.reorders,
+        late = link.late_drops,
+        fecr = link.fec_recovered,
+        fecu = link.fec_unrecoverable,
+        crc = link.crc_drops,
+        rtx = link.retransmits,
+        downs = link.link_downs,
+        depth = link.depth,
+        tdepth = link.target_depth,
+        hops = hops.join(", "),
+    )
+}
+
+/// Replaces or inserts the top-level `"chaos_soak"` key in a JSON object
+/// string, leaving every other key untouched.  Brace matching is enough:
+/// the report format never puts braces inside strings.
+fn merge_into_report(existing: &str, section: &str) -> String {
+    let body = format!("\"chaos_soak\": {section}");
+    if let Some(key_at) = existing.find("\"chaos_soak\"") {
+        let colon = existing[key_at..].find(':').map(|c| key_at + c);
+        if let Some(colon) = colon {
+            let bytes = existing.as_bytes();
+            let mut depth = 0i32;
+            let mut started = false;
+            for (i, &b) in bytes.iter().enumerate().skip(colon) {
+                match b {
+                    b'{' | b'[' => {
+                        depth += 1;
+                        started = true;
+                    }
+                    b'}' | b']' => {
+                        depth -= 1;
+                        if started && depth == 0 {
+                            return format!(
+                                "{}{}{}",
+                                &existing[..key_at],
+                                body,
+                                &existing[i + 1..]
+                            );
+                        }
+                    }
+                    _ => {}
+                }
+            }
+        }
+        return format!("{{\n  {body}\n}}\n");
+    }
+    match existing.rfind('}') {
+        Some(close) => {
+            let head = existing[..close].trim_end();
+            let sep = if head.trim_end().ends_with('{') { "" } else { "," };
+            format!("{head}{sep}\n  {body}\n}}\n")
+        }
+        None => format!("{{\n  {body}\n}}\n"),
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1).cloned())
+        .unwrap_or_else(|| "BENCH_report.json".to_string());
+    let per_level = if smoke {
+        Duration::from_secs(3)
+    } else {
+        Duration::from_secs(10)
+    };
+
+    let mut levels = Vec::new();
+    let mut failed = false;
+    for (i, loss) in [0.20, 0.40].into_iter().enumerate() {
+        eprintln!("chaos_soak: {:.0}% end-to-end loss, {per_level:?} ...", loss * 100.0);
+        let r = run_level(loss, per_level, 0xC0A5_0A1C + i as u64);
+        eprintln!(
+            "  heard {}/{} marker bytes (gap {:.1}%), fec recovered {}, conceals {}, \
+             protocol errors {}",
+            r.heard,
+            r.played,
+            r.gap_fraction * 100.0,
+            r.link.fec_recovered,
+            r.link.conceals,
+            r.protocol_errors
+        );
+        if r.protocol_errors != 0 {
+            eprintln!("  FAIL: protocol errors under loss");
+            failed = true;
+        }
+        // Playback must be sustained, not merely attempted: the majority
+        // of the stream survives 20% loss, and even 40% keeps audio
+        // flowing (FEC + concealment, never a stall or a protocol error).
+        let bound = if loss < 0.3 { 0.5 } else { 0.8 };
+        if r.gap_fraction > bound {
+            eprintln!(
+                "  FAIL: gap fraction {:.2} exceeds {bound} at {:.0}% loss",
+                r.gap_fraction,
+                loss * 100.0
+            );
+            failed = true;
+        }
+        levels.push(r);
+    }
+
+    let mode = if smoke { "smoke" } else { "full" };
+    let rendered: Vec<String> = levels.iter().map(render_level).collect();
+    let section = format!(
+        "{{\n    \"mode\": \"{mode}\",\n    \"levels\": [{}]\n  }}",
+        rendered.join(", ")
+    );
+    let existing = std::fs::read_to_string(&out_path)
+        .unwrap_or_else(|_| "{\n}\n".to_string());
+    let merged = merge_into_report(&existing, &section);
+    std::fs::write(&out_path, merged).expect("write report");
+    eprintln!("chaos_soak: wrote {out_path}");
+    if failed {
+        std::process::exit(1);
+    }
+}
