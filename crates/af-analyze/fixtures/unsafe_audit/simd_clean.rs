@@ -1,0 +1,18 @@
+// Fixture: must NOT trigger `unsafe-audit` — the SIMD-module shape the
+// real `af_dsp::kernels::x86`/`neon` files use: the `unsafe_code`
+// re-enable carries its justification marker, the `#[target_feature]`
+// declaration carries a SAFETY contract for callers, and the call site
+// carries its own audit.
+
+// af-analyze: allow(unsafe-audit): core::arch intrinsics require unsafe; every site below carries a SAFETY audit.
+#![allow(unsafe_code)]
+
+#[target_feature(enable = "avx2")]
+// SAFETY: callers must guarantee the CPU supports AVX2; the kernel vtable
+// only selects this entry after runtime feature detection.
+pub unsafe fn decode_block(data: &[u8], out: &mut [i16]) {
+    for (b, o) in data.iter().zip(out) {
+        // SAFETY: every u16 bit pattern is a valid i16.
+        *o = unsafe { core::mem::transmute::<u16, i16>(u16::from(*b) << 8) };
+    }
+}

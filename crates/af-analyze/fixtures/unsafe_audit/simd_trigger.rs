@@ -1,0 +1,13 @@
+// Fixture: must trigger `unsafe-audit` three times when presented as a
+// SIMD kernel module — `unsafe_code` re-enabled without the justification
+// marker, an unaudited `#[target_feature]` unsafe fn declaration, and an
+// unaudited intrinsic call site.
+
+#![allow(unsafe_code)]
+
+#[target_feature(enable = "avx2")]
+pub unsafe fn decode_block(data: &[u8], out: &mut [i16]) {
+    for (b, o) in data.iter().zip(out) {
+        *o = unsafe { core::mem::transmute::<u16, i16>(u16::from(*b) << 8) };
+    }
+}

@@ -217,6 +217,42 @@ fn unsafe_audit_stays_quiet() {
     assert_eq!(lints::unsafe_audit::run(&files), vec![]);
 }
 
+#[test]
+fn unsafe_audit_triggers_on_unaudited_simd_module() {
+    // A SIMD kernel module that re-enables unsafe without the marker and
+    // ships unaudited `#[target_feature]` declarations and intrinsic call
+    // sites: one finding for the bare allow, one per unaudited line.
+    let files = [fx(
+        "crates/af-fake/src/simd.rs",
+        include_str!("../fixtures/unsafe_audit/simd_trigger.rs"),
+    )];
+    let found = lints::unsafe_audit::run(&files);
+    assert_eq!(
+        found.len(),
+        3,
+        "bare allow + unsafe fn decl + call site: {found:?}"
+    );
+    assert!(found.iter().all(|f| f.lint == "unsafe-audit"));
+}
+
+#[test]
+fn unsafe_audit_accepts_audited_simd_module() {
+    // The shape the real af-dsp SIMD modules use — justified marker on the
+    // allow, SAFETY contract on the `unsafe fn`, SAFETY audit on the call
+    // site — survives the full marker-aware pipeline.
+    let files = [fx(
+        "crates/af-fake/src/simd.rs",
+        include_str!("../fixtures/unsafe_audit/simd_clean.rs"),
+    )];
+    let found = analyze_files(&files);
+    assert!(
+        found
+            .iter()
+            .all(|f| f.lint != "unsafe-audit" && f.lint != "allow-marker"),
+        "{found:?}"
+    );
+}
+
 // ---- opcode-tables -----------------------------------------------------
 
 const SPEC: &str = "crates/af-proto/src/spec.rs";

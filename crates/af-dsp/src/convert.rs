@@ -10,7 +10,7 @@
 //! byte-swaps on the wire when client and server disagree (§7.3.1), so by the
 //! time data reaches these kernels it is in native buffer order.
 
-use crate::{adpcm, sample, tables, Encoding};
+use crate::{adpcm, kernels, sample, tables, Encoding};
 
 /// Error converting between encodings.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -47,12 +47,12 @@ pub fn decode_to_lin16_into(
     out.clear();
     match encoding {
         Encoding::Mu255 => {
-            let t = tables::exp_u();
-            out.extend(data.iter().map(|&b| t[b as usize]));
+            out.resize(data.len(), 0);
+            (kernels::active().decode_ulaw)(data, out.as_mut_slice());
         }
         Encoding::Alaw => {
-            let t = tables::exp_a();
-            out.extend(data.iter().map(|&b| t[b as usize]));
+            out.resize(data.len(), 0);
+            (kernels::active().decode_alaw)(data, out.as_mut_slice());
         }
         Encoding::Lin16 => {
             if !data.len().is_multiple_of(2) {
@@ -105,8 +105,14 @@ pub fn encode_from_lin16_into(
 ) -> Result<(), ConvertError> {
     out.clear();
     match encoding {
-        Encoding::Mu255 => out.extend(pcm.iter().map(|&s| tables::ulaw_encode_fast(s))),
-        Encoding::Alaw => out.extend(pcm.iter().map(|&s| tables::alaw_encode_fast(s))),
+        Encoding::Mu255 => {
+            out.resize(pcm.len(), 0);
+            (kernels::active().encode_ulaw)(pcm, out.as_mut_slice());
+        }
+        Encoding::Alaw => {
+            out.resize(pcm.len(), 0);
+            (kernels::active().encode_alaw)(pcm, out.as_mut_slice());
+        }
         Encoding::Lin16 => {
             out.resize(pcm.len() * 2, 0);
             match sample::as_lin16_mut(out) {
@@ -226,6 +232,42 @@ impl Converter {
                 out.clear();
                 out.extend(data.iter().map(|&b| t[b as usize]));
                 return Ok(());
+            }
+            _ => {}
+        }
+        // Fused companded↔LIN16 paths: decode straight into (or encode
+        // straight out of) the caller's byte buffer, skipping the linear
+        // staging copy.  This is where the kernel vtable pays off most —
+        // the staged path below does the same table work plus a memcpy.
+        let k = kernels::active();
+        match (self.from, self.to) {
+            (Encoding::Mu255 | Encoding::Alaw, Encoding::Lin16) => {
+                out.resize(data.len() * 2, 0);
+                if let Some(view) = sample::as_lin16_mut(out) {
+                    let decode = if self.from == Encoding::Mu255 {
+                        k.decode_ulaw
+                    } else {
+                        k.decode_alaw
+                    };
+                    decode(data, view);
+                    return Ok(());
+                }
+                // Misaligned/big-endian storage: fall through to staging.
+            }
+            (Encoding::Lin16, Encoding::Mu255 | Encoding::Alaw) => {
+                if !data.len().is_multiple_of(2) {
+                    return Err(ConvertError::PartialSample);
+                }
+                if let Some(view) = sample::as_lin16(data) {
+                    out.resize(view.len(), 0);
+                    let encode = if self.to == Encoding::Mu255 {
+                        k.encode_ulaw
+                    } else {
+                        k.encode_alaw
+                    };
+                    encode(view, out.as_mut_slice());
+                    return Ok(());
+                }
             }
             _ => {}
         }

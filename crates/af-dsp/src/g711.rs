@@ -11,7 +11,7 @@
 /// Bias added to µ-law magnitudes before segment extraction.
 const ULAW_BIAS: i32 = 0x84;
 /// Largest magnitude representable after biasing.
-const ULAW_CLIP: i32 = 32_635;
+pub(crate) const ULAW_CLIP: i32 = 32_635;
 
 /// Encodes one 16-bit linear sample as µ-law.
 ///

@@ -1,0 +1,40 @@
+//! Consumed-cycle timestamps for CPU-work accounting.
+//!
+//! The multi-device bench cannot demonstrate the sharded plane's scaling on
+//! a 1-core CI host with wall-clock MB/s, so the server's workers account
+//! the CPU work they actually consume: cycles spent per job over bytes
+//! touched.  That ratio is host-speed dependent but core-count independent,
+//! which is what the regression gate needs.
+//!
+//! On x86_64 this reads the invariant TSC (`rdtsc`, ~10 ns, no serialization
+//! — per-job attribution does not need it).  Elsewhere it falls back to
+//! monotonic nanoseconds, which keeps the cycles-per-byte metric meaningful
+//! (just in different units, reported alongside `cpu_cores` either way).
+
+// This module contains the crate's only non-slice unsafe: the one-line
+// rdtsc read, which has no preconditions on x86_64 user mode.
+// af-analyze: allow(unsafe-audit): single rdtsc read, SAFETY comment on the site
+#![allow(unsafe_code)]
+
+/// Reads the consumed-cycles timestamp.
+///
+/// Only differences between two readings on the same core are meaningful;
+/// the absolute value is arbitrary.
+#[cfg(target_arch = "x86_64")]
+#[inline]
+pub fn timestamp() -> u64 {
+    // SAFETY: RDTSC is unprivileged on every OS this crate targets; it
+    // reads a counter and touches no memory.
+    unsafe { core::arch::x86_64::_rdtsc() }
+}
+
+/// Reads the consumed-cycles timestamp (monotonic-nanosecond fallback).
+#[cfg(not(target_arch = "x86_64"))]
+#[inline]
+pub fn timestamp() -> u64 {
+    use std::sync::OnceLock;
+    use std::time::Instant;
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    let epoch = *EPOCH.get_or_init(Instant::now);
+    u64::try_from(epoch.elapsed().as_nanos()).unwrap_or(u64::MAX)
+}

@@ -1,0 +1,559 @@
+//! x86_64 `core::arch` kernels: SSE2 baseline, AVX2 when detected.
+//!
+//! SSE2 is part of the x86_64 baseline, so those paths need no runtime
+//! check; AVX2 entry points are `#[target_feature]` functions reached only
+//! through the vtable built after `is_x86_feature_detected!("avx2")`.
+//!
+//! Companded decode is *algorithmic* here, not a table gather: G.711's
+//! `((m << 3) + 0x84) << e - 0x84` maps onto 16-bit lanes with the variable
+//! shift done as three conditional doublings (compare-mask + shift +
+//! blend), and the conditional negate as `(x ^ mask) - mask`, which is
+//! lane-isolated in real SIMD.  Encode stays on the SWAR table path — a
+//! 16 K gather has no good SIMD form without AVX-512.
+
+// All intrinsics in this module operate on unaligned loads/stores within
+// caller-checked bounds; AVX2 functions are reached only after runtime
+// feature detection.
+// af-analyze: allow(unsafe-audit): runtime-dispatched core::arch intrinsics, SAFETY comments on every site
+#![allow(unsafe_code)]
+
+use core::arch::x86_64::*;
+use std::sync::OnceLock;
+
+use super::{swar, Kernels, ResampleState};
+use crate::tables;
+
+/// The best SIMD vtable this host supports (built once).
+pub fn kernels() -> &'static Kernels {
+    static K: OnceLock<Kernels> = OnceLock::new();
+    K.get_or_init(|| {
+        if std::arch::is_x86_feature_detected!("avx2") {
+            Kernels {
+                name: "simd-avx2",
+                decode_ulaw: decode_ulaw_avx2_entry,
+                decode_alaw: decode_alaw_avx2_entry,
+                encode_ulaw: encode_ulaw_avx2_entry,
+                encode_alaw: encode_alaw_avx2_entry,
+                mix_lin16_le: mix_lin16_le_avx2_entry,
+                mix_lin32_le: mix_lin32_le_sse2,
+                resample_lin16,
+            }
+        } else {
+            Kernels {
+                name: "simd-sse2",
+                decode_ulaw: decode_ulaw_sse2,
+                decode_alaw: decode_alaw_sse2,
+                encode_ulaw: encode_ulaw_swar,
+                encode_alaw: encode_alaw_swar,
+                mix_lin16_le: mix_lin16_le_sse2,
+                mix_lin32_le: mix_lin32_le_sse2,
+                resample_lin16,
+            }
+        }
+    })
+}
+
+fn encode_ulaw_swar(pcm: &[i16], out: &mut [u8]) {
+    swar::encode_tab(tables::comp_u(), pcm, out);
+}
+
+fn encode_alaw_swar(pcm: &[i16], out: &mut [u8]) {
+    swar::encode_tab(tables::comp_a(), pcm, out);
+}
+
+/// The resampler is tap-gather and `f64::round` bound; the de-branched SWAR
+/// loop is the fast form (SSE2 lacks round-half-away-from-zero, and the
+/// sequential `pos += step` chain pins the dependency either way).
+fn resample_lin16(st: &mut ResampleState, input: &[i16], out: &mut Vec<i16>) {
+    swar::resample_lin16(st, input, out);
+}
+
+// ---- mixing -----------------------------------------------------------
+
+fn mix_lin16_le_sse2(dst: &mut [u8], src: &[u8]) {
+    let n = dst.len().min(src.len()) & !1;
+    let mut i = 0;
+    // SAFETY: SSE2 is baseline on x86_64; every 16-byte load/store stays
+    // within `n`, checked by the loop bound.
+    unsafe {
+        while i + 16 <= n {
+            let a = _mm_loadu_si128(dst.as_ptr().add(i).cast());
+            let b = _mm_loadu_si128(src.as_ptr().add(i).cast());
+            _mm_storeu_si128(dst.as_mut_ptr().add(i).cast(), _mm_adds_epi16(a, b));
+            i += 16;
+        }
+    }
+    swar::mix_lin16_le(&mut dst[i..n], &src[i..n]);
+}
+
+fn mix_lin16_le_avx2_entry(dst: &mut [u8], src: &[u8]) {
+    // SAFETY: this entry point is installed in the vtable only after
+    // `is_x86_feature_detected!("avx2")` returned true.
+    unsafe { mix_lin16_le_avx2(dst, src) }
+}
+
+// SAFETY: callers must guarantee the CPU supports AVX2.
+#[target_feature(enable = "avx2")]
+unsafe fn mix_lin16_le_avx2(dst: &mut [u8], src: &[u8]) {
+    let n = dst.len().min(src.len()) & !1;
+    let mut i = 0;
+    // In-body safety: every load/store stays within `n` — the unrolled
+    // loop touches 128 bytes per iteration, the cleanup loop 32.
+    while i + 128 <= n {
+        let a0 = _mm256_loadu_si256(dst.as_ptr().add(i).cast());
+        let b0 = _mm256_loadu_si256(src.as_ptr().add(i).cast());
+        let a1 = _mm256_loadu_si256(dst.as_ptr().add(i + 32).cast());
+        let b1 = _mm256_loadu_si256(src.as_ptr().add(i + 32).cast());
+        let a2 = _mm256_loadu_si256(dst.as_ptr().add(i + 64).cast());
+        let b2 = _mm256_loadu_si256(src.as_ptr().add(i + 64).cast());
+        let a3 = _mm256_loadu_si256(dst.as_ptr().add(i + 96).cast());
+        let b3 = _mm256_loadu_si256(src.as_ptr().add(i + 96).cast());
+        _mm256_storeu_si256(dst.as_mut_ptr().add(i).cast(), _mm256_adds_epi16(a0, b0));
+        _mm256_storeu_si256(
+            dst.as_mut_ptr().add(i + 32).cast(),
+            _mm256_adds_epi16(a1, b1),
+        );
+        _mm256_storeu_si256(
+            dst.as_mut_ptr().add(i + 64).cast(),
+            _mm256_adds_epi16(a2, b2),
+        );
+        _mm256_storeu_si256(
+            dst.as_mut_ptr().add(i + 96).cast(),
+            _mm256_adds_epi16(a3, b3),
+        );
+        i += 128;
+    }
+    while i + 32 <= n {
+        let a = _mm256_loadu_si256(dst.as_ptr().add(i).cast());
+        let b = _mm256_loadu_si256(src.as_ptr().add(i).cast());
+        _mm256_storeu_si256(dst.as_mut_ptr().add(i).cast(), _mm256_adds_epi16(a, b));
+        i += 32;
+    }
+    swar::mix_lin16_le(&mut dst[i..n], &src[i..n]);
+}
+
+fn mix_lin32_le_sse2(dst: &mut [u8], src: &[u8]) {
+    let n = dst.len().min(src.len()) & !3;
+    let mut i = 0;
+    // SAFETY: SSE2 baseline; 16-byte accesses bounded by `n`.  There is no
+    // 32-bit saturating add instruction, so saturation is synthesized:
+    // overflow lanes are those where the operands agree in sign and the
+    // wrapped sum disagrees, and the saturated value is 0x7FFFFFFF ^ the
+    // operand's sign broadcast.
+    unsafe {
+        let max = _mm_set1_epi32(0x7FFF_FFFF);
+        while i + 16 <= n {
+            let a = _mm_loadu_si128(dst.as_ptr().add(i).cast());
+            let b = _mm_loadu_si128(src.as_ptr().add(i).cast());
+            let r = _mm_add_epi32(a, b);
+            let ovf = _mm_srai_epi32(_mm_and_si128(_mm_xor_si128(a, r), _mm_xor_si128(b, r)), 31);
+            let sat = _mm_xor_si128(_mm_srai_epi32(a, 31), max);
+            let out = _mm_or_si128(_mm_and_si128(ovf, sat), _mm_andnot_si128(ovf, r));
+            _mm_storeu_si128(dst.as_mut_ptr().add(i).cast(), out);
+            i += 16;
+        }
+    }
+    swar::mix_lin32_le(&mut dst[i..n], &src[i..n]);
+}
+
+// ---- companded decode -------------------------------------------------
+
+/// One conditional-doubling step: lanes of `mag` whose bit `k` of `e` is
+/// set are shifted left by `1 << k`.
+macro_rules! double_if {
+    ($mag:ident, $e:ident, $bit:expr, $shift:expr) => {{
+        let bit = _mm_set1_epi16($bit);
+        let sel = _mm_cmpeq_epi16(_mm_and_si128($e, bit), bit);
+        $mag = _mm_or_si128(
+            _mm_and_si128(sel, _mm_slli_epi16($mag, $shift)),
+            _mm_andnot_si128(sel, $mag),
+        );
+    }};
+}
+
+fn decode_ulaw_sse2(data: &[u8], out: &mut [i16]) {
+    assert_eq!(data.len(), out.len(), "decode buffer length mismatch");
+    let n = data.len();
+    let mut i = 0;
+    // SAFETY: SSE2 baseline; each iteration reads 8 bytes of `data` and
+    // writes 8 i16 of `out`, both bounded by `i + 8 <= n`.
+    unsafe {
+        let zero = _mm_setzero_si128();
+        let inv = _mm_set1_epi16(0x00FF);
+        let bias = _mm_set1_epi16(0x84);
+        let m07 = _mm_set1_epi16(0x07);
+        let m0f = _mm_set1_epi16(0x0F);
+        let sbit = _mm_set1_epi16(0x80);
+        while i + 8 <= n {
+            let raw = _mm_loadl_epi64(data.as_ptr().add(i).cast());
+            // µ-law stores the complement; widen to 16-bit lanes and flip.
+            let u = _mm_xor_si128(_mm_unpacklo_epi8(raw, zero), inv);
+            let e = _mm_and_si128(_mm_srli_epi16(u, 4), m07);
+            let m = _mm_and_si128(u, m0f);
+            // magnitude = ((m << 3) + 0x84) << e - 0x84, max 32124.
+            let mut mag = _mm_add_epi16(_mm_slli_epi16(m, 3), bias);
+            double_if!(mag, e, 1, 1);
+            double_if!(mag, e, 2, 2);
+            double_if!(mag, e, 4, 4);
+            mag = _mm_sub_epi16(mag, bias);
+            // Sign bit set (in the complemented domain) means negative:
+            // (mag ^ -1) - (-1) = -mag, lane-isolated.
+            let neg = _mm_cmpeq_epi16(_mm_and_si128(u, sbit), sbit);
+            let res = _mm_sub_epi16(_mm_xor_si128(mag, neg), neg);
+            _mm_storeu_si128(out.as_mut_ptr().add(i).cast(), res);
+            i += 8;
+        }
+    }
+    let t = tables::exp_u();
+    for j in i..n {
+        out[j] = t[data[j] as usize];
+    }
+}
+
+fn decode_alaw_sse2(data: &[u8], out: &mut [i16]) {
+    assert_eq!(data.len(), out.len(), "decode buffer length mismatch");
+    let n = data.len();
+    let mut i = 0;
+    // SAFETY: SSE2 baseline; bounds as in `decode_ulaw_sse2`.
+    unsafe {
+        let zero = _mm_setzero_si128();
+        let toggle = _mm_set1_epi16(0x55);
+        let m07 = _mm_set1_epi16(0x07);
+        let m0f = _mm_set1_epi16(0x0F);
+        let sbit = _mm_set1_epi16(0x80);
+        let one = _mm_set1_epi16(1);
+        let seg0add = _mm_set1_epi16(8);
+        let segnadd = _mm_set1_epi16(0x108);
+        while i + 8 <= n {
+            let raw = _mm_loadl_epi64(data.as_ptr().add(i).cast());
+            let a = _mm_xor_si128(_mm_unpacklo_epi8(raw, zero), toggle);
+            let m4 = _mm_slli_epi16(_mm_and_si128(a, m0f), 4);
+            let seg = _mm_and_si128(_mm_srli_epi16(a, 4), m07);
+            let segz = _mm_cmpeq_epi16(seg, zero);
+            // seg 0: +8; seg >= 1: +0x108 then << (seg - 1), max 32256.
+            let addend = _mm_or_si128(
+                _mm_and_si128(segz, seg0add),
+                _mm_andnot_si128(segz, segnadd),
+            );
+            let mut mag = _mm_add_epi16(m4, addend);
+            let e = _mm_andnot_si128(segz, _mm_sub_epi16(seg, one));
+            double_if!(mag, e, 1, 1);
+            double_if!(mag, e, 2, 2);
+            double_if!(mag, e, 4, 4);
+            // A-law sign bit (unaffected by the 0x55 toggle) set means
+            // non-negative; clear means negate.
+            let neg = _mm_cmpeq_epi16(_mm_and_si128(a, sbit), zero);
+            let res = _mm_sub_epi16(_mm_xor_si128(mag, neg), neg);
+            _mm_storeu_si128(out.as_mut_ptr().add(i).cast(), res);
+            i += 8;
+        }
+    }
+    let t = tables::exp_a();
+    for j in i..n {
+        out[j] = t[data[j] as usize];
+    }
+}
+
+// ---- AVX2 decode (16 lanes per iteration) -----------------------------
+
+/// `2^e` per 16-bit lane, for `e` in `0..=7`: a `vpshufb` gather from an
+/// in-register byte table.  The index's high byte is forced to `0xFF`
+/// (top bit set → `vpshufb` writes zero), so the result is exactly
+/// `1 << e` in each lane.
+// SAFETY: callers must guarantee the CPU supports AVX2.
+#[target_feature(enable = "avx2")]
+#[inline]
+unsafe fn pow2_epi16(e: __m256i) -> __m256i {
+    let lut = _mm256_broadcastsi128_si256(_mm_setr_epi8(
+        1, 2, 4, 8, 16, 32, 64, -128, 0, 0, 0, 0, 0, 0, 0, 0,
+    ));
+    _mm256_shuffle_epi8(lut, _mm256_or_si256(e, _mm256_set1_epi16(0xFF00u16 as i16)))
+}
+
+fn decode_ulaw_avx2_entry(data: &[u8], out: &mut [i16]) {
+    // SAFETY: installed in the vtable only when AVX2 was detected.
+    unsafe { decode_ulaw_avx2(data, out) }
+}
+
+fn decode_alaw_avx2_entry(data: &[u8], out: &mut [i16]) {
+    // SAFETY: installed in the vtable only when AVX2 was detected.
+    unsafe { decode_alaw_avx2(data, out) }
+}
+
+// SAFETY: callers must guarantee the CPU supports AVX2.
+#[target_feature(enable = "avx2")]
+unsafe fn decode_ulaw_avx2(data: &[u8], out: &mut [i16]) {
+    assert_eq!(data.len(), out.len(), "decode buffer length mismatch");
+    let n = data.len();
+    let mut i = 0;
+    // In-body safety: each iteration reads 16 bytes and writes 16 i16,
+    // bounded by `i + 16 <= n`.
+    let inv = _mm256_set1_epi16(0x00FF);
+    let bias = _mm256_set1_epi16(0x84);
+    let m07 = _mm256_set1_epi16(0x07);
+    let m0f = _mm256_set1_epi16(0x0F);
+    let sbit = _mm256_set1_epi16(0x80);
+    while i + 16 <= n {
+        let raw = _mm_loadu_si128(data.as_ptr().add(i).cast());
+        let u = _mm256_xor_si256(_mm256_cvtepu8_epi16(raw), inv);
+        let e = _mm256_and_si256(_mm256_srli_epi16(u, 4), m07);
+        let m = _mm256_and_si256(u, m0f);
+        // ((m << 3) + 0x84) << e, as a multiply by the in-register 2^e
+        // gather: the max product is 252 << 7 = 32256, so the low 16 bits
+        // are exact.
+        let base = _mm256_add_epi16(_mm256_slli_epi16(m, 3), bias);
+        let mag = _mm256_sub_epi16(_mm256_mullo_epi16(base, pow2_epi16(e)), bias);
+        let neg = _mm256_cmpeq_epi16(_mm256_and_si256(u, sbit), sbit);
+        let res = _mm256_sub_epi16(_mm256_xor_si256(mag, neg), neg);
+        _mm256_storeu_si256(out.as_mut_ptr().add(i).cast(), res);
+        i += 16;
+    }
+    decode_ulaw_sse2(&data[i..], &mut out[i..]);
+}
+
+// SAFETY: callers must guarantee the CPU supports AVX2.
+#[target_feature(enable = "avx2")]
+unsafe fn decode_alaw_avx2(data: &[u8], out: &mut [i16]) {
+    assert_eq!(data.len(), out.len(), "decode buffer length mismatch");
+    let n = data.len();
+    let mut i = 0;
+    // In-body safety: bounds as in `decode_ulaw_avx2`.
+    let zero = _mm256_setzero_si256();
+    let toggle = _mm256_set1_epi16(0x55);
+    let m07 = _mm256_set1_epi16(0x07);
+    let m0f = _mm256_set1_epi16(0x0F);
+    let sbit = _mm256_set1_epi16(0x80);
+    let one = _mm256_set1_epi16(1);
+    let seg0add = _mm256_set1_epi16(8);
+    let segnadd = _mm256_set1_epi16(0x108);
+    while i + 16 <= n {
+        let raw = _mm_loadu_si128(data.as_ptr().add(i).cast());
+        let a = _mm256_xor_si256(_mm256_cvtepu8_epi16(raw), toggle);
+        let m4 = _mm256_slli_epi16(_mm256_and_si256(a, m0f), 4);
+        let seg = _mm256_and_si256(_mm256_srli_epi16(a, 4), m07);
+        let segz = _mm256_cmpeq_epi16(seg, zero);
+        let addend = _mm256_or_si256(
+            _mm256_and_si256(segz, seg0add),
+            _mm256_andnot_si256(segz, segnadd),
+        );
+        // (m4 + addend) << e via the 2^e multiply; max 504 << 6 = 32256.
+        let e = _mm256_andnot_si256(segz, _mm256_sub_epi16(seg, one));
+        let mag = _mm256_mullo_epi16(_mm256_add_epi16(m4, addend), pow2_epi16(e));
+        let neg = _mm256_cmpeq_epi16(_mm256_and_si256(a, sbit), zero);
+        let res = _mm256_sub_epi16(_mm256_xor_si256(mag, neg), neg);
+        _mm256_storeu_si256(out.as_mut_ptr().add(i).cast(), res);
+        i += 16;
+    }
+    decode_alaw_sse2(&data[i..], &mut out[i..]);
+}
+
+// ---- AVX2 encode (32 lanes per iteration) -----------------------------
+
+/// Segment finder: counts how many of the seven thresholds `v` clears.
+/// Each `cmpgt` mask is −1 per lane, so subtracting the masks accumulates
+/// the segment number in `0..=7`.  `v` must be non-negative (≤ 0x7FFF),
+/// which the callers' clip establishes, so signed compares are exact.
+// SAFETY: callers must guarantee the CPU supports AVX2.
+#[target_feature(enable = "avx2")]
+#[inline]
+unsafe fn segment_epi16(v: __m256i, first: i16) -> __m256i {
+    let mut seg = _mm256_setzero_si256();
+    let mut t = i32::from(first);
+    for _ in 0..7 {
+        seg = _mm256_sub_epi16(seg, _mm256_cmpgt_epi16(v, _mm256_set1_epi16((t - 1) as i16)));
+        t <<= 1;
+    }
+    seg
+}
+
+/// `(v >> 3) >> s` per lane for `s` in `0..=7`, as an unsigned high
+/// multiply: `mulhi(((v >> 3) << 1), 2^(15 − s))`.  The multiplier's low
+/// byte is always zero, so one `vpshufb` gather of `2^(7 − s)` shifted
+/// into the high byte builds it.
+// SAFETY: callers must guarantee the CPU supports AVX2.
+#[target_feature(enable = "avx2")]
+#[inline]
+unsafe fn shr3_var_epi16(v: __m256i, s: __m256i, lut: __m128i) -> __m256i {
+    let hi = _mm256_shuffle_epi8(
+        _mm256_broadcastsi128_si256(lut),
+        _mm256_or_si256(s, _mm256_set1_epi16(0xFF00u16 as i16)),
+    );
+    _mm256_mulhi_epu16(
+        _mm256_slli_epi16(_mm256_srli_epi16(v, 3), 1),
+        _mm256_slli_epi16(hi, 8),
+    )
+}
+
+/// Packs two 16-lane vectors of byte-sized values into one 32-byte store.
+// SAFETY: callers must guarantee the CPU supports AVX2 and that
+// `dst` has 32 writable bytes.
+#[target_feature(enable = "avx2")]
+#[inline]
+unsafe fn store_packed_bytes(dst: *mut u8, lo: __m256i, hi: __m256i) {
+    // packus interleaves 128-bit halves; the permute restores order.
+    let packed = _mm256_permute4x64_epi64(_mm256_packus_epi16(lo, hi), 0b11_01_10_00);
+    _mm256_storeu_si256(dst.cast(), packed);
+}
+
+fn encode_ulaw_avx2_entry(pcm: &[i16], out: &mut [u8]) {
+    // SAFETY: installed in the vtable only when AVX2 was detected.
+    unsafe { encode_ulaw_avx2(pcm, out) }
+}
+
+fn encode_alaw_avx2_entry(pcm: &[i16], out: &mut [u8]) {
+    // SAFETY: installed in the vtable only when AVX2 was detected.
+    unsafe { encode_alaw_avx2(pcm, out) }
+}
+
+// SAFETY: callers must guarantee the CPU supports AVX2.
+#[target_feature(enable = "avx2")]
+unsafe fn encode_ulaw_avx2(pcm: &[i16], out: &mut [u8]) {
+    assert_eq!(pcm.len(), out.len(), "encode buffer length mismatch");
+    let n = pcm.len();
+    let mut i = 0;
+    // In-body safety: each iteration reads 32 i16 and writes 32 bytes,
+    // bounded by `i + 32 <= n`.
+    let clip = _mm256_set1_epi16(crate::g711::ULAW_CLIP as i16);
+    let bias = _mm256_set1_epi16(0x84);
+    let m0f = _mm256_set1_epi16(0x0F);
+    let s80 = _mm256_set1_epi16(0x80);
+    let inv = _mm256_set1_epi16(0x00FF);
+    // 2^(7 − e) for the mantissa shift `e + 3`.
+    let lut = _mm_setr_epi8(-128, 64, 32, 16, 8, 4, 2, 1, 0, 0, 0, 0, 0, 0, 0, 0);
+    // The 16 K comp tables are indexed by the top 14 bits, so the seed
+    // quantizes away the two low bits before encoding; mask them here to
+    // stay bit-exact with the table path.
+    let quant = _mm256_set1_epi16(0xFFFCu16 as i16);
+    let lanes = |v: __m256i| {
+        let v = _mm256_and_si256(v, quant);
+        // |v| as an unsigned lane (i16::MIN → 32768), clipped, biased:
+        // the result is ≤ 0x7FFF, so signed compares below are exact.
+        let mag = _mm256_min_epu16(_mm256_abs_epi16(v), clip);
+        let biased = _mm256_add_epi16(mag, bias);
+        // SAFETY: AVX2 established by the enclosing function's contract.
+        let e = unsafe { segment_epi16(biased, 0x100) };
+        // SAFETY: as above.
+        let mant = _mm256_and_si256(unsafe { shr3_var_epi16(biased, e, lut) }, m0f);
+        let sign = _mm256_and_si256(_mm256_srai_epi16(v, 15), s80);
+        let code = _mm256_or_si256(sign, _mm256_or_si256(_mm256_slli_epi16(e, 4), mant));
+        _mm256_xor_si256(code, inv) // !code in the low byte.
+    };
+    while i + 32 <= n {
+        let lo = lanes(_mm256_loadu_si256(pcm.as_ptr().add(i).cast()));
+        let hi = lanes(_mm256_loadu_si256(pcm.as_ptr().add(i + 16).cast()));
+        store_packed_bytes(out.as_mut_ptr().add(i), lo, hi);
+        i += 32;
+    }
+    swar::encode_tab(tables::comp_u(), &pcm[i..], &mut out[i..]);
+}
+
+// SAFETY: callers must guarantee the CPU supports AVX2.
+#[target_feature(enable = "avx2")]
+unsafe fn encode_alaw_avx2(pcm: &[i16], out: &mut [u8]) {
+    assert_eq!(pcm.len(), out.len(), "encode buffer length mismatch");
+    let n = pcm.len();
+    let mut i = 0;
+    // In-body safety: bounds as in `encode_ulaw_avx2`.
+    let clip = _mm256_set1_epi16(32_255);
+    let m0f = _mm256_set1_epi16(0x0F);
+    let s80 = _mm256_set1_epi16(0x80);
+    let t55 = _mm256_set1_epi16(0x55);
+    // Mantissa shift is 4 for segment 0, `seg + 3` above: 2^(7 − s') with
+    // s' = max(seg, 1).
+    let lut = _mm_setr_epi8(64, 64, 32, 16, 8, 4, 2, 1, 0, 0, 0, 0, 0, 0, 0, 0);
+    // Same 14-bit quantization as the comp tables (see encode_ulaw_avx2).
+    let quant = _mm256_set1_epi16(0xFFFCu16 as i16);
+    let lanes = |v: __m256i| {
+        let v = _mm256_and_si256(v, quant);
+        // Negative samples become −(v + 1) = !v: XOR with the sign
+        // spread, no add needed, and i16::MIN cannot overflow.
+        let spread = _mm256_srai_epi16(v, 15);
+        let mag = _mm256_min_epi16(_mm256_xor_si256(v, spread), clip);
+        // SAFETY: AVX2 established by the enclosing function's contract.
+        let seg = unsafe { segment_epi16(mag, 0x100) };
+        // SAFETY: as above.
+        let mant = _mm256_and_si256(unsafe { shr3_var_epi16(mag, seg, lut) }, m0f);
+        // A-law sign bit is set for non-negative samples.
+        let sign = _mm256_andnot_si256(spread, s80);
+        let code = _mm256_or_si256(sign, _mm256_or_si256(_mm256_slli_epi16(seg, 4), mant));
+        _mm256_xor_si256(code, t55)
+    };
+    while i + 32 <= n {
+        let lo = lanes(_mm256_loadu_si256(pcm.as_ptr().add(i).cast()));
+        let hi = lanes(_mm256_loadu_si256(pcm.as_ptr().add(i + 16).cast()));
+        store_packed_bytes(out.as_mut_ptr().add(i), lo, hi);
+        i += 32;
+    }
+    swar::encode_tab(tables::comp_a(), &pcm[i..], &mut out[i..]);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::g711;
+
+    #[test]
+    fn sse2_decodes_every_code_exactly() {
+        let data: Vec<u8> = (0..=255u8).collect();
+        let mut out = vec![0i16; 256];
+        decode_ulaw_sse2(&data, &mut out);
+        for (b, &v) in data.iter().zip(&out) {
+            assert_eq!(v, g711::ulaw_to_linear(*b), "ulaw {b:#04x}");
+        }
+        decode_alaw_sse2(&data, &mut out);
+        for (b, &v) in data.iter().zip(&out) {
+            assert_eq!(v, g711::alaw_to_linear(*b), "alaw {b:#04x}");
+        }
+    }
+
+    #[test]
+    fn vtable_decodes_every_code_exactly() {
+        // Exercises AVX2 when the host has it, SSE2 otherwise.
+        let k = kernels();
+        let data: Vec<u8> = (0..=255u8).rev().collect();
+        let mut out = vec![0i16; 256];
+        (k.decode_ulaw)(&data, &mut out);
+        for (b, &v) in data.iter().zip(&out) {
+            assert_eq!(v, g711::ulaw_to_linear(*b), "{} ulaw {b:#04x}", k.name);
+        }
+        (k.decode_alaw)(&data, &mut out);
+        for (b, &v) in data.iter().zip(&out) {
+            assert_eq!(v, g711::alaw_to_linear(*b), "{} alaw {b:#04x}", k.name);
+        }
+    }
+
+    #[test]
+    fn vtable_encodes_every_sample_exactly() {
+        // All 65536 inputs through the SIMD encode, against the comp-table
+        // path (the seed's semantics, with its 14-bit quantization) —
+        // covers both the vector body and the tail fallback.
+        let k = kernels();
+        let pcm: Vec<i16> = (i16::MIN..=i16::MAX).collect();
+        let mut out = vec![0u8; pcm.len()];
+        (k.encode_ulaw)(&pcm, &mut out);
+        for (&s, &b) in pcm.iter().zip(&out) {
+            assert_eq!(b, tables::ulaw_encode_fast(s), "{} ulaw {s}", k.name);
+        }
+        (k.encode_alaw)(&pcm, &mut out);
+        for (&s, &b) in pcm.iter().zip(&out) {
+            assert_eq!(b, tables::alaw_encode_fast(s), "{} alaw {s}", k.name);
+        }
+    }
+
+    #[test]
+    fn simd_mix_saturates_like_scalar() {
+        let k = kernels();
+        let a: Vec<i16> = (0..500).map(|i| (i * 131 % 65_536) as u16 as i16).collect();
+        let b: Vec<i16> = (0..500).map(|i| (i * 7_919 % 65_536) as u16 as i16).collect();
+        let mut dst: Vec<u8> = a.iter().flat_map(|v| v.to_le_bytes()).collect();
+        let src: Vec<u8> = b.iter().flat_map(|v| v.to_le_bytes()).collect();
+        (k.mix_lin16_le)(&mut dst, &src);
+        for (i, c) in dst.chunks_exact(2).enumerate() {
+            assert_eq!(
+                i16::from_le_bytes([c[0], c[1]]),
+                a[i].saturating_add(b[i]),
+                "lane {i}"
+            );
+        }
+    }
+}

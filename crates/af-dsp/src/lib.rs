@@ -19,6 +19,8 @@
 //! * [`fft`] — radix-2 FFT and window functions (the core of `afft`),
 //! * [`adpcm`] — IMA ADPCM coding (the `SAMPLE_ADPCM32` type),
 //! * [`convert`] — conversion between any two supported encodings,
+//! * [`kernels`] — the runtime-dispatched scalar/SWAR/SIMD batch kernels
+//!   behind [`convert`], [`mix`] and [`resample`],
 //! * [`silence`] — per-encoding silence fill,
 //! * [`sample`] — byte↔sample slice views for the batched kernels,
 //! * [`reference`] — the frozen scalar seed kernels (test/bench baseline).
@@ -31,6 +33,7 @@ pub mod fft;
 pub mod g711;
 pub mod gain;
 pub mod goertzel;
+pub mod kernels;
 pub mod mix;
 pub mod power;
 pub mod reference;

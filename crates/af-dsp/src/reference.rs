@@ -14,6 +14,7 @@
 //! cross-crate call structure (the server called `af_dsp::gain` once per
 //! sample across a crate boundary, which the optimizer could not hoist).
 
+use crate::kernels::ResampleState;
 use crate::{tables, Encoding};
 
 /// Seed `mix_bytes`: per-sample `from_le_bytes` loops for the linear
@@ -149,6 +150,47 @@ pub fn decode_to_lin16_scalar(encoding: Encoding, data: &[u8]) -> Vec<i16> {
         }
         other => panic!("no scalar decoder for encoding {other}"),
     }
+}
+
+/// Seed resampler block: the `Resampler::process` loop exactly as PR 2
+/// shipped it — per-output closure dispatch, one fused guard branch — with
+/// the output appended to `out` instead of returned.  The restructured
+/// kernels must reproduce this loop's float arithmetic bit for bit: the
+/// position accumulates *sequentially* (`pos += step`; `pos0 + k*step`
+/// differs in IEEE), and rounding is `f64::round` (half away from zero).
+pub fn resample_block_scalar(st: &mut ResampleState, input: &[i16], out: &mut Vec<i16>) {
+    if input.is_empty() {
+        return;
+    }
+    out.reserve((input.len() as f64 / st.step) as usize + 2);
+    // Virtual stream for this block: [prev?, input...].
+    let offset = usize::from(st.prev.is_some());
+    let prev = st.prev;
+    let at = |idx: usize| -> f64 {
+        if idx == 0 {
+            if let Some(p) = prev {
+                return f64::from(p);
+            }
+        }
+        f64::from(input[idx - offset])
+    };
+    // Position of input.last() in the virtual stream.
+    let last_index = (input.len() - 1 + offset) as f64;
+    while st.pos <= last_index {
+        let base = st.pos.floor();
+        let frac = st.pos - base;
+        let i = base as usize;
+        let v = if st.pos >= last_index {
+            f64::from(*input.last().expect("non-empty"))
+        } else {
+            at(i) * (1.0 - frac) + at(i + 1) * frac
+        };
+        out.push(v.round().clamp(-32_768.0, 32_767.0) as i16);
+        st.pos += st.step;
+    }
+    // Rebase position so the next block's `prev` is input.last().
+    st.pos -= last_index;
+    st.prev = Some(*input.last().expect("non-empty"));
 }
 
 /// Seed encoder: per-call allocation, per-sample `extend_from_slice`.

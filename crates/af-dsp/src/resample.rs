@@ -6,19 +6,18 @@
 //! for the telephone-quality material the paper's applications move between
 //! 8 kHz devices, and usable by `apass`-style clients to absorb clock drift.
 
+use crate::kernels::{self, ResampleState};
+
 /// A streaming linear-interpolation resampler for mono 16-bit audio.
 ///
 /// Maintains fractional position across blocks so a continuous stream can be
-/// resampled incrementally without seams.
+/// resampled incrementally without seams.  The inner loop runs on the
+/// runtime-selected kernel path ([`crate::kernels`]); every path reproduces
+/// the frozen reference loop (`reference::resample_block_scalar`) bit for
+/// bit, so path selection never changes output.
 #[derive(Clone, Debug)]
 pub struct Resampler {
-    /// Input samples consumed per output sample.
-    step: f64,
-    /// Position of the next output sample, relative to `prev`.
-    pos: f64,
-    /// Last input sample of the previous block (for interpolation across
-    /// block boundaries); `None` until the first sample arrives.
-    prev: Option<i16>,
+    state: ResampleState,
 }
 
 impl Resampler {
@@ -30,54 +29,29 @@ impl Resampler {
     pub fn new(from_rate: f64, to_rate: f64) -> Resampler {
         assert!(from_rate > 0.0 && to_rate > 0.0, "rates must be positive");
         Resampler {
-            step: from_rate / to_rate,
-            pos: 0.0,
-            prev: None,
+            state: ResampleState {
+                step: from_rate / to_rate,
+                pos: 0.0,
+                prev: None,
+            },
         }
     }
 
     /// The conversion ratio (output samples per input sample).
     pub fn ratio(&self) -> f64 {
-        1.0 / self.step
+        1.0 / self.state.step
     }
 
     /// Resamples one block, returning the output samples.
     pub fn process(&mut self, input: &[i16]) -> Vec<i16> {
-        if input.is_empty() {
-            return Vec::new();
-        }
-        // Virtual stream for this block: [prev?, input...].  On the very
-        // first block there is no carried sample, so position 0.0 is
-        // input[0]; afterwards position 0.0 is the carried `prev`.
-        let mut out = Vec::with_capacity((input.len() as f64 / self.step) as usize + 2);
-        let offset = usize::from(self.prev.is_some());
-        let prev = self.prev;
-        let at = |idx: usize| -> f64 {
-            if idx == 0 {
-                if let Some(p) = prev {
-                    return f64::from(p);
-                }
-            }
-            f64::from(input[idx - offset])
-        };
-        // Position of input.last() in the virtual stream.
-        let last_index = (input.len() - 1 + offset) as f64;
-        while self.pos <= last_index {
-            let base = self.pos.floor();
-            let frac = self.pos - base;
-            let i = base as usize;
-            let v = if self.pos >= last_index {
-                f64::from(*input.last().expect("non-empty"))
-            } else {
-                at(i) * (1.0 - frac) + at(i + 1) * frac
-            };
-            out.push(v.round().clamp(-32_768.0, 32_767.0) as i16);
-            self.pos += self.step;
-        }
-        // Rebase position so the next block's `prev` is input.last().
-        self.pos -= last_index;
-        self.prev = Some(*input.last().expect("non-empty"));
+        let mut out = Vec::new();
+        self.process_into(input, &mut out);
         out
+    }
+
+    /// Resamples one block, appending the output samples to `out`.
+    pub fn process_into(&mut self, input: &[i16], out: &mut Vec<i16>) {
+        (kernels::active().resample_lin16)(&mut self.state, input, out);
     }
 }
 

@@ -1,0 +1,166 @@
+//! Differential property tests for the kernel vtable paths.
+//!
+//! Every path available on this host — scalar, SWAR, and the detected SIMD
+//! table — must be bit-exact against the frozen reference (`af_dsp::
+//! reference` and the per-sample G.711 algorithms) on randomized lengths,
+//! byte alignments, encodings, gains and chunkings.  Path selection must
+//! never be observable in output, only in throughput.
+
+use af_dsp::kernels::{self, Kernels, ResampleState};
+use af_dsp::{g711, gain, reference, Encoding};
+use proptest::prelude::*;
+
+fn paths() -> Vec<(&'static str, &'static Kernels)> {
+    kernels::available()
+        .into_iter()
+        .map(|(_, k)| (k.name, k))
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    /// Decode: every path equals the per-sample G.711 algorithm at every
+    /// length — odd lengths exercise each path's scalar remainder loop.
+    #[test]
+    fn decode_paths_bit_exact(data in prop::collection::vec(any::<u8>(), 0..200)) {
+        for (name, k) in paths() {
+            let mut out = vec![0i16; data.len()];
+            (k.decode_ulaw)(&data, &mut out);
+            for (b, v) in data.iter().zip(&out) {
+                prop_assert_eq!(*v, g711::ulaw_to_linear(*b), "{} ulaw {:#04x}", name, b);
+            }
+            let mut out = vec![0i16; data.len()];
+            (k.decode_alaw)(&data, &mut out);
+            for (b, v) in data.iter().zip(&out) {
+                prop_assert_eq!(*v, g711::alaw_to_linear(*b), "{} alaw {:#04x}", name, b);
+            }
+        }
+    }
+
+    /// Encode: every path equals the seed scalar encoder (which pins the
+    /// 16 K compression-table quantization, not the raw algorithm).
+    #[test]
+    fn encode_paths_bit_exact(pcm in prop::collection::vec(any::<i16>(), 0..200)) {
+        for (name, k) in paths() {
+            for (enc, f) in [(Encoding::Mu255, k.encode_ulaw), (Encoding::Alaw, k.encode_alaw)] {
+                let want = reference::encode_from_lin16_scalar(enc, &pcm);
+                let mut got = vec![0u8; pcm.len()];
+                f(&pcm, &mut got);
+                prop_assert_eq!(&got, &want, "{} {}", name, enc);
+            }
+        }
+    }
+
+    /// Mix: every path equals the seed scalar mixer on little-endian byte
+    /// buffers at arbitrary misalignments (`off`/`off+1` slide the two
+    /// buffers off the allocator's natural alignment independently) and
+    /// mismatched lengths, leaving trailing partial-sample bytes untouched.
+    #[test]
+    fn mix_paths_bit_exact(
+        bytes in prop::collection::vec(any::<u8>(), 0..300),
+        src_bytes in prop::collection::vec(any::<u8>(), 0..300),
+        off in 0usize..8,
+        wide in any::<bool>(),
+    ) {
+        let (unit, enc) = if wide { (4, Encoding::Lin32) } else { (2, Encoding::Lin16) };
+        let n = bytes.len().min(src_bytes.len()) / unit * unit;
+        let mut dst_store = vec![0u8; off];
+        dst_store.extend(&bytes);
+        let mut src_store = vec![0u8; off + 1];
+        src_store.extend(&src_bytes);
+
+        let mut want = bytes.clone();
+        reference::mix_bytes_scalar(enc, &mut want[..n], &src_bytes[..n]);
+
+        for (name, k) in paths() {
+            let mut d = dst_store.clone();
+            let f = if wide { k.mix_lin32_le } else { k.mix_lin16_le };
+            f(&mut d[off..], &src_store[off + 1..]);
+            prop_assert_eq!(&d[off..], &want[..], "{} {}", name, enc);
+        }
+    }
+
+    /// Stereo view: mixing an interleaved L/R buffer equals mixing each
+    /// channel separately through the same path.
+    #[test]
+    fn mix_stereo_interleaved_consistent(
+        flat in prop::collection::vec(any::<i16>(), 0..256),
+    ) {
+        // Each frame is (dst L, dst R, src L, src R).
+        let frames: Vec<&[i16]> = flat.chunks_exact(4).collect();
+        let pack = |samples: Vec<i16>| -> Vec<u8> {
+            samples.into_iter().flat_map(i16::to_le_bytes).collect()
+        };
+        let inter_dst = pack(frames.iter().flat_map(|f| [f[0], f[1]]).collect());
+        let inter_src = pack(frames.iter().flat_map(|f| [f[2], f[3]]).collect());
+        for (name, k) in paths() {
+            let mut mixed = inter_dst.clone();
+            (k.mix_lin16_le)(&mut mixed, &inter_src);
+            for ch in 0..2usize {
+                let mut chan_dst = pack(frames.iter().map(|f| f[ch]).collect());
+                let chan_src = pack(frames.iter().map(|f| f[2 + ch]).collect());
+                (k.mix_lin16_le)(&mut chan_dst, &chan_src);
+                for (i, c) in chan_dst.chunks_exact(2).enumerate() {
+                    let j = 4 * i + 2 * ch;
+                    prop_assert_eq!(
+                        [mixed[j], mixed[j + 1]],
+                        [c[0], c[1]],
+                        "{} channel {} frame {}", name, ch, i
+                    );
+                }
+            }
+        }
+    }
+
+    /// Resample: every path reproduces the reference output stream and the
+    /// carried state bit for bit across random rates and chunk splits.
+    #[test]
+    fn resample_paths_bit_exact(
+        from in 4000u32..48_000,
+        to in 4000u32..48_000,
+        chunks in prop::collection::vec(prop::collection::vec(any::<i16>(), 0..120), 1..5),
+    ) {
+        let step = f64::from(from) / f64::from(to);
+        for (name, k) in paths() {
+            let mut st = ResampleState { step, pos: 0.0, prev: None };
+            let mut ref_st = ResampleState { step, pos: 0.0, prev: None };
+            let mut got = Vec::new();
+            let mut want = Vec::new();
+            for c in &chunks {
+                (k.resample_lin16)(&mut st, c, &mut got);
+                reference::resample_block_scalar(&mut ref_st, c, &mut want);
+            }
+            prop_assert_eq!(&got, &want, "{} {}->{}", name, from, to);
+            prop_assert_eq!(st.pos.to_bits(), ref_st.pos.to_bits(), "{} carried pos", name);
+            prop_assert_eq!(st.prev, ref_st.prev, "{} carried prev", name);
+        }
+    }
+
+    /// Decode → Q16 gain (−30…+30 dB) → encode composes identically on
+    /// every path: the linear staging a gained conversion goes through is
+    /// path-invariant.
+    #[test]
+    fn gained_conversion_paths_bit_exact(
+        data in prop::collection::vec(any::<u8>(), 0..160),
+        db in -30i32..=30,
+        to_alaw in any::<bool>(),
+    ) {
+        let factor = gain::q16_factor(f64::from(db));
+        let enc = if to_alaw { Encoding::Alaw } else { Encoding::Mu255 };
+        let mut want = reference::decode_to_lin16_scalar(Encoding::Mu255, &data);
+        for s in &mut want {
+            *s = gain::q16_gain_i16(*s, factor);
+        }
+        let want = reference::encode_from_lin16_scalar(enc, &want);
+        for (name, k) in paths() {
+            let mut pcm = vec![0i16; data.len()];
+            (k.decode_ulaw)(&data, &mut pcm);
+            gain::apply_gain_lin16_q16(&mut pcm, factor);
+            let mut got = vec![0u8; pcm.len()];
+            let f = if to_alaw { k.encode_alaw } else { k.encode_ulaw };
+            f(&pcm, &mut got);
+            prop_assert_eq!(&got, &want, "{} {} dB -> {}", name, db, enc);
+        }
+    }
+}

@@ -102,6 +102,14 @@ pub struct WorkerStats {
     pub jobs_processed: AtomicU64,
     /// Periodic updates that started at least one full period late.
     pub update_overruns: AtomicU64,
+    /// Cycles (or nanoseconds where the host has no cycle counter) spent
+    /// in data-plane work: job handling plus periodic updates and retries.
+    /// Divided by [`WorkerStats::bytes_processed`] this gives the
+    /// per-plane cycles-per-byte metric the bench gate compares on.
+    pub busy_cycles: AtomicU64,
+    /// Sample bytes the drained jobs carried (play payloads as submitted,
+    /// record replies as device bytes read).
+    pub bytes_processed: AtomicU64,
 }
 
 impl WorkerStats {
@@ -112,6 +120,8 @@ impl WorkerStats {
             queue_hwm: AtomicU64::new(0),
             jobs_processed: AtomicU64::new(0),
             update_overruns: AtomicU64::new(0),
+            busy_cycles: AtomicU64::new(0),
+            bytes_processed: AtomicU64::new(0),
         }
     }
 
@@ -132,6 +142,10 @@ pub struct WorkerStatsSnapshot {
     pub jobs_processed: u64,
     /// Late periodic updates so far.
     pub update_overruns: u64,
+    /// Data-plane cycles consumed so far.
+    pub busy_cycles: u64,
+    /// Sample bytes processed so far.
+    pub bytes_processed: u64,
 }
 
 impl WorkerStats {
@@ -142,6 +156,8 @@ impl WorkerStats {
             queue_hwm: self.queue_hwm.load(Ordering::Relaxed),
             jobs_processed: self.jobs_processed.load(Ordering::Relaxed),
             update_overruns: self.update_overruns.load(Ordering::Relaxed),
+            busy_cycles: self.busy_cycles.load(Ordering::Relaxed),
+            bytes_processed: self.bytes_processed.load(Ordering::Relaxed),
         }
     }
 }
@@ -409,7 +425,13 @@ impl AudioWorker {
                 Ok(AudioJob::Shutdown) => break,
                 Ok(job) => {
                     self.stats.jobs_processed.fetch_add(1, Ordering::Relaxed);
-                    self.handle(job);
+                    let t0 = af_dsp::kernels::cycles::timestamp();
+                    let bytes = self.handle(job);
+                    let spent = af_dsp::kernels::cycles::timestamp().wrapping_sub(t0);
+                    self.stats.busy_cycles.fetch_add(spent, Ordering::Relaxed);
+                    self.stats
+                        .bytes_processed
+                        .fetch_add(bytes as u64, Ordering::Relaxed);
                 }
                 Err(RecvTimeoutError::Timeout) => {}
                 Err(RecvTimeoutError::Disconnected) => break,
@@ -428,11 +450,14 @@ impl AudioWorker {
                         .update_overruns
                         .fetch_add(missed, Ordering::Relaxed);
                 }
+                let t0 = af_dsp::kernels::cycles::timestamp();
                 self.run_group_update();
                 // The classic update task retries every suspended request,
                 // not just due ones (virtual clocks can advance device time
                 // without wall time passing).
                 self.retry_all();
+                let spent = af_dsp::kernels::cycles::timestamp().wrapping_sub(t0);
+                self.stats.busy_cycles.fetch_add(spent, Ordering::Relaxed);
             } else {
                 self.retry_due(Instant::now());
             }
@@ -440,7 +465,10 @@ impl AudioWorker {
         }
     }
 
-    fn handle(&mut self, job: AudioJob) {
+    /// Handles one job, returning the sample bytes it carried (play
+    /// payloads as submitted, record requests as device bytes to read)
+    /// for the worker's bytes-processed counter.
+    fn handle(&mut self, job: AudioJob) -> usize {
         match job {
             AudioJob::Play {
                 sink,
@@ -458,23 +486,27 @@ impl AudioWorker {
                 out_gain_db,
                 out_enabled,
                 data,
-            } => self.handle_play(
-                sink,
-                client,
-                ac,
-                seq,
-                device,
-                lane,
-                start,
-                preempt,
-                suppress_reply,
-                swap_bytes,
-                src_enc,
-                play_gain_db,
-                out_gain_db,
-                out_enabled,
-                data,
-            ),
+            } => {
+                let bytes = data.len();
+                self.handle_play(
+                    sink,
+                    client,
+                    ac,
+                    seq,
+                    device,
+                    lane,
+                    start,
+                    preempt,
+                    suppress_reply,
+                    swap_bytes,
+                    src_enc,
+                    play_gain_db,
+                    out_gain_db,
+                    out_enabled,
+                    data,
+                );
+                bytes
+            }
             AudioJob::Record {
                 sink,
                 client,
@@ -491,38 +523,48 @@ impl AudioWorker {
                 add_recorder,
                 out_gain_db,
                 out_enabled,
-            } => self.handle_record(
-                sink,
-                client,
-                ac,
-                seq,
-                device,
-                lane,
-                start,
-                nframes,
-                block,
-                big_endian,
-                dst_enc,
-                record_gain_db,
-                add_recorder,
-                out_gain_db,
-                out_enabled,
-            ),
+            } => {
+                let bytes = self.by_index.get(&device).map_or(0, |&pos| {
+                    self.devices[pos].buffers.frame_bytes() * nframes as usize
+                });
+                self.handle_record(
+                    sink,
+                    client,
+                    ac,
+                    seq,
+                    device,
+                    lane,
+                    start,
+                    nframes,
+                    block,
+                    big_endian,
+                    dst_enc,
+                    record_gain_db,
+                    add_recorder,
+                    out_gain_db,
+                    out_enabled,
+                );
+                bytes
+            }
             AudioJob::RemoveRecorder { device } => {
                 if let Some(&pos) = self.by_index.get(&device) {
                     self.devices[pos].buffers.remove_recorder();
                 }
+                0
             }
-            AudioJob::ForgetAc { client, ac } => match ac {
-                Some(ac) => {
-                    self.play_convs.remove(&(client, ac));
-                    self.rec_convs.remove(&(client, ac));
+            AudioJob::ForgetAc { client, ac } => {
+                match ac {
+                    Some(ac) => {
+                        self.play_convs.remove(&(client, ac));
+                        self.rec_convs.remove(&(client, ac));
+                    }
+                    None => {
+                        self.play_convs.retain(|(c, _), _| *c != client);
+                        self.rec_convs.retain(|(c, _), _| *c != client);
+                    }
                 }
-                None => {
-                    self.play_convs.retain(|(c, _), _| *c != client);
-                    self.rec_convs.retain(|(c, _), _| *c != client);
-                }
-            },
+                0
+            }
             AudioJob::SetPassthrough {
                 device,
                 peer,
@@ -531,14 +573,16 @@ impl AudioWorker {
             } => {
                 self.set_passthrough(device, peer, enable);
                 let _ = ack.send(());
+                0
             }
             AudioJob::Update { ack } => {
                 self.run_group_update();
                 self.retry_all();
                 self.publish_snapshots();
                 let _ = ack.send(());
+                0
             }
-            AudioJob::Shutdown => {}
+            AudioJob::Shutdown => 0,
         }
     }
 

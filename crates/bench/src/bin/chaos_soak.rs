@@ -248,50 +248,6 @@ fn render_level(r: &LevelResult) -> String {
     )
 }
 
-/// Replaces or inserts the top-level `"chaos_soak"` key in a JSON object
-/// string, leaving every other key untouched.  Brace matching is enough:
-/// the report format never puts braces inside strings.
-fn merge_into_report(existing: &str, section: &str) -> String {
-    let body = format!("\"chaos_soak\": {section}");
-    if let Some(key_at) = existing.find("\"chaos_soak\"") {
-        let colon = existing[key_at..].find(':').map(|c| key_at + c);
-        if let Some(colon) = colon {
-            let bytes = existing.as_bytes();
-            let mut depth = 0i32;
-            let mut started = false;
-            for (i, &b) in bytes.iter().enumerate().skip(colon) {
-                match b {
-                    b'{' | b'[' => {
-                        depth += 1;
-                        started = true;
-                    }
-                    b'}' | b']' => {
-                        depth -= 1;
-                        if started && depth == 0 {
-                            return format!(
-                                "{}{}{}",
-                                &existing[..key_at],
-                                body,
-                                &existing[i + 1..]
-                            );
-                        }
-                    }
-                    _ => {}
-                }
-            }
-        }
-        return format!("{{\n  {body}\n}}\n");
-    }
-    match existing.rfind('}') {
-        Some(close) => {
-            let head = existing[..close].trim_end();
-            let sep = if head.trim_end().ends_with('{') { "" } else { "," };
-            format!("{head}{sep}\n  {body}\n}}\n")
-        }
-        None => format!("{{\n  {body}\n}}\n"),
-    }
-}
-
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let smoke = args.iter().any(|a| a == "--smoke");
@@ -348,7 +304,9 @@ fn main() {
     );
     let existing = std::fs::read_to_string(&out_path)
         .unwrap_or_else(|_| "{\n}\n".to_string());
-    let merged = merge_into_report(&existing, &section);
+    // String-aware top-level key replacement: repeated runs are idempotent
+    // and every section owned by other binaries survives untouched.
+    let merged = bench::jsonmerge::set_key(&existing, "chaos_soak", &section);
     std::fs::write(&out_path, merged).expect("write report");
     eprintln!("chaos_soak: wrote {out_path}");
     if failed {

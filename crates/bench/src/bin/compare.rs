@@ -8,12 +8,28 @@
 //! cargo run --release -p bench --bin compare -- BASELINE.json CANDIDATE.json [--tolerance 15]
 //! ```
 //!
-//! Metrics where higher is better: kernel `after_mb_s`, `throughput_kbs`,
-//! multi-device `aggregate_mb_s`.  Metrics where lower is better: Figure 10
-//! `get_time_us`, the Figure 11/12/13 latency sweeps (compared by series
-//! mean, which resists per-point timer noise), and Table 12 `loop_ms`.
-//! Metrics present in only one report are noted but never fail the gate,
-//! so the schema can grow without breaking older baselines.
+//! Metrics where higher is better: kernel `after_mb_s`, per-path
+//! `kernels_v2` `mb_s`, `throughput_kbs`.  Metrics where lower is better:
+//! per-path `kernels_v2` `cycles_per_byte`, multi-device `cycles_per_byte`
+//! (the per-plane CPU metric; wall-clock `aggregate_mb_s` stays in the
+//! report but is deliberately not gated — on a 1-core host it measures
+//! scheduler interleaving, not kernel work), Figure 10 `get_time_us`, the
+//! Figure 11/12/13 latency sweeps (compared by series mean, which resists
+//! per-point timer noise), and Table 12 `loop_ms`.  Metrics present in
+//! only one report are noted but never fail the gate, so the schema can
+//! grow without breaking older baselines.
+//!
+//! **Cross-mode runs.**  When the two reports' `"mode"` fields differ
+//! (CI compares a `--smoke` candidate against the checked-in full
+//! baseline), two adjustments keep the gate honest on a shared 1-core
+//! runner: the tolerance floor rises to 50 % — a short smoke run against
+//! an idle full-length baseline measures load variance below that, and
+//! the gate's cross-mode job is catching catastrophic (≥ 2×)
+//! regressions — and the `multi_device` cycle rows are skipped entirely,
+//! because the workers' fixed periodic-update cycles amortize over run
+//! length, so a shorter run reads structurally higher cycles-per-byte
+//! regardless of kernel speed.  Same-mode comparisons keep the tight
+//! default.
 
 use std::collections::BTreeMap;
 use std::process::ExitCode;
@@ -295,6 +311,30 @@ fn metrics(report: &Json) -> BTreeMap<String, (f64, Better)> {
         }
     }
 
+    if let Some(rows) = report.get("kernels_v2").and_then(Json::as_arr) {
+        for k in rows {
+            let (Some(name), Some(path), Some(bytes)) = (
+                k.get("kernel").and_then(Json::as_str),
+                k.get("path").and_then(Json::as_str),
+                k.get("bytes").and_then(Json::as_f64),
+            ) else {
+                continue;
+            };
+            if let Some(v) = k.get("mb_s").and_then(Json::as_f64) {
+                out.insert(
+                    format!("kernel_v2/{name}/{path}/{bytes}B mb_s"),
+                    (v, Better::Higher),
+                );
+            }
+            if let Some(v) = k.get("cycles_per_byte").and_then(Json::as_f64) {
+                out.insert(
+                    format!("kernel_v2/{name}/{path}/{bytes}B cycles_per_byte"),
+                    (v, Better::Lower),
+                );
+            }
+        }
+    }
+
     if let Some(thr) = report.get("throughput_kbs").and_then(Json::as_obj) {
         for (config, row) in thr {
             if let Some(fields) = row.as_obj() {
@@ -347,17 +387,22 @@ fn metrics(report: &Json) -> BTreeMap<String, (f64, Better)> {
         .and_then(Json::as_arr)
     {
         for row in rows {
-            let (Some(devices), Some(mode), Some(v)) = (
+            let (Some(devices), Some(mode)) = (
                 row.get("devices").and_then(Json::as_f64),
                 row.get("mode").and_then(Json::as_str),
-                row.get("aggregate_mb_s").and_then(Json::as_f64),
             ) else {
                 continue;
             };
-            out.insert(
-                format!("multi_device/{devices}dev/{mode}/aggregate_mb_s"),
-                (v, Better::Higher),
-            );
+            // Gate on the per-plane cycle metric, not wall-clock MB/s:
+            // aggregate_mb_s on a shared 1-core CI host measures scheduler
+            // interleaving, so it stays in the report but out of the gate.
+            // Classic rows carry `"cycles_per_byte": null` and are skipped.
+            if let Some(v) = row.get("cycles_per_byte").and_then(Json::as_f64) {
+                out.insert(
+                    format!("multi_device/{devices}dev/{mode}/cycles_per_byte"),
+                    (v, Better::Lower),
+                );
+            }
         }
     }
 
@@ -404,6 +449,12 @@ fn main() -> ExitCode {
 
     let base_mode = baseline.get("mode").and_then(Json::as_str).unwrap_or("?");
     let cand_mode = candidate.get("mode").and_then(Json::as_str).unwrap_or("?");
+    let cross_mode = base_mode != cand_mode;
+    if cross_mode {
+        // See the module docs: cross-mode comparisons gate only
+        // catastrophic regressions and skip duration-structural metrics.
+        tolerance_pct = tolerance_pct.max(50.0);
+    }
     println!(
         "bench gate: baseline={} ({base_mode}) candidate={} ({cand_mode}) tolerance={tolerance_pct}%",
         paths[0], paths[1]
@@ -415,6 +466,9 @@ fn main() -> ExitCode {
     let mut failures = 0u32;
     let mut compared = 0u32;
     for (name, &(b, better)) in &base {
+        if cross_mode && name.starts_with("multi_device/") {
+            continue;
+        }
         let Some(&(c, _)) = cand.get(name) else {
             println!("  MISSING  {name} (in baseline only — not gated)");
             continue;
@@ -457,18 +511,28 @@ mod tests {
         let v = parse(
             r#"{"schema": "audiofile-bench-report/1", "mode": "full",
                 "kernels": [{"kernel": "mix", "bytes": 1024, "after_mb_s": 100.5}],
+                "kernels_v2": [{"kernel": "convert_decode", "path": "swar", "bytes": 65536,
+                                "mb_s": 7000.0, "cycles_per_byte": 0.4}],
                 "throughput_kbs": {"tcp": {"record_kbs": 5.0}},
                 "figure10_get_time_us": {"tcp": 10.0},
                 "figure11_record_us": {"tcp": [1.0, 3.0]},
                 "table12_loop_ms": {"tcp": 0.5},
-                "multi_device": {"rows": [{"devices": 4, "mode": "sharded", "aggregate_mb_s": 9.0}]}}"#,
+                "multi_device": {"rows": [
+                    {"devices": 4, "mode": "sharded", "aggregate_mb_s": 9.0, "cycles_per_byte": 12.5},
+                    {"devices": 4, "mode": "classic", "aggregate_mb_s": 9.5, "cycles_per_byte": null}]}}"#,
         )
         .unwrap();
         let m = metrics(&v);
         assert_eq!(m["kernel/mix/1024B after_mb_s"].0, 100.5);
+        assert_eq!(m["kernel_v2/convert_decode/swar/65536B mb_s"].0, 7000.0);
+        assert!(m["kernel_v2/convert_decode/swar/65536B cycles_per_byte"].1 == Better::Lower);
         assert_eq!(m["throughput/tcp/record_kbs"].0, 5.0);
         assert_eq!(m["figure11/record_us/tcp/mean"].0, 2.0);
-        assert_eq!(m["multi_device/4dev/sharded/aggregate_mb_s"].0, 9.0);
+        // The cycle metric is gated (lower is better); wall-clock MB/s and
+        // the classic row's null metric are not extracted at all.
+        assert_eq!(m["multi_device/4dev/sharded/cycles_per_byte"].0, 12.5);
+        assert!(m.keys().all(|k| !k.contains("aggregate_mb_s")));
+        assert!(!m.contains_key("multi_device/4dev/classic/cycles_per_byte"));
     }
 
     #[test]

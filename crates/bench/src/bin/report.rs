@@ -16,8 +16,8 @@
 //! to the paper's numbers.
 
 use af_client::{Ac, AcAttributes, AcMask, AudioConn};
-use bench::kernels::{run_kernels, KernelMeasurement};
-use bench::{cpu_cores, sweep_sizes, time_per_iter, Rig, Transport};
+use bench::kernels::{run_kernels, run_kernels_v2, KernelMeasurement, KernelV2Measurement};
+use bench::{cpu_cores, jsonmerge, sweep_sizes, time_per_iter, Rig, Transport};
 
 /// Per-run measurement settings.
 #[derive(Clone, Copy)]
@@ -52,6 +52,9 @@ struct Report {
     mode: &'static str,
     labels: Vec<&'static str>,
     kernels: Vec<KernelMeasurement>,
+    /// Round 2: every vtable entry point on every available path, with the
+    /// cycles-per-byte metric the gate compares on.
+    kernels_v2: Vec<KernelV2Measurement>,
     /// Figure 10: mean AFGetTime() seconds per configuration.
     get_time: Vec<f64>,
     sizes: Vec<usize>,
@@ -72,7 +75,14 @@ struct Report {
 struct MultiDeviceRow {
     devices: usize,
     mode: &'static str,
+    /// Wall-clock aggregate — recorded for context, no longer gated: on a
+    /// 1-core host it measures scheduler interleaving, not kernel work.
     aggregate_mb_s: f64,
+    /// Data-plane cycles per byte summed over the audio workers.  `None`
+    /// for classic rows: with no worker threads the DSP runs inside the
+    /// dispatcher, inseparable from I/O, and the in-process bench clients
+    /// contaminate any process-wide cycle reading.
+    cycles_per_byte: Option<f64>,
 }
 
 /// Concurrent clients in the multi-device benchmark.
@@ -99,6 +109,7 @@ fn main() {
     println!("configurations: unix socket (local), loopback TCP, TCP + 0.5 ms wire\n");
 
     let kernels = kernel_section(settings);
+    let kernels_v2 = kernel_v2_section(settings);
     let get_time = figure10(&configs, settings);
     let record = figure11(&configs, settings);
     table10(&configs, &record);
@@ -113,6 +124,7 @@ fn main() {
         mode: if smoke { "smoke" } else { "full" },
         labels: configs.iter().map(|&(_, l)| l).collect(),
         kernels,
+        kernels_v2,
         get_time,
         sizes: sweep_sizes(),
         record,
@@ -124,7 +136,13 @@ fn main() {
         multi_device,
     };
     let json = render_json(&report);
-    std::fs::write(&out_path, json).expect("write BENCH_report.json");
+    // Preserve sections owned by sibling binaries (chaos_soak) across the
+    // rewrite, so repeated runs in any order converge on one report.
+    let merged = match std::fs::read_to_string(&out_path) {
+        Ok(existing) => jsonmerge::preserve_missing(&json, &existing),
+        Err(_) => json,
+    };
+    std::fs::write(&out_path, merged).expect("write BENCH_report.json");
     println!("machine-readable report written to {out_path}");
 }
 
@@ -141,6 +159,21 @@ fn kernel_section(settings: Settings) -> Vec<KernelMeasurement> {
             m.before_mb_s,
             m.after_mb_s,
             m.speedup()
+        );
+    }
+    println!();
+    results
+}
+
+fn kernel_v2_section(settings: Settings) -> Vec<KernelV2Measurement> {
+    println!("## Kernel paths — scalar vs SWAR vs SIMD (cycle-accounted)\n");
+    println!("| kernel | path | bytes | MB/s | cycles/byte |");
+    println!("|---|---|---|---|---|");
+    let results = run_kernels_v2(settings.smoke);
+    for m in &results {
+        println!(
+            "| {} | {} | {} | {:.0} | {:.3} |",
+            m.kernel, m.path, m.bytes, m.mb_s, m.cycles_per_byte
         );
     }
     println!();
@@ -398,13 +431,14 @@ fn multi_device_section(settings: Settings) -> Vec<MultiDeviceRow> {
          (cpu_cores = {})\n",
         cpu_cores()
     );
-    println!("| devices | data plane | aggregate (MB/s) |");
-    println!("|---|---|---|");
+    println!("| devices | data plane | aggregate (MB/s) | cycles/byte |");
+    println!("|---|---|---|---|");
     let iters: u32 = if settings.smoke { 50 } else { 600 };
     let mut rows = Vec::new();
     for &devices in &[1usize, 4] {
         for &(sharded, mode) in &[(false, "classic"), (true, "sharded")] {
             let rig = Rig::start_multi(Transport::Tcp, devices, sharded, false);
+            let stats = rig.server.stats();
             let start = std::time::Instant::now();
             let handles: Vec<_> = (0..MULTI_CLIENTS)
                 .map(|i| {
@@ -429,11 +463,23 @@ fn multi_device_section(settings: Settings) -> Vec<MultiDeviceRow> {
             let elapsed = start.elapsed().as_secs_f64();
             let bytes = MULTI_CLIENTS * iters as usize * MULTI_CHUNK;
             let mb_s = bytes as f64 / elapsed / 1e6;
-            println!("| {devices} | {mode} | {mb_s:.1} |");
+            // Per-plane CPU work: cycles the audio workers consumed per
+            // sample byte they processed.  Only sharded rows have workers.
+            let cycles_per_byte = {
+                let snaps = stats.worker_snapshots();
+                let cycles: u64 = snaps.iter().map(|s| s.busy_cycles).sum();
+                let worked: u64 = snaps.iter().map(|s| s.bytes_processed).sum();
+                (worked > 0).then(|| cycles as f64 / worked as f64)
+            };
+            match cycles_per_byte {
+                Some(cpb) => println!("| {devices} | {mode} | {mb_s:.1} | {cpb:.3} |"),
+                None => println!("| {devices} | {mode} | {mb_s:.1} | – |"),
+            }
             rows.push(MultiDeviceRow {
                 devices,
                 mode,
                 aggregate_mb_s: mb_s,
+                cycles_per_byte,
             });
             rig.server.shutdown();
         }
@@ -527,15 +573,35 @@ fn render_json(r: &Report) -> String {
         })
         .collect();
 
+    let kernels_v2: Vec<String> = r
+        .kernels_v2
+        .iter()
+        .map(|m| {
+            format!(
+                "    {{\"kernel\": {}, \"path\": {}, \"bytes\": {}, \"mb_s\": {}, \"cycles_per_byte\": {}}}",
+                jstr(m.kernel),
+                jstr(m.path),
+                m.bytes,
+                jnum(m.mb_s),
+                jnum(m.cycles_per_byte)
+            )
+        })
+        .collect();
+
     let multi_rows: Vec<String> = r
         .multi_device
         .iter()
         .map(|row| {
+            let cpb = match row.cycles_per_byte {
+                Some(v) => jnum(v),
+                None => "null".to_string(),
+            };
             format!(
-                "      {{\"devices\": {}, \"mode\": {}, \"aggregate_mb_s\": {}}}",
+                "      {{\"devices\": {}, \"mode\": {}, \"aggregate_mb_s\": {}, \"cycles_per_byte\": {}}}",
                 row.devices,
                 jstr(row.mode),
-                jnum(row.aggregate_mb_s)
+                jnum(row.aggregate_mb_s),
+                cpb
             )
         })
         .collect();
@@ -544,6 +610,7 @@ fn render_json(r: &Report) -> String {
         "{{\n  \"schema\": \"audiofile-bench-report/1\",\n  \"mode\": {mode},\n  \
          \"cpu_cores\": {cores},\n  \
          \"configurations\": [{configs}],\n  \"kernels\": [\n{kernels}\n  ],\n  \
+         \"kernels_v2\": [\n{kernels_v2}\n  ],\n  \
          \"figure10_get_time_us\": {get_time},\n  \"sweep_sizes_bytes\": [{sizes}],\n  \
          \"figure11_record_us\": {record},\n  \"figure12_preempt_play_us\": {preempt},\n  \
          \"figure13_mix_play_us\": {mix},\n  \"throughput_kbs\": {{\n{thr}\n  }},\n  \
@@ -561,6 +628,7 @@ fn render_json(r: &Report) -> String {
             .collect::<Vec<_>>()
             .join(", "),
         kernels = kernels.join(",\n"),
+        kernels_v2 = kernels_v2.join(",\n"),
         get_time = jscalars(labels, &r.get_time, 1e6),
         sizes = sizes_json.join(", "),
         record = jseries(labels, &r.record, 1e6),

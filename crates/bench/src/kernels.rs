@@ -157,6 +157,118 @@ pub fn run_kernels(smoke: bool) -> Vec<KernelMeasurement> {
     results
 }
 
+// --- Round 2: per-path kernel rows (scalar vs SWAR vs SIMD) --------------
+
+/// One vtable entry point measured on one implementation path.
+#[derive(Clone, Debug)]
+pub struct KernelV2Measurement {
+    /// Entry point: `convert_decode`, `convert_encode`, `mix`, `resample`.
+    pub kernel: &'static str,
+    /// Implementation path name: `scalar`, `swar`, `simd-sse2`, ….
+    pub path: &'static str,
+    /// Block size in bytes (companded bytes for converts, LIN16 bytes for
+    /// mix and resample input).
+    pub bytes: usize,
+    /// Throughput over the block, MB/s.
+    pub mb_s: f64,
+    /// Consumed cycles per byte (timestamp-counter units per byte on
+    /// x86_64; ns per byte elsewhere) — the metric the bench gate compares
+    /// on, because it stays meaningful on a loaded 1-core CI host where
+    /// wall-clock MB/s aliases scheduler noise.
+    pub cycles_per_byte: f64,
+}
+
+/// Times `f` over blocks of `bytes`, reporting both wall-clock MB/s and
+/// consumed cycles per byte over the same timed region.
+fn throughput_cycles<F: FnMut()>(bytes: usize, iters: u32, mut f: F) -> (f64, f64) {
+    for _ in 0..(iters / 8).max(1) {
+        f(); // Warm up.
+    }
+    let c0 = af_dsp::kernels::cycles::timestamp();
+    let s = crate::time_per_iter(iters, f);
+    let cycles = af_dsp::kernels::cycles::timestamp().wrapping_sub(c0);
+    let total_bytes = bytes as f64 * f64::from(iters);
+    (bytes as f64 / s / 1e6, cycles as f64 / total_bytes)
+}
+
+/// Measures every vtable entry point on every path available on this
+/// host, at the top two sweep sizes.  The paths are driven through their
+/// function pointers directly (not the global `AF_DSP_FORCE` override),
+/// so rows stay comparable even when the process default is SIMD.
+pub fn run_kernels_v2(smoke: bool) -> Vec<KernelV2Measurement> {
+    let mut results = Vec::new();
+    for &bytes in &[KERNEL_SIZES[1], KERNEL_SIZES[3]] {
+        for (_, k) in af_dsp::kernels::available() {
+            let iters = iters_for(bytes, smoke);
+
+            let ulaw: Vec<u8> = (0..bytes).map(|i| (i % 255) as u8).collect();
+            let mut pcm = vec![0i16; bytes];
+            let (mb_s, cpb) = throughput_cycles(bytes, iters, || {
+                (k.decode_ulaw)(&ulaw, &mut pcm);
+                std::hint::black_box(&pcm);
+            });
+            results.push(KernelV2Measurement {
+                kernel: "convert_decode",
+                path: k.name,
+                bytes,
+                mb_s,
+                cycles_per_byte: cpb,
+            });
+
+            let mut out = vec![0u8; bytes];
+            let (mb_s, cpb) = throughput_cycles(bytes, iters, || {
+                (k.encode_ulaw)(&pcm, &mut out);
+                std::hint::black_box(&out);
+            });
+            results.push(KernelV2Measurement {
+                kernel: "convert_encode",
+                path: k.name,
+                bytes,
+                mb_s,
+                cycles_per_byte: cpb,
+            });
+
+            let src = lin16_block(bytes);
+            let mut ring = lin16_block(bytes);
+            let (mb_s, cpb) = throughput_cycles(bytes, iters, || {
+                (k.mix_lin16_le)(&mut ring, &src);
+                std::hint::black_box(&ring);
+            });
+            results.push(KernelV2Measurement {
+                kernel: "mix",
+                path: k.name,
+                bytes,
+                mb_s,
+                cycles_per_byte: cpb,
+            });
+
+            let input: Vec<i16> = lin16_block(bytes)
+                .chunks_exact(2)
+                .map(|c| i16::from_le_bytes([c[0], c[1]]))
+                .collect();
+            let mut st = af_dsp::kernels::ResampleState {
+                step: 8000.0 / 11_025.0,
+                pos: 0.0,
+                prev: None,
+            };
+            let mut resampled = Vec::new();
+            let (mb_s, cpb) = throughput_cycles(bytes, iters, || {
+                resampled.clear();
+                (k.resample_lin16)(&mut st, &input, &mut resampled);
+                std::hint::black_box(&resampled);
+            });
+            results.push(KernelV2Measurement {
+                kernel: "resample",
+                path: k.name,
+                bytes,
+                mb_s,
+                cycles_per_byte: cpb,
+            });
+        }
+    }
+    results
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -166,6 +278,24 @@ mod tests {
         for m in run_kernels(true) {
             assert!(m.before_mb_s > 0.0, "{}/{}", m.kernel, m.bytes);
             assert!(m.after_mb_s > 0.0, "{}/{}", m.kernel, m.bytes);
+        }
+    }
+
+    #[test]
+    fn kernels_v2_cover_every_path_with_positive_metrics() {
+        let rows = run_kernels_v2(true);
+        let paths = af_dsp::kernels::available().len();
+        // 4 entry points x available paths x 2 sizes.
+        assert_eq!(rows.len(), 4 * paths * 2);
+        for m in &rows {
+            assert!(m.mb_s > 0.0, "{}/{}/{}", m.kernel, m.path, m.bytes);
+            assert!(
+                m.cycles_per_byte > 0.0,
+                "{}/{}/{}",
+                m.kernel,
+                m.path,
+                m.bytes
+            );
         }
     }
 }

@@ -16,6 +16,7 @@
 //! request sweep of Figures 11–13 fits without flow-control blocking.
 
 #![forbid(unsafe_code)]
+pub mod jsonmerge;
 pub mod kernels;
 
 use af_client::{AcAttributes, AcMask, AudioConn};

@@ -497,6 +497,18 @@ fn soak_many_clients_four_sharded_devices() {
             "worker {} queue exceeded its bound",
             s.label
         );
+        // Cycle accounting: a worker that processed jobs must have
+        // consumed cycles doing it, and plays carry bytes.
+        assert!(
+            s.busy_cycles > 0,
+            "worker {} processed jobs but consumed no cycles",
+            s.label
+        );
+        assert!(
+            s.bytes_processed > 0,
+            "worker {} processed jobs but accounted no bytes",
+            s.label
+        );
     }
     let _ = stats.clients_total.load(Ordering::Relaxed);
     server.shutdown();
