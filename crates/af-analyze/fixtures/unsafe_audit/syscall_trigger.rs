@@ -1,0 +1,26 @@
+// Fixture: must trigger `unsafe-audit` three times when presented as a
+// raw-syscall shim — `unsafe_code` re-enabled without the justification
+// marker, an unaudited `unsafe fn` wrapper declaration, and an unaudited
+// wrapper call site.
+
+#![allow(unsafe_code)]
+
+unsafe fn syscall1(n: usize, a0: usize) -> isize {
+    let ret: isize;
+    // SAFETY: number in rax, one argument in rdi; no pointers involved.
+    unsafe {
+        core::arch::asm!(
+            "syscall",
+            inlateout("rax") n as isize => ret,
+            in("rdi") a0,
+            lateout("rcx") _,
+            lateout("r11") _,
+            options(nostack, preserves_flags)
+        );
+    }
+    ret
+}
+
+pub fn epoll_create1(flags: usize) -> isize {
+    unsafe { syscall1(291, flags) }
+}

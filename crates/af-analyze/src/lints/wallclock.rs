@@ -46,6 +46,16 @@ const HOT_PATHS: &[(&str, &[&str])] = &[
         ],
     ),
     (
+        "crates/af-server/src/reactor/mod.rs",
+        &[
+            "handle_wake",
+            "handle_token",
+            "flush_conn",
+            "read_conn",
+            "drive_read",
+        ],
+    ),
+    (
         "crates/af-device/src/fec.rs",
         &[
             "crc32",

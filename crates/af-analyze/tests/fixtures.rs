@@ -60,6 +60,18 @@ fn no_panics_covers_wan_link_hot_paths() {
     }
 }
 
+#[test]
+fn no_panics_covers_reactor_subdirectory() {
+    // The reactor lives in a subdirectory of af-server/src; the path
+    // prefix scope must reach it, or the hottest loop goes unchecked.
+    let files = [fx(
+        "crates/af-server/src/reactor/mod.rs",
+        include_str!("../fixtures/no_panics/trigger.rs"),
+    )];
+    let found = lints::no_panics::run(&files);
+    assert_eq!(found.len(), 2, "{found:?}");
+}
+
 // ---- bounded-channels --------------------------------------------------
 
 #[test]
@@ -85,19 +97,33 @@ fn bounded_channels_stays_quiet() {
     assert_eq!(lints::bounded_channels::run(&files), vec![]);
 }
 
+#[test]
+fn bounded_channels_covers_reactor_subdirectory() {
+    // Shard inboxes and per-connection outbound queues must stay bounded;
+    // the scope must reach the reactor subdirectory.
+    let files = [fx(
+        "crates/af-server/src/reactor/mod.rs",
+        include_str!("../fixtures/bounded_channels/trigger.rs"),
+    )];
+    let found = lints::bounded_channels::run(&files);
+    assert_eq!(found.len(), 3, "{found:?}");
+}
+
 // ---- wallclock ---------------------------------------------------------
 
 const DISPATCH: &str = "crates/af-server/src/dispatch.rs";
 const WORKER: &str = "crates/af-server/src/worker.rs";
 const FEC: &str = "crates/af-device/src/fec.rs";
 const JITTER: &str = "crates/af-device/src/jitter.rs";
+const REACTOR: &str = "crates/af-server/src/reactor/mod.rs";
 
 /// The registry-complete clean tail shared by every wallclock fixture set.
-fn wallclock_rest() -> [SourceFile; 3] {
+fn wallclock_rest() -> [SourceFile; 4] {
     [
         fx(WORKER, include_str!("../fixtures/wallclock/worker_clean.rs")),
         fx(FEC, include_str!("../fixtures/wallclock/fec_clean.rs")),
         fx(JITTER, include_str!("../fixtures/wallclock/jitter_clean.rs")),
+        fx(REACTOR, include_str!("../fixtures/wallclock/reactor_clean.rs")),
     ]
 }
 
@@ -138,6 +164,25 @@ fn wallclock_triggers_in_jitter_concealer() {
     let found = lints::wallclock::run(&files);
     assert_eq!(found.len(), 1, "{found:?}");
     assert!(found[0].message.contains("conceal_sample"), "{found:?}");
+}
+
+#[test]
+fn wallclock_triggers_in_reactor_framing_loop() {
+    // The reactor's per-readiness-event framing loop is in the registry;
+    // a wall-clock read inside `drive_read` is a finding, while the
+    // fixture's non-registry `idle_sweep` clock read is not.
+    let mut files = vec![fx(
+        DISPATCH,
+        include_str!("../fixtures/wallclock/dispatch_clean.rs"),
+    )];
+    files.extend(wallclock_rest());
+    files[4] = fx(
+        REACTOR,
+        include_str!("../fixtures/wallclock/reactor_trigger.rs"),
+    );
+    let found = lints::wallclock::run(&files);
+    assert_eq!(found.len(), 1, "{found:?}");
+    assert!(found[0].message.contains("drive_read"), "{found:?}");
 }
 
 #[test]
@@ -243,6 +288,42 @@ fn unsafe_audit_accepts_audited_simd_module() {
     let files = [fx(
         "crates/af-fake/src/simd.rs",
         include_str!("../fixtures/unsafe_audit/simd_clean.rs"),
+    )];
+    let found = analyze_files(&files);
+    assert!(
+        found
+            .iter()
+            .all(|f| f.lint != "unsafe-audit" && f.lint != "allow-marker"),
+        "{found:?}"
+    );
+}
+
+#[test]
+fn unsafe_audit_triggers_on_unaudited_syscall_shim() {
+    // A raw-syscall shim that re-enables unsafe without the marker and
+    // ships an unaudited wrapper declaration and call site: one finding
+    // for the bare allow, one per unaudited line.
+    let files = [fx(
+        "crates/af-server/src/reactor/sys.rs",
+        include_str!("../fixtures/unsafe_audit/syscall_trigger.rs"),
+    )];
+    let found = lints::unsafe_audit::run(&files);
+    assert_eq!(
+        found.len(),
+        3,
+        "bare allow + unsafe fn decl + call site: {found:?}"
+    );
+    assert!(found.iter().all(|f| f.lint == "unsafe-audit"));
+}
+
+#[test]
+fn unsafe_audit_accepts_audited_syscall_shim() {
+    // The shape the real reactor syscall shim uses — justified marker on
+    // the allow, SAFETY contract on `unsafe fn syscall5`, audits on the
+    // asm block and every wrapper call — survives the full pipeline.
+    let files = [fx(
+        "crates/af-server/src/reactor/sys.rs",
+        include_str!("../fixtures/unsafe_audit/syscall_clean.rs"),
     )];
     let found = analyze_files(&files);
     assert!(

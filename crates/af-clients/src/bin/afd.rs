@@ -12,9 +12,11 @@
 //! `-update ms`, `-loopback` (wire local speaker to microphone, useful for
 //! `apass` experiments), `-noaccess` (disable access control),
 //! `-sharded` (run the per-device audio-worker data plane, DESIGN.md §9),
-//! and `-ring-every secs` (LoFi shape only: a scripted caller rings the
-//! simulated line periodically, for exercising `aevents`/answering-machine
-//! scripts).
+//! `-classic-transport` (thread-per-connection instead of the event-driven
+//! reactor, DESIGN.md §12), `-shards n` (reactor shard count; default
+//! `min(4, cores)`), and `-ring-every secs` (LoFi shape only: a scripted
+//! caller rings the simulated line periodically, for exercising
+//! `aevents`/answering-machine scripts).
 //!
 //! Codec-shape endpoints: `-capture path` writes everything played to a
 //! raw µ-law file (the speaker as a tape deck); `-mic path` feeds the
@@ -34,6 +36,7 @@ fn main() {
         "-loopback",
         "-noaccess",
         "-sharded",
+        "-classic-transport",
     ])
         .unwrap_or_else(|e| {
             eprintln!("afd: {e}");
@@ -126,9 +129,20 @@ fn main() {
         .listen_tcp(tcp)
         .update_interval(std::time::Duration::from_millis(update_ms))
         .access_control(!args.has_flag("-noaccess"))
-        .sharded_data_plane(args.has_flag("-sharded"));
+        .sharded_data_plane(args.has_flag("-sharded"))
+        .classic_transport(args.has_flag("-classic-transport"));
+    if let Some(shards) = args.get_num::<usize>("-shards") {
+        builder = builder.reactor_shards(shards);
+    }
     if let Some(path) = args.get_str("-unix") {
         builder = builder.listen_unix(path.into());
+    }
+    // Reactor mode serves thousands of sockets from a handful of threads;
+    // lift the fd rlimit so the kernel doesn't cap us at the soft default.
+    if !args.has_flag("-classic-transport") && af_server::reactor_supported() {
+        if let Err(e) = af_server::raise_nofile_limit() {
+            eprintln!("afd: cannot raise open-file limit: {e}");
+        }
     }
 
     let server = builder.spawn().unwrap_or_else(|e| {

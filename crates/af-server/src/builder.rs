@@ -69,6 +69,8 @@ pub struct ServerBuilder {
     idle_timeout: Option<Duration>,
     chaos: Option<StreamFaultPlan>,
     sharded: bool,
+    classic_transport: bool,
+    reactor_shards: Option<usize>,
     link_stats: Vec<Arc<af_device::jitter::LinkStats>>,
 }
 
@@ -91,8 +93,26 @@ impl ServerBuilder {
             idle_timeout: None,
             chaos: None,
             sharded: false,
+            classic_transport: false,
+            reactor_shards: None,
             link_stats: Vec::new(),
         }
+    }
+
+    /// Selects the classic thread-per-connection transport instead of the
+    /// event-driven reactor (the default).  Kept for differential testing
+    /// and for targets without a reactor syscall backend — which fall back
+    /// to classic automatically.
+    pub fn classic_transport(mut self, enabled: bool) -> Self {
+        self.classic_transport = enabled;
+        self
+    }
+
+    /// Sets the reactor shard count (default `min(4, cores)`).  Ignored
+    /// by the classic transport.
+    pub fn reactor_shards(mut self, shards: usize) -> Self {
+        self.reactor_shards = Some(shards.max(1));
+        self
     }
 
     /// Shards the sample hot path: each buffer-owning device (grouped with
@@ -402,9 +422,25 @@ impl ServerBuilder {
         for link in self.link_stats {
             stats.register_link(link);
         }
+        // Transport mode: event-driven reactor by default; classic
+        // thread-per-connection when requested or when the target has no
+        // reactor syscall backend.
+        let use_reactor = !self.classic_transport && crate::reactor::reactor_supported();
+        let reactor_shards = self
+            .reactor_shards
+            .unwrap_or_else(crate::reactor::default_shards);
         // The transport layer owns the buffer pool; the dispatcher shares it
-        // so reply buffers drained by writer threads come back around.
-        let shared = TransportShared::with_chaos(tx.clone(), self.chaos);
+        // so reply buffers drained by writers come back around.  Reactor
+        // mode sizes the free list for per-connection partial-frame
+        // accumulation across thousands of sockets.
+        let pool = if use_reactor {
+            crate::pool::BufferPool::with_max_idle(
+                reactor_shards * crate::pool::REACTOR_MAX_IDLE_PER_SHARD,
+            )
+        } else {
+            crate::pool::BufferPool::shared()
+        };
+        let shared = TransportShared::with_pool(tx.clone(), self.chaos, pool);
         let mut workers: Vec<WorkerHandle> = Vec::new();
         if self.sharded {
             // Group buffer owners so pass-through pairs share one worker
@@ -514,17 +550,38 @@ impl ServerBuilder {
             .name("af-dispatcher".into())
             .spawn(move || dispatcher.run())?;
 
-        let tcp_addr = match self.tcp {
-            Some(addr) => Some(transport::spawn_tcp(Arc::clone(&shared), addr)?),
-            None => None,
-        };
-        if let Some(path) = &self.unix {
-            transport::spawn_unix(Arc::clone(&shared), path)?;
+        // `AF_REACTOR_FORCE=poll` pins the reactor onto its `poll(2)`
+        // fallback for differential testing.
+        let mut reactor = None;
+        let tcp_addr;
+        if use_reactor {
+            let force_poll = std::env::var("AF_REACTOR_FORCE").as_deref() == Ok("poll");
+            let r = crate::reactor::Reactor::spawn(Arc::clone(&shared), reactor_shards, force_poll)?;
+            for s in r.shard_stats() {
+                stats.register_reactor_shard(Arc::clone(s));
+            }
+            tcp_addr = match self.tcp {
+                Some(addr) => Some(r.add_tcp(addr)?),
+                None => None,
+            };
+            if let Some(path) = &self.unix {
+                r.add_unix(path)?;
+            }
+            reactor = Some(r);
+        } else {
+            tcp_addr = match self.tcp {
+                Some(addr) => Some(transport::spawn_tcp(Arc::clone(&shared), addr)?),
+                None => None,
+            };
+            if let Some(path) = &self.unix {
+                transport::spawn_unix(Arc::clone(&shared), path)?;
+            }
         }
         Ok(RunningServer {
             handle: ServerHandle { events: tx },
             shared,
             stats,
+            reactor,
             tcp_addr,
             unix_path: self.unix,
             join: Some(join),
@@ -583,6 +640,7 @@ pub struct RunningServer {
     handle: ServerHandle,
     shared: Arc<TransportShared>,
     stats: Arc<ServerStats>,
+    reactor: Option<crate::reactor::Reactor>,
     tcp_addr: Option<SocketAddr>,
     unix_path: Option<PathBuf>,
     join: Option<std::thread::JoinHandle<()>>,
@@ -619,11 +677,18 @@ impl RunningServer {
         self.shared
             .stop
             .store(true, std::sync::atomic::Ordering::Relaxed);
-        if let Some(addr) = self.tcp_addr {
-            transport::poke_tcp(addr);
+        if let Some(mut reactor) = self.reactor.take() {
+            // Wakes every shard; they observe the stop flag and exit.
+            reactor.shutdown();
+        } else {
+            if let Some(addr) = self.tcp_addr {
+                transport::poke_tcp(addr);
+            }
+            if let Some(path) = &self.unix_path {
+                transport::poke_unix(path);
+            }
         }
         if let Some(path) = &self.unix_path {
-            transport::poke_unix(path);
             let _ = std::fs::remove_file(path);
         }
         if let Some(join) = self.join.take() {

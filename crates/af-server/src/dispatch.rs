@@ -6,7 +6,7 @@
 //! (the periodic update, wake-ups for suspended clients), and calls into
 //! the device-dependent layer through [`crate::buffer::DeviceBuffers`].
 
-use crate::pool::{BufferPool, PooledBuf};
+use crate::pool::BufferPool;
 use crate::state::{
     AccessControl, AtomRegistry, Blocked, BlockedOp, ClientId, ClientState, ConnKick, ControlMsg,
     Device, PropertyValue, RawRequest, ServerAc, ServerEvent, ServerStats,
@@ -265,7 +265,7 @@ impl Dispatcher {
         id: ClientId,
         setup: &[u8],
         peer: Option<std::net::IpAddr>,
-        tx: crossbeam_channel::Sender<PooledBuf>,
+        tx: crate::transport::OutboundTx,
         kick: ConnKick,
     ) {
         let setup = match af_proto::ConnSetup::decode(setup) {
@@ -277,7 +277,7 @@ impl Dispatcher {
             let reply = SetupReply::Failed {
                 reason: "host not authorized".to_string(),
             };
-            let _ = tx.send(reply.encode(order).into());
+            tx.send_blocking(reply.encode(order).into());
             return;
         }
         if setup.major != af_proto::PROTOCOL_MAJOR {
@@ -290,7 +290,7 @@ impl Dispatcher {
                     af_proto::PROTOCOL_MINOR
                 ),
             };
-            let _ = tx.send(reply.encode(order).into());
+            tx.send_blocking(reply.encode(order).into());
             return;
         }
         let reply = SetupReply::Success {
@@ -299,7 +299,7 @@ impl Dispatcher {
             vendor: self.core.vendor.clone(),
             devices: self.core.devices.iter().map(|d| d.desc).collect(),
         };
-        let _ = tx.send(reply.encode(order).into());
+        tx.send_blocking(reply.encode(order).into());
         self.core
             .clients
             .insert(id, ClientState::new(id, order, tx, kick));

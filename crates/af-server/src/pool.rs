@@ -18,6 +18,14 @@ use std::sync::{Arc, Mutex};
 /// (frame in flight, reply queued, a few blocked) without hoarding memory.
 const DEFAULT_MAX_IDLE: usize = 32;
 
+/// Free-list sizing for reactor-mode servers, per shard.  A reactor shard
+/// keeps one partial-frame accumulation buffer alive per connection that
+/// is mid-frame, and thousands of connections cycle through frames
+/// concurrently — a 32-buffer free list would thrash back to the
+/// allocator under that churn.  The transport pool is sized
+/// `shards × REACTOR_MAX_IDLE_PER_SHARD` instead.
+pub const REACTOR_MAX_IDLE_PER_SHARD: usize = 128;
+
 /// A shared pool of reusable byte buffers.
 #[derive(Debug)]
 pub struct BufferPool {
@@ -113,6 +121,11 @@ impl BufferPool {
     /// Buffers handed out from the free list.
     pub fn reuses(&self) -> u64 {
         self.reuses.load(Ordering::Relaxed)
+    }
+
+    /// The free-list retention bound this pool was built with.
+    pub fn max_idle(&self) -> usize {
+        self.max_idle
     }
 
     /// Buffers currently idle in the free list.

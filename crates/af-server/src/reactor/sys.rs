@@ -1,0 +1,446 @@
+//! Thin audited syscall shim: `epoll`, `ppoll`, and `prlimit64`.
+//!
+//! The workspace carries no libc binding (every external dependency is a
+//! vendored shim), so the reactor's readiness primitives are raw Linux
+//! syscalls issued through inline assembly.  All `unsafe` in the reactor
+//! lives in this one module behind safe wrappers; every call site states
+//! the pointer-validity argument the kernel interface requires.  The
+//! wrappers return `io::Error` decoded from the kernel's `-errno`
+//! convention, and [`EpollFd`] owns its descriptor through [`OwnedFd`] so
+//! the close path stays in std.
+//!
+//! Only x86_64 and aarch64 Linux are wired; [`supported`] reports `false`
+//! elsewhere and the transport builder falls back to the classic
+//! thread-per-connection path.
+
+// The asm blocks pass kernel-ABI scratch registers and pointers into
+// caller-owned buffers whose lifetimes span the call; nothing here
+// fabricates references or aliases Rust-managed memory.
+// af-analyze: allow(unsafe-audit): audited raw-syscall shim, SAFETY comments on every site
+#![allow(unsafe_code)]
+
+use std::io;
+use std::os::fd::{AsRawFd, FromRawFd, OwnedFd, RawFd};
+
+/// Whether this build has a syscall backend for the reactor.
+pub fn supported() -> bool {
+    cfg!(all(
+        target_os = "linux",
+        any(target_arch = "x86_64", target_arch = "aarch64")
+    ))
+}
+
+#[cfg(all(target_os = "linux", target_arch = "x86_64"))]
+mod nr {
+    pub const EPOLL_CTL: usize = 233;
+    pub const PPOLL: usize = 271;
+    pub const EPOLL_PWAIT: usize = 281;
+    pub const EPOLL_CREATE1: usize = 291;
+    pub const PRLIMIT64: usize = 302;
+}
+
+#[cfg(all(target_os = "linux", target_arch = "aarch64"))]
+mod nr {
+    pub const EPOLL_CREATE1: usize = 20;
+    pub const EPOLL_CTL: usize = 21;
+    pub const EPOLL_PWAIT: usize = 22;
+    pub const PPOLL: usize = 73;
+    pub const PRLIMIT64: usize = 261;
+}
+
+/// Issues a raw syscall with up to five arguments.
+///
+/// # Safety
+///
+/// The caller must uphold the kernel contract for syscall `n`: any
+/// argument that the kernel treats as a pointer must reference memory
+/// valid (and writable where the call writes) for the duration of the
+/// call, with length arguments matching the referenced buffers.
+#[cfg(all(target_os = "linux", target_arch = "x86_64"))]
+// SAFETY: deferred to callers, who uphold the kernel contract above.
+unsafe fn syscall5(n: usize, a0: usize, a1: usize, a2: usize, a3: usize, a4: usize) -> isize {
+    let ret: isize;
+    // SAFETY: the x86_64 Linux syscall ABI takes the number in rax and
+    // arguments in rdi/rsi/rdx/r10/r8, returning in rax and clobbering
+    // only rcx/r11 (declared below); the caller guarantees pointer args.
+    unsafe {
+        core::arch::asm!(
+            "syscall",
+            inlateout("rax") n as isize => ret,
+            in("rdi") a0,
+            in("rsi") a1,
+            in("rdx") a2,
+            in("r10") a3,
+            in("r8") a4,
+            lateout("rcx") _,
+            lateout("r11") _,
+            options(nostack, preserves_flags)
+        );
+    }
+    ret
+}
+
+/// Issues a raw syscall with up to five arguments.
+///
+/// # Safety
+///
+/// Same contract as the x86_64 variant: pointer arguments must reference
+/// memory valid for the duration of the call.
+#[cfg(all(target_os = "linux", target_arch = "aarch64"))]
+// SAFETY: deferred to callers, who uphold the kernel contract above.
+unsafe fn syscall5(n: usize, a0: usize, a1: usize, a2: usize, a3: usize, a4: usize) -> isize {
+    let ret: isize;
+    // SAFETY: the aarch64 Linux syscall ABI takes the number in x8 and
+    // arguments in x0..x4, returning in x0; the caller guarantees
+    // pointer args.
+    unsafe {
+        core::arch::asm!(
+            "svc #0",
+            in("x8") n,
+            inlateout("x0") a0 => ret,
+            in("x1") a1,
+            in("x2") a2,
+            in("x3") a3,
+            in("x4") a4,
+            options(nostack, preserves_flags)
+        );
+    }
+    ret
+}
+
+/// Decodes the kernel's `-errno` return convention.
+fn check(ret: isize) -> io::Result<usize> {
+    if ret < 0 {
+        Err(io::Error::from_raw_os_error((-ret) as i32))
+    } else {
+        Ok(ret as usize)
+    }
+}
+
+pub const EPOLLIN: u32 = 0x001;
+pub const EPOLLOUT: u32 = 0x004;
+pub const EPOLLERR: u32 = 0x008;
+pub const EPOLLHUP: u32 = 0x010;
+
+const EPOLL_CLOEXEC: usize = 0x8_0000;
+const EPOLL_CTL_ADD: usize = 1;
+const EPOLL_CTL_DEL: usize = 2;
+const EPOLL_CTL_MOD: usize = 3;
+
+/// The kernel's `struct epoll_event`.
+///
+/// Packed on x86_64 (the kernel declares it `__attribute__((packed))`
+/// there for 32/64-bit compat); naturally aligned elsewhere.
+#[cfg(target_arch = "x86_64")]
+#[repr(C, packed)]
+#[derive(Clone, Copy, Default)]
+pub struct EpollEvent {
+    /// Readiness bits (`EPOLLIN` | ...).
+    pub events: u32,
+    /// The caller-chosen token registered with the fd.
+    pub token: u64,
+}
+
+/// The kernel's `struct epoll_event` (naturally aligned layout).
+#[cfg(not(target_arch = "x86_64"))]
+#[repr(C)]
+#[derive(Clone, Copy, Default)]
+pub struct EpollEvent {
+    /// Readiness bits (`EPOLLIN` | ...).
+    pub events: u32,
+    /// The caller-chosen token registered with the fd.
+    pub token: u64,
+}
+
+/// An owned epoll instance.
+pub struct EpollFd(OwnedFd);
+
+#[cfg(all(target_os = "linux", any(target_arch = "x86_64", target_arch = "aarch64")))]
+impl EpollFd {
+    /// Creates a close-on-exec epoll instance.
+    pub fn create() -> io::Result<EpollFd> {
+        // SAFETY: epoll_create1 takes no pointer arguments.
+        let fd = check(unsafe { syscall5(nr::EPOLL_CREATE1, EPOLL_CLOEXEC, 0, 0, 0, 0) })?;
+        // SAFETY: the kernel just returned this fd and nothing else owns
+        // it, so wrapping it in OwnedFd (which closes on drop) is sound.
+        Ok(EpollFd(unsafe { OwnedFd::from_raw_fd(fd as RawFd) }))
+    }
+
+    fn ctl(&self, op: usize, fd: RawFd, events: u32, token: u64) -> io::Result<()> {
+        let ev = EpollEvent { events, token };
+        // SAFETY: `&ev` points at a live stack value for the duration of
+        // the call; the kernel copies it and keeps no reference.
+        check(unsafe {
+            syscall5(
+                nr::EPOLL_CTL,
+                self.0.as_raw_fd() as usize,
+                op,
+                fd as usize,
+                std::ptr::addr_of!(ev) as usize,
+                0,
+            )
+        })
+        .map(|_| ())
+    }
+
+    /// Registers `fd` for level-triggered readiness with `token`.
+    pub fn add(&self, fd: RawFd, events: u32, token: u64) -> io::Result<()> {
+        self.ctl(EPOLL_CTL_ADD, fd, events, token)
+    }
+
+    /// Changes the interest set of a registered fd.
+    pub fn modify(&self, fd: RawFd, events: u32, token: u64) -> io::Result<()> {
+        self.ctl(EPOLL_CTL_MOD, fd, events, token)
+    }
+
+    /// Removes a registered fd.
+    pub fn delete(&self, fd: RawFd) -> io::Result<()> {
+        self.ctl(EPOLL_CTL_DEL, fd, 0, 0)
+    }
+
+    /// Waits for readiness, filling `events`; `timeout_ms < 0` blocks.
+    ///
+    /// Returns the number of leading entries filled.
+    pub fn wait(&self, events: &mut [EpollEvent], timeout_ms: i32) -> io::Result<usize> {
+        if events.is_empty() {
+            return Ok(0);
+        }
+        // SAFETY: `events` is a live, writable slice and `events.len()`
+        // bounds how many entries the kernel may fill; the null sigmask
+        // (with size 0) makes epoll_pwait behave as epoll_wait.
+        check(unsafe {
+            syscall5(
+                nr::EPOLL_PWAIT,
+                self.0.as_raw_fd() as usize,
+                events.as_mut_ptr() as usize,
+                events.len(),
+                timeout_ms as isize as usize,
+                0,
+            )
+        })
+    }
+}
+
+pub const POLLIN: i16 = 0x001;
+pub const POLLOUT: i16 = 0x004;
+pub const POLLERR: i16 = 0x008;
+pub const POLLHUP: i16 = 0x010;
+pub const POLLNVAL: i16 = 0x020;
+
+/// The kernel's `struct pollfd`.
+#[repr(C)]
+#[derive(Clone, Copy)]
+pub struct PollFd {
+    /// The descriptor to poll (negative entries are skipped).
+    pub fd: RawFd,
+    /// Requested readiness bits.
+    pub events: i16,
+    /// Kernel-reported readiness bits.
+    pub revents: i16,
+}
+
+#[repr(C)]
+struct Timespec {
+    tv_sec: i64,
+    tv_nsec: i64,
+}
+
+/// Waits for readiness on `fds` via `ppoll(2)`; `timeout_ms < 0` blocks.
+///
+/// Returns how many entries have nonzero `revents`.
+#[cfg(all(target_os = "linux", any(target_arch = "x86_64", target_arch = "aarch64")))]
+pub fn poll(fds: &mut [PollFd], timeout_ms: i32) -> io::Result<usize> {
+    let ts = Timespec {
+        tv_sec: i64::from(timeout_ms.max(0)) / 1000,
+        tv_nsec: i64::from(timeout_ms.max(0)) % 1000 * 1_000_000,
+    };
+    let ts_ptr = if timeout_ms < 0 {
+        0
+    } else {
+        std::ptr::addr_of!(ts) as usize
+    };
+    // SAFETY: `fds` is a live, writable slice whose length is passed as
+    // nfds; `ts` (when used) is a live stack value for the call; the null
+    // sigmask (size 0) makes ppoll behave as poll.
+    check(unsafe {
+        syscall5(
+            nr::PPOLL,
+            fds.as_mut_ptr() as usize,
+            fds.len(),
+            ts_ptr,
+            0,
+            0,
+        )
+    })
+}
+
+#[repr(C)]
+struct Rlimit64 {
+    rlim_cur: u64,
+    rlim_max: u64,
+}
+
+const RLIMIT_NOFILE: usize = 7;
+
+/// Raises the process's soft open-file limit to its hard limit.
+///
+/// Returns the resulting soft limit.  The load harness calls this before
+/// opening thousands of client sockets; the server side inherits whatever
+/// the operator configured.
+#[cfg(all(target_os = "linux", any(target_arch = "x86_64", target_arch = "aarch64")))]
+pub fn raise_nofile_limit() -> io::Result<u64> {
+    let mut cur = Rlimit64 {
+        rlim_cur: 0,
+        rlim_max: 0,
+    };
+    // SAFETY: pid 0 targets the calling process; the new-limit pointer is
+    // null (read nothing) and `cur` is a live, writable stack value the
+    // kernel fills.
+    check(unsafe {
+        syscall5(
+            nr::PRLIMIT64,
+            0,
+            RLIMIT_NOFILE,
+            0,
+            std::ptr::addr_of_mut!(cur) as usize,
+            0,
+        )
+    })?;
+    if cur.rlim_cur >= cur.rlim_max {
+        return Ok(cur.rlim_cur);
+    }
+    let raised = Rlimit64 {
+        rlim_cur: cur.rlim_max,
+        rlim_max: cur.rlim_max,
+    };
+    // SAFETY: both pointers reference live stack values for the duration
+    // of the call; the kernel reads `raised` and writes `cur`.
+    check(unsafe {
+        syscall5(
+            nr::PRLIMIT64,
+            0,
+            RLIMIT_NOFILE,
+            std::ptr::addr_of!(raised) as usize,
+            std::ptr::addr_of_mut!(cur) as usize,
+            0,
+        )
+    })?;
+    Ok(raised.rlim_cur)
+}
+
+// Unsupported-target stubs keep the crate compiling everywhere; the
+// builder consults `supported()` and never reaches these at runtime.
+#[cfg(not(all(target_os = "linux", any(target_arch = "x86_64", target_arch = "aarch64"))))]
+mod stubs {
+    use super::*;
+
+    fn unsupported<T>() -> io::Result<T> {
+        Err(io::Error::new(
+            io::ErrorKind::Unsupported,
+            "reactor syscalls unavailable on this target",
+        ))
+    }
+
+    impl EpollFd {
+        /// Unsupported on this target.
+        pub fn create() -> io::Result<EpollFd> {
+            unsupported()
+        }
+
+        /// Unsupported on this target.
+        pub fn add(&self, _fd: RawFd, _events: u32, _token: u64) -> io::Result<()> {
+            unsupported()
+        }
+
+        /// Unsupported on this target.
+        pub fn modify(&self, _fd: RawFd, _events: u32, _token: u64) -> io::Result<()> {
+            unsupported()
+        }
+
+        /// Unsupported on this target.
+        pub fn delete(&self, _fd: RawFd) -> io::Result<()> {
+            unsupported()
+        }
+
+        /// Unsupported on this target.
+        pub fn wait(&self, _events: &mut [EpollEvent], _timeout_ms: i32) -> io::Result<usize> {
+            unsupported()
+        }
+    }
+
+    /// Unsupported on this target.
+    pub fn poll(_fds: &mut [PollFd], _timeout_ms: i32) -> io::Result<usize> {
+        unsupported()
+    }
+
+    /// Unsupported on this target.
+    pub fn raise_nofile_limit() -> io::Result<u64> {
+        unsupported()
+    }
+}
+#[cfg(not(all(target_os = "linux", any(target_arch = "x86_64", target_arch = "aarch64"))))]
+pub use stubs::{poll, raise_nofile_limit};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Write;
+    use std::os::unix::net::UnixStream;
+
+    #[test]
+    fn epoll_reports_readable_with_registered_token() {
+        let ep = EpollFd::create().unwrap();
+        let (a, b) = UnixStream::pair().unwrap();
+        ep.add(b.as_raw_fd(), EPOLLIN, 0x5151).unwrap();
+
+        let mut events = [EpollEvent::default(); 4];
+        // Nothing written yet: a zero timeout returns no events.
+        assert_eq!(ep.wait(&mut events, 0).unwrap(), 0);
+
+        (&a).write_all(&[9]).unwrap();
+        let n = ep.wait(&mut events, 1000).unwrap();
+        assert_eq!(n, 1);
+        let ev = events[0];
+        assert_eq!({ ev.token }, 0x5151);
+        assert_ne!({ ev.events } & EPOLLIN, 0);
+
+        // Modify to write interest: a socket with buffer space is writable.
+        ep.modify(b.as_raw_fd(), EPOLLOUT, 7).unwrap();
+        let n = ep.wait(&mut events, 1000).unwrap();
+        assert_eq!(n, 1);
+        assert_ne!({ events[0].events } & EPOLLOUT, 0);
+
+        ep.delete(b.as_raw_fd()).unwrap();
+        assert_eq!(ep.wait(&mut events, 0).unwrap(), 0);
+    }
+
+    #[test]
+    fn poll_reports_readable_and_skips_negative_fds() {
+        let (a, b) = UnixStream::pair().unwrap();
+        let mut fds = [
+            PollFd {
+                fd: b.as_raw_fd(),
+                events: POLLIN,
+                revents: 0,
+            },
+            PollFd {
+                fd: -1,
+                events: POLLIN,
+                revents: 0,
+            },
+        ];
+        assert_eq!(poll(&mut fds, 0).unwrap(), 0);
+        (&a).write_all(&[1]).unwrap();
+        assert_eq!(poll(&mut fds, 1000).unwrap(), 1);
+        assert_ne!(fds[0].revents & POLLIN, 0);
+        assert_eq!(fds[1].revents, 0);
+    }
+
+    #[test]
+    fn nofile_limit_raises_to_hard_cap() {
+        let cur = raise_nofile_limit().unwrap();
+        assert!(cur >= 1024, "soft limit unexpectedly tiny: {cur}");
+        // Idempotent: a second raise reports the same ceiling.
+        assert_eq!(raise_nofile_limit().unwrap(), cur);
+    }
+}

@@ -3,7 +3,7 @@
 
 use crate::buffer::DeviceBuffers;
 use crate::pool::PooledBuf;
-use crate::transport::FrameError;
+use crate::transport::{FrameError, OutboundTx};
 use af_dsp::convert::Converter;
 use af_proto::{AcAttributes, AcId, Atom, ByteOrder, DeviceDesc, DeviceId, EventMask, Opcode};
 use af_time::ATime;
@@ -42,6 +42,9 @@ pub struct ServerStats {
     /// Per-LineServer-link health counters (WAN deployments): jitter
     /// buffer depth, concealments, reorders, FEC recoveries.
     pub links: Mutex<Vec<Arc<af_device::jitter::LinkStats>>>,
+    /// Per-reactor-shard transport counters (reactor transport only):
+    /// fd count, readiness events, partial reads, wakeups, evictions.
+    pub reactors: Mutex<Vec<Arc<crate::reactor::ReactorShardStats>>>,
 }
 
 impl ServerStats {
@@ -86,6 +89,24 @@ impl ServerStats {
             .unwrap_or_else(|poisoned| poisoned.into_inner())
             .iter()
             .map(|l| l.snapshot())
+            .collect()
+    }
+
+    /// Registers a reactor shard's counters for snapshotting.
+    pub fn register_reactor_shard(&self, stats: Arc<crate::reactor::ReactorShardStats>) {
+        self.reactors
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+            .push(stats);
+    }
+
+    /// Copies out every reactor shard's counters, in shard order.
+    pub fn reactor_snapshots(&self) -> Vec<crate::reactor::ReactorShardSnapshot> {
+        self.reactors
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+            .iter()
+            .map(|s| s.snapshot())
             .collect()
     }
 
@@ -377,8 +398,9 @@ pub struct ClientState {
     pub id: ClientId,
     /// The client's declared byte order.
     pub order: ByteOrder,
-    /// Outbound bytes to the writer thread.
-    pub tx: Sender<PooledBuf>,
+    /// Outbound route to the connection's writer (classic writer thread
+    /// or reactor shard).
+    pub tx: OutboundTx,
     /// Requests processed on this connection (low 16 bits are the wire
     /// sequence number).
     pub seq: u16,
@@ -407,12 +429,7 @@ pub struct ClientState {
 
 impl ClientState {
     /// Creates state for a newly accepted connection.
-    pub fn new(
-        id: ClientId,
-        order: ByteOrder,
-        tx: Sender<PooledBuf>,
-        kick: ConnKick,
-    ) -> ClientState {
+    pub fn new(id: ClientId, order: ByteOrder, tx: OutboundTx, kick: ConnKick) -> ClientState {
         ClientState {
             id,
             order,
@@ -474,8 +491,8 @@ pub enum ServerEvent {
         setup: Vec<u8>,
         /// Peer address for access control (`None` for local transports).
         peer: Option<IpAddr>,
-        /// Outbound channel to the connection's writer thread.
-        tx: Sender<PooledBuf>,
+        /// Outbound route to the connection's writer.
+        tx: OutboundTx,
         /// Closes the connection's socket (for forced eviction).
         kick: ConnKick,
     },
@@ -574,7 +591,7 @@ mod tests {
     #[test]
     fn client_state_defaults() {
         let (tx, _rx) = crossbeam_channel::unbounded();
-        let c = ClientState::new(1, ByteOrder::Little, tx, Arc::new(|| {}));
+        let c = ClientState::new(1, ByteOrder::Little, OutboundTx::classic(tx), Arc::new(|| {}));
         assert_eq!(c.mask_for(0), EventMask::NONE);
         assert!(c.blocked.is_none());
         assert!(c.queue.is_empty());
@@ -585,7 +602,7 @@ mod tests {
     #[test]
     fn bounded_send_flags_overflow_instead_of_growing() {
         let (tx, rx) = crossbeam_channel::bounded(2);
-        let c = ClientState::new(1, ByteOrder::Little, tx, Arc::new(|| {}));
+        let c = ClientState::new(1, ByteOrder::Little, OutboundTx::classic(tx), Arc::new(|| {}));
         c.send(vec![1]);
         c.send(vec![2]);
         assert!(!c.overflowed.load(Ordering::Acquire));

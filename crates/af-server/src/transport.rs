@@ -1,11 +1,15 @@
 //! The OS layer: sockets in, framed requests out.
 //!
-//! The paper's server multiplexed client sockets with `select()`.  Here
-//! each accepted connection gets a reader thread (which performs the
-//! framing: 4-byte header, length-derived payload) and a writer thread
-//! (which drains a **bounded** outbound queue); both feed or are fed by
+//! The paper's server multiplexed client sockets with `select()`.  Two
+//! transports reproduce that contract: the **reactor** (default; see
+//! [`crate::reactor`]) registers nonblocking sockets with a small set of
+//! readiness-driven shards, and the **classic** transport here gives each
+//! accepted connection a reader thread (which performs the framing:
+//! 4-byte header, length-derived payload) and a writer thread (which
+//! drains a **bounded** outbound queue).  Either way the transport feeds
 //! the dispatcher's single event channel, preserving single-threaded
-//! semantics over all server state.
+//! semantics over all server state; [`OutboundTx`] abstracts the reply
+//! route so the dispatcher and audio workers are transport-agnostic.
 //!
 //! Failure model: a malformed or oversized frame header is a protocol
 //! error that disconnects only the offending client; a client that stops
@@ -32,7 +36,61 @@ use std::sync::Arc;
 /// unbounded queue grew without limit instead.
 pub const OUTBOUND_QUEUE_CAPACITY: usize = 256;
 
-/// A detached route to one client's writer thread, handed to audio
+/// The outbound route to one connection: its bounded queue plus, for
+/// reactor-owned connections, the wakeup handle that tells the owning
+/// shard new data is queued.
+///
+/// The classic transport needs no notifier — its writer thread blocks on
+/// the queue — so [`OutboundTx::classic`] carries `None`.  Producers
+/// (dispatcher and audio workers) queue first, then wake; the ordering is
+/// what makes the reactor's clear-before-drain protocol lossless.
+#[derive(Clone)]
+pub struct OutboundTx {
+    tx: Sender<PooledBuf>,
+    notify: Option<crate::reactor::ConnNotify>,
+}
+
+impl OutboundTx {
+    /// A route to a classic writer thread (blocking queue consumer).
+    pub fn classic(tx: Sender<PooledBuf>) -> OutboundTx {
+        OutboundTx { tx, notify: None }
+    }
+
+    /// A route to a reactor shard, woken through `notify` after pushes.
+    pub(crate) fn reactor(tx: Sender<PooledBuf>, notify: crate::reactor::ConnNotify) -> OutboundTx {
+        OutboundTx {
+            tx,
+            notify: Some(notify),
+        }
+    }
+
+    /// Queues a message without blocking; the caller maps `Full` onto the
+    /// slow-client overflow policy.
+    pub fn try_send(
+        &self,
+        buf: PooledBuf,
+    ) -> Result<(), crossbeam_channel::TrySendError<PooledBuf>> {
+        self.tx.try_send(buf)?;
+        if let Some(notify) = &self.notify {
+            notify.wake();
+        }
+        Ok(())
+    }
+
+    /// Queues a message, blocking if the queue is full.  Only for paths
+    /// where the queue is provably near-empty (connection setup replies);
+    /// steady-state producers must use [`Self::try_send`] so a slow
+    /// client back-pressures into eviction rather than into the caller.
+    pub fn send_blocking(&self, buf: PooledBuf) {
+        if self.tx.send(buf).is_ok() {
+            if let Some(notify) = &self.notify {
+                notify.wake();
+            }
+        }
+    }
+}
+
+/// A detached route to one client's outbound queue, handed to audio
 /// workers so data-plane replies bypass the dispatcher entirely.
 ///
 /// Mirrors the dispatcher's outbound path exactly: replies encode into a
@@ -41,16 +99,16 @@ pub const OUTBOUND_QUEUE_CAPACITY: usize = 256;
 /// client on its next pass — the same slow-client policy either way.
 #[derive(Clone)]
 pub struct ReplySink {
-    tx: Sender<PooledBuf>,
+    tx: OutboundTx,
     order: ByteOrder,
     overflowed: Arc<AtomicBool>,
     pool: Arc<BufferPool>,
 }
 
 impl ReplySink {
-    /// Builds a sink over a client's writer queue and overflow flag.
+    /// Builds a sink over a client's outbound route and overflow flag.
     pub fn new(
-        tx: Sender<PooledBuf>,
+        tx: OutboundTx,
         order: ByteOrder,
         overflowed: Arc<AtomicBool>,
         pool: Arc<BufferPool>,
@@ -175,12 +233,23 @@ impl TransportShared {
         events: Sender<ServerEvent>,
         chaos: Option<StreamFaultPlan>,
     ) -> Arc<TransportShared> {
+        Self::with_pool(events, chaos, BufferPool::shared())
+    }
+
+    /// Creates shared state over an explicitly sized buffer pool — the
+    /// hook for reactor-mode servers, whose partial-frame accumulation
+    /// wants a deeper free list than the classic default.
+    pub fn with_pool(
+        events: Sender<ServerEvent>,
+        chaos: Option<StreamFaultPlan>,
+        pool: Arc<BufferPool>,
+    ) -> Arc<TransportShared> {
         Arc::new(TransportShared {
             events,
             next_id: AtomicU64::new(1),
             stop: AtomicBool::new(false),
             chaos,
-            pool: BufferPool::shared(),
+            pool,
         })
     }
 }
@@ -326,6 +395,7 @@ pub fn spawn_connection<S: Conn>(shared: Arc<TransportShared>, stream: S, peer: 
         .name(format!("af-reader-{id}"))
         .spawn(move || {
             let mut stream = stream;
+            let tx = OutboundTx::classic(tx);
             if let Some(order) = read_setup(&mut stream, &shared, id, peer, tx, kick) {
                 read_requests(&mut stream, &shared, id, order);
             }
@@ -338,7 +408,7 @@ fn read_setup<S: Read>(
     shared: &TransportShared,
     id: ClientId,
     peer: Option<IpAddr>,
-    tx: Sender<PooledBuf>,
+    tx: OutboundTx,
     kick: ConnKick,
 ) -> Option<ByteOrder> {
     let mut header = [0u8; ConnSetup::HEADER_SIZE];

@@ -17,6 +17,11 @@
 //! 4. per-device `WakeBlocked`: a wake event enqueued after freeing space
 //!    can never be observed before the space is visible (no lost wakeup),
 //!    and it stays scoped to its own device.
+//! 5. dispatcher→reactor wakeup: the reply path pushes to the outbound
+//!    queue and then arms a notify flag that gates the wake-pipe write;
+//!    the shard clears the flag *before* draining.  Invariant: no push is
+//!    ever stranded without a visible wake (no lost wakeup), and a drain
+//!    pass only runs when a wake was actually written (no double-drain).
 //!
 //! Models must stay tiny (two threads, a handful of operations): the
 //! schedule space is explored exhaustively.
@@ -187,6 +192,103 @@ fn wake_blocked_is_ordered_after_space_free_and_device_scoped() {
         let queued = events.lock().unwrap().len();
         assert_eq!(queued + usize::from(polled.is_some()), 1);
     });
+}
+
+/// Scenario 5 — the reactor's dispatcher→shard wakeup protocol.
+///
+/// Producer (the dispatcher's `OutboundTx`): push the reply, then
+/// `notified.swap(true)`; only a false→true transition writes the wake
+/// pipe, so an already-armed flag costs no syscall.  Consumer (the shard's
+/// `handle_wake`): consume the pipe, clear `notified` *before* draining
+/// the queue — anything pushed after the clear re-arms the flag and
+/// writes the pipe again.  Invariants: every push is drained once the
+/// trailing wake is honored (no lost wakeup), and drain passes never
+/// exceed pipe writes (no double-drain).
+#[test]
+fn reactor_wakeup_protocol_loses_no_wakeups() {
+    loom::model(|| {
+        let queue = Arc::new(Mutex::new(VecDeque::new()));
+        let notified = Arc::new(AtomicBool::new(false));
+        let pipe = Arc::new(AtomicUsize::new(0)); // bytes in the wake pipe
+
+        let producer = {
+            let (queue, notified, pipe) = (queue.clone(), notified.clone(), pipe.clone());
+            loom::thread::spawn(move || {
+                for reply in [1u32, 2] {
+                    queue.lock().unwrap().push_back(reply);
+                    if !notified.swap(true, Ordering::SeqCst) {
+                        pipe.fetch_add(1, Ordering::SeqCst);
+                    }
+                }
+            })
+        };
+
+        // The shard's poll loop, two readiness rounds plus the trailing
+        // round the real reactor gets because an unconsumed pipe byte
+        // keeps the wake fd readable.
+        let mut drained = 0;
+        let mut drains = 0;
+        let shard_round = |drained: &mut u32, drains: &mut u32| {
+            if pipe.swap(0, Ordering::SeqCst) > 0 {
+                // Clear-before-drain: a push racing with this drain sees
+                // the cleared flag and writes the pipe again.
+                notified.store(false, Ordering::SeqCst);
+                *drains += 1;
+                while queue.lock().unwrap().pop_front().is_some() {
+                    *drained += 1;
+                }
+            }
+        };
+        shard_round(&mut drained, &mut drains);
+        shard_round(&mut drained, &mut drains);
+        producer.join().expect("producer thread");
+        shard_round(&mut drained, &mut drains);
+
+        assert_eq!(drained, 2, "lost wakeup: {drained}/2 replies drained");
+        assert!(drains <= 2, "double-drain: {drains} passes for ≤2 wakes");
+    });
+}
+
+/// The inverse of scenario 5 — notifying *before* pushing (the classic
+/// lost-wakeup bug) must strand a reply under some interleaving.
+#[test]
+fn shim_catches_notify_before_push_bug() {
+    let failed = catch_unwind(AssertUnwindSafe(|| {
+        loom::model(|| {
+            let queue = Arc::new(Mutex::new(VecDeque::new()));
+            let notified = Arc::new(AtomicBool::new(false));
+            let pipe = Arc::new(AtomicUsize::new(0));
+
+            let producer = {
+                let (queue, notified, pipe) = (queue.clone(), notified.clone(), pipe.clone());
+                loom::thread::spawn(move || {
+                    // BUG: wake armed and written before the push lands.
+                    if !notified.swap(true, Ordering::SeqCst) {
+                        pipe.fetch_add(1, Ordering::SeqCst);
+                    }
+                    queue.lock().unwrap().push_back(1u32);
+                })
+            };
+
+            let mut drained = 0;
+            if pipe.swap(0, Ordering::SeqCst) > 0 {
+                notified.store(false, Ordering::SeqCst);
+                while queue.lock().unwrap().pop_front().is_some() {
+                    drained += 1;
+                }
+            }
+            producer.join().expect("producer thread");
+            if pipe.swap(0, Ordering::SeqCst) > 0 {
+                notified.store(false, Ordering::SeqCst);
+                while queue.lock().unwrap().pop_front().is_some() {
+                    drained += 1;
+                }
+            }
+            assert_eq!(drained, 1, "reply stranded with no pending wake");
+        });
+    }))
+    .is_err();
+    assert!(failed, "the seeded notify-before-push bug must be detected");
 }
 
 /// The shim really explores more than one interleaving: a two-thread model

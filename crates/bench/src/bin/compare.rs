@@ -406,6 +406,36 @@ fn metrics(report: &Json) -> BTreeMap<String, (f64, Better)> {
         }
     }
 
+    if let Some(scaling) = report.get("reactor_scaling") {
+        // The headline: what fraction of load levels the server sustained.
+        if let Some(v) = scaling.get("sustained_fraction").and_then(Json::as_f64) {
+            out.insert(
+                "reactor_scaling/sustained_fraction".to_owned(),
+                (v, Better::Higher),
+            );
+        }
+        // Per-level throughput under paced load.  These rows live under a
+        // distinct prefix so the cross-mode gate can skip them: smoke and
+        // full runs use different durations, and short runs amortize
+        // connection setup differently.
+        if let Some(rows) = scaling.get("rows").and_then(Json::as_arr) {
+            for row in rows {
+                let (Some(transport), Some(conns)) = (
+                    row.get("transport").and_then(Json::as_str),
+                    row.get("connections").and_then(Json::as_f64),
+                ) else {
+                    continue;
+                };
+                if let Some(v) = row.get("achieved_rps").and_then(Json::as_f64) {
+                    out.insert(
+                        format!("reactor_scaling_rows/{transport}/{conns}conn/achieved_rps"),
+                        (v, Better::Higher),
+                    );
+                }
+            }
+        }
+    }
+
     out
 }
 
@@ -466,7 +496,9 @@ fn main() -> ExitCode {
     let mut failures = 0u32;
     let mut compared = 0u32;
     for (name, &(b, better)) in &base {
-        if cross_mode && name.starts_with("multi_device/") {
+        if cross_mode
+            && (name.starts_with("multi_device/") || name.starts_with("reactor_scaling_rows/"))
+        {
             continue;
         }
         let Some(&(c, _)) = cand.get(name) else {
@@ -533,6 +565,28 @@ mod tests {
         assert_eq!(m["multi_device/4dev/sharded/cycles_per_byte"].0, 12.5);
         assert!(m.keys().all(|k| !k.contains("aggregate_mb_s")));
         assert!(!m.contains_key("multi_device/4dev/classic/cycles_per_byte"));
+    }
+
+    #[test]
+    fn extracts_reactor_scaling_metrics() {
+        let v = parse(
+            r#"{"mode": "full", "reactor_scaling": {"mode": "full", "sustained_fraction": 0.857,
+                "rows": [
+                  {"transport": "reactor", "connections": 5000, "achieved_rps": 8323.0, "sustained": true},
+                  {"transport": "classic", "connections": 1000, "achieved_rps": 1669.0, "sustained": true}]}}"#,
+        )
+        .unwrap();
+        let m = metrics(&v);
+        assert_eq!(m["reactor_scaling/sustained_fraction"].0, 0.857);
+        assert!(m["reactor_scaling/sustained_fraction"].1 == Better::Higher);
+        assert_eq!(
+            m["reactor_scaling_rows/reactor/5000conn/achieved_rps"].0,
+            8323.0
+        );
+        assert_eq!(
+            m["reactor_scaling_rows/classic/1000conn/achieved_rps"].0,
+            1669.0
+        );
     }
 
     #[test]

@@ -16,8 +16,16 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 fn codec_server() -> RunningServer {
+    codec_server_with(false)
+}
+
+/// Codec server on either transport: the reactor (default) or the classic
+/// thread-per-connection path, so every fault scenario runs against both.
+fn codec_server_with(classic: bool) -> RunningServer {
     let clock = Arc::new(VirtualClock::new(8000));
-    let mut builder = ServerBuilder::new().listen_tcp("127.0.0.1:0".parse().unwrap());
+    let mut builder = ServerBuilder::new()
+        .listen_tcp("127.0.0.1:0".parse().unwrap())
+        .classic_transport(classic);
     builder.add_codec(
         clock,
         Box::new(NullSink),
@@ -39,7 +47,16 @@ fn raw_handshake(server: &RunningServer) -> TcpStream {
 
 #[test]
 fn slow_client_is_evicted_not_fatal() {
-    let server = codec_server();
+    slow_client_is_evicted(false);
+}
+
+#[test]
+fn slow_client_is_evicted_not_fatal_classic_transport() {
+    slow_client_is_evicted(true);
+}
+
+fn slow_client_is_evicted(classic: bool) {
+    let server = codec_server_with(classic);
     let stats = server.stats();
 
     // A well-behaved client, connected before the abuse starts.
@@ -165,7 +182,16 @@ fn lossy_lineserver_degrades_to_silence_not_stall() {
 
 #[test]
 fn corrupting_stream_disconnects_only_that_client() {
-    let server = codec_server();
+    corrupting_stream_is_contained(false);
+}
+
+#[test]
+fn corrupting_stream_disconnects_only_that_client_classic_transport() {
+    corrupting_stream_is_contained(true);
+}
+
+fn corrupting_stream_is_contained(classic: bool) {
+    let server = codec_server_with(classic);
     let stats = server.stats();
 
     let mut healthy = AudioConn::open(&server.tcp_addr().unwrap().to_string()).unwrap();
@@ -234,6 +260,48 @@ fn corrupting_stream_disconnects_only_that_client() {
     assert!(healthy.sync().is_ok());
     let mut fresh = AudioConn::open(&server.tcp_addr().unwrap().to_string()).unwrap();
     assert!(fresh.get_time(0).is_ok());
+}
+
+#[test]
+fn one_byte_at_a_time_handshake_and_frames_survive_both_transports() {
+    // Partial-frame torture: the setup header, setup tail, and every
+    // request frame header arrive one byte per write, with a pause that
+    // makes each byte a separate readiness event on the reactor (and a
+    // separate short read on the classic reader).  Framing must
+    // reassemble them all; nothing may be misparsed or dropped.
+    for classic in [false, true] {
+        let server = codec_server_with(classic);
+        let mut raw = TcpStream::connect(server.tcp_addr().unwrap()).unwrap();
+        raw.set_nodelay(true).unwrap();
+
+        let dribble = |bytes: &[u8], raw: &mut TcpStream| {
+            for b in bytes {
+                raw.write_all(std::slice::from_ref(b)).unwrap();
+                raw.flush().unwrap();
+                std::thread::sleep(Duration::from_millis(1));
+            }
+        };
+
+        dribble(&ConnSetup::new().encode(), &mut raw);
+        let mut len_buf = [0u8; 4];
+        raw.read_exact(&mut len_buf).unwrap();
+        let mut body = vec![0u8; u32::from_le_bytes(len_buf) as usize];
+        raw.read_exact(&mut body).unwrap();
+
+        for _ in 0..3 {
+            let get_time = Request::GetTime { device: 0 }.encode(ByteOrder::native());
+            dribble(&get_time, &mut raw);
+            // A Time reply is exactly 12 bytes: 8-byte message header plus
+            // the 4-byte tick count.
+            let mut reply = [0u8; 12];
+            raw.read_exact(&mut reply).unwrap();
+        }
+
+        // The abuse left the server fully functional for everyone else.
+        let mut fresh = AudioConn::open(&server.tcp_addr().unwrap().to_string()).unwrap();
+        assert!(fresh.get_time(0).is_ok(), "classic={classic}");
+        server.shutdown();
+    }
 }
 
 #[test]
