@@ -1,0 +1,28 @@
+// Fixture: must trigger `lock-order` once *through the call graph* —
+// `hold_alpha` never touches beta directly, but calls `grab_beta` while
+// holding alpha, which orders alpha before beta; `take_reversed` orders
+// them the other way.
+
+struct S {
+    alpha: Mutex<u32>,
+    beta: Mutex<u32>,
+}
+
+impl S {
+    fn hold_alpha(&self) {
+        let a = self.alpha.lock();
+        self.grab_beta();
+        *a += 1;
+    }
+
+    fn grab_beta(&self) {
+        let b = self.beta.lock();
+        *b += 1;
+    }
+
+    fn take_reversed(&self) {
+        let b = self.beta.lock();
+        let a = self.alpha.lock();
+        *a += *b;
+    }
+}

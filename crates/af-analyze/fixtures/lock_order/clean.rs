@@ -1,0 +1,29 @@
+// Fixture: must NOT trigger `lock-order` — every function acquires in
+// the one global order (alpha before beta), and `serial` releases alpha
+// with an explicit `drop` before taking beta.
+
+struct S {
+    alpha: Mutex<u32>,
+    beta: Mutex<u32>,
+}
+
+impl S {
+    fn take_both(&self) {
+        let a = self.alpha.lock();
+        let b = self.beta.lock();
+        *b += *a;
+    }
+
+    fn take_both_again(&self) {
+        let a = self.alpha.lock();
+        let b = self.beta.lock();
+        *a += *b;
+    }
+
+    fn serial(&self) {
+        let a = self.alpha.lock();
+        drop(a);
+        let b = self.beta.lock();
+        *b += 1;
+    }
+}

@@ -1,0 +1,22 @@
+// Fixture: must trigger `lock-order` exactly once — `take_both` orders
+// alpha before beta while `take_reversed` orders beta before alpha, and
+// the finding must name the acquisition sites on both sides.
+
+struct S {
+    alpha: Mutex<u32>,
+    beta: Mutex<u32>,
+}
+
+impl S {
+    fn take_both(&self) {
+        let a = self.alpha.lock();
+        let b = self.beta.lock();
+        *b += *a;
+    }
+
+    fn take_reversed(&self) {
+        let b = self.beta.lock();
+        let a = self.alpha.lock();
+        *a += *b;
+    }
+}

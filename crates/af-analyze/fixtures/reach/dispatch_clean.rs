@@ -1,0 +1,33 @@
+// Fixture: registry-complete dispatcher.  The data-plane arms (the
+// `alloc` roots) are allocation-free; `process_request` and `dispatch`
+// are control-plane *barriers* and allocate freely — the lint must not
+// follow `drain_queue` through them.
+
+impl Dispatcher {
+    fn h_play(&mut self, req: Request) {
+        self.queue.push_back(req.id);
+    }
+
+    fn h_record(&mut self, req: Request) {
+        let _ = self.out.try_send(req.id);
+    }
+
+    fn finish_record(&mut self) {}
+
+    fn drain_queue(&mut self) {
+        self.process_request(0);
+    }
+
+    fn retry_blocked(&mut self) {
+        self.drain_queue();
+    }
+
+    fn process_request(&mut self, op: u16) {
+        let label = format!("op {op}");
+        self.dispatch(label);
+    }
+
+    fn dispatch(&mut self, label: String) {
+        self.names.push(label.clone());
+    }
+}

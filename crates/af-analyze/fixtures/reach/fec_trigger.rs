@@ -1,0 +1,25 @@
+// Fixture: must trigger `alloc` once — `encode` reaches a defensive
+// `.to_vec()` copy through its `copy_out` helper; the finding must carry
+// the `encode -> copy_out` path.
+
+impl Codec {
+    fn encode(&mut self, frame: &[u8], out: &mut Vec<u8>) {
+        let owned = self.copy_out(frame);
+        out.extend_from_slice(&owned);
+    }
+
+    fn copy_out(&self, frame: &[u8]) -> Vec<u8> {
+        frame.to_vec()
+    }
+
+    fn decode(&mut self, bytes: &[u8]) -> Option<Frame> {
+        if bytes.is_empty() {
+            return None;
+        }
+        self.try_reconstruct(bytes)
+    }
+
+    fn try_reconstruct(&mut self, bytes: &[u8]) -> Option<Frame> {
+        None
+    }
+}

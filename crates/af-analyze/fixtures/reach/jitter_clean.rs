@@ -1,0 +1,13 @@
+// Fixture: jitter-buffer per-frame entry points — fixed slot array,
+// no allocation, no blocking.
+
+impl JitterBuffer {
+    fn insert(&mut self, slot: usize, frame: Frame) {
+        let at = slot % self.slots.len();
+        self.slots[at] = Some(frame);
+    }
+
+    fn read(&mut self) -> Option<Frame> {
+        self.slots[self.head].take()
+    }
+}

@@ -1,0 +1,40 @@
+// Fixture: registry-complete reactor shard.  Every `blocking-in-reactor`
+// and `alloc` root exists; the handler chain uses only non-blocking
+// primitives and caller-owned scratch.  The accept/registration path
+// (an `alloc` barrier) allocates its per-connection state — that is
+// setup, amortized over the connection lifetime, and must not be
+// reported.
+
+impl Shard {
+    fn handle_wake(&mut self) {
+        self.handle_token(1);
+    }
+
+    fn handle_token(&mut self, token: u64) {
+        self.read_conn(token);
+    }
+
+    fn read_conn(&mut self, token: u64) {
+        self.drive_read(token);
+    }
+
+    fn drive_read(&mut self, token: u64) {
+        self.flush_conn(token);
+    }
+
+    fn flush_conn(&mut self, token: u64) {
+        let _ = self.outbound.try_send(token);
+    }
+
+    fn accept_tcp(&mut self) {
+        self.register_conn(Vec::new());
+    }
+
+    fn accept_unix(&mut self) {
+        self.register_conn(Vec::new());
+    }
+
+    fn register_conn(&mut self, setup: Vec<u8>) {
+        self.conns.push(Box::new(setup));
+    }
+}

@@ -1,0 +1,42 @@
+// Fixture: must trigger `blocking-in-reactor` once, two calls deep —
+// `drive_read` calls `stall`, whose blocking channel `.recv()` the lint
+// must reach through the call graph and report with the full path.
+
+impl Shard {
+    fn handle_wake(&mut self) {
+        self.handle_token(1);
+    }
+
+    fn handle_token(&mut self, token: u64) {
+        self.read_conn(token);
+    }
+
+    fn read_conn(&mut self, token: u64) {
+        self.drive_read(token);
+    }
+
+    fn drive_read(&mut self, token: u64) {
+        self.stall();
+        self.flush_conn(token);
+    }
+
+    fn stall(&mut self) {
+        let _ = self.inbox.recv();
+    }
+
+    fn flush_conn(&mut self, token: u64) {
+        let _ = self.outbound.try_send(token);
+    }
+
+    fn accept_tcp(&mut self) {
+        self.register_conn(Vec::new());
+    }
+
+    fn accept_unix(&mut self) {
+        self.register_conn(Vec::new());
+    }
+
+    fn register_conn(&mut self, setup: Vec<u8>) {
+        self.conns.push(Box::new(setup));
+    }
+}

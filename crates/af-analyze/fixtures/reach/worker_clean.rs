@@ -1,0 +1,32 @@
+// Fixture: registry-complete worker hot loop.  Every root of the
+// `blocking-in-reactor` and `alloc` lints exists and the bodies stick to
+// non-blocking primitives, atomics and pre-sized scratch.
+
+impl Worker {
+    fn handle(&mut self, job: Job) {
+        self.handle_play(job);
+    }
+
+    fn handle_play(&mut self, job: Job) {
+        self.scratch.clear();
+        self.scratch.extend_from_slice(job.data);
+    }
+
+    fn handle_record(&mut self, job: Job) {
+        let _ = self.out.try_send(job.id);
+    }
+
+    fn finish_record(&mut self) {
+        self.retry_one();
+    }
+
+    fn retry_one(&mut self) {}
+
+    fn run_group_update(&mut self) {}
+
+    fn run_passthrough(&mut self) {}
+
+    fn publish_snapshots(&self) {
+        self.frames.store(1, Ordering::Relaxed);
+    }
+}

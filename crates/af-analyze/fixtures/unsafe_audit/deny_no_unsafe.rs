@@ -1,0 +1,9 @@
+// Fixture: must trigger `unsafe-audit` once when presented as a crate
+// root — the crate contains no unsafe code at all, so the revocable
+// `#![deny(unsafe_code)]` must tighten to `#![forbid(unsafe_code)]`.
+
+#![deny(unsafe_code)]
+
+pub fn plain(x: u32) -> u32 {
+    x.wrapping_add(1)
+}

@@ -1,10 +1,9 @@
-// Fixture: must NOT trigger `unsafe-audit` — the SIMD-module shape the
-// real `af_dsp::kernels::x86`/`neon` files use: the `unsafe_code`
-// re-enable carries its justification marker, the `#[target_feature]`
-// declaration carries a SAFETY contract for callers, and the call site
-// carries its own audit.
+// Fixture: must NOT trigger `unsafe-blocks` — the SIMD-module shape the
+// real `af_dsp::kernels::x86`/`neon` files use: a module-wide
+// `unsafe_code` re-enable earned by multiple unsafe sites, a SAFETY
+// contract for callers on the `#[target_feature]` declaration, and an
+// audit on the call site.
 
-// af-analyze: allow(unsafe-audit): core::arch intrinsics require unsafe; every site below carries a SAFETY audit.
 #![allow(unsafe_code)]
 
 #[target_feature(enable = "avx2")]

@@ -1,7 +1,6 @@
-// Fixture: must trigger `unsafe-audit` three times when presented as a
-// SIMD kernel module — `unsafe_code` re-enabled without the justification
-// marker, an unaudited `#[target_feature]` unsafe fn declaration, and an
-// unaudited intrinsic call site.
+// Fixture: must trigger `unsafe-blocks` twice when presented as a SIMD
+// kernel module — an unaudited `#[target_feature]` unsafe fn declaration
+// and an unaudited intrinsic call site, neither carrying its audit.
 
 #![allow(unsafe_code)]
 

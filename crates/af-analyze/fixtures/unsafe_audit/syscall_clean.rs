@@ -1,10 +1,9 @@
-// Fixture: must NOT trigger `unsafe-audit` — the raw-syscall-shim shape
-// the real `af_server::reactor::sys` uses: the `unsafe_code` re-enable
-// carries its justification marker, the syscall wrapper declaration
-// carries a SAFETY contract for callers, and the asm block and each
-// wrapper call site carry their own audits.
+// Fixture: must NOT trigger `unsafe-blocks` — the raw-syscall-shim shape
+// the real `af_server::reactor::sys` uses: a module-wide `unsafe_code`
+// re-enable earned by several unsafe sites, a SAFETY contract for
+// callers on the wrapper declaration, and audits on the asm block and
+// each wrapper call site.
 
-// af-analyze: allow(unsafe-audit): raw epoll/ppoll syscalls need inline asm; every site below carries a SAFETY audit.
 #![allow(unsafe_code)]
 
 // SAFETY: deferred to callers, who must pass pointer arguments that stay

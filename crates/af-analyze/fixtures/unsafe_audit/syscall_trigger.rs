@@ -1,7 +1,6 @@
-// Fixture: must trigger `unsafe-audit` three times when presented as a
-// raw-syscall shim — `unsafe_code` re-enabled without the justification
-// marker, an unaudited `unsafe fn` wrapper declaration, and an unaudited
-// wrapper call site.
+// Fixture: must trigger `unsafe-blocks` twice when presented as a
+// raw-syscall shim — an unaudited `unsafe fn` wrapper declaration and an
+// unaudited wrapper call site (the asm block itself carries its audit).
 
 #![allow(unsafe_code)]
 

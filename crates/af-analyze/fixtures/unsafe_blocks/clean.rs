@@ -1,0 +1,14 @@
+// Fixture: must NOT trigger `unsafe-blocks` — a per-item allow guarding
+// one unsafe block whose SAFETY audit sits directly above it.
+
+#[allow(unsafe_code)]
+pub fn view(bytes: &[u8]) -> Option<&[u16]> {
+    if bytes.len() % 2 != 0 {
+        return None;
+    }
+    // SAFETY: u16 has no invalid bit patterns, `align_to` only yields an
+    // aligned middle slice, and the length check above excludes partial
+    // samples.
+    let (head, samples, tail) = unsafe { bytes.align_to::<u16>() };
+    (head.is_empty() && tail.is_empty()).then_some(samples)
+}

@@ -1,0 +1,9 @@
+// Fixture: must trigger `unsafe-blocks` once — the file re-enables
+// `unsafe_code` yet contains no unsafe site at all; the allow is dead
+// surface and must fall back to the crate-level gate.
+
+#![allow(unsafe_code)]
+
+pub fn plain(x: u32) -> u32 {
+    x.wrapping_add(1)
+}

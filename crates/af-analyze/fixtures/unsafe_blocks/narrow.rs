@@ -1,0 +1,11 @@
+// Fixture: must trigger `unsafe-blocks` once — a module-wide
+// `#![allow(unsafe_code)]` guarding a single (audited) site; the
+// blanket form must narrow to a per-item `#[allow(unsafe_code)]`.
+
+#![allow(unsafe_code)]
+
+pub fn timestamp() -> u64 {
+    // SAFETY: RDTSC is unprivileged on every targeted OS; it reads a
+    // counter and touches no memory.
+    unsafe { core::arch::x86_64::_rdtsc() }
+}

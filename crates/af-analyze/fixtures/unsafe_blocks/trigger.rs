@@ -1,0 +1,14 @@
+// Fixture: must trigger `unsafe-blocks` twice — one unaudited unsafe
+// block and one unaudited `unsafe fn` declaration.  (The per-item
+// allows are earned: the file does contain unsafe sites.)
+
+#[allow(unsafe_code)]
+pub fn view(bytes: &[u8]) -> &[u16] {
+    let (_, samples, _) = unsafe { bytes.align_to::<u16>() };
+    samples
+}
+
+#[allow(unsafe_code)]
+pub unsafe fn raw_read(p: *const u32) -> u32 {
+    *p
+}

@@ -11,7 +11,16 @@
 //! | `lock-across-send` | no lock guard held across a channel send |
 //! | `tick-arith`       | no bare `+`/`-`/`as` on device-time tick values (wrapping ops only) |
 //! | `bounded-channels` | every channel in af-server is constructed bounded |
-//! | `unsafe-audit`     | every crate denies `unsafe_code`; each remaining `unsafe` carries a `// SAFETY:` audit |
+//! | `unsafe-audit`     | every crate gates `unsafe_code`; zero-unsafe crates `forbid` it |
+//! | `unsafe-blocks`    | every `unsafe` site carries its own `// SAFETY:` audit; no dead or over-broad `allow(unsafe_code)` |
+//! | `lock-order`       | all lock pairs are acquired in one global order (no deadlock cycles), checked through the call graph |
+//! | `blocking-in-reactor` | nothing reachable from the reactor/worker event loops blocks |
+//! | `alloc`            | nothing reachable from the per-tick data plane allocates |
+//!
+//! The first seven are line-oriented and run over the stripped view (now
+//! rendered from the token stream — see [`lex`]); the last four are v2
+//! whole-program lints over the item [`index`] and approximate
+//! [`callgraph`].
 //!
 //! Findings can be suppressed at the site with a justified marker on the
 //! same line or the line above:
@@ -25,6 +34,9 @@
 
 #![forbid(unsafe_code)]
 
+pub mod callgraph;
+pub mod index;
+pub mod lex;
 pub mod lints;
 pub mod source;
 
@@ -41,6 +53,10 @@ pub const LINT_NAMES: &[&str] = &[
     "tick-arith",
     "bounded-channels",
     "unsafe-audit",
+    "unsafe-blocks",
+    "lock-order",
+    "blocking-in-reactor",
+    "alloc",
     "allow-marker",
 ];
 
@@ -79,19 +95,71 @@ impl Finding {
     }
 }
 
+/// Wall-clock cost of one lint pass (or of building the shared index).
+pub struct LintTiming {
+    pub name: &'static str,
+    pub duration: std::time::Duration,
+}
+
 /// Runs every lint over pre-parsed files and applies allow-markers.
 pub fn analyze_files(files: &[SourceFile]) -> Vec<Finding> {
+    analyze_files_timed(files).0
+}
+
+/// Like [`analyze_files`] but also reports per-lint wall-clock timings,
+/// which `main` prints and guards (no single lint may exceed its budget —
+/// the analyzer runs in CI on every push and must stay cheap).
+pub fn analyze_files_timed(files: &[SourceFile]) -> (Vec<Finding>, Vec<LintTiming>) {
     let mut findings = Vec::new();
-    findings.extend(lints::opcode_tables::run(files));
-    findings.extend(lints::wallclock::run(files));
-    findings.extend(lints::no_panics::run(files));
-    findings.extend(lints::lock_across_send::run(files));
-    findings.extend(lints::tick_arith::run(files));
-    findings.extend(lints::bounded_channels::run(files));
-    findings.extend(lints::unsafe_audit::run(files));
+    let mut timings = Vec::new();
+    let start = std::time::Instant::now();
+    let index = index::Index::build(files);
+    let graph = callgraph::CallGraph::build(&index, files);
+    timings.push(LintTiming {
+        name: "index+callgraph",
+        duration: start.elapsed(),
+    });
+    let mut timed = |name: &'static str,
+                     out: &mut Vec<Finding>,
+                     run: &mut dyn FnMut() -> Vec<Finding>| {
+        let start = std::time::Instant::now();
+        out.extend(run());
+        timings.push(LintTiming {
+            name,
+            duration: start.elapsed(),
+        });
+    };
+    timed("opcode-tables", &mut findings, &mut || {
+        lints::opcode_tables::run(files)
+    });
+    timed("wallclock", &mut findings, &mut || lints::wallclock::run(files));
+    timed("no-panics", &mut findings, &mut || lints::no_panics::run(files));
+    timed("lock-across-send", &mut findings, &mut || {
+        lints::lock_across_send::run(files)
+    });
+    timed("tick-arith", &mut findings, &mut || lints::tick_arith::run(files));
+    timed("bounded-channels", &mut findings, &mut || {
+        lints::bounded_channels::run(files)
+    });
+    timed("unsafe-audit", &mut findings, &mut || {
+        lints::unsafe_audit::run(files)
+    });
+    timed("unsafe-blocks", &mut findings, &mut || {
+        lints::unsafe_blocks::run(files)
+    });
+    timed("lock-order", &mut findings, &mut || {
+        lints::lock_order::run(files, &index, &graph)
+    });
+    timed("blocking-in-reactor", &mut findings, &mut || {
+        lints::blocking_in_reactor::run(files, &index, &graph)
+    });
+    timed("alloc", &mut findings, &mut || {
+        lints::alloc_hot::run(files, &index, &graph)
+    });
     let mut kept = apply_markers(files, findings);
     kept.sort_by(|a, b| (&a.file, a.line, a.lint).cmp(&(&b.file, b.line, b.lint)));
-    kept
+    kept.dedup();
+    (kept, timings)
 }
 
 /// Walks the workspace at `root`, parses its sources and runs every lint.

@@ -1,0 +1,113 @@
+//! `alloc`: no heap allocation on the per-tick data plane.
+//!
+//! The sample pump runs once per device tick with a hard deadline; a
+//! `Vec::new` that grows, a `format!`, a defensive `.clone()` are each a
+//! malloc — and malloc takes a process-global lock and has unbounded
+//! tail latency.  Hot-path buffers are pre-sized at setup and reused
+//! (`clear()` + `extend_from_slice`, scratch fields, fixed arrays).
+//!
+//! Roots are the *data-plane* subset of the hot-path registry: the
+//! request-handling arms of the dispatcher, the worker pump bodies, the
+//! reactor shard handlers, and the FEC/jitter per-frame entry points.
+//! The dispatcher's control arms (open/close/configure) may allocate —
+//! they run once per session, not once per tick — and are deliberately
+//! not roots.  Follows the call graph like `blocking-in-reactor`; a
+//! setup-time or amortized allocation that is genuinely fine is justified
+//! per site with `// af-analyze: allow(alloc): reason`.
+
+use crate::callgraph::CallGraph;
+use crate::index::Index;
+use crate::lints::{run_reach_scan, ReachScan};
+use crate::source::SourceFile;
+use crate::Finding;
+
+/// Data-plane roots (per-tick / per-frame code only).
+const ROOTS: &[(&str, &[&str])] = &[
+    (
+        "crates/af-server/src/dispatch.rs",
+        &[
+            "h_play",
+            "h_record",
+            "finish_record",
+            "drain_queue",
+            "retry_blocked",
+        ],
+    ),
+    (
+        "crates/af-server/src/worker.rs",
+        &[
+            "handle_play",
+            "handle_record",
+            "finish_record",
+            "retry_one",
+            "run_group_update",
+            "run_passthrough",
+            "publish_snapshots",
+        ],
+    ),
+    (
+        "crates/af-server/src/reactor/mod.rs",
+        &[
+            "handle_wake",
+            "handle_token",
+            "flush_conn",
+            "read_conn",
+            "drive_read",
+        ],
+    ),
+    ("crates/af-device/src/fec.rs", &["encode", "decode"]),
+    ("crates/af-device/src/jitter.rs", &["insert", "read"]),
+];
+
+/// Allocation patterns over stripped code.  Deliberately absent:
+/// `Vec::with_capacity` and `vec![n; len]` — those are *sized* one-shot
+/// allocations, i.e. exactly the "pre-size" shape this lint pushes
+/// toward; the targets are the incremental/defensive allocators.
+const PATTERNS: &[&str] = &[
+    "Vec::new",
+    ".to_vec()",
+    "Box::new",
+    "format!(",
+    ".clone()",
+    ".to_owned()",
+    ".to_string(",
+    "String::new",
+];
+
+/// Control-plane cuts:
+///
+/// * `drain_queue`/`retry_blocked` replay queued requests through the
+///   full dispatcher, whose control arms (open, close, configure,
+///   properties) legitimately allocate; the data-plane dispatch arms are
+///   covered directly as roots.
+/// * the reactor's accept/registration path runs per *connection*, not
+///   per tick — boxing the conn state and cloning its channel handles
+///   there is setup, amortized over the connection lifetime.
+/// * FEC `try_reconstruct` is the loss-recovery path: it runs only when
+///   shards actually went missing, and Gaussian elimination needs its
+///   matrices; the steady lossless path never enters it.
+const BARRIERS: &[(&str, &[&str])] = &[
+    (
+        "crates/af-server/src/dispatch.rs",
+        &["process_request", "dispatch"],
+    ),
+    (
+        "crates/af-server/src/reactor/mod.rs",
+        &["accept_tcp", "accept_unix", "register_conn"],
+    ),
+    ("crates/af-device/src/fec.rs", &["try_reconstruct"]),
+];
+
+const SCAN: ReachScan = ReachScan {
+    lint: "alloc",
+    roots: ROOTS,
+    barriers: BARRIERS,
+    patterns: PATTERNS,
+    rationale: "the per-tick data plane must not allocate; pre-size at \
+                setup and reuse scratch buffers",
+};
+
+/// Runs the lint.
+pub fn run(files: &[SourceFile], index: &Index, graph: &CallGraph) -> Vec<Finding> {
+    run_reach_scan(&SCAN, files, index, graph)
+}

@@ -1,0 +1,86 @@
+//! `blocking-in-reactor`: nothing reachable from an event-loop may block.
+//!
+//! The reactor owns every connection on its shard; one blocked call —
+//! a sleep, a bounded-channel `send`/`recv`, a contended `lock`, a
+//! blocking read — stalls *all* of them, which on a WAN link shows up as
+//! a burst of late frames and concealment on every session at once.  The
+//! same holds for the worker hot loops: they run the per-tick sample
+//! pump and may only use non-blocking primitives (`try_send`, atomics,
+//! pre-sized scratch).
+//!
+//! Unlike `wallclock` (which checks the named functions only), this lint
+//! follows the approximate call graph: a helper three calls away from
+//! `handle_wake` is as much inside the loop as the loop body itself.
+//! Each finding reports the call path it was reached through.  Designed
+//! blocking — e.g. the reactor's bounded event-queue send, which *is*
+//! the backpressure mechanism — is justified per site with
+//! `// af-analyze: allow(blocking-in-reactor): reason`.
+
+use crate::callgraph::CallGraph;
+use crate::index::Index;
+use crate::lints::{run_reach_scan, ReachScan};
+use crate::source::SourceFile;
+use crate::Finding;
+
+/// The event-loop roots: the reactor shard handlers and the worker
+/// hot-loop bodies.
+const ROOTS: &[(&str, &[&str])] = &[
+    (
+        "crates/af-server/src/reactor/mod.rs",
+        &[
+            "handle_wake",
+            "handle_token",
+            "flush_conn",
+            "read_conn",
+            "drive_read",
+        ],
+    ),
+    (
+        "crates/af-server/src/worker.rs",
+        &[
+            "handle",
+            "handle_play",
+            "handle_record",
+            "finish_record",
+            "retry_one",
+            "run_group_update",
+            "run_passthrough",
+            "publish_snapshots",
+        ],
+    ),
+];
+
+/// Blocking call patterns.  `.send(` does not match `.try_send(`; `.recv()`
+/// etc. are the blocking channel reads; `.lock()` blocks on contention;
+/// the `read_*`/`write_all` family are blocking `std::io` calls.
+const PATTERNS: &[&str] = &[
+    "thread::sleep(",
+    "::sleep(",
+    ".recv()",
+    ".recv_timeout(",
+    ".recv_deadline(",
+    ".send(",
+    ".join()",
+    ".wait(",
+    ".wait_timeout(",
+    ".lock()",
+    ".read_exact(",
+    ".read_to_end(",
+    ".read_to_string(",
+    ".write_all(",
+];
+
+const SCAN: ReachScan = ReachScan {
+    lint: "blocking-in-reactor",
+    roots: ROOTS,
+    barriers: &[],
+    patterns: PATTERNS,
+    rationale: "event loops must stay non-blocking (try_send, atomics, \
+                nonblocking I/O); a block here stalls every connection on \
+                the shard",
+};
+
+/// Runs the lint.
+pub fn run(files: &[SourceFile], index: &Index, graph: &CallGraph) -> Vec<Finding> {
+    run_reach_scan(&SCAN, files, index, graph)
+}

@@ -1,27 +1,46 @@
-//! `unsafe-audit`: unsafe code is denied by default and audited where kept.
+//! `unsafe-audit`: crate-level unsafe posture matches crate contents.
 //!
-//! Three rules:
+//! Two rules (per-site auditing moved to `unsafe-blocks` in v2):
 //!
 //! 1. Every crate root (`crates/*/src/lib.rs` and the facade `src/lib.rs`)
 //!    must carry `#![forbid(unsafe_code)]` or `#![deny(unsafe_code)]`.
-//! 2. Re-enabling unsafe (`allow(unsafe_code)`) is a finding unless the
-//!    site carries a justified `af-analyze: allow(unsafe-audit)` marker —
-//!    the only place that does is `af-dsp`'s typed sample views.
-//! 3. Every remaining `unsafe` token in production code must have a
-//!    `// SAFETY:` comment on the same line or within the five lines
-//!    above, stating why the invariants hold.
+//! 2. A crate with *no* unsafe site anywhere in its production sources
+//!    must use `forbid`, not `deny` — `deny` can be re-allowed by a
+//!    module, so a zero-unsafe crate that merely denies leaves the door
+//!    ajar for no reason.  Crates that do contain audited unsafe (the
+//!    SIMD kernels in `af-dsp`, the syscall wrappers in `af-server`)
+//!    legitimately stay on `deny` + scoped allows.
 
-use crate::lints::prod_lines;
-use crate::source::{find_word, SourceFile};
+use crate::callgraph::crate_of;
+use crate::lex::Kind;
+use crate::source::SourceFile;
 use crate::Finding;
+use std::collections::BTreeSet;
 
 const LINT: &str = "unsafe-audit";
 
 /// Runs the lint.
 pub fn run(files: &[SourceFile]) -> Vec<Finding> {
+    // Crates with at least one production `unsafe` token.
+    let mut crates_with_unsafe: BTreeSet<&str> = BTreeSet::new();
+    for file in files {
+        let has = file.tokens.iter().any(|t| {
+            t.kind == Kind::Ident
+                && t.text == "unsafe"
+                && !file.in_test.get(t.line).copied().unwrap_or(false)
+        });
+        if has {
+            crates_with_unsafe.insert(crate_of(&file.rel));
+        }
+    }
     let mut findings = Vec::new();
     for file in files {
-        if is_crate_root(&file.rel) && !has_unsafe_gate(file) {
+        if !is_crate_root(&file.rel) {
+            continue;
+        }
+        let forbids = has_gate(file, "#![forbid(unsafe_code)]");
+        let denies = has_gate(file, "#![deny(unsafe_code)]");
+        if !forbids && !denies {
             findings.push(Finding {
                 lint: LINT,
                 file: file.rel.clone(),
@@ -30,32 +49,15 @@ pub fn run(files: &[SourceFile]) -> Vec<Finding> {
                           `#![deny(unsafe_code)]`"
                     .to_owned(),
             });
-        }
-        for i in prod_lines(file) {
-            let code = &file.code[i];
-            if code.contains("allow(unsafe_code)") {
-                findings.push(Finding::at(
-                    LINT,
-                    file,
-                    i,
-                    "re-enabling `unsafe_code` requires a justified \
-                     `af-analyze: allow(unsafe-audit)` marker"
-                        .to_owned(),
-                ));
-            }
-            if find_word(code, "unsafe").is_some()
-                && !code.contains("unsafe_code")
-                && !has_safety_comment(file, i)
-            {
-                findings.push(Finding::at(
-                    LINT,
-                    file,
-                    i,
-                    "`unsafe` without a `// SAFETY:` comment on or above the \
-                     line stating why the invariants hold"
-                        .to_owned(),
-                ));
-            }
+        } else if denies && !crates_with_unsafe.contains(crate_of(&file.rel)) {
+            findings.push(Finding {
+                lint: LINT,
+                file: file.rel.clone(),
+                line: 1,
+                message: "crate has no unsafe code; tighten \
+                          `#![deny(unsafe_code)]` to `#![forbid(unsafe_code)]`"
+                    .to_owned(),
+            });
         }
     }
     findings
@@ -71,16 +73,6 @@ fn is_crate_root(rel: &str) -> bool {
     matches!(rest.split_once('/'), Some((_, "src/lib.rs")))
 }
 
-fn has_unsafe_gate(file: &SourceFile) -> bool {
-    file.code.iter().any(|l| {
-        l.contains("#![forbid(unsafe_code)]") || l.contains("#![deny(unsafe_code)]")
-    })
-}
-
-/// `// SAFETY:` on the same line or within the five raw lines above.
-fn has_safety_comment(file: &SourceFile, line0: usize) -> bool {
-    let lo = line0.saturating_sub(5);
-    file.lines[lo..=line0]
-        .iter()
-        .any(|raw| raw.contains("SAFETY:"))
+fn has_gate(file: &SourceFile, gate: &str) -> bool {
+    file.code.iter().any(|l| l.contains(gate))
 }

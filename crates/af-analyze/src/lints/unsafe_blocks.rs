@@ -1,0 +1,116 @@
+//! `unsafe-blocks`: every `unsafe` site is individually audited.
+//!
+//! The v1 `unsafe-audit` lint accepted a module-level
+//! `af-analyze: allow(unsafe-audit)` marker that waved through the whole
+//! file.  This lint replaces that with per-site enforcement over the
+//! token stream (so `unsafe_code` in attributes and `unsafe` in strings
+//! or comments never confuse it):
+//!
+//! 1. every `unsafe {` block, `unsafe fn`, `unsafe impl`, and
+//!    `unsafe trait` in production code needs a `// SAFETY:` comment on
+//!    the same line or within the five raw lines above, stating why the
+//!    invariants hold at *this* site;
+//! 2. an `allow(unsafe_code)` whose file contains no unsafe site at all
+//!    is dead surface and must be removed (back to the crate default);
+//! 3. a module-wide `#![allow(unsafe_code)]` guarding fewer than two
+//!    unsafe sites must narrow to per-item `#[allow(unsafe_code)]` — the
+//!    blanket form is only earned by files that are *about* unsafe (the
+//!    SIMD kernels, the syscall wrappers).
+
+use crate::lex::Kind;
+use crate::lints::prod_lines;
+use crate::source::SourceFile;
+use crate::Finding;
+
+const LINT: &str = "unsafe-blocks";
+
+/// How far above the `unsafe` token a `// SAFETY:` comment may sit.
+const SAFETY_WINDOW: usize = 5;
+
+/// Runs the lint.
+pub fn run(files: &[SourceFile]) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    for file in files {
+        let sites = unsafe_sites(file);
+        for &(line, what) in &sites {
+            if !has_safety_comment(file, line) {
+                findings.push(Finding::at(
+                    LINT,
+                    file,
+                    line,
+                    format!(
+                        "`{what}` without a `// SAFETY:` comment on or within \
+                         {SAFETY_WINDOW} lines above; every unsafe site states \
+                         why its invariants hold"
+                    ),
+                ));
+            }
+        }
+        for i in prod_lines(file) {
+            let code = &file.code[i];
+            if !code.contains("allow(unsafe_code)") {
+                continue;
+            }
+            let module_wide = code.contains("#![allow(unsafe_code)]");
+            if sites.is_empty() {
+                findings.push(Finding::at(
+                    LINT,
+                    file,
+                    i,
+                    "`allow(unsafe_code)` in a file with no unsafe site; \
+                     remove it and fall back to the crate-level gate"
+                        .to_owned(),
+                ));
+            } else if module_wide && sites.len() < 2 {
+                findings.push(Finding::at(
+                    LINT,
+                    file,
+                    i,
+                    format!(
+                        "module-wide `#![allow(unsafe_code)]` guards only {} \
+                         unsafe site(s); narrow it to per-item \
+                         `#[allow(unsafe_code)]`",
+                        sites.len()
+                    ),
+                ));
+            }
+        }
+    }
+    findings
+}
+
+/// Every production `unsafe` site: (0-based line, site kind).
+fn unsafe_sites(file: &SourceFile) -> Vec<(usize, &'static str)> {
+    let toks: Vec<_> = file.tokens.iter().filter(|t| !t.is_comment()).collect();
+    let mut sites = Vec::new();
+    for (i, tok) in toks.iter().enumerate() {
+        if tok.kind != Kind::Ident || tok.text != "unsafe" {
+            continue;
+        }
+        if file.in_test.get(tok.line).copied().unwrap_or(false) {
+            continue;
+        }
+        let what = match toks.get(i + 1) {
+            Some(t) if t.is_punct('{') => "unsafe block",
+            Some(t) if t.is_ident("fn") => "unsafe fn",
+            Some(t) if t.is_ident("impl") => "unsafe impl",
+            Some(t) if t.is_ident("trait") => "unsafe trait",
+            Some(t) if t.is_ident("extern") => "unsafe extern",
+            // `unsafe` in other positions (e.g. pointer casts inside an
+            // already-counted block) — still a site worth the audit.
+            _ => "unsafe",
+        };
+        sites.push((tok.line, what));
+    }
+    sites
+}
+
+/// `// SAFETY:` on the same raw line or within the window above.
+fn has_safety_comment(file: &SourceFile, line0: usize) -> bool {
+    let lo = line0.saturating_sub(SAFETY_WINDOW);
+    file.lines
+        .get(lo..=line0)
+        .into_iter()
+        .flatten()
+        .any(|raw| raw.contains("SAFETY:"))
+}

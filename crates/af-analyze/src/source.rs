@@ -1,12 +1,20 @@
 //! Line-oriented source model shared by every lint.
 //!
-//! The container ships no parser crates, so the lints work on a stripped
-//! view of each file: comments and literal *contents* are blanked (the
-//! delimiters stay), which keeps byte/line positions stable while making
-//! naive substring checks sound — `".unwrap()"` inside a string or a
-//! comment no longer looks like a call.  Raw lines are kept alongside for
-//! the things that live *in* comments: `SAFETY:` audits and
+//! The container ships no parser crates, so the line-oriented lints work
+//! on a stripped view of each file: comments and literal *contents* are
+//! blanked (the delimiters stay), which keeps byte/line positions stable
+//! while making naive substring checks sound — `".unwrap()"` inside a
+//! string or a comment no longer looks like a call.  Raw lines are kept
+//! alongside for the things that live *in* comments: `SAFETY:` audits and
 //! `af-analyze: allow(...)` markers.
+//!
+//! Since the token-aware rewrite the stripped view is *rendered from the
+//! lexer's token stream* ([`crate::lex::stripped`]); the original
+//! character-machine stripper survives here as [`strip_legacy`], the
+//! differential oracle the lexer is pinned against (proptest plus a sweep
+//! over every real workspace file).
+
+use crate::lex::{self, Token};
 
 /// One `.rs` file prepared for analysis.
 pub struct SourceFile {
@@ -18,12 +26,15 @@ pub struct SourceFile {
     pub code: Vec<String>,
     /// Per-line flag: inside a `#[cfg(test)]` item.
     pub in_test: Vec<bool>,
+    /// The token stream the stripped view was rendered from.
+    pub tokens: Vec<Token>,
 }
 
 impl SourceFile {
     /// Parses `text` (the contents of `rel`) into the model.
     pub fn parse(rel: &str, text: &str) -> SourceFile {
-        let stripped = strip(text);
+        let tokens = lex::lex(text);
+        let stripped = lex::stripped_from(&tokens, text);
         let lines: Vec<String> = text.lines().map(str::to_owned).collect();
         let code: Vec<String> = stripped.lines().map(str::to_owned).collect();
         let in_test = test_mask(&code);
@@ -32,6 +43,7 @@ impl SourceFile {
             lines,
             code,
             in_test,
+            tokens,
         }
     }
 
@@ -104,7 +116,10 @@ fn is_ident(b: u8) -> bool {
 }
 
 /// Blanks comments and literal contents, preserving line structure.
-fn strip(text: &str) -> String {
+///
+/// The pre-token-stream implementation, kept as the differential oracle
+/// for [`crate::lex::stripped`].  Production parsing no longer calls it.
+pub fn strip_legacy(text: &str) -> String {
     #[derive(PartialEq)]
     enum St {
         Code,

@@ -5,13 +5,25 @@
 //! presented to the lints at the workspace-relative paths each lint
 //! scopes itself to.
 
+use af_analyze::callgraph::CallGraph;
+use af_analyze::index::Index;
 use af_analyze::lints;
 use af_analyze::source::SourceFile;
-use af_analyze::analyze_files;
+use af_analyze::{analyze_files, Finding};
 
 /// Parses a fixture at a pretend workspace path.
 fn fx(rel: &str, text: &str) -> SourceFile {
     SourceFile::parse(rel, text)
+}
+
+/// Builds the index + call graph and runs a whole-program lint.
+fn run_graph_lint(
+    files: &[SourceFile],
+    run: fn(&[SourceFile], &Index, &CallGraph) -> Vec<Finding>,
+) -> Vec<Finding> {
+    let index = Index::build(files);
+    let graph = CallGraph::build(&index, files);
+    run(files, &index, &graph)
 }
 
 const SERVER: &str = "crates/af-server/src/fixture.rs";
@@ -244,17 +256,25 @@ fn tick_arith_stays_quiet() {
 // ---- unsafe-audit ------------------------------------------------------
 
 #[test]
-fn unsafe_audit_triggers() {
+fn unsafe_audit_triggers_on_ungated_crate_root() {
     let files = [fx(
         "crates/af-fake/src/lib.rs",
         include_str!("../fixtures/unsafe_audit/trigger.rs"),
     )];
     let found = lints::unsafe_audit::run(&files);
-    assert_eq!(found.len(), 2, "missing gate + unaudited unsafe: {found:?}");
+    assert_eq!(found.len(), 1, "missing crate gate: {found:?}");
+    assert!(found[0].message.contains("forbid"), "{found:?}");
+    // The unaudited unsafe block in the same file is unsafe-blocks'
+    // concern, not unsafe-audit's.
+    let blocks = lints::unsafe_blocks::run(&files);
+    assert_eq!(blocks.len(), 1, "{blocks:?}");
+    assert!(blocks[0].message.contains("SAFETY"), "{blocks:?}");
 }
 
 #[test]
 fn unsafe_audit_stays_quiet() {
+    // `deny` + an audited unsafe site: the crate genuinely needs unsafe,
+    // so the revocable gate is the right one.
     let files = [fx(
         "crates/af-fake/src/lib.rs",
         include_str!("../fixtures/unsafe_audit/clean.rs"),
@@ -263,75 +283,248 @@ fn unsafe_audit_stays_quiet() {
 }
 
 #[test]
-fn unsafe_audit_triggers_on_unaudited_simd_module() {
-    // A SIMD kernel module that re-enables unsafe without the marker and
-    // ships unaudited `#[target_feature]` declarations and intrinsic call
-    // sites: one finding for the bare allow, one per unaudited line.
+fn unsafe_audit_tightens_deny_to_forbid_when_no_unsafe() {
+    let files = [fx(
+        "crates/af-fake/src/lib.rs",
+        include_str!("../fixtures/unsafe_audit/deny_no_unsafe.rs"),
+    )];
+    let found = lints::unsafe_audit::run(&files);
+    assert_eq!(found.len(), 1, "{found:?}");
+    assert!(found[0].message.contains("forbid"), "{found:?}");
+}
+
+#[test]
+fn unsafe_audit_accepts_forbid_on_zero_unsafe_crate() {
+    let files = [fx(
+        "crates/af-fake/src/lib.rs",
+        "#![forbid(unsafe_code)]\npub fn plain(x: u32) -> u32 { x }\n",
+    )];
+    assert_eq!(lints::unsafe_audit::run(&files), vec![]);
+}
+
+// ---- unsafe-blocks -----------------------------------------------------
+
+#[test]
+fn unsafe_blocks_triggers() {
+    let files = [fx(SERVER, include_str!("../fixtures/unsafe_blocks/trigger.rs"))];
+    let found = lints::unsafe_blocks::run(&files);
+    assert_eq!(found.len(), 2, "unsafe block + unsafe fn: {found:?}");
+    assert!(found.iter().any(|f| f.message.contains("unsafe block")));
+    assert!(found.iter().any(|f| f.message.contains("unsafe fn")));
+}
+
+#[test]
+fn unsafe_blocks_stays_quiet() {
+    let files = [fx(SERVER, include_str!("../fixtures/unsafe_blocks/clean.rs"))];
+    assert_eq!(lints::unsafe_blocks::run(&files), vec![]);
+}
+
+#[test]
+fn unsafe_blocks_flags_dead_allow() {
+    let files = [fx(
+        SERVER,
+        include_str!("../fixtures/unsafe_blocks/dead_allow.rs"),
+    )];
+    let found = lints::unsafe_blocks::run(&files);
+    assert_eq!(found.len(), 1, "{found:?}");
+    assert!(found[0].message.contains("no unsafe site"), "{found:?}");
+}
+
+#[test]
+fn unsafe_blocks_narrows_module_wide_allow() {
+    let files = [fx(SERVER, include_str!("../fixtures/unsafe_blocks/narrow.rs"))];
+    let found = lints::unsafe_blocks::run(&files);
+    assert_eq!(found.len(), 1, "{found:?}");
+    assert!(found[0].message.contains("narrow"), "{found:?}");
+}
+
+#[test]
+fn unsafe_blocks_triggers_on_unaudited_simd_module() {
+    // A SIMD kernel module shipping an unaudited `#[target_feature]`
+    // declaration and an unaudited intrinsic call site.
     let files = [fx(
         "crates/af-fake/src/simd.rs",
         include_str!("../fixtures/unsafe_audit/simd_trigger.rs"),
     )];
-    let found = lints::unsafe_audit::run(&files);
-    assert_eq!(
-        found.len(),
-        3,
-        "bare allow + unsafe fn decl + call site: {found:?}"
-    );
-    assert!(found.iter().all(|f| f.lint == "unsafe-audit"));
+    let found = lints::unsafe_blocks::run(&files);
+    assert_eq!(found.len(), 2, "unsafe fn decl + call site: {found:?}");
+    assert!(found.iter().all(|f| f.lint == "unsafe-blocks"));
 }
 
 #[test]
-fn unsafe_audit_accepts_audited_simd_module() {
-    // The shape the real af-dsp SIMD modules use — justified marker on the
-    // allow, SAFETY contract on the `unsafe fn`, SAFETY audit on the call
-    // site — survives the full marker-aware pipeline.
+fn unsafe_blocks_accepts_audited_simd_module() {
+    // The shape the real af-dsp SIMD modules use — module allow earned by
+    // two sites, SAFETY contract on the `unsafe fn`, SAFETY audit on the
+    // call site — survives the full pipeline.
     let files = [fx(
         "crates/af-fake/src/simd.rs",
         include_str!("../fixtures/unsafe_audit/simd_clean.rs"),
     )];
     let found = analyze_files(&files);
     assert!(
-        found
-            .iter()
-            .all(|f| f.lint != "unsafe-audit" && f.lint != "allow-marker"),
+        found.iter().all(|f| f.lint != "unsafe-blocks"
+            && f.lint != "unsafe-audit"
+            && f.lint != "allow-marker"),
         "{found:?}"
     );
 }
 
 #[test]
-fn unsafe_audit_triggers_on_unaudited_syscall_shim() {
-    // A raw-syscall shim that re-enables unsafe without the marker and
-    // ships an unaudited wrapper declaration and call site: one finding
-    // for the bare allow, one per unaudited line.
+fn unsafe_blocks_triggers_on_unaudited_syscall_shim() {
+    // A raw-syscall shim shipping an unaudited wrapper declaration and an
+    // unaudited wrapper call site.
     let files = [fx(
         "crates/af-server/src/reactor/sys.rs",
         include_str!("../fixtures/unsafe_audit/syscall_trigger.rs"),
     )];
-    let found = lints::unsafe_audit::run(&files);
-    assert_eq!(
-        found.len(),
-        3,
-        "bare allow + unsafe fn decl + call site: {found:?}"
-    );
-    assert!(found.iter().all(|f| f.lint == "unsafe-audit"));
+    let found = lints::unsafe_blocks::run(&files);
+    assert_eq!(found.len(), 2, "unsafe fn decl + call site: {found:?}");
+    assert!(found.iter().all(|f| f.lint == "unsafe-blocks"));
 }
 
 #[test]
-fn unsafe_audit_accepts_audited_syscall_shim() {
-    // The shape the real reactor syscall shim uses — justified marker on
-    // the allow, SAFETY contract on `unsafe fn syscall5`, audits on the
-    // asm block and every wrapper call — survives the full pipeline.
+fn unsafe_blocks_accepts_audited_syscall_shim() {
+    // The shape the real reactor syscall shim uses — module allow earned
+    // by three sites, SAFETY contract on `unsafe fn syscall5`, audits on
+    // the asm block and every wrapper call — survives the full pipeline.
     let files = [fx(
         "crates/af-server/src/reactor/sys.rs",
         include_str!("../fixtures/unsafe_audit/syscall_clean.rs"),
     )];
     let found = analyze_files(&files);
     assert!(
-        found
-            .iter()
-            .all(|f| f.lint != "unsafe-audit" && f.lint != "allow-marker"),
+        found.iter().all(|f| f.lint != "unsafe-blocks"
+            && f.lint != "unsafe-audit"
+            && f.lint != "allow-marker"),
         "{found:?}"
     );
+}
+
+// ---- lock-order --------------------------------------------------------
+
+#[test]
+fn lock_order_reports_inversion_with_both_sites() {
+    let files = [fx(SERVER, include_str!("../fixtures/lock_order/trigger.rs"))];
+    let found = run_graph_lint(&files, lints::lock_order::run);
+    assert_eq!(found.len(), 1, "{found:?}");
+    let msg = &found[0].message;
+    // Both legs of the inversion, each naming its acquisition site.
+    assert!(msg.contains("`alpha`") && msg.contains("`beta`"), "{msg}");
+    assert!(msg.contains("in `take_both`"), "{msg}");
+    assert!(msg.contains("in `take_reversed`"), "{msg}");
+    assert!(msg.matches("held from").count() >= 2, "{msg}");
+    assert!(msg.matches(&format!("{SERVER}:")).count() >= 4, "{msg}");
+}
+
+#[test]
+fn lock_order_propagates_held_guards_through_calls() {
+    // `hold_alpha` orders alpha before beta only via its `grab_beta`
+    // call; the cycle against `take_reversed` must still be found and the
+    // beta side attributed to `grab_beta`'s acquisition site.
+    let files = [fx(
+        SERVER,
+        include_str!("../fixtures/lock_order/call_trigger.rs"),
+    )];
+    let found = run_graph_lint(&files, lints::lock_order::run);
+    assert_eq!(found.len(), 1, "{found:?}");
+    let msg = &found[0].message;
+    assert!(msg.contains("in `grab_beta`"), "{msg}");
+    assert!(msg.contains("in `take_reversed`"), "{msg}");
+}
+
+#[test]
+fn lock_order_stays_quiet_on_global_order() {
+    let files = [fx(SERVER, include_str!("../fixtures/lock_order/clean.rs"))];
+    assert_eq!(run_graph_lint(&files, lints::lock_order::run), vec![]);
+}
+
+// ---- blocking-in-reactor -----------------------------------------------
+
+/// The registry-complete hot-path tree shared by the reachability lints.
+fn reach_tree(reactor: &str, fec: &str) -> [SourceFile; 5] {
+    [
+        fx(REACTOR, reactor),
+        fx(WORKER, include_str!("../fixtures/reach/worker_clean.rs")),
+        fx(DISPATCH, include_str!("../fixtures/reach/dispatch_clean.rs")),
+        fx(FEC, fec),
+        fx(JITTER, include_str!("../fixtures/reach/jitter_clean.rs")),
+    ]
+}
+
+#[test]
+fn blocking_in_reactor_triggers_through_call_graph() {
+    // The blocking `.recv()` sits two calls below the `drive_read` root;
+    // the finding must carry the path it was reached through.
+    let files = reach_tree(
+        include_str!("../fixtures/reach/reactor_trigger.rs"),
+        include_str!("../fixtures/reach/fec_clean.rs"),
+    );
+    let found = run_graph_lint(&files, lints::blocking_in_reactor::run);
+    assert_eq!(found.len(), 1, "{found:?}");
+    assert!(found[0].message.contains(".recv()"), "{found:?}");
+    assert!(
+        found[0].message.contains("drive_read -> stall"),
+        "{found:?}"
+    );
+}
+
+#[test]
+fn blocking_in_reactor_stays_quiet() {
+    let files = reach_tree(
+        include_str!("../fixtures/reach/reactor_clean.rs"),
+        include_str!("../fixtures/reach/fec_clean.rs"),
+    );
+    assert_eq!(
+        run_graph_lint(&files, lints::blocking_in_reactor::run),
+        vec![]
+    );
+}
+
+#[test]
+fn blocking_in_reactor_reports_stale_registry() {
+    // A renamed root must fail loudly, not silently drop out of coverage.
+    let mut files = reach_tree(
+        include_str!("../fixtures/reach/reactor_clean.rs"),
+        include_str!("../fixtures/reach/fec_clean.rs"),
+    );
+    files[0] = fx(REACTOR, "fn renamed_handler() {}\n");
+    let found = run_graph_lint(&files, lints::blocking_in_reactor::run);
+    assert!(
+        found
+            .iter()
+            .any(|f| f.message.contains("handle_wake") && f.message.contains("not found")),
+        "{found:?}"
+    );
+}
+
+// ---- alloc -------------------------------------------------------------
+
+#[test]
+fn alloc_triggers_through_call_graph() {
+    // The `.to_vec()` sits in a helper below the `encode` root.
+    let files = reach_tree(
+        include_str!("../fixtures/reach/reactor_clean.rs"),
+        include_str!("../fixtures/reach/fec_trigger.rs"),
+    );
+    let found = run_graph_lint(&files, lints::alloc_hot::run);
+    assert_eq!(found.len(), 1, "{found:?}");
+    assert!(found[0].message.contains(".to_vec()"), "{found:?}");
+    assert!(found[0].message.contains("encode -> copy_out"), "{found:?}");
+}
+
+#[test]
+fn alloc_barriers_cut_the_control_plane() {
+    // The clean tree allocates plenty behind its barriers:
+    // `process_request` (reached from the `drain_queue` root) uses
+    // `format!` and `dispatch` clones; FEC's `try_reconstruct` (reached
+    // from `decode`) builds its matrices with `Vec::new` + `format!`; the
+    // reactor's `register_conn` boxes per-connection state.  None of it
+    // may be reported.
+    let files = reach_tree(
+        include_str!("../fixtures/reach/reactor_clean.rs"),
+        include_str!("../fixtures/reach/fec_clean.rs"),
+    );
+    assert_eq!(run_graph_lint(&files, lints::alloc_hot::run), vec![]);
 }
 
 // ---- opcode-tables -----------------------------------------------------

@@ -241,6 +241,7 @@ impl FecFrame {
             index: bytes[7],
             k: bytes[8],
             m: bytes[9],
+            // af-analyze: allow(alloc): a parsed frame owns its payload; the receive datagram buffer is transient
             payload: bytes[FEC_HEADER_BYTES..FEC_HEADER_BYTES + len].to_vec(),
         })
     }
@@ -286,6 +287,7 @@ impl FecEncoder {
                 index,
                 k: self.cfg.k as u8,
                 m: self.cfg.m as u8,
+                // af-analyze: allow(alloc): the outbound frame owns its payload; the caller buffer is reused per tick
                 payload: payload.to_vec(),
             }
             .encode(),
@@ -429,6 +431,7 @@ impl FecDecoder {
                 self.groups.len() - 1
             }
         };
+        // af-analyze: allow(alloc): empty Vec::new is allocation-free; only the loss-recovery path pushes into it
         let mut out = Vec::new();
         {
             let st = &mut self.groups[slot];

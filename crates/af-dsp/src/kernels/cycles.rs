@@ -11,17 +11,15 @@
 //! monotonic nanoseconds, which keeps the cycles-per-byte metric meaningful
 //! (just in different units, reported alongside `cpu_cores` either way).
 
-// This module contains the crate's only non-slice unsafe: the one-line
-// rdtsc read, which has no preconditions on x86_64 user mode.
-// af-analyze: allow(unsafe-audit): single rdtsc read, SAFETY comment on the site
-#![allow(unsafe_code)]
-
 /// Reads the consumed-cycles timestamp.
 ///
 /// Only differences between two readings on the same core are meaningful;
 /// the absolute value is arbitrary.
 #[cfg(target_arch = "x86_64")]
 #[inline]
+// This function holds the crate's only non-slice unsafe: the one-line
+// rdtsc read, which has no preconditions on x86_64 user mode.
+#[allow(unsafe_code)]
 pub fn timestamp() -> u64 {
     // SAFETY: RDTSC is unprivileged on every OS this crate targets; it
     // reads a counter and touches no memory.

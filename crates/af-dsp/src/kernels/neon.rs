@@ -9,7 +9,6 @@
 
 // All intrinsics operate on unaligned loads/stores within caller-checked
 // bounds; NEON is statically available on aarch64.
-// af-analyze: allow(unsafe-audit): baseline NEON intrinsics, SAFETY comments on every site
 #![allow(unsafe_code)]
 
 use core::arch::aarch64::*;

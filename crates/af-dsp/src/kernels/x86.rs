@@ -14,7 +14,6 @@
 // All intrinsics in this module operate on unaligned loads/stores within
 // caller-checked bounds; AVX2 functions are reached only after runtime
 // feature detection.
-// af-analyze: allow(unsafe-audit): runtime-dispatched core::arch intrinsics, SAFETY comments on every site
 #![allow(unsafe_code)]
 
 use core::arch::x86_64::*;

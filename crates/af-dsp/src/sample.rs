@@ -13,7 +13,6 @@
 // four `align_to` views and two infallible sample→byte views, each guarded
 // by the endianness/alignment/length checks documented in the SAFETY
 // comments below.
-// af-analyze: allow(unsafe-audit): audited align_to boundary, SAFETY comments on every site
 #![allow(unsafe_code)]
 
 /// Views a byte slice as 16-bit samples, or `None` if the bytes are

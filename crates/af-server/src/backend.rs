@@ -190,6 +190,7 @@ impl AlsBackend {
             function: LsFunction::Loopback,
             param: 0,
             aux: 0,
+            // af-analyze: allow(alloc): empty Vec::new is allocation-free (this request carries no payload)
             data: Vec::new(),
         };
         match self.link.transact(req, ALS_RETRIES) {
@@ -299,6 +300,7 @@ impl AlsBackend {
                 function: LsFunction::Record,
                 param: 0,
                 aux: span as u16,
+                // af-analyze: allow(alloc): empty Vec::new is allocation-free (this request carries no payload)
                 data: Vec::new(),
             };
             match self.link.transact(req, 0) {
@@ -354,6 +356,7 @@ impl HwBackend for AlsBackend {
             function: LsFunction::Play,
             param: 0,
             aux: 0,
+            // af-analyze: allow(alloc): the wire packet owns its payload; one copy per play write is the link framing cost
             data: data.to_vec(),
         };
         if self.link.send_oneway(req).is_err() {

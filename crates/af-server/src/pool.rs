@@ -78,6 +78,7 @@ impl BufferPool {
         // list is still structurally sound — recover it.
         let recycled = self
             .idle
+            // af-analyze: allow(blocking-in-reactor): leaf mutex with a bounded critical section (vec pop); never held across I/O or sends
             .lock()
             .unwrap_or_else(|poisoned| poisoned.into_inner())
             .pop();
@@ -88,6 +89,7 @@ impl BufferPool {
             }
             None => {
                 self.allocs.fetch_add(1, Ordering::Relaxed);
+                // af-analyze: allow(alloc): counted pool-miss path; steady state recycles returned buffers
                 Vec::new()
             }
         }
@@ -106,6 +108,7 @@ impl BufferPool {
         }
         let mut idle = self
             .idle
+            // af-analyze: allow(blocking-in-reactor): leaf mutex with a bounded critical section (vec push); never held across I/O or sends
             .lock()
             .unwrap_or_else(|poisoned| poisoned.into_inner());
         if idle.len() < self.max_idle {

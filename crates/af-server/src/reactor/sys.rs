@@ -16,7 +16,6 @@
 // The asm blocks pass kernel-ABI scratch registers and pointers into
 // caller-owned buffers whose lifetimes span the call; nothing here
 // fabricates references or aliases Rust-managed memory.
-// af-analyze: allow(unsafe-audit): audited raw-syscall shim, SAFETY comments on every site
 #![allow(unsafe_code)]
 
 use std::io;

@@ -473,6 +473,7 @@ impl ClientState {
     /// overflow policy, no dispatcher involvement.
     pub fn reply_sink(&self, pool: &Arc<crate::pool::BufferPool>) -> crate::transport::ReplySink {
         crate::transport::ReplySink::new(
+            // af-analyze: allow(alloc): channel-sender clone is a refcount bump, not a heap allocation
             self.tx.clone(),
             self.order,
             Arc::clone(&self.overflowed),

@@ -572,6 +572,7 @@ impl AudioWorker {
                 ack,
             } => {
                 self.set_passthrough(device, peer, enable);
+                // af-analyze: allow(blocking-in-reactor): completion ack on a rendezvous channel; the dispatcher is already waiting on it
                 let _ = ack.send(());
                 0
             }
@@ -579,6 +580,7 @@ impl AudioWorker {
                 self.run_group_update();
                 self.retry_all();
                 self.publish_snapshots();
+                // af-analyze: allow(blocking-in-reactor): completion ack on a rendezvous channel; the dispatcher is already waiting on it
                 let _ = ack.send(());
                 0
             }
@@ -589,6 +591,7 @@ impl AudioWorker {
     /// Posts the per-client completion event so the dispatcher releases
     /// the client's request queue.
     fn done(&self, client: ClientId) {
+        // af-analyze: allow(blocking-in-reactor): worker-done event; the queue is sized for the worker count and drained every dispatch turn
         let _ = self.events.send(ServerEvent::WorkerDone { id: client });
     }
 
