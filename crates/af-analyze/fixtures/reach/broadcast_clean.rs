@@ -1,0 +1,41 @@
+// Fixture: registry-complete broadcast bus.  Every `alloc` root exists;
+// the seal path recycles a retired wire buffer (sized one-shot
+// `with_capacity` on a pool miss — the shape the lint pushes toward),
+// the fetch path hands out `Arc` clones of ring chunks, and the tap
+// accumulates into pre-sized staging.
+impl BroadcastBus {
+    pub fn publish(&self, payload: &[u8]) {
+        let mut wire = self.pop_free();
+        wire.extend_from_slice(payload);
+        self.seal(wire);
+    }
+
+    fn pop_free(&self) -> Vec<u8> {
+        match self.free.pop() {
+            Some(buf) => buf,
+            None => Vec::with_capacity(self.chunk_bytes + 20),
+        }
+    }
+
+    fn seal(&self, wire: Vec<u8>) {
+        self.ring.insert(wire);
+    }
+
+    pub fn fetch_batch(&self, cursor: u64, max: usize) -> u64 {
+        let mut seq = cursor;
+        while seq < self.live_seq() && (seq - cursor) < max as u64 {
+            seq += 1;
+        }
+        seq
+    }
+}
+
+impl BusTap {
+    fn absorb(&mut self, bytes: &[u8]) {
+        self.staging.extend_from_slice(bytes);
+        if self.staging.len() == self.chunk_bytes {
+            self.bus.publish(&self.staging);
+            self.staging.clear();
+        }
+    }
+}

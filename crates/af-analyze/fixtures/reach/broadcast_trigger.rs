@@ -1,0 +1,39 @@
+// Fixture: must trigger `alloc` once, one call deep — the seal helper
+// below the `publish` root defensively copies the payload with
+// `.to_vec()`, a per-chunk heap allocation on the encode-once path.
+impl BroadcastBus {
+    pub fn publish(&self, payload: &[u8]) {
+        let mut wire = self.pop_free();
+        wire.extend_from_slice(payload);
+        self.seal(&wire);
+    }
+
+    fn pop_free(&self) -> Vec<u8> {
+        match self.free.pop() {
+            Some(buf) => buf,
+            None => Vec::with_capacity(self.chunk_bytes + 20),
+        }
+    }
+
+    fn seal(&self, wire: &[u8]) {
+        self.ring.insert(wire.to_vec());
+    }
+
+    pub fn fetch_batch(&self, cursor: u64, max: usize) -> u64 {
+        let mut seq = cursor;
+        while seq < self.live_seq() && (seq - cursor) < max as u64 {
+            seq += 1;
+        }
+        seq
+    }
+}
+
+impl BusTap {
+    fn absorb(&mut self, bytes: &[u8]) {
+        self.staging.extend_from_slice(bytes);
+        if self.staging.len() == self.chunk_bytes {
+            self.bus.publish(&self.staging);
+            self.staging.clear();
+        }
+    }
+}

@@ -39,4 +39,27 @@ impl Shard {
     fn register_conn(&mut self, setup: Vec<u8>) {
         self.conns.push(Box::new(setup));
     }
+
+    fn read_bcast(&mut self, token: u64) {
+        self.start_stream(token);
+        self.pump_bcast(token, false);
+    }
+
+    fn pump_bcast(&mut self, token: u64, strike: bool) {
+        let _ = (token, strike);
+        let _ = self.bus.fetch_batch(token, 8);
+    }
+
+    fn accept_bcast(&mut self) {
+        self.register_bcast(Vec::new());
+    }
+
+    fn register_bcast(&mut self, req: Vec<u8>) {
+        self.listeners.push(Box::new(req));
+    }
+
+    fn start_stream(&mut self, token: u64) {
+        let head = format!("ICY 200 OK token {token}");
+        self.headers.push(head.to_string());
+    }
 }

@@ -1,0 +1,34 @@
+// Trigger: a wall-clock read inside `publish`, the once-per-chunk seal
+// path that every listener's bytes flow through.
+impl BroadcastBus {
+    pub fn publish(&self, payload: &[u8]) {
+        let t0 = std::time::Instant::now();
+        let mut wire = self.pop_free();
+        push_hex(payload.len(), &mut wire);
+        wire.extend_from_slice(payload);
+        let _ = t0.elapsed();
+        self.notify_shards();
+    }
+
+    fn notify_shards(&self) {
+        for (dirty, wake) in self.shards.iter() {
+            if !dirty.swap(true, Ordering::AcqRel) {
+                wake();
+            }
+        }
+    }
+
+    pub fn fetch_batch(&self, cursor: u64, max: usize) -> u64 {
+        cursor + max as u64
+    }
+}
+
+impl BusTap {
+    fn absorb(&mut self, bytes: &[u8]) {
+        self.staging.extend_from_slice(bytes);
+    }
+}
+
+fn push_hex(len: usize, out: &mut Vec<u8>) {
+    out.extend_from_slice(&[HEX[len & 0xf]]);
+}

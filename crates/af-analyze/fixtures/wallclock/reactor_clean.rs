@@ -28,4 +28,13 @@ impl Shard {
         let now = std::time::Instant::now();
         let _ = now;
     }
+
+    fn read_bcast(&mut self, token: usize) {
+        let _ = token;
+        self.pump_bcast(token, false);
+    }
+
+    fn pump_bcast(&mut self, token: usize, strike: bool) {
+        let _ = (token, strike);
+    }
 }

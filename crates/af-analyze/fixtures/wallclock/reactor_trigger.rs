@@ -23,4 +23,13 @@ impl Shard {
         let _ = (conn, start);
         ReadOutcome::Park
     }
+
+    fn read_bcast(&mut self, token: usize) {
+        let _ = token;
+        self.pump_bcast(token, false);
+    }
+
+    fn pump_bcast(&mut self, token: usize, strike: bool) {
+        let _ = (token, strike);
+    }
 }

@@ -8,7 +8,9 @@
 //!
 //! Roots are the *data-plane* subset of the hot-path registry: the
 //! request-handling arms of the dispatcher, the worker pump bodies, the
-//! reactor shard handlers, and the FEC/jitter per-frame entry points.
+//! reactor shard handlers (including the broadcast listener read/pump
+//! paths), the broadcast seal/fetch entry points, and the FEC/jitter
+//! per-frame entry points.
 //! The dispatcher's control arms (open/close/configure) may allocate —
 //! they run once per session, not once per tick — and are deliberately
 //! not roots.  Follows the call graph like `blocking-in-reactor`; a
@@ -53,7 +55,13 @@ const ROOTS: &[(&str, &[&str])] = &[
             "flush_conn",
             "read_conn",
             "drive_read",
+            "read_bcast",
+            "pump_bcast",
         ],
+    ),
+    (
+        "crates/af-server/src/broadcast.rs",
+        &["publish", "fetch_batch", "absorb"],
     ),
     ("crates/af-device/src/fec.rs", &["encode", "decode"]),
     ("crates/af-device/src/jitter.rs", &["insert", "read"]),
@@ -82,7 +90,11 @@ const PATTERNS: &[&str] = &[
 ///   covered directly as roots.
 /// * the reactor's accept/registration path runs per *connection*, not
 ///   per tick — boxing the conn state and cloning its channel handles
-///   there is setup, amortized over the connection lifetime.
+///   there is setup, amortized over the connection lifetime.  The same
+///   holds for the broadcast listener plane: `accept_bcast`/
+///   `register_bcast` box the listener slot and `start_stream` builds
+///   the one-shot HTTP/ICY response head; the per-publish fan-out in
+///   `pump_bcast` writes `Arc`-shared ring chunks and stays a root.
 /// * FEC `try_reconstruct` is the loss-recovery path: it runs only when
 ///   shards actually went missing, and Gaussian elimination needs its
 ///   matrices; the steady lossless path never enters it.
@@ -93,7 +105,14 @@ const BARRIERS: &[(&str, &[&str])] = &[
     ),
     (
         "crates/af-server/src/reactor/mod.rs",
-        &["accept_tcp", "accept_unix", "register_conn"],
+        &[
+            "accept_tcp",
+            "accept_unix",
+            "register_conn",
+            "accept_bcast",
+            "register_bcast",
+            "start_stream",
+        ],
     ),
     ("crates/af-device/src/fec.rs", &["try_reconstruct"]),
 ];

@@ -53,6 +53,18 @@ const HOT_PATHS: &[(&str, &[&str])] = &[
             "flush_conn",
             "read_conn",
             "drive_read",
+            "read_bcast",
+            "pump_bcast",
+        ],
+    ),
+    (
+        "crates/af-server/src/broadcast.rs",
+        &[
+            "publish",
+            "notify_shards",
+            "fetch_batch",
+            "absorb",
+            "push_hex",
         ],
     ),
     (

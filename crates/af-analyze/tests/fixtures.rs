@@ -84,6 +84,18 @@ fn no_panics_covers_reactor_subdirectory() {
     assert_eq!(found.len(), 2, "{found:?}");
 }
 
+#[test]
+fn no_panics_covers_broadcast_bus() {
+    // The broadcast bus seals every listener's bytes; a panic there
+    // silences the whole audience, so it inherits the server-wide ban.
+    let files = [fx(
+        "crates/af-server/src/broadcast.rs",
+        include_str!("../fixtures/no_panics/trigger.rs"),
+    )];
+    let found = lints::no_panics::run(&files);
+    assert_eq!(found.len(), 2, "{found:?}");
+}
+
 // ---- bounded-channels --------------------------------------------------
 
 #[test]
@@ -128,14 +140,19 @@ const WORKER: &str = "crates/af-server/src/worker.rs";
 const FEC: &str = "crates/af-device/src/fec.rs";
 const JITTER: &str = "crates/af-device/src/jitter.rs";
 const REACTOR: &str = "crates/af-server/src/reactor/mod.rs";
+const BROADCAST: &str = "crates/af-server/src/broadcast.rs";
 
 /// The registry-complete clean tail shared by every wallclock fixture set.
-fn wallclock_rest() -> [SourceFile; 4] {
+fn wallclock_rest() -> [SourceFile; 5] {
     [
         fx(WORKER, include_str!("../fixtures/wallclock/worker_clean.rs")),
         fx(FEC, include_str!("../fixtures/wallclock/fec_clean.rs")),
         fx(JITTER, include_str!("../fixtures/wallclock/jitter_clean.rs")),
         fx(REACTOR, include_str!("../fixtures/wallclock/reactor_clean.rs")),
+        fx(
+            BROADCAST,
+            include_str!("../fixtures/wallclock/broadcast_clean.rs"),
+        ),
     ]
 }
 
@@ -195,6 +212,29 @@ fn wallclock_triggers_in_reactor_framing_loop() {
     let found = lints::wallclock::run(&files);
     assert_eq!(found.len(), 1, "{found:?}");
     assert!(found[0].message.contains("drive_read"), "{found:?}");
+}
+
+#[test]
+fn wallclock_triggers_in_broadcast_seal() {
+    // The encode-once seal path is in the registry; an `Instant::now` +
+    // `.elapsed()` pair inside `publish` is two findings, while the
+    // fixture's non-registry `snapshot` clock read (reporting layer, in
+    // the clean variant) is not.
+    let mut files = vec![fx(
+        DISPATCH,
+        include_str!("../fixtures/wallclock/dispatch_clean.rs"),
+    )];
+    files.extend(wallclock_rest());
+    files[5] = fx(
+        BROADCAST,
+        include_str!("../fixtures/wallclock/broadcast_trigger.rs"),
+    );
+    let found = lints::wallclock::run(&files);
+    assert_eq!(found.len(), 2, "{found:?}");
+    assert!(
+        found.iter().all(|f| f.message.contains("publish")),
+        "{found:?}"
+    );
 }
 
 #[test]
@@ -441,13 +481,17 @@ fn lock_order_stays_quiet_on_global_order() {
 // ---- blocking-in-reactor -----------------------------------------------
 
 /// The registry-complete hot-path tree shared by the reachability lints.
-fn reach_tree(reactor: &str, fec: &str) -> [SourceFile; 5] {
+fn reach_tree(reactor: &str, fec: &str) -> [SourceFile; 6] {
     [
         fx(REACTOR, reactor),
         fx(WORKER, include_str!("../fixtures/reach/worker_clean.rs")),
         fx(DISPATCH, include_str!("../fixtures/reach/dispatch_clean.rs")),
         fx(FEC, fec),
         fx(JITTER, include_str!("../fixtures/reach/jitter_clean.rs")),
+        fx(
+            BROADCAST,
+            include_str!("../fixtures/reach/broadcast_clean.rs"),
+        ),
     ]
 }
 
@@ -518,13 +562,33 @@ fn alloc_barriers_cut_the_control_plane() {
     // `process_request` (reached from the `drain_queue` root) uses
     // `format!` and `dispatch` clones; FEC's `try_reconstruct` (reached
     // from `decode`) builds its matrices with `Vec::new` + `format!`; the
-    // reactor's `register_conn` boxes per-connection state.  None of it
-    // may be reported.
+    // reactor's `register_conn` boxes per-connection state and its
+    // `start_stream` (reached from the `read_bcast` root) formats the
+    // one-shot broadcast response head.  None of it may be reported.
     let files = reach_tree(
         include_str!("../fixtures/reach/reactor_clean.rs"),
         include_str!("../fixtures/reach/fec_clean.rs"),
     );
     assert_eq!(run_graph_lint(&files, lints::alloc_hot::run), vec![]);
+}
+
+#[test]
+fn alloc_triggers_in_broadcast_seal() {
+    // A defensive `.to_vec()` in a helper below the `publish` root is a
+    // per-chunk allocation on the encode-once path; the lint must reach
+    // it through the call graph and report the path.
+    let mut files = reach_tree(
+        include_str!("../fixtures/reach/reactor_clean.rs"),
+        include_str!("../fixtures/reach/fec_clean.rs"),
+    );
+    files[5] = fx(
+        BROADCAST,
+        include_str!("../fixtures/reach/broadcast_trigger.rs"),
+    );
+    let found = run_graph_lint(&files, lints::alloc_hot::run);
+    assert_eq!(found.len(), 1, "{found:?}");
+    assert!(found[0].message.contains(".to_vec()"), "{found:?}");
+    assert!(found[0].message.contains("publish -> seal"), "{found:?}");
 }
 
 // ---- opcode-tables -----------------------------------------------------

@@ -14,9 +14,11 @@
 //! `-sharded` (run the per-device audio-worker data plane, DESIGN.md §9),
 //! `-classic-transport` (thread-per-connection instead of the event-driven
 //! reactor, DESIGN.md §12), `-shards n` (reactor shard count; default
-//! `min(4, cores)`), and `-ring-every secs` (LoFi shape only: a scripted
-//! caller rings the simulated line periodically, for exercising
-//! `aevents`/answering-machine scripts).
+//! `min(4, cores)`), `-broadcast port` (stream device 0's speaker bus to
+//! HTTP/ICY listeners on that port — encode-once fan-out, DESIGN.md §13),
+//! and `-ring-every secs` (LoFi shape only: a scripted caller rings the
+//! simulated line periodically, for exercising `aevents`/answering-machine
+//! scripts).
 //!
 //! Codec-shape endpoints: `-capture path` writes everything played to a
 //! raw µ-law file (the speaker as a tape deck); `-mic path` feeds the
@@ -137,6 +139,11 @@ fn main() {
     if let Some(path) = args.get_str("-unix") {
         builder = builder.listen_unix(path.into());
     }
+    if let Some(port) = args.get_num::<u16>("-broadcast") {
+        // Device 0 owns buffers in every shape afd builds.
+        let addr = std::net::SocketAddr::new(tcp.ip(), port);
+        builder = builder.broadcast(0, addr);
+    }
     // Reactor mode serves thousands of sockets from a handful of threads;
     // lift the fd rlimit so the kernel doesn't cap us at the soft default.
     if !args.has_flag("-classic-transport") && af_server::reactor_supported() {
@@ -153,6 +160,9 @@ fn main() {
         "afd: serving on {} (update every {update_ms} ms)",
         server.tcp_addr().map(|a| a.to_string()).unwrap_or_default()
     );
+    if let Some(addr) = server.broadcast_addr() {
+        eprintln!("afd: broadcasting device 0 speaker bus on http://{addr}/");
+    }
     // Serve until killed.
     loop {
         std::thread::park();

@@ -17,9 +17,15 @@
 //! Every path is pinned bit-exact against `crate::reference` by the
 //! differential property tests, so selection is purely a throughput choice.
 //!
-//! Selection order: the `AF_DSP_FORCE=scalar|swar|simd` environment
-//! variable (read once), else the best SIMD table the host supports, else
-//! SWAR.  [`set_force`] overrides selection at runtime for benches.
+//! No whole table wins every entry point (BENCH_report.json `kernels_v2`:
+//! SIMD wins convert and mix, but its gather-bound resampler trails the
+//! SWAR carry chain; SWAR's lane-masked mix loses ~6× to the
+//! autovectorized scalar loop).  The default is therefore [`composed`]: a
+//! per-entry-point best-of table assembled once at startup.
+//!
+//! Selection order: the `AF_DSP_FORCE=scalar|swar|simd|composed`
+//! environment variable (read once) pins a whole table, else the composed
+//! table.  [`set_force`] overrides selection at runtime for benches.
 
 pub mod cycles;
 pub mod scalar;
@@ -89,6 +95,8 @@ pub enum KernelPath {
     /// `core::arch` SIMD; resolves to the best table the host supports and
     /// falls back to SWAR where there is none.
     Simd,
+    /// Per-entry-point best-of table (the startup default); see [`composed`].
+    Composed,
 }
 
 impl KernelPath {
@@ -98,6 +106,7 @@ impl KernelPath {
             "scalar" => Some(KernelPath::Scalar),
             "swar" => Some(KernelPath::Swar),
             "simd" => Some(KernelPath::Simd),
+            "composed" => Some(KernelPath::Composed),
             _ => None,
         }
     }
@@ -119,6 +128,36 @@ fn simd_kernels() -> Option<&'static Kernels> {
     }
 }
 
+/// The per-entry-point best-of table: each function pointer comes from the
+/// path that measured fastest for that kernel (BENCH_report.json
+/// `kernels_v2`, re-checked by the bench gate in `bench::kernels`):
+///
+/// * convert and mix from the SIMD table — AVX2 decode runs ~2× scalar and
+///   AVX2 mix ~1.6×, while the SWAR mix's lane-masked carries lose ~6× to
+///   the autovectorized scalar loop;
+/// * the resampler from SWAR — its integer carry chain beats the
+///   gather-bound AVX2 resampler at codec block sizes (134 vs 88 MB/s at
+///   4 KiB) and edges out scalar at every size;
+/// * hosts with no `core::arch` table keep SWAR convert (still ~2× scalar)
+///   but take the scalar encode and mix, which SWAR loses.
+pub fn composed() -> &'static Kernels {
+    static COMPOSED: OnceLock<Kernels> = OnceLock::new();
+    COMPOSED.get_or_init(|| match simd_kernels() {
+        Some(simd) => Kernels {
+            name: "composed",
+            resample_lin16: swar::KERNELS.resample_lin16,
+            ..*simd
+        },
+        None => Kernels {
+            name: "composed",
+            decode_ulaw: swar::KERNELS.decode_ulaw,
+            decode_alaw: swar::KERNELS.decode_alaw,
+            resample_lin16: swar::KERNELS.resample_lin16,
+            ..scalar::KERNELS
+        },
+    })
+}
+
 /// Resolves a path to its vtable (`Simd` falls back to SWAR when the host
 /// has no `core::arch` table).
 pub fn for_path(path: KernelPath) -> &'static Kernels {
@@ -126,12 +165,14 @@ pub fn for_path(path: KernelPath) -> &'static Kernels {
         KernelPath::Scalar => &scalar::KERNELS,
         KernelPath::Swar => &swar::KERNELS,
         KernelPath::Simd => simd_kernels().unwrap_or(&swar::KERNELS),
+        KernelPath::Composed => composed(),
     }
 }
 
 /// Every distinct implementation available on this host, for differential
 /// tests and per-path bench rows.  The SIMD entry is omitted when it would
-/// merely alias SWAR.
+/// merely alias SWAR.  The composed table is always last, so differential
+/// tests pin the shipping default against the same references.
 pub fn available() -> Vec<(KernelPath, &'static Kernels)> {
     let mut v = vec![
         (KernelPath::Scalar, &scalar::KERNELS),
@@ -140,6 +181,7 @@ pub fn available() -> Vec<(KernelPath, &'static Kernels)> {
     if let Some(simd) = simd_kernels() {
         v.push((KernelPath::Simd, simd));
     }
+    v.push((KernelPath::Composed, composed()));
     v
 }
 
@@ -152,6 +194,7 @@ pub fn set_force(path: Option<KernelPath>) {
         Some(KernelPath::Scalar) => 1,
         Some(KernelPath::Swar) => 2,
         Some(KernelPath::Simd) => 3,
+        Some(KernelPath::Composed) => 4,
     };
     FORCE.store(v, Ordering::Relaxed);
 }
@@ -168,10 +211,11 @@ pub fn active() -> &'static Kernels {
         1 => &scalar::KERNELS,
         2 => &swar::KERNELS,
         3 => for_path(KernelPath::Simd),
+        4 => composed(),
         _ => DEFAULT.get_or_init(|| {
             match std::env::var("AF_DSP_FORCE").ok().as_deref().and_then(KernelPath::parse) {
                 Some(p) => for_path(p),
-                None => simd_kernels().unwrap_or(&swar::KERNELS),
+                None => composed(),
             }
         }),
     }
@@ -189,13 +233,37 @@ mod tests {
         assert_eq!(active().name, "scalar");
         set_force(Some(KernelPath::Swar));
         assert_eq!(active().name, "swar");
+        set_force(Some(KernelPath::Composed));
+        assert_eq!(active().name, "composed");
         set_force(None);
     }
 
     #[test]
     fn parse_rejects_unknown() {
         assert_eq!(KernelPath::parse("swar"), Some(KernelPath::Swar));
+        assert_eq!(KernelPath::parse("composed"), Some(KernelPath::Composed));
         assert_eq!(KernelPath::parse("avx512"), None);
+    }
+
+    #[test]
+    fn composed_picks_per_kernel_winners() {
+        let c = composed();
+        assert_eq!(c.name, "composed");
+        // The resampler always comes from SWAR: the carry chain beats both
+        // the gather-bound SIMD path and scalar at codec block sizes.
+        assert!(std::ptr::fn_addr_eq(c.resample_lin16, swar::KERNELS.resample_lin16));
+        match simd_kernels() {
+            Some(simd) => {
+                assert!(std::ptr::fn_addr_eq(c.decode_ulaw, simd.decode_ulaw));
+                assert!(std::ptr::fn_addr_eq(c.mix_lin16_le, simd.mix_lin16_le));
+            }
+            None => {
+                assert!(std::ptr::fn_addr_eq(c.decode_ulaw, swar::KERNELS.decode_ulaw));
+                // SWAR's lane-masked mix loses to the autovectorized scalar
+                // loop, so the fallback composition must not take it.
+                assert!(std::ptr::fn_addr_eq(c.mix_lin16_le, scalar::KERNELS.mix_lin16_le));
+            }
+        }
     }
 
     #[test]

@@ -51,6 +51,10 @@ pub struct DeviceBuffers {
     /// Reusable staging buffer for write-through copies, so the steady-state
     /// play path performs no per-request allocation.
     scratch: Vec<u8>,
+    /// Optional observer of the post-mix speaker bus (broadcast fan-out).
+    /// The play update feeds it the exact post-gain bytes handed to the
+    /// hardware, plus the silence spans between them, in device-time order.
+    tap: Option<Box<dyn crate::broadcast::SpeakerTap>>,
 }
 
 impl DeviceBuffers {
@@ -91,7 +95,18 @@ impl DeviceBuffers {
             rec_ref_count: 0,
             hw_lead,
             scratch: Vec::new(),
+            tap: None,
         }
+    }
+
+    /// Installs a speaker-bus tap (broadcast fan-out).  The tap sees the
+    /// continuous post-mix bus from the next update on: post-gain data
+    /// exactly as the hardware receives it, silence everywhere else.
+    /// Write-through pushes inside the hardware lead are deliberately not
+    /// re-emitted — the tap's view lags the hardware by at most `hw_lead`
+    /// frames (see DESIGN.md §13.2).
+    pub fn set_tap(&mut self, tap: Box<dyn crate::broadcast::SpeakerTap>) {
+        self.tap = Some(tap);
     }
 
     /// Buffer capacity in frames.
@@ -174,6 +189,9 @@ impl DeviceBuffers {
             self.play
                 .fill_at(self.time_next_update, skip.min(self.frames), self.fill());
             self.time_next_update += skip;
+            if let Some(tap) = self.tap.as_mut() {
+                tap.silence(skip);
+            }
         }
         // "The play update code only runs when timeLastValid is in the
         // future relative to the current device time" — copy only the valid
@@ -184,6 +202,7 @@ impl DeviceBuffers {
         } else {
             self.time_last_valid
         };
+        let mut tapped = 0u32;
         if valid_end.is_after(self.time_next_update) {
             let nframes = (valid_end - self.time_next_update) as u32;
             if output_enabled {
@@ -191,21 +210,39 @@ impl DeviceBuffers {
                 // contiguous chunk straight to the hardware: no staging copy.
                 // Mutating the ring is safe because this exact region is
                 // back-filled with silence immediately below, so the gained
-                // samples are never read again.
+                // samples are never read again.  The broadcast tap sees the
+                // same post-gain bytes the hardware does — the encode-once
+                // guarantee.
                 let encoding = self.encoding;
                 let frame_bytes = self.frame_bytes;
                 let mut at = self.time_next_update;
-                let DeviceBuffers { play, backend, .. } = self;
+                let DeviceBuffers { play, backend, tap, .. } = self;
                 play.with_frames_mut(at, nframes, |chunk| {
                     crate::gain::apply_gain_bytes(encoding, chunk, output_gain_db);
                     backend.write_play(at, chunk);
+                    if let Some(t) = tap.as_mut() {
+                        t.data(chunk);
+                    }
                     at += (chunk.len() / frame_bytes) as u32;
                 });
+            } else if let Some(tap) = self.tap.as_mut() {
+                // Output muted: the hardware plays silence, so the bus
+                // carries silence.
+                tap.silence(nframes);
             }
             // Back-fill the consumed server region with silence so the
             // slots can be reused one buffer-length later.
             self.play
                 .fill_at(self.time_next_update, nframes, self.fill());
+            tapped = nframes;
+        }
+        if let Some(tap) = self.tap.as_mut() {
+            // Beyond timeLastValid nothing was written: the hardware
+            // back-fills silence, and so does the bus.
+            let span = (target - self.time_next_update) as u32;
+            if span > tapped {
+                tap.silence(span - tapped);
+            }
         }
         self.time_next_update = target;
     }
@@ -762,6 +799,67 @@ mod tests {
             cap[later..later + 100].iter().all(|&b| b == ULAW_SIL),
             "stale data replayed after wrap"
         );
+    }
+
+    /// Test tap: flattens the bus into one Vec for comparison.
+    struct VecTap {
+        out: Arc<std::sync::Mutex<Vec<u8>>>,
+        fill: u8,
+    }
+
+    impl crate::broadcast::SpeakerTap for VecTap {
+        fn data(&mut self, bytes: &[u8]) {
+            self.out.lock().unwrap().extend_from_slice(bytes);
+        }
+        fn silence(&mut self, frames: u32) {
+            let mut out = self.out.lock().unwrap();
+            let len = out.len() + frames as usize;
+            out.resize(len, self.fill);
+        }
+    }
+
+    #[test]
+    fn tap_mirrors_speaker_bus_bit_exactly() {
+        let (mut bufs, clock, capture) = codec_buffers();
+        let out = Arc::new(std::sync::Mutex::new(Vec::new()));
+        bufs.set_tap(Box::new(VecTap {
+            out: Arc::clone(&out),
+            fill: ULAW_SIL,
+        }));
+        bufs.write_play(ATime::new(1000), &[0x21; 500], false, 0, true);
+        bufs.write_play(ATime::new(1800), &[0x42; 200], false, 0, true);
+        run(&mut bufs, &clock, 3200);
+        let tap = out.lock().unwrap();
+        let cap = capture.lock();
+        assert!(tap.len() >= 3200, "tap covered {} frames", tap.len());
+        // The tap's contiguous stream starts at device time 0 and matches
+        // the hardware capture byte for byte: data where data played,
+        // silence everywhere else.  The tap runs up to `hw_lead` frames
+        // ahead of the hardware (it sees bytes when the update writes
+        // them), so compare the overlap.
+        let n = tap.len().min(cap.len());
+        assert!(n >= 3200);
+        assert_eq!(&tap[..n], &cap[..n]);
+        assert_eq!(&tap[1000..1500], &[0x21; 500][..]);
+        assert_eq!(&tap[1800..2000], &[0x42; 200][..]);
+    }
+
+    #[test]
+    fn tap_hears_silence_when_output_disabled() {
+        let (mut bufs, clock, _capture) = codec_buffers();
+        let out = Arc::new(std::sync::Mutex::new(Vec::new()));
+        bufs.set_tap(Box::new(VecTap {
+            out: Arc::clone(&out),
+            fill: ULAW_SIL,
+        }));
+        bufs.write_play(ATime::new(100), &[0x21; 100], false, 0, false);
+        clock.advance(800);
+        bufs.update(0, false);
+        clock.advance(800);
+        bufs.update(0, false);
+        let tap = out.lock().unwrap();
+        assert!(tap.len() >= 1600);
+        assert!(tap.iter().all(|&b| b == ULAW_SIL));
     }
 
     #[test]

@@ -8,6 +8,7 @@
 //! transports started.
 
 use crate::backend::{AlsBackend, LocalBackend};
+use crate::broadcast::{BroadcastBus, BroadcastConfig, BroadcastStats, BusTap};
 use crate::buffer::DeviceBuffers;
 use crate::dispatch::{Dispatcher, ServerCore};
 use crate::state::{AccessControl, AtomRegistry, ControlMsg, Device, ServerEvent, ServerStats};
@@ -72,6 +73,7 @@ pub struct ServerBuilder {
     classic_transport: bool,
     reactor_shards: Option<usize>,
     link_stats: Vec<Arc<af_device::jitter::LinkStats>>,
+    broadcast: Option<(usize, SocketAddr, BroadcastConfig)>,
 }
 
 /// Server play/record buffer frames for an 8 kHz device: ≈ 4 seconds
@@ -96,7 +98,30 @@ impl ServerBuilder {
             classic_transport: false,
             reactor_shards: None,
             link_stats: Vec::new(),
+            broadcast: None,
         }
+    }
+
+    /// Broadcasts `device`'s post-mix speaker bus to HTTP/ICY listeners on
+    /// `addr` (encode-once fan-out, DESIGN.md §13).  Use port 0 for an
+    /// ephemeral port; the bound address is
+    /// [`RunningServer::broadcast_addr`].  The device must own buffers (not
+    /// a mono view).  Listeners are served by the reactor: in classic
+    /// transport mode a dedicated broadcast-only reactor is spawned.
+    pub fn broadcast(self, device: usize, addr: SocketAddr) -> Self {
+        self.broadcast_with_config(device, addr, BroadcastConfig::default())
+    }
+
+    /// [`ServerBuilder::broadcast`] with explicit bus tuning (chunk size,
+    /// ring depth, preroll, stall budget) — tests shrink these.
+    pub fn broadcast_with_config(
+        mut self,
+        device: usize,
+        addr: SocketAddr,
+        cfg: BroadcastConfig,
+    ) -> Self {
+        self.broadcast = Some((device, addr, cfg));
+        self
     }
 
     /// Selects the classic thread-per-connection transport instead of the
@@ -422,6 +447,28 @@ impl ServerBuilder {
         for link in self.link_stats {
             stats.register_link(link);
         }
+        // Broadcast fan-out: build the bus and install the speaker-bus tap
+        // on the device *before* buffers can move onto an audio worker, so
+        // the tap publishes from whichever thread runs the update task.
+        let broadcast_req = self.broadcast;
+        let mut broadcast_bus: Option<Arc<BroadcastBus>> = None;
+        if let Some((dev_idx, _, cfg)) = &broadcast_req {
+            let buffers = devices
+                .get_mut(*dev_idx)
+                .and_then(|d| d.buffers.as_mut())
+                .ok_or_else(|| {
+                    std::io::Error::new(
+                        std::io::ErrorKind::InvalidInput,
+                        "broadcast device must own buffers",
+                    )
+                })?;
+            let bstats = BroadcastStats::new(format!("broadcast-dev{dev_idx}"));
+            stats.register_broadcast(Arc::clone(&bstats));
+            let bus = BroadcastBus::new(cfg.clone(), buffers.frame_bytes(), bstats);
+            let fill = af_dsp::silence::silence_byte(buffers.encoding()).unwrap_or(0);
+            buffers.set_tap(Box::new(BusTap::new(Arc::clone(&bus), fill)));
+            broadcast_bus = Some(bus);
+        }
         // Transport mode: event-driven reactor by default; classic
         // thread-per-connection when requested or when the target has no
         // reactor syscall backend.
@@ -552,11 +599,17 @@ impl ServerBuilder {
 
         // `AF_REACTOR_FORCE=poll` pins the reactor onto its `poll(2)`
         // fallback for differential testing.
+        let force_poll = std::env::var("AF_REACTOR_FORCE").as_deref() == Ok("poll");
         let mut reactor = None;
+        let mut broadcast_addr = None;
         let tcp_addr;
         if use_reactor {
-            let force_poll = std::env::var("AF_REACTOR_FORCE").as_deref() == Ok("poll");
-            let r = crate::reactor::Reactor::spawn(Arc::clone(&shared), reactor_shards, force_poll)?;
+            let r = crate::reactor::Reactor::spawn_with_broadcast(
+                Arc::clone(&shared),
+                reactor_shards,
+                force_poll,
+                broadcast_bus.clone(),
+            )?;
             for s in r.shard_stats() {
                 stats.register_reactor_shard(Arc::clone(s));
             }
@@ -567,6 +620,9 @@ impl ServerBuilder {
             if let Some(path) = &self.unix {
                 r.add_unix(path)?;
             }
+            if let Some((_, addr, _)) = &broadcast_req {
+                broadcast_addr = Some(r.add_broadcast_tcp(*addr)?);
+            }
             reactor = Some(r);
         } else {
             tcp_addr = match self.tcp {
@@ -576,13 +632,33 @@ impl ServerBuilder {
             if let Some(path) = &self.unix {
                 transport::spawn_unix(Arc::clone(&shared), path)?;
             }
+            if let Some(bus) = broadcast_bus.clone() {
+                // Classic transport carries dispatcher clients; listeners
+                // still need readiness-driven fan-out, so a broadcast-only
+                // reactor serves them (no dispatcher connections on it).
+                let r = crate::reactor::Reactor::spawn_with_broadcast(
+                    Arc::clone(&shared),
+                    reactor_shards,
+                    force_poll,
+                    Some(bus),
+                )?;
+                for s in r.shard_stats() {
+                    stats.register_reactor_shard(Arc::clone(s));
+                }
+                if let Some((_, addr, _)) = &broadcast_req {
+                    broadcast_addr = Some(r.add_broadcast_tcp(*addr)?);
+                }
+                reactor = Some(r);
+            }
         }
         Ok(RunningServer {
             handle: ServerHandle { events: tx },
             shared,
             stats,
             reactor,
+            classic: !use_reactor,
             tcp_addr,
+            broadcast_addr,
             unix_path: self.unix,
             join: Some(join),
         })
@@ -641,7 +717,11 @@ pub struct RunningServer {
     shared: Arc<TransportShared>,
     stats: Arc<ServerStats>,
     reactor: Option<crate::reactor::Reactor>,
+    /// Classic thread-per-connection transport in use (its accept threads
+    /// need the shutdown poke even when a broadcast reactor also runs).
+    classic: bool,
     tcp_addr: Option<SocketAddr>,
+    broadcast_addr: Option<SocketAddr>,
     unix_path: Option<PathBuf>,
     join: Option<std::thread::JoinHandle<()>>,
 }
@@ -650,6 +730,11 @@ impl RunningServer {
     /// The bound TCP address, if a TCP listener was configured.
     pub fn tcp_addr(&self) -> Option<SocketAddr> {
         self.tcp_addr
+    }
+
+    /// The bound broadcast (HTTP/ICY) address, if broadcast was configured.
+    pub fn broadcast_addr(&self) -> Option<SocketAddr> {
+        self.broadcast_addr
     }
 
     /// Failure counters (evictions, protocol errors, disconnects).
@@ -680,7 +765,8 @@ impl RunningServer {
         if let Some(mut reactor) = self.reactor.take() {
             // Wakes every shard; they observe the stop flag and exit.
             reactor.shutdown();
-        } else {
+        }
+        if self.classic {
             if let Some(addr) = self.tcp_addr {
                 transport::poke_tcp(addr);
             }

@@ -27,6 +27,7 @@
 
 #![deny(unsafe_code)]
 pub mod backend;
+pub mod broadcast;
 pub mod buffer;
 pub mod builder;
 pub mod dispatch;
@@ -38,6 +39,10 @@ pub mod task;
 pub mod transport;
 pub mod worker;
 
+pub use broadcast::{
+    BroadcastBus, BroadcastConfig, BroadcastSnapshot, BroadcastStats, BROADCAST_CHUNK_FRAMES,
+    BROADCAST_RING_CHUNKS,
+};
 pub use buffer::{DeviceBuffers, PlayOutcome};
 pub use builder::{DeviceSetup, RunningServer, ServerBuilder, ServerHandle};
 pub use pool::{BufferPool, PooledBuf};

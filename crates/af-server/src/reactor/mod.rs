@@ -35,6 +35,7 @@
 pub mod poller;
 pub mod sys;
 
+use crate::broadcast::{BroadcastBus, BroadcastChunk};
 use crate::pool::PooledBuf;
 use crate::state::{ClientId, ConnKick, RawRequest, ServerEvent};
 use crate::transport::{decode_frame_header, OutboundTx, TransportShared, OUTBOUND_QUEUE_CAPACITY};
@@ -42,7 +43,8 @@ use af_chaos::ChaosStream;
 use af_proto::{ByteOrder, ConnSetup};
 use crossbeam_channel::{Receiver, Sender};
 use poller::{Interest, PollEvent, Poller, MAX_EVENTS};
-use std::io::{self, Read, Write};
+use std::collections::VecDeque;
+use std::io::{self, IoSlice, Read, Write};
 use std::net::{IpAddr, Shutdown, SocketAddr, TcpListener, TcpStream};
 use std::os::fd::{AsRawFd, RawFd};
 use std::os::unix::net::{UnixListener, UnixStream};
@@ -69,6 +71,13 @@ const UNASSIGNED_TOKEN: u64 = u64::MAX;
 /// one firehose client cannot starve its shard siblings (level-triggered
 /// polling re-reports the fd immediately).
 const FRAME_BUDGET: u32 = 64;
+
+/// Chunks gathered into one vectored write on a broadcast listener.
+const BCAST_BATCH: usize = 8;
+
+/// Cap on a broadcast listener's HTTP request head; longer heads are
+/// treated as garbage and the connection is closed.
+const BCAST_REQ_MAX: usize = 4096;
 
 /// The default shard count: `min(4, cores)`.
 pub fn default_shards() -> usize {
@@ -240,10 +249,18 @@ struct NewConn {
     notified: Arc<AtomicBool>,
 }
 
+/// A broadcast listener socket handed to its owning shard.
+struct NewBcast {
+    io: Box<dyn ShardIo>,
+    fd: RawFd,
+}
+
 enum ShardMsg {
     Conn(Box<NewConn>),
     TcpL(TcpListener),
     UnixL(UnixListener),
+    BcastL(TcpListener),
+    Bcast(Box<NewBcast>),
     Shutdown,
 }
 
@@ -297,10 +314,63 @@ struct ConnState {
     want_write: bool,
 }
 
+/// Where a broadcast listener connection stands.
+enum BcastPhase {
+    /// Reading the HTTP request head (until the blank line).
+    Request,
+    /// Streaming chunks from the shared ring.
+    Streaming,
+}
+
+/// One broadcast listener, owned by exactly one shard.  Holds no audio
+/// of its own — only a cursor into the shared chunk ring plus the batch
+/// of `Arc`-shared chunks currently being written.
+struct BcastConn {
+    io: Box<dyn ShardIo>,
+    fd: RawFd,
+    phase: BcastPhase,
+    /// Request-head bytes collected so far (bounded by [`BCAST_REQ_MAX`]).
+    req: Vec<u8>,
+    /// ICY listener: raw payload bytes, no chunked-transfer framing.
+    icy: bool,
+    /// Next chunk sequence number this listener wants.
+    cursor: u64,
+    /// Response head still to write: `(bytes, offset)`.
+    header: Option<(&'static [u8], usize)>,
+    /// Fetched chunks being written; front is in flight.
+    batch: VecDeque<Arc<BroadcastChunk>>,
+    /// Bytes of the front chunk's wire slice already written.
+    off: usize,
+    want_write: bool,
+    /// Consecutive chunk publishes with pending data and zero write
+    /// progress (the stalled-listener eviction trigger).
+    strikes: u32,
+}
+
+/// Index of the byte just past the request head's blank line, if the
+/// head is complete.
+fn find_head_end(req: &[u8]) -> Option<usize> {
+    req.windows(4).position(|w| w == b"\r\n\r\n").map(|p| p + 4)
+}
+
+/// Per-shard broadcast state: the shared bus plus this shard's listener
+/// roster, pumped when the bus marks the shard dirty.
+struct ShardBroadcast {
+    bus: Arc<BroadcastBus>,
+    /// Set by [`BroadcastBus::publish`]; cleared (then acted on) by the
+    /// shard's wake handler — the same edge-triggered shape as
+    /// [`ConnNotify`].
+    dirty: Arc<AtomicBool>,
+    /// Tokens of this shard's broadcast listener slots.
+    tokens: Vec<usize>,
+}
+
 enum Slot {
     Conn(Box<ConnState>),
     TcpL(TcpListener),
     UnixL(UnixListener),
+    BcastL(TcpListener),
+    Bcast(Box<BcastConn>),
 }
 
 enum RawStream {
@@ -413,6 +483,11 @@ struct Shard {
     /// Reusable scratch for the wake-time flush-token drain; lives on the
     /// shard so a busy wake does not allocate.
     wake_scratch: Vec<u64>,
+    /// Broadcast bus + listener roster, when this reactor serves fan-out.
+    broadcast: Option<ShardBroadcast>,
+    /// Reusable scratch for the broadcast dirty pass (same rationale as
+    /// `wake_scratch`).
+    bcast_scratch: Vec<usize>,
 }
 
 impl Shard {
@@ -481,6 +556,11 @@ impl Shard {
                     let fd = l.as_raw_fd();
                     self.register_listener(Slot::UnixL(l), fd);
                 }
+                ShardMsg::BcastL(l) => {
+                    let fd = l.as_raw_fd();
+                    self.register_listener(Slot::BcastL(l), fd);
+                }
+                ShardMsg::Bcast(b) => self.register_bcast(*b),
                 ShardMsg::Shutdown => {
                     self.stop = true;
                     return;
@@ -506,6 +586,25 @@ impl Shard {
             self.flush_token(t);
         }
         self.wake_scratch = tokens;
+        // Broadcast dirty pass: a sealed chunk set this shard's flag, so
+        // pump every listener we own.  Strikes are counted here (and only
+        // here): a listener with pending bytes that makes no progress
+        // across many publishes is stalled, not merely slow.
+        if self
+            .broadcast
+            .as_ref()
+            .is_some_and(|b| b.dirty.swap(false, Ordering::AcqRel))
+        {
+            let mut tokens = std::mem::take(&mut self.bcast_scratch);
+            tokens.clear();
+            if let Some(b) = self.broadcast.as_ref() {
+                tokens.extend_from_slice(&b.tokens);
+            }
+            for &t in &tokens {
+                self.pump_bcast(t, true);
+            }
+            self.bcast_scratch = tokens;
+        }
     }
 
     fn register_listener(&mut self, slot: Slot, fd: RawFd) {
@@ -559,12 +658,21 @@ impl Shard {
         match self.slots.get(token) {
             Some(Some(Slot::TcpL(_))) => self.accept_tcp(token),
             Some(Some(Slot::UnixL(_))) => self.accept_unix(token),
+            Some(Some(Slot::BcastL(_))) => self.accept_bcast(token),
             Some(Some(Slot::Conn(_))) => {
                 if ev.writable {
                     self.flush_conn(token, false);
                 }
                 if ev.readable {
                     self.read_conn(token);
+                }
+            }
+            Some(Some(Slot::Bcast(_))) => {
+                if ev.writable {
+                    self.pump_bcast(token, false);
+                }
+                if ev.readable {
+                    self.read_bcast(token);
                 }
             }
             _ => {} // Freed mid-batch: stale event, ignore.
@@ -607,6 +715,91 @@ impl Shard {
                 Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
                 Err(_) => return,
             }
+        }
+    }
+
+    /// Accepts broadcast listeners and routes them round-robin across all
+    /// shards, same as dispatcher connections — fan-out write work spreads
+    /// over every reactor thread.
+    fn accept_bcast(&mut self, token: usize) {
+        loop {
+            let accepted = match self.slots.get(token) {
+                Some(Some(Slot::BcastL(l))) => l.accept(),
+                _ => return,
+            };
+            match accepted {
+                Ok((s, _)) => {
+                    let _ = s.set_nodelay(true);
+                    if s.set_nonblocking(true).is_err() {
+                        continue;
+                    }
+                    let fd = s.as_raw_fd();
+                    let io: Box<dyn ShardIo> = match &self.transport.chaos {
+                        Some(plan) => {
+                            // Listeners share the connection id space so
+                            // chaos fault derivation stays per-connection
+                            // deterministic.
+                            let id = self.transport.next_id.fetch_add(1, Ordering::Relaxed);
+                            let mut plan = plan.clone();
+                            plan.seed = af_chaos::ChaosRng::new(plan.seed).fork(id).next_u64();
+                            Box::new(ChaosStream::new(s, plan))
+                        }
+                        None => Box::new(s),
+                    };
+                    let target =
+                        self.shared.rr.fetch_add(1, Ordering::Relaxed) % self.shared.links.len();
+                    let msg = Box::new(NewBcast { io, fd });
+                    if target == self.index {
+                        self.register_bcast(*msg);
+                    } else {
+                        let link = &self.shared.links[target];
+                        // Full inbox is overload: shed the listener.
+                        if link.inbox.try_send(ShardMsg::Bcast(msg)).is_ok() {
+                            link.waker.wake();
+                        }
+                    }
+                }
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(_) => return,
+            }
+        }
+    }
+
+    fn register_bcast(&mut self, b: NewBcast) {
+        let Some(bus_stats) = self
+            .broadcast
+            .as_ref()
+            .map(|sb| Arc::clone(sb.bus.stats()))
+        else {
+            return; // No bus on this reactor: dropping closes the socket.
+        };
+        let token = self.alloc_slot();
+        if self
+            .poller
+            .register(b.fd, token as u64, Interest::Read)
+            .is_err()
+        {
+            self.free.push(token);
+            return;
+        }
+        self.stats.accepted.fetch_add(1, Ordering::Relaxed);
+        self.stats.fd_count.fetch_add(1, Ordering::Relaxed);
+        bus_stats.listeners_total.fetch_add(1, Ordering::Relaxed);
+        self.slots[token] = Some(Slot::Bcast(Box::new(BcastConn {
+            io: b.io,
+            fd: b.fd,
+            phase: BcastPhase::Request,
+            req: Vec::with_capacity(256),
+            icy: false,
+            cursor: 0,
+            header: None,
+            batch: VecDeque::with_capacity(BCAST_BATCH),
+            off: 0,
+            want_write: false,
+            strikes: 0,
+        })));
+        if let Some(sb) = self.broadcast.as_mut() {
+            sb.tokens.push(token);
         }
     }
 
@@ -703,6 +896,255 @@ impl Shard {
             }
         }
         self.slots[token] = Some(Slot::Conn(conn));
+    }
+
+    /// Reads a broadcast listener: the HTTP request head during
+    /// [`BcastPhase::Request`], discard-and-detect-EOF afterwards
+    /// (listeners have nothing further to say).
+    fn read_bcast(&mut self, token: usize) {
+        let Some(slot) = self.slots.get_mut(token) else {
+            return;
+        };
+        let Some(Slot::Bcast(mut conn)) = slot.take() else {
+            return;
+        };
+        let mut buf = [0u8; 512];
+        loop {
+            match conn.io.read(&mut buf) {
+                Ok(0) => {
+                    self.close_bcast(token, *conn);
+                    return;
+                }
+                Ok(n) => match conn.phase {
+                    BcastPhase::Request => {
+                        conn.req.extend_from_slice(&buf[..n]);
+                        if conn.req.len() > BCAST_REQ_MAX {
+                            self.close_bcast(token, *conn); // Garbage head.
+                            return;
+                        }
+                        if let Some(head_end) = find_head_end(&conn.req) {
+                            if !self.start_stream(&mut conn, head_end) {
+                                self.close_bcast(token, *conn);
+                                return;
+                            }
+                            // Immediate pump: the preroll chunks burst in
+                            // without waiting for the next publish.
+                            self.slots[token] = Some(Slot::Bcast(conn));
+                            self.pump_bcast(token, false);
+                            return;
+                        }
+                    }
+                    BcastPhase::Streaming => {} // Discard.
+                },
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(_) => {
+                    self.close_bcast(token, *conn);
+                    return;
+                }
+            }
+        }
+        self.slots[token] = Some(Slot::Bcast(conn));
+    }
+
+    /// Parses the completed request head and arms the stream: response
+    /// header, join cursor at the live edge minus preroll, listener gauge.
+    /// Returns false on a head that is not a plausible stream request.
+    fn start_stream(&self, conn: &mut BcastConn, head_end: usize) -> bool {
+        let Some(sb) = self.broadcast.as_ref() else {
+            return false;
+        };
+        let head = &conn.req[..head_end];
+        let line_end = head.iter().position(|&c| c == b'\r').unwrap_or(head.len());
+        let mut parts = head[..line_end].split(|&c| c == b' ');
+        let (Some(method), Some(path)) = (parts.next(), parts.next()) else {
+            return false;
+        };
+        if method != b"GET" {
+            return false;
+        }
+        // `/;` is the SHOUTcast convention for "give me the ICY stream";
+        // a `.icy` suffix is accepted as an explicit spelling.
+        conn.icy = path == b"/;" || path.ends_with(b".icy");
+        conn.header = Some((
+            if conn.icy {
+                crate::broadcast::ICY_STREAM_HEADER
+            } else {
+                crate::broadcast::HTTP_STREAM_HEADER
+            },
+            0,
+        ));
+        conn.cursor = sb.bus.join_cursor();
+        conn.phase = BcastPhase::Streaming;
+        sb.bus.stats().listeners.fetch_add(1, Ordering::Relaxed);
+        conn.req = Vec::new(); // Request buffer is dead weight from here.
+        true
+    }
+
+    /// Writes a broadcast listener forward: response head first, then
+    /// batches of `Arc`-shared ring chunks via one vectored write per
+    /// round, until the socket would block or the cursor reaches the live
+    /// edge.  `strike` is true on the publish-driven dirty pass, where
+    /// zero progress with pending bytes counts toward stall eviction.
+    fn pump_bcast(&mut self, token: usize, strike: bool) {
+        let Some(slot) = self.slots.get_mut(token) else {
+            return;
+        };
+        let Some(Slot::Bcast(mut conn)) = slot.take() else {
+            return;
+        };
+        if matches!(conn.phase, BcastPhase::Request) {
+            self.slots[token] = Some(Slot::Bcast(conn));
+            return;
+        }
+        let Some(bus) = self.broadcast.as_ref().map(|sb| Arc::clone(&sb.bus)) else {
+            self.close_bcast(token, *conn);
+            return;
+        };
+        let mut progressed = false;
+        let mut dead = false;
+        loop {
+            // Flush the response head before any chunk bytes.
+            if let Some((head, off)) = conn.header.as_mut() {
+                match conn.io.write(&head[*off..]) {
+                    Ok(0) => {
+                        dead = true;
+                        break;
+                    }
+                    Ok(n) => {
+                        *off += n;
+                        progressed = true;
+                        if *off == head.len() {
+                            conn.header = None;
+                        } else {
+                            continue;
+                        }
+                    }
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                    Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                    Err(_) => {
+                        dead = true;
+                        break;
+                    }
+                }
+            }
+            // Refill the write batch from the shared ring (applies the
+            // skip-ahead lag policy and its accounting).
+            if conn.batch.is_empty() {
+                let info = bus.fetch_batch(conn.cursor, BCAST_BATCH, &mut conn.batch);
+                conn.cursor = info.next_cursor;
+                if conn.batch.is_empty() {
+                    break; // At the live edge.
+                }
+            }
+            // One vectored write over the whole batch.  The slices borrow
+            // the `Arc`-shared chunk bytes directly: this is the zero-copy
+            // fan-out — no listener-side buffer exists at all.
+            let result = {
+                let c = &mut *conn;
+                let mut slices: [IoSlice; BCAST_BATCH] =
+                    std::array::from_fn(|_| IoSlice::new(&[]));
+                let mut count = 0;
+                for chunk in c.batch.iter().take(BCAST_BATCH) {
+                    let s = if c.icy { chunk.payload() } else { chunk.wire() };
+                    slices[count] = IoSlice::new(if count == 0 { &s[c.off..] } else { s });
+                    count += 1;
+                }
+                c.io.write_vectored(&slices[..count])
+            };
+            match result {
+                Ok(0) => {
+                    dead = true;
+                    break;
+                }
+                Ok(n) => {
+                    progressed = true;
+                    bus.stats()
+                        .bytes_fanned_out
+                        .fetch_add(n as u64, Ordering::Relaxed);
+                    // Retire fully written chunks; remember the offset
+                    // into a partially written front.
+                    let mut left = n;
+                    while left > 0 {
+                        let Some(chunk) = conn.batch.front() else {
+                            break;
+                        };
+                        let total = if conn.icy {
+                            chunk.payload().len()
+                        } else {
+                            chunk.wire().len()
+                        };
+                        let front_left = total - conn.off;
+                        if left >= front_left {
+                            conn.batch.pop_front();
+                            conn.off = 0;
+                            left -= front_left;
+                        } else {
+                            conn.off += left;
+                            left = 0;
+                        }
+                    }
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(_) => {
+                    dead = true;
+                    break;
+                }
+            }
+        }
+        if dead {
+            self.close_bcast(token, *conn);
+            return;
+        }
+        let pending = conn.header.is_some() || !conn.batch.is_empty();
+        if progressed {
+            conn.strikes = 0;
+        } else if strike && pending {
+            conn.strikes += 1;
+            if conn.strikes >= bus.config().stall_strikes {
+                self.stats.evictions.fetch_add(1, Ordering::Relaxed);
+                bus.stats().evictions.fetch_add(1, Ordering::Relaxed);
+                self.close_bcast(token, *conn);
+                return;
+            }
+        }
+        if pending != conn.want_write {
+            let interest = if pending {
+                Interest::ReadWrite
+            } else {
+                Interest::Read
+            };
+            if self
+                .poller
+                .reregister(conn.fd, token as u64, interest)
+                .is_ok()
+            {
+                conn.want_write = pending;
+            } else if pending {
+                // Cannot arm write interest: the stalled bytes would never
+                // drain, so fail the listener instead of wedging.
+                self.close_bcast(token, *conn);
+                return;
+            }
+        }
+        self.slots[token] = Some(Slot::Bcast(conn));
+    }
+
+    fn close_bcast(&mut self, token: usize, conn: BcastConn) {
+        let _ = self.poller.deregister(conn.fd);
+        self.stats.closed.fetch_add(1, Ordering::Relaxed);
+        self.stats.fd_count.fetch_sub(1, Ordering::Relaxed);
+        if let Some(sb) = self.broadcast.as_mut() {
+            if let Some(i) = sb.tokens.iter().position(|&t| t == token) {
+                sb.tokens.swap_remove(i);
+            }
+            if matches!(conn.phase, BcastPhase::Streaming) {
+                sb.bus.stats().listeners.fetch_sub(1, Ordering::Relaxed);
+            }
+        }
+        self.deferred_free.push(token);
+        // Dropping `conn` closes the fd and releases its chunk refs.
     }
 
     fn read_conn(&mut self, token: usize) {
@@ -886,12 +1328,18 @@ impl Shard {
 
     fn close_all(&mut self) {
         for slot in self.slots.iter_mut() {
-            if let Some(Slot::Conn(conn)) = slot.take() {
-                let _ = self.poller.deregister(conn.fd);
-                let _ = self
-                    .transport
-                    .events
-                    .send(ServerEvent::Disconnect { id: conn.id });
+            match slot.take() {
+                Some(Slot::Conn(conn)) => {
+                    let _ = self.poller.deregister(conn.fd);
+                    let _ = self
+                        .transport
+                        .events
+                        .send(ServerEvent::Disconnect { id: conn.id });
+                }
+                Some(Slot::Bcast(conn)) => {
+                    let _ = self.poller.deregister(conn.fd);
+                }
+                _ => {}
             }
         }
     }
@@ -903,6 +1351,7 @@ pub struct Reactor {
     transport: Arc<TransportShared>,
     stats: Vec<Arc<ReactorShardStats>>,
     joins: Vec<std::thread::JoinHandle<()>>,
+    has_broadcast: bool,
 }
 
 impl Reactor {
@@ -916,6 +1365,18 @@ impl Reactor {
         transport: Arc<TransportShared>,
         shards: usize,
         force_poll: bool,
+    ) -> io::Result<Reactor> {
+        Reactor::spawn_with_broadcast(transport, shards, force_poll, None)
+    }
+
+    /// [`Reactor::spawn`] plus an optional [`BroadcastBus`]: every shard
+    /// registers an edge-triggered dirty flag with the bus, so sealing a
+    /// chunk wakes exactly the shards that own listeners.
+    pub fn spawn_with_broadcast(
+        transport: Arc<TransportShared>,
+        shards: usize,
+        force_poll: bool,
+        broadcast: Option<Arc<BroadcastBus>>,
     ) -> io::Result<Reactor> {
         let shards = shards.max(1);
         let mut links = Vec::with_capacity(shards);
@@ -944,6 +1405,16 @@ impl Reactor {
         let mut stats_list = Vec::with_capacity(shards);
         for (i, (poller, wake_rx, inbox, pending, sweep, stats)) in parts.into_iter().enumerate() {
             stats_list.push(Arc::clone(&stats));
+            let shard_broadcast = broadcast.as_ref().map(|bus| {
+                let dirty = Arc::new(AtomicBool::new(false));
+                let waker = shared.links[i].waker.clone();
+                bus.register_shard(Arc::clone(&dirty), Box::new(move || waker.wake()));
+                ShardBroadcast {
+                    bus: Arc::clone(bus),
+                    dirty,
+                    tokens: Vec::new(),
+                }
+            });
             let shard = Shard {
                 index: i,
                 poller,
@@ -959,6 +1430,8 @@ impl Reactor {
                 shared: Arc::clone(&shared),
                 stop: false,
                 wake_scratch: Vec::new(),
+                broadcast: shard_broadcast,
+                bcast_scratch: Vec::new(),
             };
             joins.push(
                 std::thread::Builder::new()
@@ -971,6 +1444,7 @@ impl Reactor {
             transport,
             stats: stats_list,
             joins,
+            has_broadcast: broadcast.is_some(),
         })
     }
 
@@ -992,6 +1466,23 @@ impl Reactor {
         listener.set_nonblocking(true)?;
         let bound = listener.local_addr()?;
         self.send_to_shard(0, ShardMsg::TcpL(listener))?;
+        Ok(bound)
+    }
+
+    /// Binds a nonblocking TCP listener for broadcast (HTTP/ICY) clients
+    /// and hands it to shard 0; accepted listeners are spread round-robin
+    /// across all shards.  Requires [`Reactor::spawn_with_broadcast`].
+    pub fn add_broadcast_tcp(&self, addr: SocketAddr) -> io::Result<SocketAddr> {
+        if !self.has_broadcast {
+            return Err(io::Error::new(
+                io::ErrorKind::Unsupported,
+                "reactor spawned without a broadcast bus",
+            ));
+        }
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let bound = listener.local_addr()?;
+        self.send_to_shard(0, ShardMsg::BcastL(listener))?;
         Ok(bound)
     }
 
@@ -1236,6 +1727,250 @@ mod tests {
             .map(|s| s.snapshot().evictions)
             .sum();
         assert_eq!(evictions, 1);
+        reactor.shutdown();
+    }
+
+    use crate::broadcast::{BroadcastConfig, BroadcastStats};
+
+    fn start_broadcast(
+        cfg: BroadcastConfig,
+        frame_bytes: usize,
+    ) -> (Reactor, Arc<BroadcastBus>, SocketAddr) {
+        let (tx, rx) = crossbeam_channel::unbounded();
+        std::mem::forget(rx); // No dispatcher: keep the channel open.
+        let shared = TransportShared::new(tx);
+        let bus = BroadcastBus::new(cfg, frame_bytes, BroadcastStats::new("test"));
+        let reactor =
+            Reactor::spawn_with_broadcast(shared, 2, false, Some(Arc::clone(&bus))).unwrap();
+        let addr = reactor
+            .add_broadcast_tcp("127.0.0.1:0".parse().unwrap())
+            .unwrap();
+        (reactor, bus, addr)
+    }
+
+    fn small_cfg() -> BroadcastConfig {
+        BroadcastConfig {
+            chunk_frames: 4,
+            ring_chunks: 8,
+            preroll_chunks: 2,
+            stall_strikes: 4,
+        }
+    }
+
+    /// Spin until the bus's listener gauge reaches `n` (request parsed).
+    fn wait_listeners(bus: &BroadcastBus, n: u64) {
+        for _ in 0..500 {
+            if bus.stats().listeners.load(Ordering::Relaxed) == n {
+                return;
+            }
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        panic!("listener gauge never reached {n}");
+    }
+
+    #[test]
+    fn http_listener_streams_chunked_frames() {
+        let (mut reactor, bus, addr) = start_broadcast(small_cfg(), 1);
+        let mut sock = TcpStream::connect(addr).unwrap();
+        sock.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+        sock.write_all(b"GET /stream HTTP/1.1\r\nHost: x\r\n\r\n")
+            .unwrap();
+        wait_listeners(&bus, 1);
+        for i in 0..3u8 {
+            bus.publish(&[i; 4]);
+        }
+        let mut head = vec![0u8; crate::broadcast::HTTP_STREAM_HEADER.len()];
+        sock.read_exact(&mut head).unwrap();
+        assert_eq!(head, crate::broadcast::HTTP_STREAM_HEADER);
+        for i in 0..3u8 {
+            let mut frame = [0u8; 9]; // "4\r\n" + 4 payload + "\r\n".
+            sock.read_exact(&mut frame).unwrap();
+            assert_eq!(&frame[..3], b"4\r\n");
+            assert_eq!(&frame[3..7], &[i; 4]);
+            assert_eq!(&frame[7..], b"\r\n");
+        }
+        // The client can observe the bytes a beat before the shard's
+        // counter update lands: spin briefly.
+        for _ in 0..500 {
+            if bus.stats().bytes_fanned_out.load(Ordering::Relaxed) >= 27 {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        assert!(bus.stats().bytes_fanned_out.load(Ordering::Relaxed) >= 27);
+        drop(sock);
+        for _ in 0..500 {
+            if bus.stats().listeners.load(Ordering::Relaxed) == 0 {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        assert_eq!(bus.stats().listeners.load(Ordering::Relaxed), 0);
+        assert_eq!(bus.stats().listeners_total.load(Ordering::Relaxed), 1);
+        reactor.shutdown();
+    }
+
+    #[test]
+    fn icy_listener_gets_raw_payload_of_the_same_chunks() {
+        let (mut reactor, bus, addr) = start_broadcast(small_cfg(), 1);
+        let mut sock = TcpStream::connect(addr).unwrap();
+        sock.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+        sock.write_all(b"GET /; HTTP/1.0\r\nIcy-MetaData: 0\r\n\r\n")
+            .unwrap();
+        wait_listeners(&bus, 1);
+        for i in 0..3u8 {
+            bus.publish(&[i; 4]);
+        }
+        let mut head = vec![0u8; crate::broadcast::ICY_STREAM_HEADER.len()];
+        sock.read_exact(&mut head).unwrap();
+        assert_eq!(head, crate::broadcast::ICY_STREAM_HEADER);
+        let mut body = [0u8; 12]; // 3 chunks × 4 raw payload bytes.
+        sock.read_exact(&mut body).unwrap();
+        assert_eq!(&body[..4], &[0; 4]);
+        assert_eq!(&body[4..8], &[1; 4]);
+        assert_eq!(&body[8..], &[2; 4]);
+        reactor.shutdown();
+    }
+
+    #[test]
+    fn late_joiner_bursts_in_from_the_preroll_cursor() {
+        let (mut reactor, bus, addr) = start_broadcast(small_cfg(), 1);
+        for i in 0..6u8 {
+            bus.publish(&[i; 4]);
+        }
+        // Live edge 6, preroll 2: a joiner must start at seq 4 and get
+        // chunks 4 and 5 immediately, with no further publish needed.
+        let mut sock = TcpStream::connect(addr).unwrap();
+        sock.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+        sock.write_all(b"GET / HTTP/1.1\r\n\r\n").unwrap();
+        let mut head = vec![0u8; crate::broadcast::HTTP_STREAM_HEADER.len()];
+        sock.read_exact(&mut head).unwrap();
+        for i in [4u8, 5] {
+            let mut frame = [0u8; 9];
+            sock.read_exact(&mut frame).unwrap();
+            assert_eq!(&frame[3..7], &[i; 4]);
+        }
+        reactor.shutdown();
+    }
+
+    #[test]
+    fn malformed_request_head_closes_the_listener() {
+        let (mut reactor, bus, addr) = start_broadcast(small_cfg(), 1);
+        let mut sock = TcpStream::connect(addr).unwrap();
+        sock.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+        sock.write_all(b"PUT /nope HTTP/1.1\r\n\r\n").unwrap();
+        let mut buf = [0u8; 16];
+        // The shard closes without a response: EOF (or reset).
+        match sock.read(&mut buf) {
+            Ok(0) | Err(_) => {}
+            Ok(n) => panic!("expected EOF, got {n} bytes"),
+        }
+        assert_eq!(bus.stats().listeners.load(Ordering::Relaxed), 0);
+        reactor.shutdown();
+    }
+
+    #[test]
+    fn stalled_listener_is_evicted_after_strike_budget() {
+        // Big chunks fill the kernel socket buffers quickly; a listener
+        // that never reads then makes zero progress and must be evicted
+        // after `stall_strikes` consecutive publishes.
+        let cfg = BroadcastConfig {
+            chunk_frames: 32 * 1024,
+            ring_chunks: 4,
+            preroll_chunks: 1,
+            stall_strikes: 4,
+        };
+        let (mut reactor, bus, addr) = start_broadcast(cfg, 1);
+        let mut sock = TcpStream::connect(addr).unwrap();
+        sock.write_all(b"GET / HTTP/1.1\r\n\r\n").unwrap();
+        wait_listeners(&bus, 1);
+        let chunk = vec![0x42u8; 32 * 1024];
+        let mut evicted = false;
+        for _ in 0..200 {
+            bus.publish(&chunk);
+            if bus.stats().evictions.load(Ordering::Relaxed) > 0 {
+                evicted = true;
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert!(evicted, "stalled listener never evicted");
+        wait_listeners(&bus, 0);
+        let shard_evictions: u64 = reactor
+            .shard_stats()
+            .iter()
+            .map(|s| s.snapshot().evictions)
+            .sum();
+        assert_eq!(shard_evictions, 1);
+        reactor.shutdown();
+    }
+
+    #[test]
+    fn lagging_listener_skips_ahead_and_keeps_byte_alignment() {
+        // A listener that stops reading long enough for the ring to wrap,
+        // then resumes, must land on a chunk boundary at the live edge
+        // (minus preroll) — never mid-chunk garbage.
+        const CHUNK: usize = 64 * 1024;
+        let cfg = BroadcastConfig {
+            chunk_frames: CHUNK as u32,
+            ring_chunks: 4,
+            preroll_chunks: 1,
+            stall_strikes: 1_000_000, // Never evict in this test.
+        };
+        let wire_len = CHUNK + b"10000\r\n".len() + 2;
+        let (mut reactor, bus, addr) = start_broadcast(cfg, 1);
+        let mut sock = TcpStream::connect(addr).unwrap();
+        sock.set_read_timeout(Some(Duration::from_secs(2))).unwrap();
+        sock.write_all(b"GET / HTTP/1.1\r\n\r\n").unwrap();
+        wait_listeners(&bus, 1);
+        // Each chunk's payload is filled with its own sequence number.
+        // Publish without the client reading until the unwritten backlog
+        // provably exceeds the ring plus the in-flight batch: the cursor
+        // has fallen off the ring tail.
+        let mut final_seq = 0u8;
+        for seq in 0..240u8 {
+            final_seq = seq;
+            bus.publish(&vec![seq; CHUNK]);
+            std::thread::sleep(Duration::from_millis(2));
+            let sealed = bus.stats().chunks_sealed.load(Ordering::Relaxed);
+            let fanned = bus.stats().bytes_fanned_out.load(Ordering::Relaxed);
+            let backlog = sealed * wire_len as u64 - fanned;
+            if backlog > ((4 + BCAST_BATCH + 1) * wire_len) as u64 {
+                break;
+            }
+        }
+        // Resume reading: the stream must be buffered frames, then a
+        // clean skip to the live edge — every frame still parses exactly.
+        let mut head = vec![0u8; crate::broadcast::HTTP_STREAM_HEADER.len()];
+        sock.read_exact(&mut head).unwrap();
+        assert_eq!(head, crate::broadcast::HTTP_STREAM_HEADER);
+        let mut frame = vec![0u8; wire_len];
+        let mut last_tag: Option<u8> = None;
+        let mut frames_read = 0u32;
+        while sock.read_exact(&mut frame).is_ok() {
+            frames_read += 1;
+            assert_eq!(&frame[..7], b"10000\r\n", "chunk framing misaligned");
+            let tag = frame[7];
+            assert!(
+                frame[7..7 + CHUNK].iter().all(|&b| b == tag),
+                "payload mixes chunks"
+            );
+            assert_eq!(&frame[wire_len - 2..], b"\r\n");
+            if let Some(prev) = last_tag {
+                assert!(tag > prev, "sequence went backwards: {prev} -> {tag}");
+            }
+            last_tag = Some(tag);
+        }
+        assert!(frames_read >= 4, "read only {frames_read} frames");
+        assert_eq!(
+            last_tag,
+            Some(final_seq),
+            "drain must end at the live edge"
+        );
+        assert!(
+            bus.stats().skip_aheads.load(Ordering::Relaxed) > 0,
+            "ring never overtook the stalled cursor"
+        );
         reactor.shutdown();
     }
 }

@@ -45,6 +45,10 @@ pub struct ServerStats {
     /// Per-reactor-shard transport counters (reactor transport only):
     /// fd count, readiness events, partial reads, wakeups, evictions.
     pub reactors: Mutex<Vec<Arc<crate::reactor::ReactorShardStats>>>,
+    /// Per-broadcast-bus fan-out counters (broadcast servers only):
+    /// listeners, chunks sealed, lag histogram, evictions, bytes fanned
+    /// out.
+    pub broadcasts: Mutex<Vec<Arc<crate::broadcast::BroadcastStats>>>,
 }
 
 impl ServerStats {
@@ -107,6 +111,24 @@ impl ServerStats {
             .unwrap_or_else(|poisoned| poisoned.into_inner())
             .iter()
             .map(|s| s.snapshot())
+            .collect()
+    }
+
+    /// Registers a broadcast bus's counters for snapshotting.
+    pub fn register_broadcast(&self, stats: Arc<crate::broadcast::BroadcastStats>) {
+        self.broadcasts
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+            .push(stats);
+    }
+
+    /// Copies out every broadcast bus's counters, in registration order.
+    pub fn broadcast_snapshots(&self) -> Vec<crate::broadcast::BroadcastSnapshot> {
+        self.broadcasts
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+            .iter()
+            .map(|b| b.snapshot())
             .collect()
     }
 

@@ -15,9 +15,12 @@
 //! report but is deliberately not gated — on a 1-core host it measures
 //! scheduler interleaving, not kernel work), Figure 10 `get_time_us`, the
 //! Figure 11/12/13 latency sweeps (compared by series mean, which resists
-//! per-point timer noise), and Table 12 `loop_ms`.  Metrics present in
-//! only one report are noted but never fail the gate, so the schema can
-//! grow without breaking older baselines.
+//! per-point timer noise), and Table 12 `loop_ms`.  Scaling sections gate
+//! their deterministic outcomes everywhere (`reactor_scaling`'s sustained
+//! fraction, `fanout_scaling`'s per-level sustained flags) and their
+//! duration-sensitive rates only same-mode.  Metrics present in only one
+//! report are noted but never fail the gate, so the schema can grow
+//! without breaking older baselines.
 //!
 //! **Cross-mode runs.**  When the two reports' `"mode"` fields differ
 //! (CI compares a `--smoke` candidate against the checked-in full
@@ -44,8 +47,8 @@ use std::process::ExitCode;
 #[derive(Debug, Clone)]
 enum Json {
     Null,
-    /// Kept for JSON completeness; the report schema has no booleans today.
-    Bool(#[allow(dead_code)] bool),
+    /// Booleans appear in the scaling rows (`sustained`).
+    Bool(bool),
     Num(f64),
     Str(String),
     Arr(Vec<Json>),
@@ -406,6 +409,34 @@ fn metrics(report: &Json) -> BTreeMap<String, (f64, Better)> {
         }
     }
 
+    if let Some(fanout) = report.get("fanout_scaling") {
+        if let Some(rows) = fanout.get("rows").and_then(Json::as_arr) {
+            for row in rows {
+                let Some(n) = row.get("listeners").and_then(Json::as_f64) else {
+                    continue;
+                };
+                // Sustained is deterministic (no evictions, no protocol
+                // errors, every listener drained the full stream), so it
+                // gates even cross-mode.
+                if let Some(Json::Bool(s)) = row.get("sustained") {
+                    out.insert(
+                        format!("fanout_scaling/{n}lis/sustained"),
+                        (if *s { 1.0 } else { 0.0 }, Better::Higher),
+                    );
+                }
+                // Pipeline throughput is duration-sensitive; the
+                // `fanout_scaling_rows/` prefix opts it out of cross-mode
+                // comparisons like the reactor rows.
+                if let Some(v) = row.get("fanout_mb_s").and_then(Json::as_f64) {
+                    out.insert(
+                        format!("fanout_scaling_rows/{n}lis/fanout_mb_s"),
+                        (v, Better::Higher),
+                    );
+                }
+            }
+        }
+    }
+
     if let Some(scaling) = report.get("reactor_scaling") {
         // The headline: what fraction of load levels the server sustained.
         if let Some(v) = scaling.get("sustained_fraction").and_then(Json::as_f64) {
@@ -497,7 +528,9 @@ fn main() -> ExitCode {
     let mut compared = 0u32;
     for (name, &(b, better)) in &base {
         if cross_mode
-            && (name.starts_with("multi_device/") || name.starts_with("reactor_scaling_rows/"))
+            && (name.starts_with("multi_device/")
+                || name.starts_with("reactor_scaling_rows/")
+                || name.starts_with("fanout_scaling_rows/"))
         {
             continue;
         }
@@ -587,6 +620,22 @@ mod tests {
             m["reactor_scaling_rows/classic/1000conn/achieved_rps"].0,
             1669.0
         );
+    }
+
+    #[test]
+    fn extracts_fanout_scaling_metrics() {
+        let v = parse(
+            r#"{"mode": "full", "fanout_scaling": {"mode": "full", "encode_flatness": 1.391,
+                "rows": [
+                  {"listeners": 1, "fanout_mb_s": 2.6, "sustained": true},
+                  {"listeners": 512, "fanout_mb_s": 1027.3, "sustained": false}]}}"#,
+        )
+        .unwrap();
+        let m = metrics(&v);
+        assert_eq!(m["fanout_scaling/1lis/sustained"].0, 1.0);
+        assert_eq!(m["fanout_scaling/512lis/sustained"].0, 0.0);
+        assert_eq!(m["fanout_scaling_rows/512lis/fanout_mb_s"].0, 1027.3);
+        assert!(m["fanout_scaling_rows/512lis/fanout_mb_s"].1 == Better::Higher);
     }
 
     #[test]

@@ -166,7 +166,7 @@ fn kernel_section(settings: Settings) -> Vec<KernelMeasurement> {
 }
 
 fn kernel_v2_section(settings: Settings) -> Vec<KernelV2Measurement> {
-    println!("## Kernel paths — scalar vs SWAR vs SIMD (cycle-accounted)\n");
+    println!("## Kernel paths — scalar vs SWAR vs SIMD vs composed (cycle-accounted)\n");
     println!("| kernel | path | bytes | MB/s | cycles/byte |");
     println!("|---|---|---|---|---|");
     let results = run_kernels_v2(settings.smoke);
@@ -177,6 +177,18 @@ fn kernel_v2_section(settings: Settings) -> Vec<KernelV2Measurement> {
         );
     }
     println!();
+    // Dispatch gate: the shipping composed table must never lose to scalar
+    // on any entry point — the regression this PR exists to prevent.
+    let violations =
+        bench::kernels::dispatch_regressions(&results, bench::kernels::DISPATCH_GATE_TOLERANCE);
+    if violations.is_empty() {
+        println!("Dispatch gate: composed ≤ scalar cycles/byte on every entry point.\n");
+    } else {
+        for v in &violations {
+            eprintln!("report: dispatch regression: {v}");
+        }
+        std::process::exit(1);
+    }
     results
 }
 

@@ -269,6 +269,45 @@ pub fn run_kernels_v2(smoke: bool) -> Vec<KernelV2Measurement> {
     results
 }
 
+/// Dispatch-gate tolerance: how much slower than scalar (in cycles/byte)
+/// the composed table may measure before it counts as a regression.  Wide
+/// enough to absorb timer noise on a loaded CI host, narrow enough to catch
+/// the class of bug it exists for — a composition that picks a losing path
+/// (the SWAR mix trails scalar ~6×, the SIMD resampler ~1.45×).
+pub const DISPATCH_GATE_TOLERANCE: f64 = 1.25;
+
+/// The dispatch invariant behind `af_dsp::kernels::composed`: the shipping
+/// default must never be slower than the scalar baseline on any entry
+/// point at any size.  Returns one message per violated (kernel, size)
+/// pair, empty when the invariant holds.
+pub fn dispatch_regressions(rows: &[KernelV2Measurement], tolerance: f64) -> Vec<String> {
+    let mut violations = Vec::new();
+    for base in rows.iter().filter(|r| r.path == "scalar") {
+        let Some(active) = rows
+            .iter()
+            .find(|r| r.path == "composed" && r.kernel == base.kernel && r.bytes == base.bytes)
+        else {
+            violations.push(format!(
+                "no composed row for {}/{} — dispatch gate cannot run",
+                base.kernel, base.bytes
+            ));
+            continue;
+        };
+        if active.cycles_per_byte > base.cycles_per_byte * tolerance {
+            violations.push(format!(
+                "{}/{}: composed {:.3} cycles/byte vs scalar {:.3} ({:.2}x, tolerance {:.2}x)",
+                base.kernel,
+                base.bytes,
+                active.cycles_per_byte,
+                base.cycles_per_byte,
+                active.cycles_per_byte / base.cycles_per_byte,
+                tolerance
+            ));
+        }
+    }
+    violations
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -297,5 +336,36 @@ mod tests {
                 m.bytes
             );
         }
+    }
+
+    // Debug builds leave the `core::arch` intrinsics uninlined, which makes
+    // any SIMD-vs-scalar timing meaningless; the live gate only holds for
+    // optimized code (the report binary always runs it in release).
+    #[cfg(not(debug_assertions))]
+    #[test]
+    fn composed_path_is_never_slower_than_scalar() {
+        let rows = run_kernels_v2(true);
+        let violations = dispatch_regressions(&rows, DISPATCH_GATE_TOLERANCE);
+        assert!(violations.is_empty(), "{}", violations.join("; "));
+    }
+
+    #[test]
+    fn dispatch_gate_flags_a_losing_composition() {
+        let row = |path, cpb: f64| KernelV2Measurement {
+            kernel: "mix",
+            path,
+            bytes: 4096,
+            mb_s: 1.0,
+            cycles_per_byte: cpb,
+        };
+        // Composed 6x slower than scalar (the SWAR-mix shape): must trigger.
+        let bad = vec![row("scalar", 0.1), row("composed", 0.6)];
+        assert_eq!(dispatch_regressions(&bad, DISPATCH_GATE_TOLERANCE).len(), 1);
+        // Composed at parity: must pass.
+        let good = vec![row("scalar", 0.1), row("composed", 0.1)];
+        assert!(dispatch_regressions(&good, DISPATCH_GATE_TOLERANCE).is_empty());
+        // Missing composed row: the gate reports rather than silently passing.
+        let missing = vec![row("scalar", 0.1)];
+        assert_eq!(dispatch_regressions(&missing, DISPATCH_GATE_TOLERANCE).len(), 1);
     }
 }
